@@ -1,0 +1,441 @@
+//! Exhaustive grid search for tiny instances.
+//!
+//! The paper notes that "the size of the solution space does not allow
+//! exhaustive search for the workloads we have presented" — but for *tiny*
+//! problems (a flow or two, a handful of consumers) exhaustive enumeration
+//! is the ground truth against which LRGP and the annealing baseline are
+//! validated in this repository's tests.
+
+use lrgp_model::{Allocation, Problem};
+
+/// Error returned when the exhaustive search space is too large.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceTooLarge {
+    /// Number of population/rate combinations the request would enumerate.
+    pub combinations: u128,
+    /// The configured limit.
+    pub limit: u128,
+}
+
+impl std::fmt::Display for SpaceTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exhaustive search space has {} combinations (limit {})",
+            self.combinations, self.limit
+        )
+    }
+}
+
+impl std::error::Error for SpaceTooLarge {}
+
+/// Result of an exhaustive search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExhaustiveOutcome {
+    /// The best feasible allocation on the grid.
+    pub best: Allocation,
+    /// Its utility.
+    pub best_utility: f64,
+    /// Feasible grid points visited.
+    pub feasible_points: u64,
+    /// Total grid points visited.
+    pub total_points: u64,
+}
+
+/// Enumerates every population vector × every rate grid point and returns
+/// the best feasible allocation.
+///
+/// Rates are discretized to `rate_grid` evenly spaced points per flow
+/// (including both bounds). Populations enumerate `0..=n_j^max` per class.
+///
+/// # Errors
+///
+/// Returns [`SpaceTooLarge`] when the total number of combinations exceeds
+/// `limit` — call sites should keep instances tiny (this is a test oracle,
+/// not an optimizer).
+pub fn exhaustive_search(
+    problem: &Problem,
+    rate_grid: usize,
+    limit: u128,
+) -> Result<ExhaustiveOutcome, SpaceTooLarge> {
+    assert!(rate_grid >= 1, "rate grid must have at least one point");
+    let mut combinations: u128 = 1;
+    for c in problem.class_ids() {
+        combinations =
+            combinations.saturating_mul(problem.class(c).max_population as u128 + 1);
+    }
+    for _ in problem.flow_ids() {
+        combinations = combinations.saturating_mul(rate_grid as u128);
+    }
+    if combinations > limit {
+        return Err(SpaceTooLarge { combinations, limit });
+    }
+
+    let rate_points: Vec<Vec<f64>> = problem
+        .flow_ids()
+        .map(|f| {
+            let b = problem.flow(f).bounds;
+            if rate_grid == 1 || b.width() == 0.0 {
+                vec![b.min]
+            } else {
+                (0..rate_grid)
+                    .map(|k| b.min + b.width() * k as f64 / (rate_grid - 1) as f64)
+                    .collect()
+            }
+        })
+        .collect();
+    let pop_maxes: Vec<u32> =
+        problem.class_ids().map(|c| problem.class(c).max_population).collect();
+
+    let mut best: Option<Allocation> = None;
+    let mut best_utility = f64::NEG_INFINITY;
+    let mut feasible_points = 0;
+    let mut total_points = 0;
+
+    let mut rate_idx = vec![0usize; problem.num_flows()];
+    loop {
+        let rates: Vec<f64> =
+            rate_idx.iter().enumerate().map(|(f, &k)| rate_points[f][k]).collect();
+        let mut pops = vec![0u32; problem.num_classes()];
+        loop {
+            total_points += 1;
+            let alloc = Allocation::from_parts(
+                problem,
+                rates.clone(),
+                pops.iter().map(|&n| n as f64).collect(),
+            );
+            if alloc.is_feasible(problem, 1e-9) {
+                feasible_points += 1;
+                let u = alloc.total_utility(problem);
+                if u > best_utility {
+                    best_utility = u;
+                    best = Some(alloc);
+                }
+            }
+            // Odometer over populations.
+            let mut carry = true;
+            for (n, &max) in pops.iter_mut().zip(&pop_maxes) {
+                if !carry {
+                    break;
+                }
+                if *n < max {
+                    *n += 1;
+                    carry = false;
+                } else {
+                    *n = 0;
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+        // Odometer over rates.
+        let mut carry = true;
+        for (k, points) in rate_idx.iter_mut().zip(&rate_points) {
+            if !carry {
+                break;
+            }
+            if *k + 1 < points.len() {
+                *k += 1;
+                carry = false;
+            } else {
+                *k = 0;
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+
+    let best = best.expect("the all-zero population point is always enumerated");
+    Ok(ExhaustiveOutcome { best, best_utility, feasible_points, total_points })
+}
+
+/// Exact exhaustive search for *single-attachment* problems: every flow
+/// reaches exactly one node and traverses no links.
+///
+/// Populations are enumerated exhaustively as in [`exhaustive_search`], but
+/// for each population vector the rates are solved **exactly**: with
+/// populations fixed, each node's rate subproblem is convex (separable
+/// increasing concave objective over one linear constraint), solved by
+/// bisection on the node's Lagrange multiplier. The result is therefore the
+/// true global optimum (up to 1e-9 multiplier tolerance), making this the
+/// strongest available oracle: no heuristic may exceed it.
+///
+/// # Errors
+///
+/// Returns [`SpaceTooLarge`] when the population space exceeds `limit`.
+///
+/// # Panics
+///
+/// Panics if some flow reaches more than one node or traverses a link
+/// (the multiplier decomposition would no longer be exact).
+pub fn exhaustive_search_exact_rates(
+    problem: &Problem,
+    limit: u128,
+) -> Result<ExhaustiveOutcome, SpaceTooLarge> {
+    use lrgp::rate::{solve_rate, AggregateUtility};
+
+    for f in problem.flow_ids() {
+        assert!(
+            problem.nodes_of_flow(f).len() == 1 && problem.links_of_flow(f).is_empty(),
+            "exact oracle requires every flow to reach exactly one node with no links"
+        );
+    }
+    let mut combinations: u128 = 1;
+    for c in problem.class_ids() {
+        combinations =
+            combinations.saturating_mul(problem.class(c).max_population as u128 + 1);
+    }
+    if combinations > limit {
+        return Err(SpaceTooLarge { combinations, limit });
+    }
+
+    let pop_maxes: Vec<u32> =
+        problem.class_ids().map(|c| problem.class(c).max_population).collect();
+    let mut pops = vec![0u32; problem.num_classes()];
+    let mut best: Option<Allocation> = None;
+    let mut best_utility = f64::NEG_INFINITY;
+    let mut feasible_points = 0u64;
+    let mut total_points = 0u64;
+
+    loop {
+        total_points += 1;
+        let populations: Vec<f64> = pops.iter().map(|&n| n as f64).collect();
+        // Solve rates node by node.
+        let mut rates = vec![0.0; problem.num_flows()];
+        let mut feasible = true;
+        'nodes: for node in problem.node_ids() {
+            let flows = problem.flows_at_node(node);
+            if flows.is_empty() {
+                continue;
+            }
+            let capacity = problem.node(node).capacity;
+            // Per-flow linear coefficient a_i = F + Σ G·n_j and aggregate
+            // utility.
+            let entries: Vec<(usize, f64, AggregateUtility, lrgp_model::RateBounds)> = flows
+                .iter()
+                .map(|&f| {
+                    let mut a = problem.flow_node_cost(node, f);
+                    for class in problem.classes_of_flow_at_node(f, node) {
+                        a += problem.class(class).consumer_cost * populations[class.index()];
+                    }
+                    (
+                        f.index(),
+                        a,
+                        AggregateUtility::for_flow(problem, f, &populations),
+                        problem.flow(f).bounds,
+                    )
+                })
+                .collect();
+            let usage_at = |lambda: f64, rates: &mut Vec<f64>| -> f64 {
+                let mut total = 0.0;
+                for (idx, a, agg, bounds) in &entries {
+                    let r = if *a == 0.0 {
+                        bounds.max
+                    } else {
+                        solve_rate(agg, lambda * a, *bounds, bounds.min)
+                    };
+                    rates[*idx] = r;
+                    total += a * r;
+                }
+                total
+            };
+            // Unconstrained (λ = 0) solution feasible?
+            if usage_at(0.0, &mut rates) <= capacity + 1e-9 {
+                continue;
+            }
+            // Find a bracketing λ_hi.
+            let mut lo = 0.0f64;
+            let mut hi = 1.0f64;
+            let mut guard = 0;
+            while usage_at(hi, &mut rates) > capacity {
+                lo = hi;
+                hi *= 2.0;
+                guard += 1;
+                if guard > 200 {
+                    // Even enormous prices cannot fit (minimum rates alone
+                    // overflow): population vector infeasible.
+                    feasible = false;
+                    break 'nodes;
+                }
+            }
+            for _ in 0..200 {
+                let mid = 0.5 * (lo + hi);
+                if usage_at(mid, &mut rates) > capacity {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+                if hi - lo < 1e-12 * hi.max(1.0) {
+                    break;
+                }
+            }
+            // Final rates at the feasible end of the bracket.
+            let final_usage = usage_at(hi, &mut rates);
+            if final_usage > capacity + 1e-6 {
+                feasible = false;
+                break 'nodes;
+            }
+        }
+        if feasible {
+            let alloc = Allocation::from_parts(problem, rates, populations);
+            debug_assert!(alloc.is_feasible(problem, 1e-6), "oracle produced infeasible point");
+            feasible_points += 1;
+            let u = alloc.total_utility(problem);
+            if u > best_utility {
+                best_utility = u;
+                best = Some(alloc);
+            }
+        }
+        // Odometer over populations.
+        let mut carry = true;
+        for (n, &max) in pops.iter_mut().zip(&pop_maxes) {
+            if !carry {
+                break;
+            }
+            if *n < max {
+                *n += 1;
+                carry = false;
+            } else {
+                *n = 0;
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+
+    let best = best.expect("all-zero populations with minimum rates must be enumerated");
+    Ok(ExhaustiveOutcome { best, best_utility, feasible_points, total_points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrgp_model::{ProblemBuilder, RateBounds, Utility};
+
+    /// One flow into one node: capacity fits `cap_consumers` consumers at
+    /// the max rate.
+    fn tiny(n_max: u32, capacity: f64) -> Problem {
+        let mut b = ProblemBuilder::new();
+        let src = b.add_node(1e12);
+        let sink = b.add_node(capacity);
+        let f = b.add_flow(src, RateBounds::new(10.0, 100.0).unwrap());
+        b.set_node_cost(f, sink, 1.0);
+        b.add_class(f, sink, n_max, Utility::log(10.0), 2.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_saturating_optimum_when_capacity_ample() {
+        // Capacity 1e6: even n = 8, r = 100 uses 1 · 100 + 2·8·100 = 1700.
+        let p = tiny(8, 1e6);
+        let out = exhaustive_search(&p, 10, 1_000_000).unwrap();
+        // Optimum: everyone admitted at max rate.
+        assert_eq!(out.best.populations(), &[8.0]);
+        assert_eq!(out.best.rates(), &[100.0]);
+        let expected = 8.0 * 10.0 * 101.0f64.ln();
+        assert!((out.best_utility - expected).abs() < 1e-9);
+        assert_eq!(out.total_points, 9 * 10);
+        assert_eq!(out.feasible_points, out.total_points);
+    }
+
+    #[test]
+    fn respects_capacity_tradeoff() {
+        // Capacity 500: at r = 100, F·r = 100 leaves room for 2 consumers
+        // (2·100 each); at r = 10 it fits 8 consumers easily. The optimal
+        // grid point trades rate against population.
+        let p = tiny(8, 500.0);
+        let out = exhaustive_search(&p, 10, 1_000_000).unwrap();
+        assert!(out.best.is_feasible(&p, 1e-9));
+        // Check optimality against a brute-force re-scan.
+        let mut best = f64::NEG_INFINITY;
+        for k in 0..10 {
+            let r = 10.0 + 90.0 * k as f64 / 9.0;
+            for n in 0..=8 {
+                let a = Allocation::from_parts(&p, vec![r], vec![n as f64]);
+                if a.is_feasible(&p, 1e-9) {
+                    best = best.max(a.total_utility(&p));
+                }
+            }
+        }
+        assert!((out.best_utility - best).abs() < 1e-9);
+        assert!(out.feasible_points < out.total_points);
+    }
+
+    #[test]
+    fn rejects_oversized_spaces() {
+        let p = tiny(1_000_000, 1e6);
+        let err = exhaustive_search(&p, 10, 1_000).unwrap_err();
+        assert!(err.combinations > err.limit);
+        assert!(err.to_string().contains("combinations"));
+    }
+
+    #[test]
+    fn exact_oracle_dominates_grid_oracle() {
+        let p = tiny(8, 500.0);
+        let grid = exhaustive_search(&p, 25, 1_000_000).unwrap();
+        let exact = exhaustive_search_exact_rates(&p, 1_000_000).unwrap();
+        assert!(exact.best_utility >= grid.best_utility - 1e-9);
+        assert!(exact.best.is_feasible(&p, 1e-6));
+    }
+
+    #[test]
+    fn exact_oracle_matches_hand_solution_when_capacity_ample() {
+        let p = tiny(8, 1e6);
+        let exact = exhaustive_search_exact_rates(&p, 1_000_000).unwrap();
+        assert_eq!(exact.best.populations(), &[8.0]);
+        assert!((exact.best.rates()[0] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_oracle_balances_two_flows_on_one_node() {
+        // Two flows, one node: with equal consumer masses the optimal rates
+        // are equal; with unequal masses the heavier flow gets more.
+        let mut b = ProblemBuilder::new();
+        let s0 = b.add_node(1e12);
+        let s1 = b.add_node(1e12);
+        let sink = b.add_node(1_000.0);
+        let f0 = b.add_flow(s0, RateBounds::new(1.0, 500.0).unwrap());
+        let f1 = b.add_flow(s1, RateBounds::new(1.0, 500.0).unwrap());
+        b.set_node_cost(f0, sink, 1.0);
+        b.set_node_cost(f1, sink, 1.0);
+        b.add_class(f0, sink, 1, Utility::log(30.0), 1.0);
+        b.add_class(f1, sink, 1, Utility::log(10.0), 1.0);
+        let p = b.build().unwrap();
+        let exact = exhaustive_search_exact_rates(&p, 1_000).unwrap();
+        // Best admits both consumers; rates split 3:1 in (1+r) terms under
+        // the binding constraint 2(r0 + r1) = 1000... (a = F + G·n = 2).
+        assert_eq!(exact.best.populations(), &[1.0, 1.0]);
+        let (r0, r1) = (exact.best.rates()[0], exact.best.rates()[1]);
+        assert!(r0 > r1, "heavier class should get more rate: {r0} vs {r1}");
+        let usage = 2.0 * (r0 + r1);
+        assert!((usage - 1_000.0).abs() < 1e-3, "constraint should bind: {usage}");
+        assert!(((1.0 + r0) / (1.0 + r1) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one node")]
+    fn exact_oracle_rejects_multi_node_flows() {
+        let mut b = ProblemBuilder::new();
+        let src = b.add_node(1e12);
+        let a = b.add_node(1e6);
+        let c = b.add_node(1e6);
+        let f = b.add_flow(src, RateBounds::new(1.0, 10.0).unwrap());
+        b.set_node_cost(f, a, 1.0);
+        b.set_node_cost(f, c, 1.0);
+        b.add_class(f, a, 1, Utility::log(1.0), 1.0);
+        b.add_class(f, c, 1, Utility::log(1.0), 1.0);
+        let p = b.build().unwrap();
+        let _ = exhaustive_search_exact_rates(&p, 1_000);
+    }
+
+    #[test]
+    fn single_grid_point_uses_min_rate() {
+        let p = tiny(2, 1e6);
+        let out = exhaustive_search(&p, 1, 1_000).unwrap();
+        assert_eq!(out.best.rates(), &[10.0]);
+        assert_eq!(out.best.populations(), &[2.0]);
+    }
+}

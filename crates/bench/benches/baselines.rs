@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for the centralized baselines: simulated
+//! annealing step throughput and the incremental state evaluation kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lrgp_anneal::{anneal, AnnealConfig, Move, SearchState};
+use lrgp_model::workloads::base_workload;
+use lrgp_model::{ClassId, FlowId};
+
+fn bench_sa_steps(c: &mut Criterion) {
+    let problem = base_workload();
+    let mut group = c.benchmark_group("simulated_annealing");
+    const STEPS: u64 = 100_000;
+    group.throughput(Throughput::Elements(STEPS));
+    group.bench_function("steps_100k_base", |b| {
+        b.iter(|| black_box(anneal(&problem, &AnnealConfig::paper(5.0, STEPS, 42))))
+    });
+    group.finish();
+}
+
+fn bench_incremental_eval(c: &mut Criterion) {
+    let problem = base_workload();
+    let state = SearchState::lower_bounds(&problem);
+    let mut group = c.benchmark_group("search_state");
+    group.bench_function("evaluate_rate_move", |b| {
+        b.iter(|| {
+            black_box(state.evaluate(Move::SetRate { flow: FlowId::new(0), rate: black_box(55.0) }))
+        })
+    });
+    group.bench_function("evaluate_population_move", |b| {
+        b.iter(|| {
+            black_box(state.evaluate(Move::SetPopulation {
+                class: ClassId::new(18),
+                population: black_box(5.0),
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sa_steps, bench_incremental_eval);
+criterion_main!(benches);

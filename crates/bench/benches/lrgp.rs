@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the LRGP optimizer itself:
+//! per-iteration cost on the paper's workloads, convergence runs, and the
+//! two inner kernels (rate solving and greedy admission).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrgp::admission::{allocate_consumers, AdmissionPolicy, PopulationMode};
+use lrgp::rate::{solve_rate, AggregateUtility};
+use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp_model::workloads::Table2Workload;
+use lrgp_model::{NodeId, RateBounds, Utility};
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lrgp_iteration");
+    for workload in Table2Workload::ALL {
+        let problem = workload.build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.label()),
+            &problem,
+            |b, p| {
+                let mut engine = LrgpEngine::new(p.clone(), LrgpConfig::default());
+                b.iter(|| black_box(engine.step()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let problem = Table2Workload::Base.build();
+    c.bench_function("lrgp_converge_base", |b| {
+        b.iter(|| {
+            let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+            black_box(engine.run_until_converged(250))
+        })
+    });
+}
+
+fn bench_rate_solver(c: &mut Criterion) {
+    let bounds = RateBounds::new(10.0, 1000.0).unwrap();
+    let log_agg = AggregateUtility::from_terms(
+        (0..10).map(|k| (100.0 + k as f64, Utility::log(1.0 + k as f64))),
+    );
+    let mixed_agg = AggregateUtility::from_terms(vec![
+        (100.0, Utility::log(20.0)),
+        (50.0, Utility::power(10.0, 0.5)),
+        (25.0, Utility::saturating(30.0, 100.0)),
+    ]);
+    let mut group = c.benchmark_group("rate_solver");
+    group.bench_function("closed_form_log", |b| {
+        b.iter(|| black_box(solve_rate(&log_agg, black_box(1.7), bounds, 10.0)))
+    });
+    group.bench_function("bisection_mixed", |b| {
+        b.iter(|| black_box(solve_rate(&mixed_agg, black_box(1.7), bounds, 10.0)))
+    });
+    group.finish();
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let problem = Table2Workload::Flows6Cnodes24.build();
+    let rates: Vec<f64> = problem.flow_ids().map(|_| 100.0).collect();
+    let node = NodeId::new(0);
+    c.bench_function("greedy_admission_node", |b| {
+        b.iter(|| {
+            black_box(allocate_consumers(
+                &problem,
+                node,
+                &rates,
+                PopulationMode::Integral,
+                AdmissionPolicy::StopAtFirstBlock,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_iteration,
+    bench_convergence,
+    bench_rate_solver,
+    bench_admission
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the pub/sub matching engines.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lrgp_pubsub::filter::FilterGen;
+use lrgp_pubsub::matcher::{IndexMatcher, Matcher, NaiveMatcher};
+use lrgp_pubsub::message::Schema;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_matchers(c: &mut Criterion) {
+    let schema = Arc::new(Schema::trade_data());
+    let gen = FilterGen::default();
+    let mut group = c.benchmark_group("matching");
+    for &subs in &[100usize, 1000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let filters: Vec<_> = (0..subs).map(|_| gen.generate(&schema, &mut rng)).collect();
+        let messages: Vec<_> = (0..64).map(|_| schema.generate(&mut rng)).collect();
+        let naive = {
+            let mut m = NaiveMatcher::new();
+            for f in filters.clone() {
+                m.subscribe(f);
+            }
+            m
+        };
+        let index = IndexMatcher::from_filters(filters);
+        group.throughput(Throughput::Elements(messages.len() as u64));
+        group.bench_with_input(BenchmarkId::new("naive", subs), &messages, |b, msgs| {
+            b.iter(|| {
+                for m in msgs {
+                    black_box(naive.match_message(m));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("index", subs), &messages, |b, msgs| {
+            b.iter(|| {
+                for m in msgs {
+                    black_box(index.match_message(m));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the overlay substrate: event-queue
+//! throughput, distributed-protocol rounds, and the message plane.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp_model::workloads::base_workload;
+use lrgp_overlay::{
+    run_synchronous, simulate_message_plane, EventQueue, LatencyModel, PlaneConfig, SimTime,
+    Topology,
+};
+
+fn bench_event_queue(c: &mut Criterion) {
+    const EVENTS: u64 = 10_000;
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..EVENTS {
+                q.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_sync_protocol(c: &mut Criterion) {
+    let problem = base_workload();
+    let topology = Topology::from_problem(
+        &problem,
+        LatencyModel::Uniform { latency: SimTime::from_millis(10) },
+        SimTime::from_micros(200),
+    );
+    c.bench_function("sync_protocol_50_rounds", |b| {
+        b.iter(|| {
+            black_box(run_synchronous(&problem, &topology, LrgpConfig::default(), 50))
+        })
+    });
+}
+
+fn bench_message_plane(c: &mut Criterion) {
+    let problem = base_workload();
+    let topology = Topology::from_problem(
+        &problem,
+        LatencyModel::Uniform { latency: SimTime::from_millis(5) },
+        SimTime::from_micros(100),
+    );
+    let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+    engine.run_until_converged(250);
+    let allocation = engine.allocation();
+    c.bench_function("message_plane_1s", |b| {
+        b.iter(|| {
+            black_box(simulate_message_plane(
+                &problem,
+                &topology,
+                &allocation,
+                PlaneConfig::default(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_sync_protocol, bench_message_plane);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Minimal command-line argument handling shared by the experiment
+//! binaries (kept dependency-free on purpose).
+
+use std::path::PathBuf;
+
+/// Common options for the experiment binaries.
+///
+/// Recognized flags:
+///
+/// * `--out DIR` — output directory for CSV/JSON (default `results/`).
+/// * `--seed N` — RNG seed (default 42).
+/// * `--iters N` — LRGP iteration budget (default 250, as in the paper's
+///   figures).
+/// * `--steps N[,N...]` — SA step budgets (default `100000,1000000`).
+/// * `--paper` — use the paper's full SA budgets `10⁶,10⁷,10⁸` (slow:
+///   minutes per workload).
+/// * `--quick` — tiny budgets for smoke-testing (`10⁴,10⁵`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Output directory.
+    pub out: PathBuf,
+    /// RNG seed.
+    pub seed: u64,
+    /// LRGP iteration budget.
+    pub iters: usize,
+    /// SA step budgets to sweep.
+    pub sa_steps: Vec<u64>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            out: PathBuf::from("results"),
+            seed: 42,
+            iters: 250,
+            sa_steps: vec![100_000, 1_000_000],
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags or malformed values —
+    /// these binaries are developer tools, not long-lived services.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    ///
+    /// Not the std `FromIterator` trait: this is fallible-by-panic parsing
+    /// of CLI tokens, not a collection conversion.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Args::default();
+        let mut it = iter.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--out" => {
+                    args.out = PathBuf::from(it.next().expect("--out requires a directory"));
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .expect("--seed requires a value")
+                        .parse()
+                        .expect("--seed must be an integer");
+                }
+                "--iters" => {
+                    args.iters = it
+                        .next()
+                        .expect("--iters requires a value")
+                        .parse()
+                        .expect("--iters must be an integer");
+                }
+                "--steps" => {
+                    let spec = it.next().expect("--steps requires a comma-separated list");
+                    args.sa_steps = spec
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--steps entries must be integers"))
+                        .collect();
+                }
+                "--paper" => {
+                    args.sa_steps = vec![1_000_000, 10_000_000, 100_000_000];
+                }
+                "--quick" => {
+                    args.sa_steps = vec![10_000, 100_000];
+                    args.iters = 100;
+                }
+                other => panic!(
+                    "unknown flag {other}; see crate docs for --out/--seed/--iters/--steps/--paper/--quick"
+                ),
+            }
+        }
+        args
+    }
+
+    /// Ensures the output directory exists and returns a path inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn out_path(&self, file: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out).expect("cannot create output directory");
+        self.out.join(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a, Args::default());
+        assert_eq!(a.iters, 250);
+    }
+
+    #[test]
+    fn parses_each_flag() {
+        let a = parse(&[
+            "--out", "/tmp/x", "--seed", "7", "--iters", "10", "--steps", "100,200",
+        ]);
+        assert_eq!(a.out, PathBuf::from("/tmp/x"));
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.iters, 10);
+        assert_eq!(a.sa_steps, vec![100, 200]);
+    }
+
+    #[test]
+    fn paper_and_quick_presets() {
+        assert_eq!(parse(&["--paper"]).sa_steps, vec![1_000_000, 10_000_000, 100_000_000]);
+        let q = parse(&["--quick"]);
+        assert_eq!(q.sa_steps, vec![10_000, 100_000]);
+        assert_eq!(q.iters, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flags() {
+        let _ = parse(&["--bogus"]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Ablations of LRGP's design choices (DESIGN.md §5).
+//!
+//! * **Node price rule** — the paper's benefit–cost law (Eq. 12) vs a pure
+//!   Low–Lapsley gradient on the node constraint.
+//! * **Admission policy** — stop-at-first-block (paper) vs
+//!   first-fit-decreasing.
+//! * **Population integrality** — whole consumers (paper) vs the
+//!   fractional relaxation (an upper bound on greedy node utility).
+//! * **γ control** — adaptive vs the Fig. 1 fixed settings.
+
+use lrgp::price::NodePriceRule;
+use lrgp::{AdmissionPolicy, GammaMode, LrgpConfig, LrgpEngine, PopulationMode};
+use lrgp_bench::{Args, Table};
+use lrgp_model::workloads::base_workload;
+
+fn run(config: LrgpConfig, iters: usize) -> (Option<usize>, f64) {
+    let mut engine = LrgpEngine::new(base_workload(), config);
+    let out = engine.run_until_converged(iters);
+    (out.converged_at, out.utility)
+}
+
+fn main() {
+    let args = Args::parse();
+    let iters = args.iters.max(400);
+    let base = LrgpConfig::default();
+    let variants: Vec<(&str, LrgpConfig)> = vec![
+        ("paper defaults (BC price, stop-at-block, integral, adaptive γ)", base),
+        (
+            "pure-gradient node price",
+            LrgpConfig { node_price_rule: NodePriceRule::PureGradient, ..base },
+        ),
+        (
+            "first-fit-decreasing admission",
+            LrgpConfig { admission_policy: AdmissionPolicy::FirstFitDecreasing, ..base },
+        ),
+        (
+            "fractional populations",
+            LrgpConfig { population_mode: PopulationMode::Fractional, ..base },
+        ),
+        ("fixed γ = 0.1", LrgpConfig { gamma: GammaMode::fixed(0.1), ..base }),
+        ("fixed γ = 0.01", LrgpConfig { gamma: GammaMode::fixed(0.01), ..base }),
+        ("fixed γ = 1 (undamped)", LrgpConfig { gamma: GammaMode::fixed(1.0), ..base }),
+    ];
+
+    let mut table = Table::new(vec!["variant", "converged at", "final utility", "vs paper defaults"]);
+    let (_, reference) = run(base, iters);
+    for (name, config) in variants {
+        let (converged, utility) = run(config, iters);
+        table.row(vec![
+            name.to_string(),
+            converged.map(|k| k.to_string()).unwrap_or_else(|| format!("> {iters}")),
+            format!("{utility:.0}"),
+            format!("{:+.2}%", (utility - reference) / reference * 100.0),
+        ]);
+    }
+    println!("# LRGP design ablations (base workload, {iters}-iteration budget)\n");
+    println!("{}", table.to_markdown());
+    table.write_csv(&args.out_path("ablations.csv"));
+    println!("CSV written to {}", args.out_path("ablations.csv").display());
+}

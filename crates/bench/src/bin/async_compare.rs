@@ -1,0 +1,73 @@
+//! Synchronous vs asynchronous distributed LRGP (§3.5 and the companion
+//! technical report RC 23916).
+//!
+//! Runs both protocol modes on the base workload over a 10 ms-latency
+//! overlay and compares converged utility, wall-clock (virtual) time and
+//! message counts, including the effect of the price-averaging window.
+
+use lrgp::LrgpConfig;
+use lrgp_bench::{table::write_series_csv, Args, Table};
+use lrgp_model::workloads::base_workload;
+use lrgp_overlay::{
+    run_asynchronous, run_synchronous, AsyncConfig, LatencyModel, SimTime, Topology,
+};
+
+fn main() {
+    let args = Args::parse();
+    let problem = base_workload();
+    let topology = Topology::from_problem(
+        &problem,
+        LatencyModel::Uniform { latency: SimTime::from_millis(10) },
+        SimTime::from_micros(200),
+    );
+
+    let sync = run_synchronous(&problem, &topology, LrgpConfig::default(), args.iters);
+    let duration = SimTime::from_secs(10);
+    let mut rows = Vec::new();
+    rows.push((
+        "synchronous".to_string(),
+        sync.utility.last().unwrap_or(0.0),
+        sync.duration,
+        sync.messages,
+    ));
+    let mut async_series = Vec::new();
+    for window in [1usize, 3, 5] {
+        let out = run_asynchronous(
+            &problem,
+            &topology,
+            AsyncConfig {
+                duration,
+                price_window: window,
+                seed: args.seed,
+                ..AsyncConfig::default()
+            },
+        );
+        rows.push((
+            format!("asynchronous (window {window})"),
+            out.final_utility,
+            out.duration,
+            out.messages,
+        ));
+        async_series.push((format!("async_w{window}"), out.utility));
+    }
+
+    let mut table =
+        Table::new(vec!["mode", "final utility", "virtual time", "messages"]);
+    for (name, utility, time, messages) in &rows {
+        table.row(vec![
+            name.clone(),
+            format!("{utility:.0}"),
+            time.to_string(),
+            messages.to_string(),
+        ]);
+    }
+    println!("# Sync vs async distributed LRGP ({} sync rounds / 10 s async)\n", args.iters);
+    println!("{}", table.to_markdown());
+
+    let mut series: Vec<(&str, &[f64])> = vec![("sync", sync.utility.values())];
+    for (name, ts) in &async_series {
+        series.push((name.as_str(), ts.values()));
+    }
+    write_series_csv(&args.out_path("async_compare.csv"), &series);
+    println!("Series written to {}", args.out_path("async_compare.csv").display());
+}

@@ -1,0 +1,70 @@
+//! End-to-end calibration experiment: measure the pub/sub matching engines,
+//! fit the `F̂ + Ĝ·n` cost model, and optimize a system built from the fit —
+//! the paper's Gryphon-measurement pipeline (ref \[3\], §4.1) reproduced against
+//! this repository's own broker substrate.
+
+use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp_bench::{Args, Table};
+use lrgp_pubsub::calibrate::{calibrate, problem_from_calibration, CalibrationConfig};
+use lrgp_pubsub::matcher::{IndexMatcher, Matcher, NaiveMatcher};
+use lrgp_pubsub::message::Schema;
+use std::sync::Arc;
+
+fn naive_from(filters: Vec<lrgp_pubsub::Filter>) -> NaiveMatcher {
+    let mut m = NaiveMatcher::new();
+    for f in filters {
+        m.subscribe(f);
+    }
+    m
+}
+
+fn main() {
+    let args = Args::parse();
+    let schema = Arc::new(Schema::trade_data());
+    let cfg = CalibrationConfig { seed: args.seed, ..CalibrationConfig::default() };
+
+    let naive = calibrate(&schema, naive_from, &cfg);
+    let index = calibrate(&schema, IndexMatcher::from_filters, &cfg);
+
+    let mut fit = Table::new(vec!["engine", "F̂ (per message)", "Ĝ (per consumer·message)", "r²"]);
+    for (name, est) in [("naive", &naive), ("counting index", &index)] {
+        fit.row(vec![
+            name.to_string(),
+            format!("{:.2}", est.per_message),
+            format!("{:.4}", est.per_consumer_message),
+            format!("{:.5}", est.r_squared),
+        ]);
+    }
+    println!("# Matching-cost calibration (trade-data schema, {} msgs/probe)\n", cfg.messages);
+    println!("{}", fit.to_markdown());
+
+    // Optimize the same logical system under both cost models.
+    let mut opt = Table::new(vec![
+        "engine",
+        "utility",
+        "rate sum",
+        "admitted",
+        "interpretation",
+    ]);
+    for (name, est) in [("naive", &naive), ("counting index", &index)] {
+        let problem = problem_from_calibration(est, 4, 3, 2_000, 5e5, (10.0, 1000.0))
+            .expect("calibrated problem valid");
+        let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+        let out = engine.run_until_converged(args.iters.max(400));
+        let a = engine.allocation();
+        opt.row(vec![
+            name.to_string(),
+            format!("{:.0}", out.utility),
+            format!("{:.1}", a.rates().iter().sum::<f64>()),
+            format!("{:.0}", a.populations().iter().sum::<f64>()),
+            "cheaper matching ⇒ more consumers/rate".to_string(),
+        ]);
+    }
+    println!("{}", opt.to_markdown());
+    println!(
+        "A faster matching engine (smaller Ĝ) lets the same broker capacity\n\
+         serve more admitted consumers at higher rates — the resource model\n\
+         makes middleware engineering directly visible to the optimizer."
+    );
+    fit.write_csv(&args.out_path("calibration.csv"));
+}

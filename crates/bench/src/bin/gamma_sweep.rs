@@ -1,0 +1,48 @@
+//! Quantitative γ sensitivity sweep (the analysis behind Fig. 1's three
+//! curves): for a geometric grid of fixed step sizes, measure iterations to
+//! convergence, final utility, and residual oscillation amplitude, with the
+//! adaptive heuristic as the reference row.
+
+use lrgp::{GammaMode, LrgpConfig, LrgpEngine};
+use lrgp_bench::{Args, Table};
+use lrgp_model::workloads::base_workload;
+use lrgp_num::series::ConvergenceCriterion;
+
+fn main() {
+    let args = Args::parse();
+    let iters = args.iters.max(400);
+    let criterion = ConvergenceCriterion::paper_default();
+    let mut table = Table::new(vec![
+        "gamma",
+        "converged at",
+        "final utility",
+        "tail amplitude %",
+    ]);
+    let mut run = |label: String, mode: GammaMode| {
+        let mut engine =
+            LrgpEngine::new(base_workload(), LrgpConfig { gamma: mode, ..Default::default() });
+        engine.run(iters);
+        let trace = &engine.trace().utility;
+        let amp = trace.relative_amplitude(50).unwrap_or(f64::NAN);
+        table.row(vec![
+            label,
+            trace
+                .first_convergence(&criterion)
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "never".into()),
+            format!("{:.0}", trace.last().unwrap()),
+            format!("{:.4}", amp * 100.0),
+        ]);
+    };
+    for gamma in [1.0, 0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001] {
+        run(format!("{gamma}"), GammaMode::fixed(gamma));
+    }
+    run("adaptive".into(), GammaMode::adaptive());
+    println!("# γ sensitivity sweep (base workload, {iters} iterations)\n");
+    println!("{}", table.to_markdown());
+    println!(
+        "Expected shape: amplitude shrinks and convergence slows as γ falls;\n\
+         the adaptive controller matches the best fixed setting on both axes."
+    );
+    table.write_csv(&args.out_path("gamma_sweep.csv"));
+}

@@ -1,0 +1,38 @@
+//! Table 1 — prints the base workload specification (the experiment
+//! *input*, reproduced for reference).
+
+use lrgp_bench::{Args, Table};
+use lrgp_model::workloads::{self, TABLE1};
+
+fn main() {
+    let args = Args::parse();
+    let mut table = Table::new(vec!["class", "flow", "nodes", "n_max", "rank"]);
+    for (k, row) in TABLE1.iter().enumerate() {
+        table.row(vec![
+            format!("{},{}", 2 * k, 2 * k + 1),
+            row.flow.to_string(),
+            format!("S{} S{}", row.nodes[0], row.nodes[1]),
+            row.max_population.to_string(),
+            row.rank.to_string(),
+        ]);
+    }
+    println!("# Table 1 — base workload\n");
+    println!("{}", table.to_markdown());
+    println!(
+        "Resource model: F = {}, G = {}, c_b = {:e}; rate bounds [{}, {}].",
+        workloads::GRYPHON_FLOW_NODE_COST,
+        workloads::GRYPHON_CONSUMER_COST,
+        workloads::GRYPHON_NODE_CAPACITY,
+        workloads::PAPER_RATE_MIN,
+        workloads::PAPER_RATE_MAX,
+    );
+    let p = workloads::base_workload();
+    println!(
+        "Built problem: {} flows, {} classes, {} nodes, total demand {} consumers.",
+        p.num_flows(),
+        p.num_classes(),
+        p.num_nodes(),
+        p.total_demand()
+    );
+    table.write_csv(&args.out_path("table1.csv"));
+}

@@ -1,0 +1,55 @@
+//! Table 2 — quality of results for LRGP and simulated annealing as the
+//! system grows (§4.3–4.4).
+//!
+//! For each of the six workloads: LRGP's iterations-until-convergence and
+//! converged utility, the best SA run over start temperatures
+//! {5, 10, 50, 100} × the configured step budgets, and the relative utility
+//! increase of LRGP over SA.
+//!
+//! Expected shape (paper Table 2): LRGP beats SA on every workload; the gap
+//! widens as the number of independent variables grows; LRGP utility scales
+//! linearly with consumer-node count; iterations-until-convergence stays
+//! flat (21–24 in the paper).
+
+use lrgp_bench::runners::{lrgp_converge, sa_best, utility_increase_percent};
+use lrgp_bench::{Args, Table};
+use lrgp_model::workloads::Table2Workload;
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "# Table 2 — LRGP vs simulated annealing (SA sweep: T0 in {{5,10,50,100}} x steps {:?})\n",
+        args.sa_steps
+    );
+    let mut table = Table::new(vec![
+        "workload",
+        "SA start temp",
+        "SA steps",
+        "SA runtime (s)",
+        "SA utility",
+        "LRGP iterations",
+        "LRGP utility",
+        "utility increase",
+    ]);
+    for workload in Table2Workload::ALL {
+        let problem = workload.build();
+        let lrgp = lrgp_converge(&problem, args.iters.max(400));
+        let best = sa_best(&problem, &args.sa_steps, args.seed);
+        let increase =
+            utility_increase_percent(lrgp.utility, best.outcome.best_utility);
+        table.row(vec![
+            workload.label().to_string(),
+            format!("{}", best.start_temperature),
+            format!("{:.0e}", best.total_steps as f64),
+            format!("{:.1}", best.outcome.elapsed.as_secs_f64()),
+            format!("{:.0}", best.outcome.best_utility),
+            lrgp.converged_at.map(|k| k.to_string()).unwrap_or_else(|| "> budget".into()),
+            format!("{:.0}", lrgp.utility),
+            format!("{increase:.2}%"),
+        ]);
+        eprintln!("done: {}", workload.label());
+    }
+    println!("{}", table.to_markdown());
+    table.write_csv(&args.out_path("table2.csv"));
+    println!("CSV written to {}", args.out_path("table2.csv").display());
+}

@@ -1,0 +1,50 @@
+//! Table 3 — convergence and quality of results as the class utility shape
+//! varies (§4.5): `rank · log(1+r)` and `rank · r^k` for k = 0.25/0.5/0.75.
+//!
+//! Expected shape (paper Table 3): iterations-until-convergence increases
+//! with the exponent k; LRGP matches or beats the best SA run on every
+//! shape, with the margin shrinking for steeper utilities.
+
+use lrgp_bench::runners::{lrgp_converge, sa_best, utility_increase_percent};
+use lrgp_bench::{Args, Table};
+use lrgp_model::workloads::base_workload_with_shape;
+use lrgp_model::UtilityShape;
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "# Table 3 — utility-shape sensitivity (SA sweep: T0 in {{5,10,50,100}} x steps {:?})\n",
+        args.sa_steps
+    );
+    let mut table = Table::new(vec![
+        "utility function",
+        "SA start temp",
+        "SA steps",
+        "SA runtime (s)",
+        "SA utility",
+        "LRGP iterations",
+        "LRGP utility",
+        "utility increase",
+    ]);
+    for shape in UtilityShape::ALL {
+        let problem = base_workload_with_shape(shape);
+        let lrgp = lrgp_converge(&problem, args.iters.max(400));
+        let best = sa_best(&problem, &args.sa_steps, args.seed);
+        let increase =
+            utility_increase_percent(lrgp.utility, best.outcome.best_utility);
+        table.row(vec![
+            shape.label().to_string(),
+            format!("{}", best.start_temperature),
+            format!("{:.0e}", best.total_steps as f64),
+            format!("{:.1}", best.outcome.elapsed.as_secs_f64()),
+            format!("{:.0}", best.outcome.best_utility),
+            lrgp.converged_at.map(|k| k.to_string()).unwrap_or_else(|| "> budget".into()),
+            format!("{:.0}", lrgp.utility),
+            format!("{increase:.2}%"),
+        ]);
+        eprintln!("done: {}", shape.label());
+    }
+    println!("{}", table.to_markdown());
+    table.write_csv(&args.out_path("table3.csv"));
+    println!("CSV written to {}", args.out_path("table3.csv").display());
+}

@@ -1,0 +1,162 @@
+//! Markdown table and CSV emission.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned Markdown table builder.
+///
+/// # Examples
+///
+/// ```
+/// use lrgp_bench::Table;
+/// let mut t = Table::new(vec!["workload", "utility"]);
+/// t.row(vec!["base".into(), "1327486".into()]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| workload | utility |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows). Cells containing commas, quotes or
+    /// newlines are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let headers: Vec<String> = self.headers.iter().map(|h| escape(h)).collect();
+        let _ = writeln!(out, "{}", headers.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors (experiment binaries fail loudly).
+    pub fn write_csv(&self, path: &Path) {
+        std::fs::write(path, self.to_csv())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    }
+}
+
+/// Writes aligned per-iteration series as CSV: one `iteration` column plus
+/// one column per named series. Series may have different lengths; missing
+/// cells are left empty.
+///
+/// # Panics
+///
+/// Panics on I/O errors.
+pub fn write_series_csv(path: &Path, series: &[(&str, &[f64])]) {
+    let mut out = String::new();
+    let mut header = vec!["iteration".to_string()];
+    header.extend(series.iter().map(|(n, _)| n.to_string()));
+    out.push_str(&header.join(","));
+    out.push('\n');
+    let len = series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    for i in 0..len {
+        let mut row = vec![(i + 1).to_string()];
+        for (_, v) in series {
+            row.push(v.get(i).map(|x| format!("{x}")).unwrap_or_default());
+        }
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["3".into(), "4".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |\n|---|---|\n"));
+        assert!(md.contains("| 3 | 4 |"));
+        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn csv_quotes_cells_with_commas_and_quotes() {
+        let mut t = Table::new(vec!["w", "v"]);
+        t.row(vec!["6 flows, 3 c-nodes".into(), "say \"hi\"".into()]);
+        assert_eq!(t.to_csv(), "w,v\n\"6 flows, 3 c-nodes\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn series_csv_pads_short_columns() {
+        let dir = std::env::temp_dir().join("lrgp_bench_test_series");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.csv");
+        write_series_csv(&path, &[("x", &[1.0, 2.0]), ("y", &[5.0])]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "iteration,x,y\n1,1,5\n2,2,\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,424 @@
+//! Command-line parsing for the `lrgp` binary.
+//!
+//! Hand-rolled (no external argument-parsing dependency): each subcommand
+//! parses into a typed struct, with errors carrying usage hints. Parsing is
+//! pure and fully unit-tested; execution lives in [`crate::run`].
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Where a workload comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadRef {
+    /// The paper's Table 1 base workload.
+    Base,
+    /// A JSON workload file produced by `lrgp workload` or the library.
+    File(PathBuf),
+}
+
+impl WorkloadRef {
+    fn parse(token: &str) -> WorkloadRef {
+        if token == "base" {
+            WorkloadRef::Base
+        } else {
+            WorkloadRef::File(PathBuf::from(token))
+        }
+    }
+}
+
+/// γ selection for `solve`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GammaArg {
+    /// The paper's adaptive heuristic.
+    Adaptive,
+    /// A fixed step size.
+    Fixed(f64),
+}
+
+/// `lrgp workload` — generate a workload JSON file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadCmd {
+    /// Utility shape (`log`, `pow25`, `pow50`, `pow75`).
+    pub shape: String,
+    /// Disjoint system copies (§4.3 flow scaling).
+    pub system_copies: usize,
+    /// Consumer-node copies per system (§4.3 c-node scaling).
+    pub cnode_copies: usize,
+    /// Output path.
+    pub output: PathBuf,
+}
+
+/// `lrgp solve` — run LRGP on a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveCmd {
+    /// The workload to solve.
+    pub workload: WorkloadRef,
+    /// Iteration budget.
+    pub iterations: usize,
+    /// γ mode.
+    pub gamma: GammaArg,
+    /// Optional CSV path for the utility trace.
+    pub trace: Option<PathBuf>,
+    /// Optional JSON path for the solved problem + allocation.
+    pub save: Option<PathBuf>,
+}
+
+/// `lrgp anneal` — run the simulated-annealing baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealCmd {
+    /// The workload to solve.
+    pub workload: WorkloadRef,
+    /// Total SA steps.
+    pub steps: u64,
+    /// Start temperature.
+    pub temperature: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// `lrgp compare` — LRGP vs the SA sweep on one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareCmd {
+    /// The workload to compare on.
+    pub workload: WorkloadRef,
+    /// SA steps per sweep cell.
+    pub steps: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// `lrgp simulate` — run the distributed protocol on a simulated overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateCmd {
+    /// The workload to simulate.
+    pub workload: WorkloadRef,
+    /// `true` = asynchronous protocol, `false` = synchronous rounds.
+    pub asynchronous: bool,
+    /// One-way latency between nodes, milliseconds.
+    pub latency_ms: u64,
+    /// Sync: number of rounds. Async: simulated seconds.
+    pub amount: u64,
+}
+
+/// `lrgp info` — validate and describe a workload file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfoCmd {
+    /// The workload to describe.
+    pub workload: WorkloadRef,
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a workload file.
+    Workload(WorkloadCmd),
+    /// Run LRGP.
+    Solve(SolveCmd),
+    /// Run the SA baseline.
+    Anneal(AnnealCmd),
+    /// LRGP vs SA.
+    Compare(CompareCmd),
+    /// Distributed protocol simulation.
+    Simulate(SimulateCmd),
+    /// Describe a workload file.
+    Info(InfoCmd),
+    /// Print usage.
+    Help,
+}
+
+/// Parse error with a usage hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n\n{}", self.0, USAGE)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The top-level usage text.
+pub const USAGE: &str = "\
+lrgp — utility optimization for event-driven distributed infrastructures
+
+USAGE:
+  lrgp workload [--shape log|pow25|pow50|pow75] [--systems N] [--cnodes N] -o FILE
+  lrgp solve    <base|FILE> [--iters N] [--gamma adaptive|FLOAT] [--trace CSV] [--save JSON]
+  lrgp anneal   <base|FILE> [--steps N] [--temp T] [--seed N]
+  lrgp compare  <base|FILE> [--steps N] [--seed N]
+  lrgp simulate <base|FILE> [--async] [--latency MS] [--amount N]
+  lrgp info     <FILE>
+  lrgp help";
+
+fn take_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    it: &mut I,
+) -> Result<&'a str, ParseError> {
+    it.next().ok_or_else(|| ParseError(format!("{flag} requires a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, ParseError> {
+    raw.parse().map_err(|_| ParseError(format!("{flag}: cannot parse {raw:?}")))
+}
+
+/// Parses an argument list (without the program name).
+pub fn parse<I, S>(args: I) -> Result<Command, ParseError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    let mut it = args.iter().map(|s| s.as_str());
+    let sub = it.next().ok_or_else(|| ParseError("missing subcommand".into()))?;
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "workload" => {
+            let mut cmd = WorkloadCmd {
+                shape: "log".into(),
+                system_copies: 1,
+                cnode_copies: 1,
+                output: PathBuf::new(),
+            };
+            let mut have_output = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--shape" => cmd.shape = take_value(flag, &mut it)?.to_string(),
+                    "--systems" => cmd.system_copies = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--cnodes" => cmd.cnode_copies = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "-o" | "--output" => {
+                        cmd.output = PathBuf::from(take_value(flag, &mut it)?);
+                        have_output = true;
+                    }
+                    other => return Err(ParseError(format!("workload: unknown flag {other}"))),
+                }
+            }
+            if !["log", "pow25", "pow50", "pow75"].contains(&cmd.shape.as_str()) {
+                return Err(ParseError(format!("workload: unknown shape {:?}", cmd.shape)));
+            }
+            if !have_output {
+                return Err(ParseError("workload: -o FILE is required".into()));
+            }
+            Ok(Command::Workload(cmd))
+        }
+        "solve" => {
+            let target = it.next().ok_or_else(|| ParseError("solve: missing workload".into()))?;
+            let mut cmd = SolveCmd {
+                workload: WorkloadRef::parse(target),
+                iterations: 250,
+                gamma: GammaArg::Adaptive,
+                trace: None,
+                save: None,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--iters" => cmd.iterations = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--gamma" => {
+                        let raw = take_value(flag, &mut it)?;
+                        cmd.gamma = if raw == "adaptive" {
+                            GammaArg::Adaptive
+                        } else {
+                            GammaArg::Fixed(parse_num(flag, raw)?)
+                        };
+                    }
+                    "--trace" => cmd.trace = Some(PathBuf::from(take_value(flag, &mut it)?)),
+                    "--save" => cmd.save = Some(PathBuf::from(take_value(flag, &mut it)?)),
+                    other => return Err(ParseError(format!("solve: unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Solve(cmd))
+        }
+        "anneal" => {
+            let target = it.next().ok_or_else(|| ParseError("anneal: missing workload".into()))?;
+            let mut cmd = AnnealCmd {
+                workload: WorkloadRef::parse(target),
+                steps: 1_000_000,
+                temperature: 100.0,
+                seed: 42,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--steps" => cmd.steps = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--temp" => cmd.temperature = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--seed" => cmd.seed = parse_num(flag, take_value(flag, &mut it)?)?,
+                    other => return Err(ParseError(format!("anneal: unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Anneal(cmd))
+        }
+        "compare" => {
+            let target =
+                it.next().ok_or_else(|| ParseError("compare: missing workload".into()))?;
+            let mut cmd =
+                CompareCmd { workload: WorkloadRef::parse(target), steps: 1_000_000, seed: 42 };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--steps" => cmd.steps = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--seed" => cmd.seed = parse_num(flag, take_value(flag, &mut it)?)?,
+                    other => return Err(ParseError(format!("compare: unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Compare(cmd))
+        }
+        "simulate" => {
+            let target =
+                it.next().ok_or_else(|| ParseError("simulate: missing workload".into()))?;
+            let mut cmd = SimulateCmd {
+                workload: WorkloadRef::parse(target),
+                asynchronous: false,
+                latency_ms: 10,
+                amount: 0,
+            };
+            let mut have_amount = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--async" => cmd.asynchronous = true,
+                    "--latency" => cmd.latency_ms = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--amount" => {
+                        cmd.amount = parse_num(flag, take_value(flag, &mut it)?)?;
+                        have_amount = true;
+                    }
+                    other => return Err(ParseError(format!("simulate: unknown flag {other}"))),
+                }
+            }
+            if !have_amount {
+                cmd.amount = if cmd.asynchronous { 10 } else { 100 };
+            }
+            Ok(Command::Simulate(cmd))
+        }
+        "info" => {
+            let target = it.next().ok_or_else(|| ParseError("info: missing workload".into()))?;
+            Ok(Command::Info(InfoCmd { workload: WorkloadRef::parse(target) }))
+        }
+        other => Err(ParseError(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, ParseError> {
+        parse(args.iter().copied())
+    }
+
+    #[test]
+    fn help_variants() {
+        for a in [&["help"][..], &["--help"], &["-h"]] {
+            assert_eq!(p(a).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn missing_subcommand_errors() {
+        let e = p(&[]).unwrap_err();
+        assert!(e.0.contains("missing subcommand"));
+        assert!(e.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn workload_full_flags() {
+        let c = p(&[
+            "workload", "--shape", "pow50", "--systems", "2", "--cnodes", "4", "-o", "w.json",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Workload(WorkloadCmd {
+                shape: "pow50".into(),
+                system_copies: 2,
+                cnode_copies: 4,
+                output: PathBuf::from("w.json"),
+            })
+        );
+    }
+
+    #[test]
+    fn workload_requires_output_and_valid_shape() {
+        assert!(p(&["workload"]).unwrap_err().0.contains("-o FILE"));
+        assert!(p(&["workload", "--shape", "cubic", "-o", "x"])
+            .unwrap_err()
+            .0
+            .contains("unknown shape"));
+    }
+
+    #[test]
+    fn solve_defaults_and_overrides() {
+        let c = p(&["solve", "base"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Solve(SolveCmd {
+                workload: WorkloadRef::Base,
+                iterations: 250,
+                gamma: GammaArg::Adaptive,
+                trace: None,
+                save: None,
+            })
+        );
+        let c = p(&[
+            "solve", "w.json", "--iters", "99", "--gamma", "0.1", "--trace", "t.csv", "--save",
+            "out.json",
+        ])
+        .unwrap();
+        match c {
+            Command::Solve(s) => {
+                assert_eq!(s.workload, WorkloadRef::File(PathBuf::from("w.json")));
+                assert_eq!(s.iterations, 99);
+                assert_eq!(s.gamma, GammaArg::Fixed(0.1));
+                assert_eq!(s.trace, Some(PathBuf::from("t.csv")));
+                assert_eq!(s.save, Some(PathBuf::from("out.json")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn anneal_and_compare_parse() {
+        let c = p(&["anneal", "base", "--steps", "5000", "--temp", "5", "--seed", "7"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Anneal(AnnealCmd {
+                workload: WorkloadRef::Base,
+                steps: 5000,
+                temperature: 5.0,
+                seed: 7,
+            })
+        );
+        let c = p(&["compare", "base", "--steps", "1000"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Compare(CompareCmd { workload: WorkloadRef::Base, steps: 1000, seed: 42 })
+        );
+    }
+
+    #[test]
+    fn simulate_defaults_depend_on_mode() {
+        match p(&["simulate", "base"]).unwrap() {
+            Command::Simulate(s) => {
+                assert!(!s.asynchronous);
+                assert_eq!(s.amount, 100);
+                assert_eq!(s.latency_ms, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["simulate", "base", "--async"]).unwrap() {
+            Command::Simulate(s) => {
+                assert!(s.asynchronous);
+                assert_eq!(s.amount, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn info_and_unknowns() {
+        assert_eq!(
+            p(&["info", "w.json"]).unwrap(),
+            Command::Info(InfoCmd { workload: WorkloadRef::File(PathBuf::from("w.json")) })
+        );
+        assert!(p(&["frobnicate"]).unwrap_err().0.contains("unknown subcommand"));
+        assert!(p(&["solve", "base", "--bogus"]).unwrap_err().0.contains("unknown flag"));
+        assert!(p(&["solve", "base", "--iters"]).unwrap_err().0.contains("requires a value"));
+        assert!(p(&["solve", "base", "--iters", "abc"]).unwrap_err().0.contains("cannot parse"));
+    }
+}

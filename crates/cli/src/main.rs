@@ -1,0 +1,29 @@
+//! `lrgp` — command-line interface to the LRGP reproduction.
+//!
+//! Run `lrgp help` for usage. Subcommands: generate workload files, solve
+//! them with LRGP, run the simulated-annealing baseline, compare the two,
+//! simulate the distributed protocol, and inspect workload files.
+
+mod commands;
+mod run;
+
+use commands::{parse, Command, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Command::Help = command {
+        println!("{USAGE}");
+        return;
+    }
+    if let Err(e) = run::run(command) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,567 @@
+//! The synchronous LRGP engine (§3, Algorithms 1–3).
+//!
+//! One [`LrgpEngine::step`] performs a full LRGP iteration:
+//!
+//! 1. **Rate allocation** at every flow source (Algorithm 1), using the
+//!    prices and populations published in the previous iteration.
+//! 2. **Consumer allocation** at every node (Algorithm 2, greedy by
+//!    benefit–cost ratio) using the freshly computed rates.
+//! 3. **Price computation**: node prices via Eq. 12 with per-node γ control,
+//!    link prices via Eq. 13.
+//!
+//! The engine records the total-utility trace and supports the paper's
+//! dynamics experiments (removing a flow mid-run, Fig. 3) and enactment
+//! policies (§2.1).
+
+use crate::admission::{allocate_consumers, AdmissionPolicy, PopulationMode};
+use crate::gamma::{GammaController, GammaMode};
+use crate::price::{update_link_price, update_node_price_with_rule, NodePriceRule};
+use crate::prices::PriceVector;
+use crate::rate::allocate_rates;
+use crate::trace::{Trace, TraceConfig};
+use lrgp_model::{Allocation, FlowId, Problem};
+use lrgp_num::series::ConvergenceCriterion;
+use serde::{Deserialize, Serialize};
+
+/// Starting point for the flow rates.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum InitialRate {
+    /// Every flow starts at `r_i^max` (optimistic; reproduces the paper's
+    /// initial oscillation in Fig. 1).
+    #[default]
+    Max,
+    /// Every flow starts at `r_i^min` (conservative).
+    Min,
+    /// Every flow starts at the given rate, clamped into its bounds.
+    Value(f64),
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LrgpConfig {
+    /// Node price step-size control (γ₁ = γ₂ = γ as in §4.2).
+    pub gamma: GammaMode,
+    /// Node price law (Eq. 12 by default; pure gradient as an ablation).
+    pub node_price_rule: NodePriceRule,
+    /// Link price step size γ_l (Eq. 13). Irrelevant for workloads without
+    /// links.
+    pub link_gamma: f64,
+    /// Initial flow rates.
+    pub initial_rate: InitialRate,
+    /// Initial node prices.
+    pub initial_node_price: f64,
+    /// Initial link prices.
+    pub initial_link_price: f64,
+    /// Whether populations are integral (paper) or fractional (relaxation).
+    pub population_mode: PopulationMode,
+    /// Greedy admission variant (paper stops at the first blocked class).
+    pub admission_policy: AdmissionPolicy,
+    /// Convergence test applied by [`LrgpEngine::run_until_converged`].
+    pub convergence: ConvergenceCriterion,
+    /// Which trace channels to record.
+    pub trace: TraceConfig,
+}
+
+impl Default for LrgpConfig {
+    fn default() -> Self {
+        Self {
+            gamma: GammaMode::default(),
+            node_price_rule: NodePriceRule::default(),
+            link_gamma: 1e-3,
+            initial_rate: InitialRate::default(),
+            initial_node_price: 0.0,
+            initial_link_price: 0.0,
+            population_mode: PopulationMode::default(),
+            admission_policy: AdmissionPolicy::default(),
+            convergence: ConvergenceCriterion::paper_default(),
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+/// Outcome of [`LrgpEngine::run_until_converged`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Iteration at which the convergence criterion was first satisfied
+    /// (`None` if the budget ran out first). Counted from the start of the
+    /// run call, 1-based: `Some(k)` means the criterion held after `k`
+    /// iterations.
+    pub converged_at: Option<usize>,
+    /// Iterations actually executed by the call.
+    pub iterations: usize,
+    /// Total utility after the last executed iteration.
+    pub utility: f64,
+}
+
+/// The synchronous LRGP optimizer.
+///
+/// # Examples
+///
+/// ```
+/// use lrgp::{LrgpConfig, LrgpEngine};
+/// use lrgp_model::workloads;
+///
+/// let problem = workloads::base_workload();
+/// let mut engine = LrgpEngine::new(problem, LrgpConfig::default());
+/// let outcome = engine.run_until_converged(250);
+/// assert!(outcome.utility > 0.0);
+/// let allocation = engine.allocation();
+/// assert!(allocation.is_feasible(engine.problem(), 1e-6));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LrgpEngine {
+    problem: Problem,
+    config: LrgpConfig,
+    rates: Vec<f64>,
+    populations: Vec<f64>,
+    prices: PriceVector,
+    gamma_controllers: Vec<GammaController>,
+    iteration: usize,
+    trace: Trace,
+}
+
+impl LrgpEngine {
+    /// Creates an engine over `problem` with the given configuration.
+    pub fn new(problem: Problem, config: LrgpConfig) -> Self {
+        let rates = problem
+            .flow_ids()
+            .map(|f| {
+                let b = problem.flow(f).bounds;
+                match config.initial_rate {
+                    InitialRate::Max => b.max,
+                    InitialRate::Min => b.min,
+                    InitialRate::Value(v) => b.clamp(v),
+                }
+            })
+            .collect();
+        let prices =
+            PriceVector::uniform(&problem, config.initial_node_price, config.initial_link_price);
+        let gamma_controllers = (0..problem.num_nodes())
+            .map(|_| GammaController::new(config.gamma, config.initial_node_price))
+            .collect();
+        let trace = Trace::new(
+            config.trace,
+            problem.num_flows(),
+            problem.num_nodes(),
+            problem.num_links(),
+            problem.num_classes(),
+        );
+        Self {
+            populations: vec![0.0; problem.num_classes()],
+            problem,
+            config,
+            rates,
+            prices,
+            gamma_controllers,
+            iteration: 0,
+            trace,
+        }
+    }
+
+    /// Executes one full LRGP iteration and returns the total utility after
+    /// it.
+    pub fn step(&mut self) -> f64 {
+        // 1. Rate allocation at every source (Algorithm 1).
+        self.rates = allocate_rates(&self.problem, &self.prices, &self.populations, &self.rates);
+
+        // 2 + 3a. Consumer allocation and node price update at every node
+        // (Algorithm 2).
+        for node in self.problem.node_ids() {
+            let admission = allocate_consumers(
+                &self.problem,
+                node,
+                &self.rates,
+                self.config.population_mode,
+                self.config.admission_policy,
+            );
+            for &(class, n) in &admission.populations {
+                self.populations[class.index()] = n;
+            }
+            let ctl = &mut self.gamma_controllers[node.index()];
+            let gamma = ctl.gamma();
+            let next = update_node_price_with_rule(
+                self.config.node_price_rule,
+                self.prices.node(node),
+                admission.benefit_cost,
+                admission.used,
+                self.problem.node(node).capacity,
+                gamma,
+                gamma,
+            );
+            ctl.observe_price(next);
+            self.prices.set_node(node, next);
+        }
+
+        // 3b. Link price update (Algorithm 3).
+        let allocation = self.allocation();
+        for link in self.problem.link_ids() {
+            let usage = allocation.link_usage(&self.problem, link);
+            let next = update_link_price(
+                self.prices.link(link),
+                usage,
+                self.problem.link(link).capacity,
+                self.config.link_gamma,
+            );
+            self.prices.set_link(link, next);
+        }
+
+        // Record.
+        let utility = allocation.total_utility(&self.problem);
+        self.iteration += 1;
+        self.trace.utility.push(utility);
+        if let Some(series) = self.trace.rates.as_mut() {
+            for (s, &r) in series.iter_mut().zip(&self.rates) {
+                s.push(r);
+            }
+        }
+        if let Some(series) = self.trace.node_prices.as_mut() {
+            for (s, &p) in series.iter_mut().zip(self.prices.node_prices()) {
+                s.push(p);
+            }
+        }
+        if let Some(series) = self.trace.link_prices.as_mut() {
+            for (s, &p) in series.iter_mut().zip(self.prices.link_prices()) {
+                s.push(p);
+            }
+        }
+        if let Some(series) = self.trace.populations.as_mut() {
+            for (s, &n) in series.iter_mut().zip(&self.populations) {
+                s.push(n);
+            }
+        }
+        if let Some(series) = self.trace.gammas.as_mut() {
+            for (s, ctl) in series.iter_mut().zip(&self.gamma_controllers) {
+                s.push(ctl.gamma());
+            }
+        }
+        utility
+    }
+
+    /// Runs exactly `iterations` steps; returns the final utility (0.0 if
+    /// `iterations` is 0 and nothing has run yet).
+    pub fn run(&mut self, iterations: usize) -> f64 {
+        let mut last = self.trace.utility.last().unwrap_or(0.0);
+        for _ in 0..iterations {
+            last = self.step();
+        }
+        last
+    }
+
+    /// Runs until the configured convergence criterion holds on the utility
+    /// trace or `max_iterations` steps have executed, whichever is first.
+    pub fn run_until_converged(&mut self, max_iterations: usize) -> RunOutcome {
+        let mut last = self.trace.utility.last().unwrap_or(0.0);
+        for k in 1..=max_iterations {
+            last = self.step();
+            if self.config.convergence.is_met(&self.trace.utility) {
+                return RunOutcome { converged_at: Some(k), iterations: k, utility: last };
+            }
+        }
+        RunOutcome { converged_at: None, iterations: max_iterations, utility: last }
+    }
+
+    /// The current allocation (rates + populations).
+    pub fn allocation(&self) -> Allocation {
+        Allocation::from_parts(&self.problem, self.rates.clone(), self.populations.clone())
+    }
+
+    /// Total utility of the current allocation.
+    pub fn total_utility(&self) -> f64 {
+        self.allocation().total_utility(&self.problem)
+    }
+
+    /// The problem being optimized.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &LrgpConfig {
+        &self.config
+    }
+
+    /// Number of iterations executed so far.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Current prices.
+    pub fn prices(&self) -> &PriceVector {
+        &self.prices
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The per-node γ controllers, indexed by node id (snapshot support).
+    pub(crate) fn gamma_controllers(&self) -> &[GammaController] {
+        &self.gamma_controllers
+    }
+
+    /// Overwrites the optimizer state (snapshot support). Lengths are the
+    /// caller's responsibility; [`crate::snapshot`] validates them against
+    /// the problem.
+    pub(crate) fn load_state(
+        &mut self,
+        rates: Vec<f64>,
+        populations: Vec<f64>,
+        prices: PriceVector,
+        gamma_controllers: Vec<GammaController>,
+        iteration: usize,
+    ) {
+        self.rates = rates;
+        self.populations = populations;
+        self.prices = prices;
+        self.gamma_controllers = gamma_controllers;
+        self.iteration = iteration;
+    }
+
+    /// Current γ of `node`'s price controller.
+    pub fn node_gamma(&self, node: lrgp_model::NodeId) -> f64 {
+        self.gamma_controllers[node.index()].gamma()
+    }
+
+    /// Replaces the problem mid-run, preserving prices, rates, populations,
+    /// γ controllers and the trace. The new problem must have identical
+    /// dimensions (same id spaces) — use the [`Problem::without_flow`] /
+    /// capacity-editing transforms, which keep ids stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension differs.
+    pub fn replace_problem(&mut self, problem: Problem) {
+        assert_eq!(problem.num_flows(), self.problem.num_flows(), "flow count must not change");
+        assert_eq!(problem.num_nodes(), self.problem.num_nodes(), "node count must not change");
+        assert_eq!(problem.num_links(), self.problem.num_links(), "link count must not change");
+        assert_eq!(
+            problem.num_classes(),
+            self.problem.num_classes(),
+            "class count must not change"
+        );
+        // Clamp state into the new problem's bounds so the next iteration
+        // starts feasible.
+        for f in problem.flow_ids() {
+            self.rates[f.index()] = problem.flow(f).bounds.clamp(self.rates[f.index()]);
+        }
+        for c in problem.class_ids() {
+            let max = problem.class(c).max_population as f64;
+            self.populations[c.index()] = self.populations[c.index()].min(max);
+        }
+        self.problem = problem;
+    }
+
+    /// Removes `flow` from the system (its source leaves, §4.2 Fig. 3):
+    /// rate collapses to zero, its classes stop being admitted, its resource
+    /// costs vanish. Ids remain valid.
+    pub fn remove_flow(&mut self, flow: FlowId) {
+        let pruned = self.problem.without_flow(flow);
+        self.replace_problem(pruned);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrgp_model::workloads::{self, base_workload};
+    use lrgp_model::{ClassId, NodeId};
+
+    fn quick_config() -> LrgpConfig {
+        LrgpConfig { trace: TraceConfig::full(), ..LrgpConfig::default() }
+    }
+
+    #[test]
+    fn engine_runs_and_produces_positive_utility() {
+        let mut e = LrgpEngine::new(base_workload(), quick_config());
+        let u = e.run(50);
+        assert!(u > 0.0, "utility {u}");
+        assert_eq!(e.iteration(), 50);
+        assert_eq!(e.trace().len(), 50);
+    }
+
+    #[test]
+    fn allocation_feasible_after_every_iteration() {
+        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        for _ in 0..60 {
+            e.step();
+            let a = e.allocation();
+            let report = a.check_feasibility(e.problem(), 1e-6);
+            assert!(report.is_feasible(), "iteration {}: {report}", e.iteration());
+        }
+    }
+
+    #[test]
+    fn populations_integral_by_default() {
+        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        e.run(30);
+        assert!(e.allocation().populations_are_integral());
+    }
+
+    #[test]
+    fn fractional_mode_may_split_consumers() {
+        let cfg = LrgpConfig {
+            population_mode: PopulationMode::Fractional,
+            ..LrgpConfig::default()
+        };
+        let mut e = LrgpEngine::new(base_workload(), cfg);
+        e.run(30);
+        // Fractional utility dominates integral utility for same dynamics.
+        assert!(e.total_utility() > 0.0);
+    }
+
+    #[test]
+    fn converges_on_base_workload() {
+        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let out = e.run_until_converged(250);
+        assert!(out.converged_at.is_some(), "did not converge in 250 iterations");
+        let k = out.converged_at.unwrap();
+        assert!(k <= 100, "converged too slowly: {k}");
+        assert!(out.utility > 1e5, "implausibly low utility {}", out.utility);
+    }
+
+    #[test]
+    fn adaptive_gamma_converges_no_slower_than_small_fixed_gamma() {
+        let adaptive = {
+            let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+            e.run_until_converged(1000)
+        };
+        let fixed_small = {
+            let cfg = LrgpConfig { gamma: GammaMode::fixed(0.01), ..LrgpConfig::default() };
+            let mut e = LrgpEngine::new(base_workload(), cfg);
+            e.run_until_converged(1000)
+        };
+        let a = adaptive.converged_at.unwrap_or(usize::MAX);
+        let f = fixed_small.converged_at.unwrap_or(usize::MAX);
+        assert!(a <= f, "adaptive {a} vs fixed-0.01 {f}");
+    }
+
+    #[test]
+    fn undamped_gamma_oscillates_more_than_damped() {
+        let amplitude = |gamma: f64| {
+            let cfg = LrgpConfig { gamma: GammaMode::fixed(gamma), ..LrgpConfig::default() };
+            let mut e = LrgpEngine::new(base_workload(), cfg);
+            e.run(250);
+            // Amplitude over the last 50 iterations.
+            let tail = e.trace().utility.window(200, 250);
+            let max = tail.iter().cloned().fold(f64::MIN, f64::max);
+            let min = tail.iter().cloned().fold(f64::MAX, f64::min);
+            max - min
+        };
+        let undamped = amplitude(1.0);
+        let damped = amplitude(0.1);
+        assert!(
+            undamped > damped,
+            "expected γ=1 amplitude ({undamped}) > γ=0.1 amplitude ({damped})"
+        );
+    }
+
+    #[test]
+    fn utility_scales_linearly_with_cnode_copies() {
+        let run = |w: workloads::Table2Workload| {
+            let mut e = LrgpEngine::new(w.build(), LrgpConfig::default());
+            e.run_until_converged(250).utility
+        };
+        let base = run(workloads::Table2Workload::Base);
+        let doubled = run(workloads::Table2Workload::Flows6Cnodes6);
+        let ratio = doubled / base;
+        assert!(
+            (ratio - 2.0).abs() < 0.1,
+            "6f/6c should be ~2x base: base {base}, doubled {doubled}"
+        );
+    }
+
+    #[test]
+    fn removing_a_flow_drops_then_recovers_utility() {
+        let mut e = LrgpEngine::new(base_workload(), quick_config());
+        e.run(150);
+        let before = e.total_utility();
+        e.remove_flow(FlowId::new(5)); // the rank-100 flow, as in Fig. 3
+        e.run(100);
+        let after = e.total_utility();
+        assert!(after > 0.0);
+        assert!(
+            after < before,
+            "utility should drop after removing the top flow: {before} -> {after}"
+        );
+        // Flow 5's rate and populations are zeroed.
+        assert_eq!(e.allocation().rate(FlowId::new(5)), 0.0);
+        for &c in e.problem().classes_of_flow(FlowId::new(5)) {
+            assert_eq!(e.allocation().population(c), 0.0);
+        }
+        // Still feasible.
+        assert!(e.allocation().is_feasible(e.problem(), 1e-6));
+    }
+
+    #[test]
+    fn trace_channels_populate_when_enabled() {
+        let mut e = LrgpEngine::new(base_workload(), quick_config());
+        e.run(5);
+        let t = e.trace();
+        assert_eq!(t.rates.as_ref().unwrap()[0].len(), 5);
+        assert_eq!(t.node_prices.as_ref().unwrap()[0].len(), 5);
+        assert_eq!(t.populations.as_ref().unwrap()[0].len(), 5);
+        assert_eq!(t.gammas.as_ref().unwrap()[0].len(), 5);
+    }
+
+    #[test]
+    fn initial_rate_variants() {
+        let p = base_workload();
+        let min = LrgpEngine::new(
+            p.clone(),
+            LrgpConfig { initial_rate: InitialRate::Min, ..Default::default() },
+        );
+        assert!(min.allocation().rates().iter().all(|&r| r == 10.0));
+        let max = LrgpEngine::new(p.clone(), LrgpConfig::default());
+        assert!(max.allocation().rates().iter().all(|&r| r == 1000.0));
+        let fixed = LrgpEngine::new(
+            p,
+            LrgpConfig { initial_rate: InitialRate::Value(5000.0), ..Default::default() },
+        );
+        assert!(fixed.allocation().rates().iter().all(|&r| r == 1000.0)); // clamped
+    }
+
+    #[test]
+    fn node_gamma_visible_and_clamped() {
+        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        e.run(50);
+        for n in e.problem().node_ids() {
+            let g = e.node_gamma(n);
+            assert!((0.001..=0.1).contains(&g), "gamma {g} out of clamp");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flow count must not change")]
+    fn replace_problem_rejects_dimension_change() {
+        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        e.replace_problem(workloads::paper_workload(
+            lrgp_model::UtilityShape::Log,
+            2,
+            1,
+        ));
+    }
+
+    #[test]
+    fn high_rank_classes_admitted_first() {
+        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        e.run_until_converged(250);
+        let a = e.allocation();
+        // The rank-100 class pair (18, 19) should reach a substantial
+        // fraction of its population before rank-1 classes see anyone.
+        let top = a.population(ClassId::new(18)) + a.population(ClassId::new(19));
+        let bottom = a.population(ClassId::new(4)) + a.population(ClassId::new(5));
+        assert!(top > bottom, "rank-100 ({top}) vs rank-1 ({bottom})");
+        assert!(top > 0.0);
+    }
+
+    #[test]
+    fn prices_remain_nonnegative_throughout() {
+        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        for _ in 0..100 {
+            e.step();
+            assert!(e.prices().node_prices().iter().all(|&p| p >= 0.0));
+        }
+        let _ = e.node_gamma(NodeId::new(0));
+    }
+}

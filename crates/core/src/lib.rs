@@ -1,0 +1,68 @@
+//! **LRGP — Lagrangian Rates, Greedy Populations.**
+//!
+//! A reproduction of the distributed utility-optimization algorithm from
+//! *"Utility Optimization for Event-Driven Distributed Infrastructures"*
+//! (Lumezanu, Bhola, Astley — ICDCS 2006).
+//!
+//! The problem: an overlay of broker nodes disseminates message *flows* from
+//! producers to *consumer classes*; both message rates and per-consumer
+//! processing consume node (CPU) and link (bandwidth) resources. The system
+//! maximizes `Σ n_j · U_j(r_i)` — admitted consumers times their strictly
+//! concave rate utilities — subject to capacity constraints that are
+//! *nonconvex* because populations multiply rates.
+//!
+//! LRGP splits the problem into two coupled subproblems, iterated forever:
+//!
+//! * [`rate`] — **Lagrangian rate allocation** at each flow source, against
+//!   aggregated link/node prices ([`prices`]).
+//! * [`admission`] — **greedy consumer admission** at each node, by
+//!   benefit–cost ratio, which also yields the node's price target.
+//! * [`price`] — the node (Eq. 12) and link (Eq. 13) price updates, with
+//!   per-node adaptive step-size control ([`gamma`]).
+//!
+//! The synchronous driver lives in [`engine`]; iteration traces in
+//! [`trace`]; deployment-facing enactment policies in [`enactment`];
+//! workload-churn scenarios in [`dynamics`]; the §2.4 two-stage pruning
+//! driver in [`two_stage`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lrgp::{LrgpConfig, LrgpEngine};
+//! use lrgp_model::workloads;
+//!
+//! let problem = workloads::base_workload(); // Table 1 of the paper
+//! let mut engine = LrgpEngine::new(problem, LrgpConfig::default());
+//! let outcome = engine.run_until_converged(250);
+//! println!(
+//!     "utility {:.0} after {} iterations",
+//!     outcome.utility,
+//!     outcome.iterations
+//! );
+//! assert!(engine.allocation().is_feasible(engine.problem(), 1e-6));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod dynamics;
+pub mod enactment;
+pub mod engine;
+pub mod gamma;
+pub mod price;
+pub mod prices;
+pub mod rate;
+pub mod snapshot;
+pub mod trace;
+pub mod two_stage;
+
+pub use admission::{AdmissionPolicy, PopulationMode};
+pub use dynamics::{run_scenario, ProblemChange, RandomChurn, Scenario, ScenarioOutcome};
+pub use enactment::{EnactmentPolicy, Enactor};
+pub use engine::{InitialRate, LrgpConfig, LrgpEngine, RunOutcome};
+pub use gamma::{AdaptiveGammaConfig, GammaController, GammaMode};
+pub use prices::PriceVector;
+pub use snapshot::EngineSnapshot;
+pub use trace::{Trace, TraceConfig};
+pub use two_stage::{two_stage_solve, TwoStageOutcome};

@@ -1,0 +1,132 @@
+//! Engine checkpointing.
+//!
+//! LRGP "is running all the time" (§2.1); an operator restarting a broker's
+//! control plane should not have to re-converge from scratch. An
+//! [`EngineSnapshot`] captures the engine's optimizer state — rates,
+//! populations, prices, and the per-node γ controllers — and restores an
+//! engine that continues *exactly* where the original left off (traces are
+//! not part of the snapshot; a restored engine starts a fresh trace).
+
+use crate::engine::{LrgpConfig, LrgpEngine};
+use crate::gamma::GammaController;
+use crate::prices::PriceVector;
+use lrgp_model::Problem;
+use serde::{Deserialize, Serialize};
+
+/// A serializable checkpoint of an engine's optimizer state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Engine configuration at snapshot time.
+    pub config: LrgpConfig,
+    /// Flow rates.
+    pub rates: Vec<f64>,
+    /// Class populations.
+    pub populations: Vec<f64>,
+    /// Node and link prices.
+    pub prices: PriceVector,
+    /// Per-node γ controllers (step size + fluctuation state).
+    pub gamma_controllers: Vec<GammaController>,
+    /// Iterations executed before the snapshot.
+    pub iteration: usize,
+}
+
+impl LrgpEngine {
+    /// Captures the optimizer state (not the trace).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            config: *self.config(),
+            rates: self.allocation().rates().to_vec(),
+            populations: self.allocation().populations().to_vec(),
+            prices: self.prices().clone(),
+            gamma_controllers: self.gamma_controllers().to_vec(),
+            iteration: self.iteration(),
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot over `problem`.
+    ///
+    /// The problem must have the same dimensions as the one the snapshot
+    /// was taken from (the usual id-stable transforms are fine).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    pub fn restore(problem: Problem, snapshot: EngineSnapshot) -> LrgpEngine {
+        assert_eq!(snapshot.rates.len(), problem.num_flows(), "flow count mismatch");
+        assert_eq!(snapshot.populations.len(), problem.num_classes(), "class count mismatch");
+        assert_eq!(
+            snapshot.prices.node_prices().len(),
+            problem.num_nodes(),
+            "node count mismatch"
+        );
+        assert_eq!(
+            snapshot.prices.link_prices().len(),
+            problem.num_links(),
+            "link count mismatch"
+        );
+        assert_eq!(
+            snapshot.gamma_controllers.len(),
+            problem.num_nodes(),
+            "controller count mismatch"
+        );
+        let mut engine = LrgpEngine::new(problem, snapshot.config);
+        engine.load_state(
+            snapshot.rates,
+            snapshot.populations,
+            snapshot.prices,
+            snapshot.gamma_controllers,
+            snapshot.iteration,
+        );
+        engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrgp_model::workloads::base_workload;
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let mut original = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        original.run(37);
+        let snap = original.snapshot();
+        assert_eq!(snap.iteration, 37);
+
+        let mut restored = LrgpEngine::restore(base_workload(), snap);
+        assert_eq!(restored.iteration(), 37);
+        assert_eq!(restored.allocation(), original.allocation());
+
+        // Both continue identically for another stretch.
+        for k in 0..60 {
+            let a = original.step();
+            let b = restored.step();
+            assert_eq!(a, b, "diverged at continued step {k}");
+        }
+        assert_eq!(original.allocation(), restored.allocation());
+        assert_eq!(original.prices(), restored.prices());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut engine = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        engine.run(20);
+        let snap = engine.snapshot();
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        let back: EngineSnapshot = serde_json::from_str(&json).expect("snapshot deserializes");
+        assert_eq!(back, snap);
+        let mut a = LrgpEngine::restore(base_workload(), snap);
+        let mut b = LrgpEngine::restore(base_workload(), back);
+        assert_eq!(a.step(), b.step());
+    }
+
+    #[test]
+    #[should_panic(expected = "flow count mismatch")]
+    fn restore_rejects_wrong_problem() {
+        let mut engine = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        engine.run(5);
+        let snap = engine.snapshot();
+        let bigger = lrgp_model::workloads::paper_workload(lrgp_model::UtilityShape::Log, 2, 1);
+        let _ = LrgpEngine::restore(bigger, snap);
+    }
+}

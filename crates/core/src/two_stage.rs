@@ -1,0 +1,145 @@
+//! The two-stage approximation of §2.4.
+//!
+//! The resource model assumes a flow is routed to *every* node hosting one
+//! of its classes, even if admission later leaves all those classes empty —
+//! the flow still pays `F_{b,i} r_i` there. The paper proposes solving in
+//! two stages: (1) optimize with full routing, (2) prune the (flow, node)
+//! branches whose classes ended up empty — "setting certain coefficients
+//! `L_{l,i}`, `F_{b,i}` to 0" — and re-solve on the slimmer problem. Stage
+//! two can only free resources, so its utility is at least stage one's (up
+//! to heuristic noise).
+
+use crate::engine::{LrgpConfig, LrgpEngine, RunOutcome};
+use lrgp_model::{Allocation, Problem};
+use serde::{Deserialize, Serialize};
+
+/// The result of both stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoStageOutcome {
+    /// Stage-one convergence report.
+    pub stage1: RunOutcome,
+    /// Stage-one allocation (basis for pruning).
+    pub stage1_allocation: Allocation,
+    /// Number of (flow, node) branches pruned.
+    pub pruned_branches: usize,
+    /// Stage-two convergence report, on the pruned problem.
+    pub stage2: RunOutcome,
+    /// Stage-two allocation.
+    pub stage2_allocation: Allocation,
+}
+
+impl TwoStageOutcome {
+    /// Relative utility gain of stage two over stage one.
+    pub fn relative_gain(&self) -> f64 {
+        if self.stage1.utility == 0.0 {
+            return 0.0;
+        }
+        (self.stage2.utility - self.stage1.utility) / self.stage1.utility
+    }
+}
+
+/// Counts the (flow, node) pairs carrying a positive `F` cost in `a` but
+/// not in `b` — the branches pruning removed.
+fn count_pruned(a: &Problem, b: &Problem) -> usize {
+    let mut count = 0;
+    for flow in a.flow_ids() {
+        for &(node, cost) in a.nodes_of_flow(flow) {
+            if cost > 0.0 && b.flow_node_cost(node, flow) == 0.0 {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Runs the two-stage solve: converge, prune empty branches, re-converge.
+///
+/// Each stage gets its own fresh engine (prices restart; the pruned problem
+/// has a different cost structure, so stale prices would mislead more than
+/// help).
+pub fn two_stage_solve(
+    problem: &Problem,
+    config: LrgpConfig,
+    max_iterations: usize,
+) -> TwoStageOutcome {
+    let mut stage1_engine = LrgpEngine::new(problem.clone(), config);
+    let stage1 = stage1_engine.run_until_converged(max_iterations);
+    let stage1_allocation = stage1_engine.allocation();
+
+    let pruned = problem.prune_unused_paths(stage1_allocation.populations());
+    let pruned_branches = count_pruned(problem, &pruned);
+
+    let mut stage2_engine = LrgpEngine::new(pruned.clone(), config);
+    let stage2 = stage2_engine.run_until_converged(max_iterations);
+    let stage2_allocation = stage2_engine.allocation();
+
+    TwoStageOutcome { stage1, stage1_allocation, pruned_branches, stage2, stage2_allocation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrgp_model::workloads::base_workload;
+    use lrgp_model::{ProblemBuilder, RateBounds, Utility};
+
+    #[test]
+    fn two_stage_on_base_workload_never_hurts_much() {
+        let out = two_stage_solve(&base_workload(), LrgpConfig::default(), 400);
+        assert!(out.stage1.utility > 0.0);
+        // Pruning frees only F-costs, so the gain is small but the result
+        // must not regress beyond heuristic noise.
+        assert!(
+            out.stage2.utility >= out.stage1.utility * 0.995,
+            "stage2 {} vs stage1 {}",
+            out.stage2.utility,
+            out.stage1.utility
+        );
+    }
+
+    #[test]
+    fn pruning_pays_off_when_dead_branches_are_expensive() {
+        // Flow 0 reaches a node where its only class is worthless (rank ~0)
+        // but the F-cost there is huge relative to capacity; flow 1's
+        // valuable class shares that node. Stage 1 wastes the node's budget
+        // carrying flow 0; stage 2 prunes it.
+        let mut b = ProblemBuilder::new();
+        let s0 = b.add_node(1e12);
+        let s1 = b.add_node(1e12);
+        let shared = b.add_node(50_000.0);
+        let other = b.add_node(1e12);
+        let f0 = b.add_flow(s0, RateBounds::new(10.0, 1000.0).unwrap());
+        let f1 = b.add_flow(s1, RateBounds::new(10.0, 1000.0).unwrap());
+        // Flow 0: real consumers elsewhere, a dead expensive branch at
+        // `shared`.
+        b.set_node_cost(f0, other, 1.0);
+        b.add_class(f0, other, 100, Utility::log(50.0), 5.0);
+        b.set_node_cost(f0, shared, 40.0); // expensive pass-through
+        b.add_class(f0, shared, 10, Utility::log(0.001), 45.0); // worthless
+        // Flow 1: valuable consumers at the shared node.
+        b.set_node_cost(f1, shared, 1.0);
+        b.add_class(f1, shared, 200, Utility::log(80.0), 4.0);
+        let p = b.build().unwrap();
+
+        let out = two_stage_solve(&p, LrgpConfig::default(), 2_000);
+        assert!(out.pruned_branches >= 1, "expected the dead branch pruned");
+        assert!(
+            out.stage2.utility >= out.stage1.utility,
+            "stage2 {} vs stage1 {}",
+            out.stage2.utility,
+            out.stage1.utility
+        );
+        assert!(out.relative_gain() >= 0.0);
+    }
+
+    #[test]
+    fn count_pruned_counts_only_zeroed_branches() {
+        let p = base_workload();
+        let same = count_pruned(&p, &p);
+        assert_eq!(same, 0);
+        // Zero populations everywhere → every non-source branch pruned.
+        let pruned = p.prune_unused_paths(&vec![0.0; p.num_classes()]);
+        let n = count_pruned(&p, &pruned);
+        // 6 flows × 2 c-nodes each.
+        assert_eq!(n, 12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the two LRGP kernels: the Lagrangian rate
+//! solver and the greedy admission, on randomized inputs.
+
+use lrgp::admission::{allocate_consumers, AdmissionPolicy, PopulationMode};
+use lrgp::rate::{solve_rate, AggregateUtility};
+use lrgp_model::{NodeId, ProblemBuilder, RateBounds, Utility};
+use proptest::prelude::*;
+
+fn utility_strategy() -> impl Strategy<Value = Utility> {
+    prop_oneof![
+        (0.1f64..200.0).prop_map(Utility::log),
+        (0.1f64..200.0, 0.05f64..0.95).prop_map(|(w, k)| Utility::power(w, k)),
+        (0.1f64..200.0, 1.0f64..500.0).prop_map(|(w, s)| Utility::saturating(w, s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The rate solver's answer maximizes Φ over the interval: no probe
+    /// point beats it (up to numerical slack).
+    #[test]
+    fn solve_rate_is_optimal_on_probes(
+        terms in proptest::collection::vec((1.0f64..1000.0, utility_strategy()), 1..5),
+        price in 1e-4f64..1e3,
+        lo in 0.5f64..50.0,
+        width in 1.0f64..2000.0,
+    ) {
+        let bounds = RateBounds::new(lo, lo + width).unwrap();
+        let agg = AggregateUtility::from_terms(terms);
+        let phi = |r: f64| agg.value(r) - price * r;
+        let r_star = solve_rate(&agg, price, bounds, lo);
+        prop_assert!(bounds.contains(r_star, 1e-9));
+        let best = phi(r_star);
+        for k in 0..=20 {
+            let probe = bounds.min + bounds.width() * k as f64 / 20.0;
+            prop_assert!(
+                best >= phi(probe) - 1e-6 * best.abs().max(1.0),
+                "probe {probe} beats r* = {r_star}: {} > {best}",
+                phi(probe)
+            );
+        }
+    }
+
+    /// Raising the price never raises the chosen rate (monotone demand).
+    #[test]
+    fn solve_rate_monotone_in_price(
+        weight in 1.0f64..500.0,
+        n in 1.0f64..2000.0,
+        p1 in 1e-4f64..100.0,
+        factor in 1.01f64..100.0,
+    ) {
+        let bounds = RateBounds::new(1.0, 1000.0).unwrap();
+        let agg = AggregateUtility::from_terms([(n, Utility::log(weight))]);
+        let r1 = solve_rate(&agg, p1, bounds, 1.0);
+        let r2 = solve_rate(&agg, p1 * factor, bounds, 1.0);
+        prop_assert!(r2 <= r1 + 1e-9, "price up, rate up: {r1} -> {r2}");
+    }
+
+    /// Greedy admission never violates the node budget when flow costs fit,
+    /// under every mode/policy combination, and FFD admits at least as much
+    /// total utility as the paper's stop-at-block greedy.
+    #[test]
+    fn admission_budget_and_ffd_dominance(
+        specs in proptest::collection::vec(
+            (1u32..500, 0.5f64..100.0, 0.5f64..40.0),
+            1..6
+        ),
+        capacity in 1e3f64..1e6,
+        rate in 1.0f64..500.0,
+    ) {
+        let mut b = ProblemBuilder::new();
+        let sink = b.add_node(capacity);
+        let mut rates = Vec::new();
+        for &(n_max, rank, g) in &specs {
+            let src = b.add_node(1e12);
+            let f = b.add_flow(src, RateBounds::new(0.0, 1000.0).unwrap());
+            b.set_node_cost(f, sink, 0.0);
+            b.add_class(f, sink, n_max, Utility::log(rank), g);
+            rates.push(rate);
+        }
+        let p = b.build().unwrap();
+        let node = NodeId::new(0);
+
+        let mut utilities = std::collections::HashMap::new();
+        for mode in [PopulationMode::Integral, PopulationMode::Fractional] {
+            for policy in [AdmissionPolicy::StopAtFirstBlock, AdmissionPolicy::FirstFitDecreasing] {
+                let adm = allocate_consumers(&p, node, &rates, mode, policy);
+                prop_assert!(adm.used <= capacity + 1e-6, "budget violated: {}", adm.used);
+                let utility: f64 = adm
+                    .populations
+                    .iter()
+                    .map(|&(c, n)| n * p.class(c).utility.value(rate))
+                    .sum();
+                utilities.insert((mode, policy), utility);
+                // All populations within their caps.
+                for &(c, n) in &adm.populations {
+                    prop_assert!(n >= 0.0 && n <= p.class(c).max_population as f64);
+                    if mode == PopulationMode::Integral {
+                        prop_assert_eq!(n.fract(), 0.0);
+                    }
+                }
+            }
+        }
+        let stop = utilities[&(PopulationMode::Integral, AdmissionPolicy::StopAtFirstBlock)];
+        let ffd = utilities[&(PopulationMode::Integral, AdmissionPolicy::FirstFitDecreasing)];
+        prop_assert!(ffd >= stop - 1e-9, "FFD {ffd} must dominate stop-at-block {stop}");
+        let frac = utilities[&(PopulationMode::Fractional, AdmissionPolicy::FirstFitDecreasing)];
+        prop_assert!(frac >= ffd - 1e-9, "fractional FFD {frac} must dominate integral {ffd}");
+    }
+
+    /// The node benefit–cost ratio equals the max ratio over unsaturated
+    /// classes reported in the admission result.
+    #[test]
+    fn node_bc_is_max_over_unsaturated(
+        specs in proptest::collection::vec(
+            (1u32..50, 0.5f64..100.0, 1.0f64..40.0),
+            1..5
+        ),
+        capacity in 1e2f64..1e5,
+    ) {
+        let mut b = ProblemBuilder::new();
+        let sink = b.add_node(capacity);
+        let mut rates = Vec::new();
+        for &(n_max, rank, g) in &specs {
+            let src = b.add_node(1e12);
+            let f = b.add_flow(src, RateBounds::new(0.0, 1000.0).unwrap());
+            b.set_node_cost(f, sink, 0.0);
+            b.add_class(f, sink, n_max, Utility::log(rank), g);
+            rates.push(100.0);
+        }
+        let p = b.build().unwrap();
+        let adm = allocate_consumers(
+            &p,
+            NodeId::new(0),
+            &rates,
+            PopulationMode::Integral,
+            AdmissionPolicy::StopAtFirstBlock,
+        );
+        let expected = adm
+            .populations
+            .iter()
+            .filter(|&&(c, n)| n < p.class(c).max_population as f64)
+            .map(|&(c, _)| lrgp::admission::benefit_cost(&p, c, 100.0))
+            .fold(0.0f64, f64::max);
+        prop_assert!((adm.benefit_cost - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,442 @@
+//! Resource allocations and their evaluation.
+//!
+//! An [`Allocation`] assigns a rate to every flow and a population to every
+//! consumer class. The functions here evaluate the paper's objective (1) and
+//! check the constraint system (2)–(5) against a [`Problem`].
+
+use crate::ids::{ClassId, FlowId, LinkId, NodeId};
+use crate::problem::Problem;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A complete assignment of flow rates and class populations.
+///
+/// Populations are stored as `f64` to support analytical (fractional)
+/// relaxations; LRGP's greedy admission and the annealing baseline only ever
+/// produce integral values. Use [`Allocation::populations_are_integral`] to
+/// assert integrality.
+///
+/// # Examples
+///
+/// ```
+/// use lrgp_model::{workloads, Allocation};
+/// let p = workloads::base_workload();
+/// let mut a = Allocation::lower_bounds(&p);
+/// assert_eq!(a.rates().len(), p.num_flows());
+/// a.set_population(lrgp_model::ClassId::new(0), 10.0);
+/// assert!(a.total_utility(&p) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    rates: Vec<f64>,
+    populations: Vec<f64>,
+}
+
+impl Allocation {
+    /// Creates an allocation from raw vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths do not match the problem dimensions.
+    pub fn from_parts(problem: &Problem, rates: Vec<f64>, populations: Vec<f64>) -> Self {
+        assert_eq!(rates.len(), problem.num_flows(), "rate vector length mismatch");
+        assert_eq!(
+            populations.len(),
+            problem.num_classes(),
+            "population vector length mismatch"
+        );
+        Self { rates, populations }
+    }
+
+    /// The all-minimum allocation: every rate at `r_i^min`, every population
+    /// zero. Always satisfies constraints (2) and (3); satisfies (4)/(5) in
+    /// any problem whose minimum rates alone are feasible.
+    pub fn lower_bounds(problem: &Problem) -> Self {
+        Self {
+            rates: problem.flow_ids().map(|f| problem.flow(f).bounds.min).collect(),
+            populations: vec![0.0; problem.num_classes()],
+        }
+    }
+
+    /// The all-maximum allocation: every rate at `r_i^max`, every population
+    /// at `n_j^max`. Generally infeasible; useful as a search bound.
+    pub fn upper_bounds(problem: &Problem) -> Self {
+        Self {
+            rates: problem.flow_ids().map(|f| problem.flow(f).bounds.max).collect(),
+            populations: problem
+                .class_ids()
+                .map(|c| problem.class(c).max_population as f64)
+                .collect(),
+        }
+    }
+
+    /// Rate of `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn rate(&self, flow: FlowId) -> f64 {
+        self.rates[flow.index()]
+    }
+
+    /// Sets the rate of `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_rate(&mut self, flow: FlowId, rate: f64) {
+        self.rates[flow.index()] = rate;
+    }
+
+    /// Population of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn population(&self, class: ClassId) -> f64 {
+        self.populations[class.index()]
+    }
+
+    /// Sets the population of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_population(&mut self, class: ClassId, population: f64) {
+        self.populations[class.index()] = population;
+    }
+
+    /// All rates, indexed by flow id.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// All populations, indexed by class id.
+    pub fn populations(&self) -> &[f64] {
+        &self.populations
+    }
+
+    /// `true` if every population is a whole number.
+    pub fn populations_are_integral(&self) -> bool {
+        self.populations.iter().all(|n| n.fract() == 0.0)
+    }
+
+    /// The objective (1): `Σ_i Σ_{j∈C_i} n_j · U_j(r_i)`.
+    pub fn total_utility(&self, problem: &Problem) -> f64 {
+        let mut total = 0.0;
+        for class in problem.class_ids() {
+            let spec = problem.class(class);
+            let n = self.populations[class.index()];
+            if n > 0.0 {
+                total += n * spec.utility.value(self.rates[spec.flow.index()]);
+            }
+        }
+        total
+    }
+
+    /// Resource used at `node` (left-hand side of constraint (5)):
+    /// `Σ_{i∈nodeMap(b)} (F_{b,i} r_i + Σ_{j∈attachMap_i(b)} G_{b,j} n_j r_i)`.
+    pub fn node_usage(&self, problem: &Problem, node: NodeId) -> f64 {
+        let mut used = 0.0;
+        for &flow in problem.flows_at_node(node) {
+            let r = self.rates[flow.index()];
+            used += problem.flow_node_cost(node, flow) * r;
+        }
+        for &class in problem.classes_at_node(node) {
+            let spec = problem.class(class);
+            let r = self.rates[spec.flow.index()];
+            used += spec.consumer_cost * self.populations[class.index()] * r;
+        }
+        used
+    }
+
+    /// Resource used on `link` (left-hand side of constraint (4)):
+    /// `Σ_{i∈linkMap(l)} L_{l,i} r_i`.
+    pub fn link_usage(&self, problem: &Problem, link: LinkId) -> f64 {
+        problem
+            .flows_on_link(link)
+            .iter()
+            .map(|&flow| problem.link_cost(link, flow) * self.rates[flow.index()])
+            .sum()
+    }
+
+    /// Checks all constraints and returns a report of every violation.
+    ///
+    /// `tol` is an absolute slack: a usage exceeding capacity by at most
+    /// `tol` (or a rate/population outside its bounds by at most `tol`) is
+    /// not reported. Use `0.0` for exact checking.
+    pub fn check_feasibility(&self, problem: &Problem, tol: f64) -> FeasibilityReport {
+        let mut violations = Vec::new();
+        for flow in problem.flow_ids() {
+            let bounds = problem.flow(flow).bounds;
+            let r = self.rates[flow.index()];
+            if !bounds.contains(r, tol) {
+                violations.push(Violation::RateOutOfBounds { flow, rate: r, bounds });
+            }
+        }
+        for class in problem.class_ids() {
+            let n = self.populations[class.index()];
+            let max = problem.class(class).max_population as f64;
+            if n < -tol || n > max + tol {
+                violations.push(Violation::PopulationOutOfBounds { class, population: n, max });
+            }
+        }
+        for node in problem.node_ids() {
+            let used = self.node_usage(problem, node);
+            let cap = problem.node(node).capacity;
+            if used > cap + tol {
+                violations.push(Violation::NodeOverload { node, usage: used, capacity: cap });
+            }
+        }
+        for link in problem.link_ids() {
+            let used = self.link_usage(problem, link);
+            let cap = problem.link(link).capacity;
+            if used > cap + tol {
+                violations.push(Violation::LinkOverload { link, usage: used, capacity: cap });
+            }
+        }
+        FeasibilityReport { violations }
+    }
+
+    /// `true` when [`Self::check_feasibility`] finds no violations.
+    pub fn is_feasible(&self, problem: &Problem, tol: f64) -> bool {
+        self.check_feasibility(problem, tol).is_feasible()
+    }
+}
+
+/// A single constraint violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A flow rate lies outside its bounds (constraint (3)).
+    RateOutOfBounds {
+        /// The offending flow.
+        flow: FlowId,
+        /// Its current rate.
+        rate: f64,
+        /// The declared bounds.
+        bounds: crate::problem::RateBounds,
+    },
+    /// A class population lies outside `[0, n_j^max]` (constraint (2)).
+    PopulationOutOfBounds {
+        /// The offending class.
+        class: ClassId,
+        /// Its current population.
+        population: f64,
+        /// The maximum `n_j^max`.
+        max: f64,
+    },
+    /// A node's usage exceeds its capacity (constraint (5)).
+    NodeOverload {
+        /// The overloaded node.
+        node: NodeId,
+        /// Resource in use.
+        usage: f64,
+        /// The node capacity `c_b`.
+        capacity: f64,
+    },
+    /// A link's usage exceeds its capacity (constraint (4)).
+    LinkOverload {
+        /// The overloaded link.
+        link: LinkId,
+        /// Resource in use.
+        usage: f64,
+        /// The link capacity `c_l`.
+        capacity: f64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::RateOutOfBounds { flow, rate, bounds } => write!(
+                f,
+                "{flow} rate {rate} outside [{}, {}]",
+                bounds.min, bounds.max
+            ),
+            Violation::PopulationOutOfBounds { class, population, max } => {
+                write!(f, "{class} population {population} outside [0, {max}]")
+            }
+            Violation::NodeOverload { node, usage, capacity } => {
+                write!(f, "{node} overloaded: {usage} > {capacity}")
+            }
+            Violation::LinkOverload { link, usage, capacity } => {
+                write!(f, "{link} overloaded: {usage} > {capacity}")
+            }
+        }
+    }
+}
+
+/// The result of a feasibility check: all violations found.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityReport {
+    violations: Vec<Violation>,
+}
+
+impl FeasibilityReport {
+    /// `true` when no constraint is violated.
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations found, in problem order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+impl fmt::Display for FeasibilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.violations.is_empty() {
+            return f.write_str("feasible");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ProblemBuilder, RateBounds};
+    use crate::utility::Utility;
+
+    /// One flow (bounds [10, 1000]) into one sink with F = 3 and one class
+    /// (n_max = 100, G = 19, U = 20·log(1+r)), node capacity 1e5, plus one
+    /// link with L = 2 and capacity 1e3.
+    fn fixture() -> Problem {
+        let mut b = ProblemBuilder::new();
+        let src = b.add_node(1e6);
+        let sink = b.add_node(1e5);
+        let l = b.add_link_between(1e3, src, sink);
+        let f = b.add_flow(src, RateBounds::new(10.0, 1000.0).unwrap());
+        b.set_node_cost(f, sink, 3.0);
+        b.set_link_cost(f, l, 2.0);
+        b.add_class(f, sink, 100, Utility::log(20.0), 19.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lower_and_upper_bound_allocations() {
+        let p = fixture();
+        let lo = Allocation::lower_bounds(&p);
+        assert_eq!(lo.rates(), &[10.0]);
+        assert_eq!(lo.populations(), &[0.0]);
+        assert!(lo.populations_are_integral());
+        let hi = Allocation::upper_bounds(&p);
+        assert_eq!(hi.rates(), &[1000.0]);
+        assert_eq!(hi.populations(), &[100.0]);
+    }
+
+    #[test]
+    fn utility_matches_hand_computation() {
+        let p = fixture();
+        let mut a = Allocation::lower_bounds(&p);
+        a.set_rate(FlowId::new(0), 99.0);
+        a.set_population(ClassId::new(0), 7.0);
+        let expected = 7.0 * 20.0 * (100.0f64).ln();
+        assert!((a.total_utility(&p) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_usage_includes_flow_and_consumer_terms() {
+        let p = fixture();
+        let mut a = Allocation::lower_bounds(&p);
+        a.set_rate(FlowId::new(0), 50.0);
+        a.set_population(ClassId::new(0), 4.0);
+        // F·r + G·n·r = 3·50 + 19·4·50
+        let expected = 3.0 * 50.0 + 19.0 * 4.0 * 50.0;
+        assert!((a.node_usage(&p, NodeId::new(1)) - expected).abs() < 1e-9);
+        // Source node has no costs.
+        assert_eq!(a.node_usage(&p, NodeId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn link_usage_scales_with_rate() {
+        let p = fixture();
+        let mut a = Allocation::lower_bounds(&p);
+        a.set_rate(FlowId::new(0), 123.0);
+        assert!((a.link_usage(&p, LinkId::new(0)) - 246.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasibility_detects_each_violation_kind() {
+        let p = fixture();
+        let mut a = Allocation::lower_bounds(&p);
+        a.set_rate(FlowId::new(0), 2000.0); // out of bounds AND overloads
+        a.set_population(ClassId::new(0), 150.0); // above n_max
+        let report = a.check_feasibility(&p, 0.0);
+        assert!(!report.is_feasible());
+        let kinds: Vec<_> = report
+            .violations()
+            .iter()
+            .map(|v| match v {
+                Violation::RateOutOfBounds { .. } => "rate",
+                Violation::PopulationOutOfBounds { .. } => "pop",
+                Violation::NodeOverload { .. } => "node",
+                Violation::LinkOverload { .. } => "link",
+            })
+            .collect();
+        assert!(kinds.contains(&"rate"));
+        assert!(kinds.contains(&"pop"));
+        assert!(kinds.contains(&"node"));
+        assert!(kinds.contains(&"link"));
+        assert!(report.to_string().contains("violation"));
+    }
+
+    #[test]
+    fn feasibility_tolerance_absorbs_slack() {
+        let mut b = ProblemBuilder::new();
+        let src = b.add_node(1e6);
+        let sink = b.add_node(30.0); // exactly F·r at r = 10
+        let f = b.add_flow(src, RateBounds::new(10.0, 1000.0).unwrap());
+        b.set_node_cost(f, sink, 3.0);
+        b.add_class(f, sink, 100, Utility::log(20.0), 19.0);
+        let p = b.build().unwrap();
+        let mut a = Allocation::lower_bounds(&p);
+        a.set_rate(FlowId::new(0), 10.0 + 1e-9); // overloads the node by 3e-9
+        assert!(!a.is_feasible(&p, 0.0));
+        assert!(a.check_feasibility(&p, 1e-6).is_feasible());
+    }
+
+    #[test]
+    fn lower_bounds_feasible_in_fixture() {
+        let p = fixture();
+        let a = Allocation::lower_bounds(&p);
+        let report = a.check_feasibility(&p, 0.0);
+        assert!(report.is_feasible(), "{report}");
+        assert_eq!(report.to_string(), "feasible");
+    }
+
+    #[test]
+    fn upper_bounds_infeasible_in_fixture() {
+        let p = fixture();
+        assert!(!Allocation::upper_bounds(&p).is_feasible(&p, 0.0));
+    }
+
+    #[test]
+    fn fractional_population_detected() {
+        let p = fixture();
+        let mut a = Allocation::lower_bounds(&p);
+        a.set_population(ClassId::new(0), 1.5);
+        assert!(!a.populations_are_integral());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate vector length mismatch")]
+    fn from_parts_checks_lengths() {
+        let p = fixture();
+        let _ = Allocation::from_parts(&p, vec![], vec![0.0]);
+    }
+
+    #[test]
+    fn zero_population_skips_utility_evaluation() {
+        // Power utilities at rate 0 would contribute 0 anyway, but the n = 0
+        // guard also protects against NaN-producing custom shapes.
+        let p = fixture();
+        let a = Allocation::lower_bounds(&p);
+        assert_eq!(a.total_utility(&p), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Problem and allocation (de)serialization.
+//!
+//! Workloads are plain data; being able to save them, diff them, and reload
+//! them is what makes experiments repeatable. Everything in this crate
+//! derives Serde, and this module adds JSON convenience wrappers plus a
+//! versioned container so files remain identifiable as they evolve.
+
+use crate::allocation::Allocation;
+use crate::problem::Problem;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Format version written into every file; bumped on breaking schema
+/// changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A versioned, self-describing container for a problem (and optionally a
+/// solved allocation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProblemFile {
+    /// Schema version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Free-form description of the workload.
+    pub description: String,
+    /// The problem itself.
+    pub problem: Problem,
+    /// A solved allocation, if one is bundled.
+    pub allocation: Option<Allocation>,
+}
+
+/// Error type for problem-file I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+    /// The file's schema version is not supported.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported problem-file version {found} (supported: {supported})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Json(e) => Some(e),
+            IoError::UnsupportedVersion { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+impl ProblemFile {
+    /// Wraps a problem for saving.
+    pub fn new(description: impl Into<String>, problem: Problem) -> Self {
+        Self { version: FORMAT_VERSION, description: description.into(), problem, allocation: None }
+    }
+
+    /// Attaches a solved allocation.
+    pub fn with_allocation(mut self, allocation: Allocation) -> Self {
+        self.allocation = Some(allocation);
+        self
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Json`] if serialization fails (practically
+    /// impossible for these types).
+    pub fn to_json(&self) -> Result<String, IoError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Deserializes from JSON, checking the schema version.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Json`] on malformed input, [`IoError::UnsupportedVersion`]
+    /// on a version mismatch.
+    pub fn from_json(text: &str) -> Result<Self, IoError> {
+        let file: ProblemFile = serde_json::from_str(text)?;
+        if file.version != FORMAT_VERSION {
+            return Err(IoError::UnsupportedVersion {
+                found: file.version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        Ok(file)
+    }
+
+    /// Writes pretty JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Io`] on filesystem failure, [`IoError::Json`] on
+    /// serialization failure.
+    pub fn save(&self, path: &Path) -> Result<(), IoError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Loads from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Io`] on filesystem failure, plus the [`Self::from_json`]
+    /// conditions.
+    pub fn load(path: &Path) -> Result<Self, IoError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::base_workload;
+
+    #[test]
+    fn json_round_trip_preserves_problem() {
+        let p = base_workload();
+        let file = ProblemFile::new("paper table 1", p.clone());
+        let json = file.to_json().unwrap();
+        let back = ProblemFile::from_json(&json).unwrap();
+        assert_eq!(back.problem, p);
+        assert_eq!(back.description, "paper table 1");
+        assert_eq!(back.allocation, None);
+    }
+
+    #[test]
+    fn round_trip_with_allocation() {
+        let p = base_workload();
+        let a = Allocation::upper_bounds(&p);
+        let file = ProblemFile::new("solved", p).with_allocation(a.clone());
+        let back = ProblemFile::from_json(&file.to_json().unwrap()).unwrap();
+        assert_eq!(back.allocation, Some(a));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("lrgp_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.json");
+        let file = ProblemFile::new("disk", base_workload());
+        file.save(&path).unwrap();
+        let back = ProblemFile::load(&path).unwrap();
+        assert_eq!(back, file);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut file = ProblemFile::new("x", base_workload());
+        file.version = 999;
+        let json = serde_json::to_string(&file).unwrap();
+        let err = ProblemFile::from_json(&json).unwrap_err();
+        assert!(matches!(err, IoError::UnsupportedVersion { found: 999, .. }));
+        assert!(err.to_string().contains("999"));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        let err = ProblemFile::from_json("{not json").unwrap_err();
+        assert!(matches!(err, IoError::Json(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = ProblemFile::load(Path::new("/nonexistent/lrgp.json")).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+    }
+}

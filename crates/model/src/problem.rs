@@ -1,0 +1,934 @@
+//! The optimization problem specification (§2 of the paper).
+//!
+//! A [`Problem`] captures everything the optimizer needs: the overlay's nodes
+//! and links with their capacities, the flows with their rate bounds and
+//! resource costs, and the consumer classes with their utilities and
+//! per-consumer costs. Problems are immutable once built; construct them via
+//! [`ProblemBuilder`], which validates cross-references and returns a
+//! [`ValidationError`] describing the first inconsistency found.
+
+use crate::ids::{ClassId, FlowId, LinkId, NodeId};
+use crate::utility::Utility;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Inclusive rate bounds `[min, max]` for a flow (constraint (3)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateBounds {
+    /// Minimum rate `r_i^min`.
+    pub min: f64,
+    /// Maximum rate `r_i^max`.
+    pub max: f64,
+}
+
+impl RateBounds {
+    /// Creates bounds after checking `0 <= min <= max` and finiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError::InvalidRateBounds`] when violated.
+    pub fn new(min: f64, max: f64) -> Result<Self, ValidationError> {
+        if !(min.is_finite() && max.is_finite()) || min < 0.0 || min > max {
+            return Err(ValidationError::InvalidRateBounds { min, max });
+        }
+        Ok(Self { min, max })
+    }
+
+    /// Clamps a rate into the bounds.
+    pub fn clamp(&self, rate: f64) -> f64 {
+        rate.clamp(self.min, self.max)
+    }
+
+    /// `true` if `rate` lies within the bounds up to `tol`.
+    pub fn contains(&self, rate: f64, tol: f64) -> bool {
+        rate >= self.min - tol && rate <= self.max + tol
+    }
+
+    /// Width `max - min` of the feasible interval.
+    pub fn width(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// An overlay node (broker) with a CPU-like capacity `c_b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Resource capacity `c_b` (e.g. CPU units/second).
+    pub capacity: f64,
+    /// Optional human-readable label (e.g. `"S0"` in the paper's workload).
+    pub label: Option<String>,
+}
+
+/// A unidirectional overlay link with bandwidth-like capacity `c_l`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Resource capacity `c_l`.
+    pub capacity: f64,
+    /// Upstream endpoint, when topology is modelled.
+    pub from: Option<NodeId>,
+    /// Downstream endpoint, when topology is modelled.
+    pub to: Option<NodeId>,
+}
+
+/// A message flow: a producer stream injected at a source node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Source node at which the flow's producers attach and where the rate
+    /// is decided (Algorithm 1 runs here).
+    pub source: NodeId,
+    /// Rate bounds (constraint (3)).
+    pub bounds: RateBounds,
+    /// Link costs `L_{l,i}` for every link the flow traverses; links absent
+    /// here implicitly have zero cost (the flow does not traverse them).
+    pub link_costs: Vec<(LinkId, f64)>,
+    /// Flow-node costs `F_{b,i}` for every node the flow reaches.
+    pub node_costs: Vec<(NodeId, f64)>,
+}
+
+/// A consumer class: a population of identical consumers of one flow,
+/// attached to one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSpec {
+    /// The flow whose messages the class consumes (`flowMap(j)`).
+    pub flow: FlowId,
+    /// The node the class attaches to.
+    pub node: NodeId,
+    /// Maximum population `n_j^max` (constraint (2)).
+    pub max_population: u32,
+    /// Per-consumer utility `U_j(r)`.
+    pub utility: Utility,
+    /// Consumer-node cost `G_{b,j}`: node resource per consumer per unit
+    /// rate.
+    pub consumer_cost: f64,
+}
+
+/// Structural inconsistency detected while building a [`Problem`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValidationError {
+    /// A referenced node id does not exist.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+    },
+    /// A referenced link id does not exist.
+    UnknownLink {
+        /// The offending id.
+        link: LinkId,
+    },
+    /// A referenced flow id does not exist.
+    UnknownFlow {
+        /// The offending id.
+        flow: FlowId,
+    },
+    /// A node or link capacity is not strictly positive and finite.
+    NonPositiveCapacity {
+        /// Description of the resource (`"node3"`, `"link0"`).
+        resource: String,
+        /// The offending capacity.
+        capacity: f64,
+    },
+    /// Rate bounds violate `0 <= min <= max` or are non-finite.
+    InvalidRateBounds {
+        /// Offending lower bound.
+        min: f64,
+        /// Offending upper bound.
+        max: f64,
+    },
+    /// A cost coefficient is negative or non-finite.
+    InvalidCost {
+        /// Description of the coefficient (`"F[node2, flow1]"`).
+        coefficient: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A class's consumer cost `G_{b,j}` must be strictly positive (the
+    /// benefit–cost ratio (10) divides by it).
+    NonPositiveConsumerCost {
+        /// The offending class.
+        class: ClassId,
+        /// The offending cost.
+        cost: f64,
+    },
+    /// A class attaches to a node its flow does not reach (no `F_{b,i}`
+    /// entry). §2.4's two-stage approximation requires the flow to be routed
+    /// to every node hosting one of its classes.
+    ClassNodeNotReached {
+        /// The offending class.
+        class: ClassId,
+        /// The flow it consumes.
+        flow: FlowId,
+        /// The node it attaches to.
+        node: NodeId,
+    },
+    /// The same link/node appears twice in a flow's cost list.
+    DuplicateCost {
+        /// Description of the duplicated coefficient.
+        coefficient: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            ValidationError::UnknownLink { link } => write!(f, "unknown link {link}"),
+            ValidationError::UnknownFlow { flow } => write!(f, "unknown flow {flow}"),
+            ValidationError::NonPositiveCapacity { resource, capacity } => {
+                write!(f, "capacity of {resource} must be positive, got {capacity}")
+            }
+            ValidationError::InvalidRateBounds { min, max } => {
+                write!(f, "invalid rate bounds [{min}, {max}]")
+            }
+            ValidationError::InvalidCost { coefficient, value } => {
+                write!(f, "cost {coefficient} must be nonnegative and finite, got {value}")
+            }
+            ValidationError::NonPositiveConsumerCost { class, cost } => {
+                write!(f, "consumer cost of {class} must be positive, got {cost}")
+            }
+            ValidationError::ClassNodeNotReached { class, flow, node } => {
+                write!(f, "{class} attaches to {node} but {flow} does not reach it")
+            }
+            ValidationError::DuplicateCost { coefficient } => {
+                write!(f, "duplicate cost entry for {coefficient}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// An immutable, validated problem instance.
+///
+/// Besides the raw specification, a `Problem` precomputes the index maps the
+/// paper names `flowMap`, `linkMap`, `nodeMap`, `attachMap` and
+/// `nodeClasses`, so the optimizer can iterate without hashing.
+///
+/// # Examples
+///
+/// ```
+/// use lrgp_model::{ProblemBuilder, RateBounds, Utility};
+///
+/// # fn main() -> Result<(), lrgp_model::ValidationError> {
+/// let mut b = ProblemBuilder::new();
+/// let src = b.add_node(1e6);
+/// let sink = b.add_node(9e5);
+/// let flow = b.add_flow(src, RateBounds::new(10.0, 1000.0)?);
+/// b.set_node_cost(flow, sink, 3.0);
+/// b.add_class(flow, sink, 400, Utility::log(20.0), 19.0);
+/// let problem = b.build()?;
+/// assert_eq!(problem.num_flows(), 1);
+/// assert_eq!(problem.num_classes(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    nodes: Vec<NodeSpec>,
+    links: Vec<LinkSpec>,
+    flows: Vec<FlowSpec>,
+    classes: Vec<ClassSpec>,
+    // Derived indices.
+    classes_of_flow: Vec<Vec<ClassId>>,
+    classes_at_node: Vec<Vec<ClassId>>,
+    flows_at_node: Vec<Vec<FlowId>>,
+    flows_on_link: Vec<Vec<FlowId>>,
+}
+
+impl Problem {
+    /// Number of overlay nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of overlay links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of flows.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of consumer classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The node specification for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids from this problem never are).
+    pub fn node(&self, id: NodeId) -> &NodeSpec {
+        &self.nodes[id.index()]
+    }
+
+    /// The link specification for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn link(&self, id: LinkId) -> &LinkSpec {
+        &self.links[id.index()]
+    }
+
+    /// The flow specification for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn flow(&self, id: FlowId) -> &FlowSpec {
+        &self.flows[id.index()]
+    }
+
+    /// The class specification for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn class(&self, id: ClassId) -> &ClassSpec {
+        &self.classes[id.index()]
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId::new)
+    }
+
+    /// Iterates over all link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len() as u32).map(LinkId::new)
+    }
+
+    /// Iterates over all flow ids.
+    pub fn flow_ids(&self) -> impl Iterator<Item = FlowId> + '_ {
+        (0..self.flows.len() as u32).map(FlowId::new)
+    }
+
+    /// Iterates over all class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.classes.len() as u32).map(ClassId::new)
+    }
+
+    /// `C_i`: the classes consuming flow `flow`.
+    pub fn classes_of_flow(&self, flow: FlowId) -> &[ClassId] {
+        &self.classes_of_flow[flow.index()]
+    }
+
+    /// `nodeClasses(b)`: every class attached to `node` (any flow).
+    pub fn classes_at_node(&self, node: NodeId) -> &[ClassId] {
+        &self.classes_at_node[node.index()]
+    }
+
+    /// `attachMap_i(b)`: the classes of `flow` attached to `node`.
+    pub fn classes_of_flow_at_node(
+        &self,
+        flow: FlowId,
+        node: NodeId,
+    ) -> impl Iterator<Item = ClassId> + '_ {
+        self.classes_at_node[node.index()]
+            .iter()
+            .copied()
+            .filter(move |&c| self.classes[c.index()].flow == flow)
+    }
+
+    /// `nodeMap(b)`: the flows that reach `node` (those with an `F_{b,i}`
+    /// entry for it).
+    pub fn flows_at_node(&self, node: NodeId) -> &[FlowId] {
+        &self.flows_at_node[node.index()]
+    }
+
+    /// `linkMap(l)`: the flows traversing `link`.
+    pub fn flows_on_link(&self, link: LinkId) -> &[FlowId] {
+        &self.flows_on_link[link.index()]
+    }
+
+    /// `B_i`: the nodes reached by `flow`, with their `F_{b,i}` costs.
+    pub fn nodes_of_flow(&self, flow: FlowId) -> &[(NodeId, f64)] {
+        &self.flows[flow.index()].node_costs
+    }
+
+    /// `L_i`: the links traversed by `flow`, with their `L_{l,i}` costs.
+    pub fn links_of_flow(&self, flow: FlowId) -> &[(LinkId, f64)] {
+        &self.flows[flow.index()].link_costs
+    }
+
+    /// Flow-node cost `F_{b,i}`, zero when the flow does not reach the node.
+    pub fn flow_node_cost(&self, node: NodeId, flow: FlowId) -> f64 {
+        self.flows[flow.index()]
+            .node_costs
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0)
+    }
+
+    /// Link cost `L_{l,i}`, zero when the flow does not traverse the link.
+    pub fn link_cost(&self, link: LinkId, flow: FlowId) -> f64 {
+        self.flows[flow.index()]
+            .link_costs
+            .iter()
+            .find(|(l, _)| *l == link)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0)
+    }
+
+    /// Sum of `n_j^max` over all classes (the total consumer demand).
+    pub fn total_demand(&self) -> u64 {
+        self.classes.iter().map(|c| c.max_population as u64).sum()
+    }
+
+    /// Returns a copy of this problem with every class utility replaced by
+    /// `f(rank)` where `rank` is the class's current weight. Used to produce
+    /// the §4.5 utility-shape variants of a workload.
+    pub fn with_utilities(&self, f: impl Fn(f64) -> Utility) -> Problem {
+        let mut p = self.clone();
+        for class in &mut p.classes {
+            class.utility = f(class.utility.weight());
+        }
+        p
+    }
+
+    /// Returns a copy with flow `flow` effectively removed: its rate bounds
+    /// collapse to `[0, 0]` and its classes' populations are capped at 0.
+    ///
+    /// This models a flow source leaving the system (§4.2, Fig. 3) without
+    /// renumbering ids, so traces remain comparable across the change.
+    pub fn without_flow(&self, flow: FlowId) -> Problem {
+        let mut p = self.clone();
+        p.flows[flow.index()].bounds = RateBounds { min: 0.0, max: 0.0 };
+        // A removed flow consumes no resources.
+        p.flows[flow.index()].node_costs.iter_mut().for_each(|(_, c)| *c = 0.0);
+        p.flows[flow.index()].link_costs.iter_mut().for_each(|(_, c)| *c = 0.0);
+        for class in &mut p.classes {
+            if class.flow == flow {
+                class.max_population = 0;
+            }
+        }
+        p
+    }
+
+    /// Returns a copy with `node`'s capacity replaced.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::NonPositiveCapacity`] unless the new capacity is
+    /// finite and strictly positive.
+    pub fn with_node_capacity(
+        &self,
+        node: NodeId,
+        capacity: f64,
+    ) -> Result<Problem, ValidationError> {
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(ValidationError::NonPositiveCapacity {
+                resource: node.to_string(),
+                capacity,
+            });
+        }
+        let mut p = self.clone();
+        p.nodes[node.index()].capacity = capacity;
+        Ok(p)
+    }
+
+    /// Returns a copy with `class`'s maximum population replaced (consumer
+    /// churn: demand arriving or departing).
+    pub fn with_max_population(&self, class: ClassId, max_population: u32) -> Problem {
+        let mut p = self.clone();
+        p.classes[class.index()].max_population = max_population;
+        p
+    }
+
+    /// Returns a copy with `flow`'s rate bounds replaced.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::InvalidRateBounds`] on invalid bounds.
+    pub fn with_rate_bounds(
+        &self,
+        flow: FlowId,
+        bounds: RateBounds,
+    ) -> Result<Problem, ValidationError> {
+        RateBounds::new(bounds.min, bounds.max)?;
+        let mut p = self.clone();
+        p.flows[flow.index()].bounds = bounds;
+        Ok(p)
+    }
+
+    /// Stage-two path pruning (§2.4): zero the `F_{b,i}` coefficient for
+    /// every (flow, node) pair at which *all* of the flow's classes have zero
+    /// population in `populations` (indexed by class id). Nodes hosting no
+    /// class of the flow are also pruned. Returns the pruned problem.
+    pub fn prune_unused_paths(&self, populations: &[f64]) -> Problem {
+        assert_eq!(
+            populations.len(),
+            self.classes.len(),
+            "population vector length must equal the number of classes"
+        );
+        let mut p = self.clone();
+        for flow in self.flow_ids() {
+            let node_costs = &mut p.flows[flow.index()].node_costs;
+            for (node, cost) in node_costs.iter_mut() {
+                if *node == self.flows[flow.index()].source {
+                    continue; // the source always carries the flow
+                }
+                let any_live = self
+                    .classes_of_flow(flow)
+                    .iter()
+                    .any(|&c| self.classes[c.index()].node == *node && populations[c.index()] > 0.0);
+                if !any_live {
+                    *cost = 0.0;
+                }
+            }
+        }
+        p
+    }
+}
+
+/// Incremental, validating constructor for [`Problem`] ([C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#c-builder
+#[derive(Debug, Clone, Default)]
+pub struct ProblemBuilder {
+    nodes: Vec<NodeSpec>,
+    links: Vec<LinkSpec>,
+    flows: Vec<FlowSpec>,
+    classes: Vec<ClassSpec>,
+}
+
+impl ProblemBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the given capacity; returns its id.
+    pub fn add_node(&mut self, capacity: f64) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(NodeSpec { capacity, label: None });
+        id
+    }
+
+    /// Adds a labelled node (labels like `"S0"` aid debugging and reports).
+    pub fn add_labeled_node(&mut self, capacity: f64, label: impl Into<String>) -> NodeId {
+        let id = self.add_node(capacity);
+        self.nodes[id.index()].label = Some(label.into());
+        id
+    }
+
+    /// Adds a link with the given capacity and no endpoints; returns its id.
+    pub fn add_link(&mut self, capacity: f64) -> LinkId {
+        let id = LinkId::new(self.links.len() as u32);
+        self.links.push(LinkSpec { capacity, from: None, to: None });
+        id
+    }
+
+    /// Adds a link between two nodes; returns its id.
+    pub fn add_link_between(&mut self, capacity: f64, from: NodeId, to: NodeId) -> LinkId {
+        let id = LinkId::new(self.links.len() as u32);
+        self.links.push(LinkSpec { capacity, from: Some(from), to: Some(to) });
+        id
+    }
+
+    /// Adds a flow injected at `source` with the given rate bounds; returns
+    /// its id. Costs start empty; add them with [`Self::set_node_cost`] and
+    /// [`Self::set_link_cost`].
+    pub fn add_flow(&mut self, source: NodeId, bounds: RateBounds) -> FlowId {
+        let id = FlowId::new(self.flows.len() as u32);
+        self.flows.push(FlowSpec { source, bounds, link_costs: Vec::new(), node_costs: Vec::new() });
+        id
+    }
+
+    /// Declares that `flow` reaches `node` at flow-node cost `F_{b,i}`.
+    /// Overwrites a previous entry for the same pair.
+    pub fn set_node_cost(&mut self, flow: FlowId, node: NodeId, cost: f64) -> &mut Self {
+        let costs = &mut self.flows[flow.index()].node_costs;
+        if let Some(entry) = costs.iter_mut().find(|(n, _)| *n == node) {
+            entry.1 = cost;
+        } else {
+            costs.push((node, cost));
+        }
+        self
+    }
+
+    /// Declares that `flow` traverses `link` at link cost `L_{l,i}`.
+    /// Overwrites a previous entry for the same pair.
+    pub fn set_link_cost(&mut self, flow: FlowId, link: LinkId, cost: f64) -> &mut Self {
+        let costs = &mut self.flows[flow.index()].link_costs;
+        if let Some(entry) = costs.iter_mut().find(|(l, _)| *l == link) {
+            entry.1 = cost;
+        } else {
+            costs.push((link, cost));
+        }
+        self
+    }
+
+    /// Adds a consumer class; returns its id.
+    pub fn add_class(
+        &mut self,
+        flow: FlowId,
+        node: NodeId,
+        max_population: u32,
+        utility: Utility,
+        consumer_cost: f64,
+    ) -> ClassId {
+        let id = ClassId::new(self.classes.len() as u32);
+        self.classes.push(ClassSpec { flow, node, max_population, utility, consumer_cost });
+        id
+    }
+
+    /// Validates and finalizes the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidationError`] encountered: dangling ids,
+    /// non-positive capacities, invalid rate bounds, negative costs,
+    /// non-positive consumer costs, classes attached to unreached nodes, or
+    /// duplicate cost entries.
+    pub fn build(self) -> Result<Problem, ValidationError> {
+        let n_nodes = self.nodes.len();
+        let n_links = self.links.len();
+        let n_flows = self.flows.len();
+
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !(node.capacity.is_finite() && node.capacity > 0.0) {
+                return Err(ValidationError::NonPositiveCapacity {
+                    resource: NodeId::new(i as u32).to_string(),
+                    capacity: node.capacity,
+                });
+            }
+        }
+        for (i, link) in self.links.iter().enumerate() {
+            if !(link.capacity.is_finite() && link.capacity > 0.0) {
+                return Err(ValidationError::NonPositiveCapacity {
+                    resource: LinkId::new(i as u32).to_string(),
+                    capacity: link.capacity,
+                });
+            }
+            for endpoint in [link.from, link.to].into_iter().flatten() {
+                if endpoint.index() >= n_nodes {
+                    return Err(ValidationError::UnknownNode { node: endpoint });
+                }
+            }
+        }
+        for (i, flow) in self.flows.iter().enumerate() {
+            let fid = FlowId::new(i as u32);
+            if flow.source.index() >= n_nodes {
+                return Err(ValidationError::UnknownNode { node: flow.source });
+            }
+            // Re-validate bounds (they may have been constructed directly).
+            RateBounds::new(flow.bounds.min, flow.bounds.max)?;
+            let mut seen_nodes = Vec::new();
+            for &(node, cost) in &flow.node_costs {
+                if node.index() >= n_nodes {
+                    return Err(ValidationError::UnknownNode { node });
+                }
+                if !(cost.is_finite() && cost >= 0.0) {
+                    return Err(ValidationError::InvalidCost {
+                        coefficient: format!("F[{node}, {fid}]"),
+                        value: cost,
+                    });
+                }
+                if seen_nodes.contains(&node) {
+                    return Err(ValidationError::DuplicateCost {
+                        coefficient: format!("F[{node}, {fid}]"),
+                    });
+                }
+                seen_nodes.push(node);
+            }
+            let mut seen_links = Vec::new();
+            for &(link, cost) in &flow.link_costs {
+                if link.index() >= n_links {
+                    return Err(ValidationError::UnknownLink { link });
+                }
+                if !(cost.is_finite() && cost >= 0.0) {
+                    return Err(ValidationError::InvalidCost {
+                        coefficient: format!("L[{link}, {fid}]"),
+                        value: cost,
+                    });
+                }
+                if seen_links.contains(&link) {
+                    return Err(ValidationError::DuplicateCost {
+                        coefficient: format!("L[{link}, {fid}]"),
+                    });
+                }
+                seen_links.push(link);
+            }
+        }
+        for (i, class) in self.classes.iter().enumerate() {
+            let cid = ClassId::new(i as u32);
+            if class.flow.index() >= n_flows {
+                return Err(ValidationError::UnknownFlow { flow: class.flow });
+            }
+            if class.node.index() >= n_nodes {
+                return Err(ValidationError::UnknownNode { node: class.node });
+            }
+            if !(class.consumer_cost.is_finite() && class.consumer_cost > 0.0) {
+                return Err(ValidationError::NonPositiveConsumerCost {
+                    class: cid,
+                    cost: class.consumer_cost,
+                });
+            }
+            let reached = self.flows[class.flow.index()]
+                .node_costs
+                .iter()
+                .any(|(n, _)| *n == class.node);
+            if !reached {
+                return Err(ValidationError::ClassNodeNotReached {
+                    class: cid,
+                    flow: class.flow,
+                    node: class.node,
+                });
+            }
+        }
+
+        // Build derived indices.
+        let mut classes_of_flow = vec![Vec::new(); n_flows];
+        let mut classes_at_node = vec![Vec::new(); n_nodes];
+        for (i, class) in self.classes.iter().enumerate() {
+            let cid = ClassId::new(i as u32);
+            classes_of_flow[class.flow.index()].push(cid);
+            classes_at_node[class.node.index()].push(cid);
+        }
+        let mut flows_at_node = vec![Vec::new(); n_nodes];
+        let mut flows_on_link = vec![Vec::new(); n_links];
+        for (i, flow) in self.flows.iter().enumerate() {
+            let fid = FlowId::new(i as u32);
+            for &(node, _) in &flow.node_costs {
+                flows_at_node[node.index()].push(fid);
+            }
+            for &(link, _) in &flow.link_costs {
+                flows_on_link[link.index()].push(fid);
+            }
+        }
+
+        Ok(Problem {
+            nodes: self.nodes,
+            links: self.links,
+            flows: self.flows,
+            classes: self.classes,
+            classes_of_flow,
+            classes_at_node,
+            flows_at_node,
+            flows_on_link,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ProblemBuilder {
+        let mut b = ProblemBuilder::new();
+        let src = b.add_labeled_node(1e6, "src");
+        let sink = b.add_labeled_node(9e5, "S0");
+        let f = b.add_flow(src, RateBounds::new(10.0, 1000.0).unwrap());
+        b.set_node_cost(f, sink, 3.0);
+        b.add_class(f, sink, 400, Utility::log(20.0), 19.0);
+        b
+    }
+
+    #[test]
+    fn builds_and_exposes_indices() {
+        let p = tiny().build().unwrap();
+        assert_eq!(p.num_nodes(), 2);
+        assert_eq!(p.num_flows(), 1);
+        assert_eq!(p.num_classes(), 1);
+        assert_eq!(p.num_links(), 0);
+        let f0 = FlowId::new(0);
+        let sink = NodeId::new(1);
+        assert_eq!(p.classes_of_flow(f0), &[ClassId::new(0)]);
+        assert_eq!(p.classes_at_node(sink), &[ClassId::new(0)]);
+        assert_eq!(p.flows_at_node(sink), &[f0]);
+        assert!(p.flows_at_node(NodeId::new(0)).is_empty());
+        assert_eq!(p.flow_node_cost(sink, f0), 3.0);
+        assert_eq!(p.flow_node_cost(NodeId::new(0), f0), 0.0);
+        assert_eq!(p.node(sink).label.as_deref(), Some("S0"));
+        assert_eq!(p.total_demand(), 400);
+        let attached: Vec<_> = p.classes_of_flow_at_node(f0, sink).collect();
+        assert_eq!(attached, vec![ClassId::new(0)]);
+    }
+
+    #[test]
+    fn rate_bounds_validation() {
+        assert!(RateBounds::new(10.0, 1000.0).is_ok());
+        assert!(RateBounds::new(-1.0, 5.0).is_err());
+        assert!(RateBounds::new(5.0, 1.0).is_err());
+        assert!(RateBounds::new(0.0, f64::INFINITY).is_err());
+        let b = RateBounds::new(10.0, 100.0).unwrap();
+        assert_eq!(b.clamp(5.0), 10.0);
+        assert_eq!(b.clamp(500.0), 100.0);
+        assert_eq!(b.clamp(50.0), 50.0);
+        assert!(b.contains(10.0, 0.0));
+        assert!(!b.contains(9.0, 0.5));
+        assert_eq!(b.width(), 90.0);
+    }
+
+    #[test]
+    fn rejects_dangling_class_flow() {
+        let mut b = tiny();
+        b.add_class(FlowId::new(7), NodeId::new(1), 1, Utility::log(1.0), 19.0);
+        assert!(matches!(b.build().unwrap_err(), ValidationError::UnknownFlow { .. }));
+    }
+
+    #[test]
+    fn rejects_dangling_class_node() {
+        let mut b = tiny();
+        b.add_class(FlowId::new(0), NodeId::new(9), 1, Utility::log(1.0), 19.0);
+        assert!(matches!(b.build().unwrap_err(), ValidationError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn rejects_class_on_unreached_node() {
+        let mut b = tiny();
+        let lonely = b.add_node(1e5);
+        b.add_class(FlowId::new(0), lonely, 1, Utility::log(1.0), 19.0);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ValidationError::ClassNodeNotReached { .. }));
+        assert!(err.to_string().contains("does not reach"));
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        let mut b = ProblemBuilder::new();
+        b.add_node(0.0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ValidationError::NonPositiveCapacity { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_capacity_link() {
+        let mut b = tiny();
+        b.add_link(0.0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ValidationError::NonPositiveCapacity { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_cost() {
+        let mut b = tiny();
+        let sink = NodeId::new(1);
+        b.set_node_cost(FlowId::new(0), sink, -1.0);
+        assert!(matches!(b.build().unwrap_err(), ValidationError::InvalidCost { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_consumer_cost() {
+        let mut b = tiny();
+        b.add_class(FlowId::new(0), NodeId::new(1), 1, Utility::log(1.0), 0.0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ValidationError::NonPositiveConsumerCost { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_link_endpoint() {
+        let mut b = ProblemBuilder::new();
+        let a = b.add_node(1.0);
+        b.add_link_between(1.0, a, NodeId::new(42));
+        assert!(matches!(b.build().unwrap_err(), ValidationError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn set_cost_overwrites_instead_of_duplicating() {
+        let mut b = tiny();
+        b.set_node_cost(FlowId::new(0), NodeId::new(1), 5.0);
+        let p = b.build().unwrap();
+        assert_eq!(p.flow_node_cost(NodeId::new(1), FlowId::new(0)), 5.0);
+        assert_eq!(p.nodes_of_flow(FlowId::new(0)).len(), 1);
+    }
+
+    #[test]
+    fn link_costs_round_trip() {
+        let mut b = tiny();
+        let l = b.add_link(1e6);
+        b.set_link_cost(FlowId::new(0), l, 2.0);
+        let p = b.build().unwrap();
+        assert_eq!(p.link_cost(l, FlowId::new(0)), 2.0);
+        assert_eq!(p.flows_on_link(l), &[FlowId::new(0)]);
+        assert_eq!(p.links_of_flow(FlowId::new(0)), &[(l, 2.0)]);
+        assert_eq!(p.link(l).capacity, 1e6);
+    }
+
+    #[test]
+    fn with_utilities_swaps_shape_preserving_rank() {
+        let p = tiny().build().unwrap();
+        let q = p.with_utilities(|rank| Utility::power(rank, 0.5));
+        assert_eq!(q.class(ClassId::new(0)).utility, Utility::power(20.0, 0.5));
+        // Original untouched.
+        assert_eq!(p.class(ClassId::new(0)).utility, Utility::log(20.0));
+    }
+
+    #[test]
+    fn without_flow_collapses_bounds_and_populations() {
+        let p = tiny().build().unwrap();
+        let q = p.without_flow(FlowId::new(0));
+        assert_eq!(q.flow(FlowId::new(0)).bounds, RateBounds { min: 0.0, max: 0.0 });
+        assert_eq!(q.class(ClassId::new(0)).max_population, 0);
+        assert_eq!(q.flow_node_cost(NodeId::new(1), FlowId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn with_node_capacity_replaces_and_validates() {
+        let p = tiny().build().unwrap();
+        let q = p.with_node_capacity(NodeId::new(1), 5e5).unwrap();
+        assert_eq!(q.node(NodeId::new(1)).capacity, 5e5);
+        assert_eq!(p.node(NodeId::new(1)).capacity, 9e5); // original intact
+        assert!(p.with_node_capacity(NodeId::new(1), 0.0).is_err());
+        assert!(p.with_node_capacity(NodeId::new(1), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn with_max_population_replaces() {
+        let p = tiny().build().unwrap();
+        let q = p.with_max_population(ClassId::new(0), 7);
+        assert_eq!(q.class(ClassId::new(0)).max_population, 7);
+        assert_eq!(p.class(ClassId::new(0)).max_population, 400);
+    }
+
+    #[test]
+    fn with_rate_bounds_replaces_and_validates() {
+        let p = tiny().build().unwrap();
+        let nb = RateBounds { min: 1.0, max: 50.0 };
+        let q = p.with_rate_bounds(FlowId::new(0), nb).unwrap();
+        assert_eq!(q.flow(FlowId::new(0)).bounds, nb);
+        assert!(p
+            .with_rate_bounds(FlowId::new(0), RateBounds { min: 9.0, max: 2.0 })
+            .is_err());
+    }
+
+    #[test]
+    fn prune_zeroes_dead_branch_costs() {
+        let mut b = tiny();
+        let extra = b.add_node(9e5);
+        let f0 = FlowId::new(0);
+        b.set_node_cost(f0, extra, 3.0);
+        b.add_class(f0, extra, 100, Utility::log(5.0), 19.0);
+        let p = b.build().unwrap();
+        // Class 0 (node1) live, class 1 (extra) empty.
+        let pruned = p.prune_unused_paths(&[10.0, 0.0]);
+        assert_eq!(pruned.flow_node_cost(NodeId::new(1), f0), 3.0);
+        assert_eq!(pruned.flow_node_cost(extra, f0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "population vector length")]
+    fn prune_checks_population_length() {
+        let p = tiny().build().unwrap();
+        let _ = p.prune_unused_paths(&[]);
+    }
+
+    #[test]
+    fn validation_error_display() {
+        let e = ValidationError::UnknownFlow { flow: FlowId::new(3) };
+        assert_eq!(e.to_string(), "unknown flow flow3");
+        let e = ValidationError::InvalidRateBounds { min: 5.0, max: 1.0 };
+        assert!(e.to_string().contains("[5, 1]"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Serde round-trip properties for every serializable model type: a
+//! workload saved and reloaded must be *exactly* the problem it was.
+
+use lrgp_model::io::ProblemFile;
+use lrgp_model::workloads::{paper_workload, RandomWorkload};
+use lrgp_model::{Allocation, Utility, UtilityShape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Random problems survive a JSON round trip bit-for-bit.
+    #[test]
+    fn random_problem_round_trips(
+        flows in 1usize..5,
+        nodes in 1usize..4,
+        classes in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let cfg = RandomWorkload {
+            flows,
+            consumer_nodes: nodes,
+            classes_per_flow: classes,
+            ..RandomWorkload::default()
+        };
+        let problem = cfg.generate(&mut StdRng::seed_from_u64(seed));
+        let file = ProblemFile::new("prop", problem.clone());
+        let back = ProblemFile::from_json(&file.to_json().unwrap()).unwrap();
+        prop_assert_eq!(back.problem, problem);
+    }
+
+    /// Allocations round-trip alongside their problem.
+    #[test]
+    fn allocation_round_trips(seed in any::<u64>()) {
+        let problem = RandomWorkload::default().generate(&mut StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let mut alloc = Allocation::lower_bounds(&problem);
+        for f in problem.flow_ids() {
+            let b = problem.flow(f).bounds;
+            alloc.set_rate(f, rng.gen_range(b.min..=b.max));
+        }
+        for c in problem.class_ids() {
+            let max = problem.class(c).max_population;
+            alloc.set_population(c, rng.gen_range(0..=max) as f64);
+        }
+        let file = ProblemFile::new("alloc", problem).with_allocation(alloc.clone());
+        let back = ProblemFile::from_json(&file.to_json().unwrap()).unwrap();
+        prop_assert_eq!(back.allocation, Some(alloc));
+    }
+
+    /// Utility values survive serialization (no float munging).
+    #[test]
+    fn utility_enum_round_trips(weight in 0.001f64..1e6, exponent in 0.01f64..0.99) {
+        for u in [
+            Utility::log(weight),
+            Utility::power(weight, exponent),
+            Utility::linear(weight),
+            Utility::saturating(weight, 42.0),
+        ] {
+            let json = serde_json::to_string(&u).unwrap();
+            let back: Utility = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(back, u);
+        }
+    }
+}
+
+#[test]
+fn every_paper_workload_round_trips() {
+    for shape in UtilityShape::ALL {
+        for (sys, cn) in [(1, 1), (2, 1), (1, 2)] {
+            let p = paper_workload(shape, sys, cn);
+            let file = ProblemFile::new(format!("{shape} {sys}x{cn}"), p.clone());
+            let back = ProblemFile::from_json(&file.to_json().unwrap()).unwrap();
+            assert_eq!(back.problem, p);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Discrete-event simulation core.
+//!
+//! A minimal, deterministic event engine: virtual microsecond clock, a
+//! priority queue of timestamped events with FIFO tie-breaking, and a
+//! driver loop. The distributed LRGP protocol ([`crate::protocol`]) and the
+//! message plane ([`crate::plane`]) are both built on it.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual time in microseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A scheduled event carrying a payload of type `E`.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first, with seq as
+        // the FIFO tiebreaker.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic discrete-event scheduler.
+///
+/// Events with equal timestamps fire in insertion order, so simulations are
+/// reproducible run-to-run.
+///
+/// # Examples
+///
+/// ```
+/// use lrgp_overlay::sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5), "later");
+/// q.schedule(SimTime::from_millis(1), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(e, "sooner");
+/// assert_eq!(t, SimTime::from_millis(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), now: SimTime::ZERO, next_seq: 0, processed: 0 }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the last popped event).
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| {
+            self.now = s.at;
+            self.processed += 1;
+            (s.at, s.payload)
+        })
+    }
+
+    /// Runs `handler` on every event until the queue drains, the clock
+    /// passes `horizon`, or `max_events` fire. The handler may schedule new
+    /// events through the queue it is handed. Returns the number of events
+    /// handled.
+    pub fn run<F: FnMut(&mut Self, SimTime, E)>(
+        &mut self,
+        horizon: SimTime,
+        max_events: u64,
+        mut handler: F,
+    ) -> u64 {
+        let mut handled = 0;
+        while handled < max_events {
+            // Peek: stop *before* handling an event beyond the horizon.
+            match self.heap.peek() {
+                Some(s) if s.at <= horizon => {}
+                _ => break,
+            }
+            let (t, e) = self.pop().expect("peeked event must pop");
+            handler(self, t, e);
+            handled += 1;
+        }
+        handled
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_and_conversions() {
+        let t = SimTime::from_millis(1500);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert_eq!(SimTime::from_secs(2) + SimTime::from_millis(500), SimTime::from_micros(2_500_000));
+        assert_eq!(SimTime::from_secs(2) - SimTime::from_secs(3), SimTime::ZERO); // saturating
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(t.to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), 3);
+        q.schedule(SimTime::from_micros(10), 1);
+        q.schedule(SimTime::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn equal_timestamps_fire_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), ());
+        q.pop();
+        q.schedule(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn run_respects_horizon() {
+        let mut q = EventQueue::new();
+        for i in 1..=10u64 {
+            q.schedule(SimTime::from_micros(i * 10), i);
+        }
+        let mut seen = Vec::new();
+        let handled = q.run(SimTime::from_micros(45), u64::MAX, |_, _, e| seen.push(e));
+        assert_eq!(handled, 4);
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        assert_eq!(q.pending(), 6);
+        // Events past the horizon remain schedulable/poppable.
+        assert_eq!(q.pop().unwrap().1, 5);
+    }
+
+    #[test]
+    fn run_respects_event_budget() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule(SimTime::from_micros(i), i);
+        }
+        let handled = q.run(SimTime::from_secs(1), 3, |_, _, _| {});
+        assert_eq!(handled, 3);
+        assert_eq!(q.pending(), 7);
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        q.run(SimTime::from_micros(100), u64::MAX, |q, _, gen| {
+            count += 1;
+            if gen < 5 {
+                q.schedule_after(SimTime::from_micros(10), gen + 1);
+            }
+        });
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(100), "a");
+        q.pop();
+        q.schedule_after(SimTime::from_micros(10), "b");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_micros(110));
+    }
+}

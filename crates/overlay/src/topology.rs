@@ -1,0 +1,219 @@
+//! Overlay topology: who talks to whom, and how long messages take.
+//!
+//! The optimization model ([`lrgp_model::Problem`]) deliberately abstracts
+//! topology into cost coefficients. The protocol simulation, however, needs
+//! concrete *latencies*: a flow source exchanges rate/price messages with
+//! every node its flow reaches, and "the time to complete an iteration
+//! equals approximately the maximum round trip time between any two nodes in
+//! the overlay" (§4.3). A [`Topology`] assigns a one-way latency to every
+//! (source node, consumer node) pair a flow uses, plus per-node processing
+//! delays.
+
+use crate::sim::SimTime;
+use lrgp_model::{FlowId, NodeId, Problem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How pairwise latencies are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every node pair has the same one-way latency.
+    Uniform {
+        /// The shared one-way latency.
+        latency: SimTime,
+    },
+    /// One-way latencies drawn uniformly from `[min, max]` per ordered pair,
+    /// deterministically from `seed` (symmetric: both directions share the
+    /// draw).
+    RandomUniform {
+        /// Smallest possible latency.
+        min: SimTime,
+        /// Largest possible latency.
+        max: SimTime,
+        /// RNG seed for reproducible draws.
+        seed: u64,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Uniform { latency: SimTime::from_millis(10) }
+    }
+}
+
+/// Concrete communication topology over a problem's nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    latencies: HashMap<(NodeId, NodeId), SimTime>,
+    processing_delay: SimTime,
+}
+
+impl Topology {
+    /// Builds a topology covering every (flow source ↔ reached node) pair of
+    /// `problem`, using `model` for latencies and a fixed per-hop
+    /// `processing_delay`.
+    pub fn from_problem(problem: &Problem, model: LatencyModel, processing_delay: SimTime) -> Self {
+        let mut rng = match model {
+            LatencyModel::RandomUniform { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+            LatencyModel::Uniform { .. } => None,
+        };
+        let mut latencies = HashMap::new();
+        let mut draw = |a: NodeId, b: NodeId, latencies: &mut HashMap<(NodeId, NodeId), SimTime>| {
+            if latencies.contains_key(&(a, b)) {
+                return;
+            }
+            let l = match model {
+                LatencyModel::Uniform { latency } => latency,
+                LatencyModel::RandomUniform { min, max, .. } => {
+                    let rng = rng.as_mut().expect("random model has rng");
+                    SimTime::from_micros(rng.gen_range(min.as_micros()..=max.as_micros()))
+                }
+            };
+            latencies.insert((a, b), l);
+            latencies.insert((b, a), l);
+        };
+        for flow in problem.flow_ids() {
+            let src = problem.flow(flow).source;
+            for &(node, _) in problem.nodes_of_flow(flow) {
+                if node != src {
+                    draw(src, node, &mut latencies);
+                }
+            }
+        }
+        Self { latencies, processing_delay }
+    }
+
+    /// One-way latency between two nodes; zero for a node to itself,
+    /// `None` for pairs that never communicate.
+    pub fn latency(&self, from: NodeId, to: NodeId) -> Option<SimTime> {
+        if from == to {
+            return Some(SimTime::ZERO);
+        }
+        self.latencies.get(&(from, to)).copied()
+    }
+
+    /// Per-hop processing delay applied at the receiving node.
+    pub fn processing_delay(&self) -> SimTime {
+        self.processing_delay
+    }
+
+    /// One-way message delay `latency + processing`, for scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair never communicates in this topology.
+    pub fn delay(&self, from: NodeId, to: NodeId) -> SimTime {
+        self.latency(from, to)
+            .unwrap_or_else(|| panic!("no path {from} -> {to} in topology"))
+            + self.processing_delay
+    }
+
+    /// Maximum round-trip time over every communicating pair — the paper's
+    /// estimate of one synchronous iteration's duration (§4.3).
+    pub fn max_rtt(&self) -> SimTime {
+        self.latencies
+            .values()
+            .map(|&l| SimTime::from_micros(2 * (l + self.processing_delay).as_micros()))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The communication path set: for `flow`, the source and the nodes it
+    /// exchanges messages with.
+    pub fn flow_peers(problem: &Problem, flow: FlowId) -> (NodeId, Vec<NodeId>) {
+        let src = problem.flow(flow).source;
+        let peers = problem
+            .nodes_of_flow(flow)
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|&n| n != src)
+            .collect();
+        (src, peers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrgp_model::workloads::base_workload;
+
+    #[test]
+    fn uniform_topology_covers_all_flow_pairs() {
+        let p = base_workload();
+        let t = Topology::from_problem(
+            &p,
+            LatencyModel::Uniform { latency: SimTime::from_millis(5) },
+            SimTime::from_micros(100),
+        );
+        for flow in p.flow_ids() {
+            let (src, peers) = Topology::flow_peers(&p, flow);
+            assert_eq!(peers.len(), 2, "each base flow reaches 2 c-nodes");
+            for peer in peers {
+                assert_eq!(t.latency(src, peer), Some(SimTime::from_millis(5)));
+                assert_eq!(t.latency(peer, src), Some(SimTime::from_millis(5)));
+                assert_eq!(t.delay(src, peer), SimTime::from_micros(5_100));
+            }
+        }
+        assert_eq!(t.max_rtt(), SimTime::from_micros(2 * 5_100));
+        assert_eq!(t.processing_delay(), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn self_latency_is_zero_and_unknown_pairs_none() {
+        let p = base_workload();
+        let t = Topology::from_problem(&p, LatencyModel::default(), SimTime::ZERO);
+        let n0 = NodeId::new(0);
+        assert_eq!(t.latency(n0, n0), Some(SimTime::ZERO));
+        // Two consumer nodes never talk directly.
+        assert_eq!(t.latency(NodeId::new(0), NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn random_latencies_deterministic_and_symmetric() {
+        let p = base_workload();
+        let model = LatencyModel::RandomUniform {
+            min: SimTime::from_millis(1),
+            max: SimTime::from_millis(50),
+            seed: 11,
+        };
+        let a = Topology::from_problem(&p, model, SimTime::ZERO);
+        let b = Topology::from_problem(&p, model, SimTime::ZERO);
+        assert_eq!(a, b);
+        for flow in p.flow_ids() {
+            let (src, peers) = Topology::flow_peers(&p, flow);
+            for peer in peers {
+                let fwd = a.latency(src, peer).unwrap();
+                assert_eq!(a.latency(peer, src).unwrap(), fwd);
+                assert!(fwd >= SimTime::from_millis(1) && fwd <= SimTime::from_millis(50));
+            }
+        }
+    }
+
+    #[test]
+    fn max_rtt_reflects_worst_pair() {
+        let p = base_workload();
+        let model = LatencyModel::RandomUniform {
+            min: SimTime::from_millis(1),
+            max: SimTime::from_millis(50),
+            seed: 3,
+        };
+        let t = Topology::from_problem(&p, model, SimTime::from_micros(500));
+        let worst = t
+            .latencies
+            .values()
+            .max()
+            .copied()
+            .unwrap();
+        assert_eq!(t.max_rtt(), SimTime::from_micros(2 * (worst.as_micros() + 500)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no path")]
+    fn delay_panics_for_unconnected_pair() {
+        let p = base_workload();
+        let t = Topology::from_problem(&p, LatencyModel::default(), SimTime::ZERO);
+        let _ = t.delay(NodeId::new(0), NodeId::new(1));
+    }
+}

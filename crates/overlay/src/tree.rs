@@ -1,0 +1,329 @@
+//! Multi-hop dissemination trees.
+//!
+//! The paper's evaluation workloads have no link bottlenecks and collapse
+//! topology to "which consumer nodes does each flow reach" (§4.1, fn. 3).
+//! Real event infrastructures route flows over *trees* of brokers, where
+//! interior links carry aggregated traffic and can saturate. This module
+//! builds such tree-shaped problems — per-flow routes from the source
+//! through shared router nodes to leaf consumer nodes, with per-hop link
+//! cost entries — together with a matching [`Topology`] for the protocol
+//! simulator, so joint link-and-node pricing can be exercised end to end.
+
+use crate::sim::SimTime;
+use crate::topology::Topology;
+use lrgp_model::{LinkId, NodeId, Problem, ProblemBuilder, RateBounds, UtilityShape};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Specification of a balanced dissemination-tree workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeWorkload {
+    /// Number of flows (each gets its own source attached to the root).
+    pub flows: usize,
+    /// Router fan-out per level.
+    pub branching: usize,
+    /// Number of router levels between the root and the leaves (0 = leaves
+    /// attach to the root directly).
+    pub depth: usize,
+    /// Consumer classes per leaf per flow.
+    pub classes_per_leaf: usize,
+    /// Capacity of every link.
+    pub link_capacity: f64,
+    /// Capacity of every node.
+    pub node_capacity: f64,
+    /// Link cost `L` per unit rate on every traversed edge.
+    pub link_cost: f64,
+    /// Flow-node cost `F` at every node a flow reaches.
+    pub flow_node_cost: f64,
+    /// Consumer cost `G`.
+    pub consumer_cost: f64,
+    /// Maximum population per class.
+    pub max_population: u32,
+    /// Utility shape (rank fixed at 10·(1 + class index within leaf)).
+    pub shape: UtilityShape,
+    /// Rate bounds shared by all flows.
+    pub rate_bounds: (f64, f64),
+    /// One-way latency per tree edge in the protocol topology.
+    pub edge_latency: SimTime,
+}
+
+impl Default for TreeWorkload {
+    fn default() -> Self {
+        Self {
+            flows: 2,
+            branching: 2,
+            depth: 2,
+            classes_per_leaf: 2,
+            link_capacity: 1e5,
+            node_capacity: 9e5,
+            flow_node_cost: 3.0,
+            link_cost: 1.0,
+            consumer_cost: 19.0,
+            max_population: 200,
+            shape: UtilityShape::Log,
+            rate_bounds: (10.0, 1000.0),
+            edge_latency: SimTime::from_millis(5),
+        }
+    }
+}
+
+/// A built tree workload: the problem, the per-flow routes, and the node
+/// roles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeInstance {
+    /// The optimization problem (with link constraints on every edge).
+    pub problem: Problem,
+    /// The root broker all flows enter through.
+    pub root: NodeId,
+    /// Interior router nodes, level by level.
+    pub routers: Vec<Vec<NodeId>>,
+    /// Leaf consumer nodes.
+    pub leaves: Vec<NodeId>,
+    /// Tree edges as (parent, child, link id).
+    pub edges: Vec<(NodeId, NodeId, LinkId)>,
+}
+
+impl TreeWorkload {
+    /// Builds the problem: every flow is injected at its own source node,
+    /// enters the shared root, and is disseminated down the full tree to
+    /// every leaf, paying `link_cost` per edge and `flow_node_cost` at
+    /// every node. Classes attach at the leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate specification (no flows, zero branching, or
+    /// invalid rate bounds).
+    pub fn build(&self) -> TreeInstance {
+        assert!(self.flows > 0, "need at least one flow");
+        assert!(self.branching > 0, "branching must be positive");
+        assert!(self.classes_per_leaf > 0, "need at least one class per leaf");
+        let bounds = RateBounds::new(self.rate_bounds.0, self.rate_bounds.1)
+            .expect("tree workload rate bounds must be valid");
+
+        let mut b = ProblemBuilder::new();
+        let root = b.add_labeled_node(self.node_capacity, "root");
+        // Router levels.
+        let mut routers: Vec<Vec<NodeId>> = Vec::new();
+        let mut previous_level = vec![root];
+        for level in 0..self.depth {
+            let mut this_level = Vec::new();
+            for (pi, _parent) in previous_level.iter().enumerate() {
+                for c in 0..self.branching {
+                    let id = b.add_labeled_node(
+                        self.node_capacity,
+                        format!("router{level}.{pi}.{c}"),
+                    );
+                    this_level.push(id);
+                }
+            }
+            routers.push(this_level.clone());
+            previous_level = this_level;
+        }
+        // Leaves hang off the last level.
+        let mut leaves = Vec::new();
+        for (pi, _parent) in previous_level.iter().enumerate() {
+            for c in 0..self.branching {
+                leaves.push(b.add_labeled_node(self.node_capacity, format!("leaf{pi}.{c}")));
+            }
+        }
+        // Edges: parent level → child level, in construction order.
+        let mut edges: Vec<(NodeId, NodeId, LinkId)> = Vec::new();
+        let mut level_pairs: Vec<(Vec<NodeId>, Vec<NodeId>)> = Vec::new();
+        let mut parents = vec![root];
+        for level in routers.iter().chain(std::iter::once(&leaves)) {
+            level_pairs.push((parents.clone(), level.clone()));
+            parents = level.clone();
+        }
+        for (parents, children) in &level_pairs {
+            for (ci, &child) in children.iter().enumerate() {
+                let parent = parents[ci / self.branching];
+                let link = b.add_link_between(self.link_capacity, parent, child);
+                edges.push((parent, child, link));
+            }
+        }
+
+        // Flows: dedicated sources feeding the root, then the whole tree.
+        let class_rank = |idx: usize| 10.0 * (1 + idx) as f64;
+        for f in 0..self.flows {
+            let src = b.add_labeled_node(self.node_capacity, format!("src{f}"));
+            let src_link = b.add_link_between(self.link_capacity, src, root);
+            let flow = b.add_flow(src, bounds);
+            b.set_link_cost(flow, src_link, self.link_cost);
+            b.set_node_cost(flow, root, self.flow_node_cost);
+            for level in &routers {
+                for &r in level {
+                    b.set_node_cost(flow, r, self.flow_node_cost);
+                }
+            }
+            for &(_, _, link) in &edges {
+                b.set_link_cost(flow, link, self.link_cost);
+            }
+            for &leaf in &leaves {
+                b.set_node_cost(flow, leaf, self.flow_node_cost);
+                for k in 0..self.classes_per_leaf {
+                    b.add_class(
+                        flow,
+                        leaf,
+                        self.max_population,
+                        self.shape.build(class_rank(k)),
+                        self.consumer_cost,
+                    );
+                }
+            }
+        }
+        let problem = b.build().expect("tree workload is structurally valid");
+        TreeInstance { problem, root, routers, leaves, edges }
+    }
+
+    /// Builds the protocol [`Topology`]: the source↔leaf latency is the
+    /// tree-path length (number of edges from source to leaf) times
+    /// [`TreeWorkload::edge_latency`].
+    pub fn topology(&self, instance: &TreeInstance) -> Topology {
+        // Path length from any source to any leaf: 1 (src→root) + depth + 1.
+        let hops = (self.depth + 2) as u64;
+        let latency = SimTime::from_micros(hops * self.edge_latency.as_micros());
+        // Build pairwise map via the uniform model on the instance problem.
+        Topology::from_problem(
+            &instance.problem,
+            crate::topology::LatencyModel::Uniform { latency },
+            SimTime::from_micros(100),
+        )
+    }
+}
+
+/// Total leaf count of a tree spec (`branching^(depth+1)`).
+pub fn leaf_count(spec: &TreeWorkload) -> usize {
+    spec.branching.pow(spec.depth as u32 + 1)
+}
+
+/// Checks that `instance`'s edges form a tree spanning root → leaves (used
+/// in tests; exposed for external validation of custom instances).
+pub fn is_spanning_tree(instance: &TreeInstance) -> bool {
+    let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for &(p, c, _) in &instance.edges {
+        children.entry(p).or_default().push(c);
+    }
+    // BFS from root must reach every leaf exactly once.
+    let mut reached = Vec::new();
+    let mut stack = vec![instance.root];
+    while let Some(n) = stack.pop() {
+        if let Some(kids) = children.get(&n) {
+            for &k in kids {
+                stack.push(k);
+            }
+        } else {
+            reached.push(n);
+        }
+    }
+    reached.sort();
+    let mut leaves = instance.leaves.clone();
+    leaves.sort();
+    reached == leaves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrgp::{LrgpConfig, LrgpEngine};
+    use lrgp_model::FlowId;
+
+    #[test]
+    fn default_tree_dimensions() {
+        let spec = TreeWorkload::default();
+        let inst = spec.build();
+        // depth 2, branching 2: routers 2 + 4, leaves 8.
+        assert_eq!(inst.routers[0].len(), 2);
+        assert_eq!(inst.routers[1].len(), 4);
+        assert_eq!(inst.leaves.len(), 8);
+        assert_eq!(leaf_count(&spec), 8);
+        // Nodes: root + 6 routers + 8 leaves + 2 sources = 17.
+        assert_eq!(inst.problem.num_nodes(), 17);
+        // Links: tree edges (2 + 4 + 8) + 2 source links = 16.
+        assert_eq!(inst.problem.num_links(), 16);
+        // Classes: 2 flows × 8 leaves × 2 = 32.
+        assert_eq!(inst.problem.num_classes(), 32);
+        assert!(is_spanning_tree(&inst));
+    }
+
+    #[test]
+    fn every_flow_traverses_every_tree_edge() {
+        let inst = TreeWorkload::default().build();
+        for flow in inst.problem.flow_ids() {
+            for &(_, _, link) in &inst.edges {
+                assert!(inst.problem.link_cost(link, flow) > 0.0, "{flow} misses {link}");
+            }
+        }
+    }
+
+    #[test]
+    fn lrgp_respects_link_bottlenecks_on_trees() {
+        // Make the top links tight so link pricing must bite: two flows
+        // share every edge, link capacity 100 with L = 1 each ⇒ r0 + r1 ≤ 100.
+        let spec = TreeWorkload {
+            link_capacity: 100.0,
+            node_capacity: 1e9,
+            rate_bounds: (1.0, 1000.0),
+            ..TreeWorkload::default()
+        };
+        let inst = spec.build();
+        let cfg = LrgpConfig { link_gamma: 2e-3, ..LrgpConfig::default() };
+        let mut e = LrgpEngine::new(inst.problem.clone(), cfg);
+        e.run(4_000);
+        let a = e.allocation();
+        let report = a.check_feasibility(&inst.problem, 0.5); // tolerate residual ripple
+        assert!(report.is_feasible(), "{report}");
+        let total_rate: f64 = a.rates().iter().sum();
+        assert!(
+            total_rate <= 100.5 && total_rate > 80.0,
+            "rates should pack the shared links: {total_rate}"
+        );
+    }
+
+    #[test]
+    fn node_constraints_still_bind_at_leaves() {
+        // Roomy links, tight leaves: behaves like the paper's workloads.
+        let spec = TreeWorkload {
+            link_capacity: 1e9,
+            node_capacity: 5e4,
+            ..TreeWorkload::default()
+        };
+        let inst = spec.build();
+        let mut e = LrgpEngine::new(inst.problem.clone(), LrgpConfig::default());
+        let out = e.run_until_converged(400);
+        assert!(out.utility > 0.0);
+        assert!(e.allocation().is_feasible(&inst.problem, 1e-6));
+        // Some leaf should be busy.
+        let busiest = inst
+            .leaves
+            .iter()
+            .map(|&n| e.allocation().node_usage(&inst.problem, n) / 5e4)
+            .fold(0.0f64, f64::max);
+        assert!(busiest > 0.5, "leaves underutilized: {busiest}");
+    }
+
+    #[test]
+    fn topology_latency_scales_with_depth() {
+        let spec = TreeWorkload::default();
+        let inst = spec.build();
+        let topo = spec.topology(&inst);
+        // hops = depth + 2 = 4 edges × 5 ms + processing.
+        let (src, peers) = Topology::flow_peers(&inst.problem, FlowId::new(0));
+        let any_leaf = peers.iter().find(|n| inst.leaves.contains(n)).copied().unwrap();
+        assert_eq!(topo.latency(src, any_leaf), Some(SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn depth_zero_tree_attaches_leaves_to_root() {
+        let spec = TreeWorkload { depth: 0, ..TreeWorkload::default() };
+        let inst = spec.build();
+        assert!(inst.routers.is_empty());
+        assert_eq!(inst.leaves.len(), 2);
+        assert!(is_spanning_tree(&inst));
+    }
+
+    #[test]
+    #[should_panic(expected = "branching must be positive")]
+    fn rejects_zero_branching() {
+        let _ = TreeWorkload { branching: 0, ..TreeWorkload::default() }.build();
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the discrete-event scheduler: ordering,
+//! FIFO-stability and conservation under arbitrary schedules.
+
+use lrgp_overlay::sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in nondecreasing time order, and every scheduled
+    /// event pops exactly once.
+    #[test]
+    fn pops_are_time_ordered_and_conservative(
+        times in proptest::collection::vec(0u64..10_000, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        prop_assert_eq!(q.pending(), times.len());
+        let mut popped = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t >= last, "time went backwards");
+            prop_assert_eq!(t, SimTime::from_micros(times[id]));
+            last = t;
+            popped.push(id);
+        }
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+        prop_assert_eq!(q.processed(), times.len() as u64);
+    }
+
+    /// Among equal timestamps, insertion order is preserved (FIFO).
+    #[test]
+    fn equal_times_pop_fifo(
+        groups in proptest::collection::vec((0u64..50, 1usize..6), 1..20)
+    ) {
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        let mut seq = 0;
+        for (t, n) in groups {
+            for _ in 0..n {
+                q.schedule(SimTime::from_micros(t), seq);
+                expected.push((t, seq));
+                seq += 1;
+            }
+        }
+        expected.sort_by_key(|&(t, s)| (t, s));
+        let mut got = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            got.push((t.as_micros(), id));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// `run` with a horizon handles exactly the events at or before it and
+    /// leaves the rest intact.
+    #[test]
+    fn horizon_splits_the_schedule(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        horizon in 0u64..1000,
+    ) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_micros(t), t);
+        }
+        let expected_before = times.iter().filter(|&&t| t <= horizon).count() as u64;
+        let handled = q.run(SimTime::from_micros(horizon), u64::MAX, |_, _, _| {});
+        prop_assert_eq!(handled, expected_before);
+        prop_assert_eq!(q.pending(), times.len() - expected_before as usize);
+    }
+}

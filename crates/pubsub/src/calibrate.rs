@@ -1,0 +1,238 @@
+//! Cost calibration: from matcher work to the optimizer's resource model.
+//!
+//! The paper's resource coefficients (`F = 3`, `G = 19`, §4.1) "were
+//! measured on the Gryphon publish/subscribe system". This module performs
+//! the same exercise against this crate's own matching engines: drive a
+//! broker with synthetic traffic at increasing subscription counts, record
+//! the matching work per message, and fit the linear model
+//!
+//! ```text
+//! work/message ≈ F̂ + Ĝ · consumers
+//! ```
+//!
+//! whose coefficients slot directly into a [`lrgp_model::Problem`] as the
+//! flow-node and consumer-node costs.
+
+use crate::filter::FilterGen;
+use crate::matcher::Matcher;
+use crate::message::Schema;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Calibration parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Messages matched per probe point.
+    pub messages: usize,
+    /// Subscription counts probed (the regression's x-axis). Must contain
+    /// at least two distinct values.
+    pub consumer_counts: Vec<usize>,
+    /// Filter generator for synthetic subscriptions.
+    pub filters: FilterGen,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fixed per-message routing overhead added on top of matching work
+    /// (parsing, enqueueing — work the matcher does not see).
+    pub routing_overhead: f64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self {
+            messages: 500,
+            consumer_counts: vec![0, 50, 100, 200, 400, 800],
+            filters: FilterGen::default(),
+            seed: 0,
+            routing_overhead: 3.0,
+        }
+    }
+}
+
+/// Fitted cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Consumer-independent cost per message (the `F_{b,i}` analogue),
+    /// including the configured routing overhead.
+    pub per_message: f64,
+    /// Marginal cost per consumer per message (the `G_{b,j}` analogue).
+    pub per_consumer_message: f64,
+    /// Coefficient of determination of the linear fit.
+    pub r_squared: f64,
+    /// The raw probe points `(consumers, mean work per message)`.
+    pub samples: Vec<(usize, f64)>,
+}
+
+/// Runs the calibration against a matcher built by `build` from a
+/// subscription set.
+///
+/// Work is measured in deterministic *work units* (predicate evaluations /
+/// index operations), so calibration results are bit-reproducible per seed
+/// — unlike wall-clock timing, which the paper's authors necessarily used.
+///
+/// # Panics
+///
+/// Panics if fewer than two distinct consumer counts are supplied.
+pub fn calibrate<M, B>(schema: &Arc<Schema>, build: B, config: &CalibrationConfig) -> CostEstimate
+where
+    M: Matcher,
+    B: Fn(Vec<crate::filter::Filter>) -> M,
+{
+    let distinct: std::collections::BTreeSet<_> = config.consumer_counts.iter().collect();
+    assert!(distinct.len() >= 2, "need at least two distinct consumer counts");
+
+    let mut samples = Vec::with_capacity(config.consumer_counts.len());
+    for &n in &config.consumer_counts {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(n as u64));
+        let filters = (0..n).map(|_| config.filters.generate(schema, &mut rng)).collect();
+        let matcher = build(filters);
+        let mut total_work = 0u64;
+        for _ in 0..config.messages {
+            let message = schema.generate(&mut rng);
+            total_work += matcher.match_message(&message).work;
+        }
+        samples.push((n, total_work as f64 / config.messages as f64));
+    }
+
+    // Ordinary least squares on (n, work).
+    let k = samples.len() as f64;
+    let sx: f64 = samples.iter().map(|(n, _)| *n as f64).sum();
+    let sy: f64 = samples.iter().map(|(_, w)| *w).sum();
+    let sxx: f64 = samples.iter().map(|(n, _)| (*n as f64).powi(2)).sum();
+    let sxy: f64 = samples.iter().map(|(n, w)| *n as f64 * w).sum();
+    let denom = k * sxx - sx * sx;
+    let slope = (k * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / k;
+    let mean_y = sy / k;
+    let ss_tot: f64 = samples.iter().map(|(_, w)| (w - mean_y).powi(2)).sum();
+    let ss_res: f64 = samples
+        .iter()
+        .map(|(n, w)| (w - (intercept + slope * *n as f64)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+
+    CostEstimate {
+        per_message: intercept.max(0.0) + config.routing_overhead,
+        per_consumer_message: slope.max(f64::MIN_POSITIVE),
+        r_squared,
+        samples,
+    }
+}
+
+/// Builds a single-broker optimization problem from a calibrated cost
+/// model: `flows` flows into one broker of capacity `capacity`, each with
+/// `classes_per_flow` classes of the given ranks and demand.
+///
+/// This is the paper's pipeline in miniature: measure the middleware,
+/// plug the coefficients into the model, optimize.
+pub fn problem_from_calibration(
+    estimate: &CostEstimate,
+    flows: usize,
+    classes_per_flow: usize,
+    max_population: u32,
+    capacity: f64,
+    rate_bounds: (f64, f64),
+) -> Result<lrgp_model::Problem, lrgp_model::ValidationError> {
+    use lrgp_model::{ProblemBuilder, RateBounds, Utility};
+    let mut b = ProblemBuilder::new();
+    let broker = b.add_labeled_node(capacity, "calibrated-broker");
+    let bounds = RateBounds::new(rate_bounds.0, rate_bounds.1)?;
+    for f in 0..flows {
+        let src = b.add_labeled_node(capacity, format!("src{f}"));
+        let flow = b.add_flow(src, bounds);
+        b.set_node_cost(flow, broker, estimate.per_message);
+        for k in 0..classes_per_flow {
+            b.add_class(
+                flow,
+                broker,
+                max_population,
+                Utility::log(10.0 * (k + 1) as f64),
+                estimate.per_consumer_message,
+            );
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{IndexMatcher, NaiveMatcher};
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::trade_data())
+    }
+
+    #[test]
+    fn naive_calibration_fits_a_clean_line() {
+        let s = schema();
+        let cfg = CalibrationConfig::default();
+        let est = calibrate(&s, naive_from, &cfg);
+        // Naive work is exactly linear in subscriptions (≈ mean predicates
+        // evaluated per sub), so the fit must be excellent.
+        assert!(est.r_squared > 0.999, "r² = {}", est.r_squared);
+        assert!(est.per_consumer_message > 0.5 && est.per_consumer_message < 4.0);
+        assert!(est.per_message >= cfg.routing_overhead);
+        assert_eq!(est.samples.len(), cfg.consumer_counts.len());
+    }
+
+    fn naive_from(filters: Vec<crate::filter::Filter>) -> NaiveMatcher {
+        let mut m = NaiveMatcher::new();
+        for f in filters {
+            m.subscribe(f);
+        }
+        m
+    }
+
+    #[test]
+    fn index_matcher_calibrates_cheaper_than_naive() {
+        let s = schema();
+        let cfg = CalibrationConfig::default();
+        let naive = calibrate(&s, naive_from, &cfg);
+        let index = calibrate(&s, IndexMatcher::from_filters, &cfg);
+        assert!(
+            index.per_consumer_message < naive.per_consumer_message,
+            "index Ĝ {} should undercut naive Ĝ {}",
+            index.per_consumer_message,
+            naive.per_consumer_message
+        );
+    }
+
+    #[test]
+    fn calibration_deterministic_per_seed() {
+        let s = schema();
+        let cfg = CalibrationConfig::default();
+        let a = calibrate(&s, naive_from, &cfg);
+        let b = calibrate(&s, naive_from, &cfg);
+        assert_eq!(a, b);
+        let c = calibrate(
+            &s,
+            naive_from,
+            &CalibrationConfig { seed: 99, ..cfg },
+        );
+        assert_ne!(a.samples, c.samples);
+    }
+
+    #[test]
+    fn calibrated_problem_is_valid_and_optimizable() {
+        let s = schema();
+        let est = calibrate(&s, naive_from, &CalibrationConfig::default());
+        let p = problem_from_calibration(&est, 3, 2, 500, 1e5, (10.0, 1000.0)).unwrap();
+        assert_eq!(p.num_flows(), 3);
+        assert_eq!(p.num_classes(), 6);
+        // And LRGP can run on it.
+        let mut e = lrgp::LrgpEngine::new(p.clone(), lrgp::LrgpConfig::default());
+        let out = e.run_until_converged(400);
+        assert!(out.utility > 0.0);
+        assert!(e.allocation().is_feasible(&p, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct consumer counts")]
+    fn rejects_degenerate_probe_set() {
+        let s = schema();
+        let cfg = CalibrationConfig { consumer_counts: vec![100, 100], ..Default::default() };
+        let _ = calibrate(&s, naive_from, &cfg);
+    }
+}

@@ -1,0 +1,48 @@
+//! Content-based publish/subscribe matching substrate.
+//!
+//! The paper's resource model charges `F_{b,i}` per message and
+//! `G_{b,j}` per message *per consumer*, with the constants "measured on
+//! the Gryphon publish/subscribe system" (§4.1, ref \[3\]). This crate builds the
+//! middleware layer those constants abstract:
+//!
+//! * [`message`] — typed schemas, attribute values, and synthetic traffic
+//!   generators (e.g. the §1.1 trade-data scenario).
+//! * [`filter`] — conjunctive content filters (`price > 80 AND sym == "v3"`)
+//!   with short-circuit evaluation and work accounting.
+//! * [`matcher`] — two matching engines with identical semantics: a naive
+//!   per-subscription evaluator and a counting-algorithm index
+//!   (Gryphon/Siena style) that is sub-linear on selective workloads.
+//! * [`calibrate`](mod@calibrate) — the paper's measurement exercise, reproduced
+//!   deterministically: fit `work/message ≈ F̂ + Ĝ·consumers` against either
+//!   engine, then build an optimization problem straight from the fit.
+//!
+//! # Examples
+//!
+//! ```
+//! use lrgp_pubsub::calibrate::{calibrate, CalibrationConfig};
+//! use lrgp_pubsub::matcher::IndexMatcher;
+//! use lrgp_pubsub::message::Schema;
+//! use std::sync::Arc;
+//!
+//! let schema = Arc::new(Schema::trade_data());
+//! let estimate = calibrate(
+//!     &schema,
+//!     IndexMatcher::from_filters,
+//!     &CalibrationConfig::default(),
+//! );
+//! assert!(estimate.per_consumer_message > 0.0);
+//! assert!(estimate.r_squared > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod filter;
+pub mod matcher;
+pub mod message;
+
+pub use calibrate::{calibrate, problem_from_calibration, CalibrationConfig, CostEstimate};
+pub use filter::{Cmp, Filter, FilterGen, Predicate};
+pub use matcher::{IndexMatcher, MatchResult, Matcher, NaiveMatcher, SubscriptionId};
+pub use message::{Field, FieldType, Message, Schema, Value};

@@ -1,0 +1,429 @@
+//! Matching engines: deciding which subscriptions a message satisfies.
+//!
+//! Two implementations with identical semantics:
+//!
+//! * [`NaiveMatcher`] — evaluate every subscription's filter against every
+//!   message (`O(Σ predicates)` per message). The per-consumer cost this
+//!   incurs is the physical reality behind the paper's `G_{b,j}·n_j·r_i`
+//!   term.
+//! * [`IndexMatcher`] — a counting-algorithm index in the style of
+//!   Gryphon/Siena: per-field sorted threshold lists for numeric range
+//!   predicates, hash buckets for equality predicates, and a per-message
+//!   satisfied-predicate counter. Sub-linear in the number of
+//!   subscriptions for selective workloads.
+//!
+//! Both report *work units* (predicate evaluations / index operations) so
+//! [`crate::calibrate`](mod@crate::calibrate) can turn matching cost into the optimizer's
+//! resource coefficients deterministically.
+
+use crate::filter::{Cmp, Filter, Predicate};
+use crate::message::{Message, Value};
+use std::collections::HashMap;
+
+/// Identifies one subscription within a matcher.
+pub type SubscriptionId = usize;
+
+/// Result of matching one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchResult {
+    /// Subscriptions whose filters the message satisfies, ascending.
+    pub matches: Vec<SubscriptionId>,
+    /// Work units expended (predicate evaluations or index operations).
+    pub work: u64,
+}
+
+/// Common interface of the matching engines.
+pub trait Matcher {
+    /// Adds a subscription; returns its id (dense, starting at 0).
+    fn subscribe(&mut self, filter: Filter) -> SubscriptionId;
+
+    /// Matches a message against every subscription.
+    fn match_message(&self, message: &Message) -> MatchResult;
+
+    /// Number of subscriptions.
+    fn len(&self) -> usize;
+
+    /// `true` when no subscriptions exist.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Brute-force matcher: evaluates every filter.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveMatcher {
+    filters: Vec<Filter>,
+}
+
+impl NaiveMatcher {
+    /// Creates an empty matcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Matcher for NaiveMatcher {
+    fn subscribe(&mut self, filter: Filter) -> SubscriptionId {
+        self.filters.push(filter);
+        self.filters.len() - 1
+    }
+
+    fn match_message(&self, message: &Message) -> MatchResult {
+        let mut matches = Vec::new();
+        let mut work = 0;
+        for (id, filter) in self.filters.iter().enumerate() {
+            let (ok, evaluated) = filter.evaluate_counting(message);
+            work += evaluated as u64;
+            if ok {
+                matches.push(id);
+            }
+        }
+        MatchResult { matches, work }
+    }
+
+    fn len(&self) -> usize {
+        self.filters.len()
+    }
+}
+
+/// A hashable projection of the values usable as equality-bucket keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Int(i64),
+    Bool(bool),
+    Text(String),
+}
+
+impl Key {
+    fn from_value(v: &Value) -> Option<Key> {
+        match v {
+            Value::Int(i) => Some(Key::Int(*i)),
+            Value::Bool(b) => Some(Key::Bool(*b)),
+            Value::Text(t) => Some(Key::Text(t.clone())),
+            Value::Float(_) => None, // float equality goes to the residual
+        }
+    }
+}
+
+/// A numeric threshold predicate in the per-field sorted lists.
+#[derive(Debug, Clone)]
+struct Threshold {
+    value: f64,
+    /// `true` when the boundary itself satisfies (Le in the upper list,
+    /// Ge in the lower list).
+    inclusive: bool,
+    subscription: SubscriptionId,
+}
+
+/// Sorted threshold lists for one field: `upper` holds Lt/Le predicates
+/// (satisfied when the message value is below the threshold), `lower`
+/// holds Ge/Gt (satisfied when above).
+#[derive(Debug, Clone, Default)]
+struct FieldThresholds {
+    upper: Vec<Threshold>,
+    lower: Vec<Threshold>,
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Counting-algorithm index matcher.
+#[derive(Debug, Clone, Default)]
+pub struct IndexMatcher {
+    /// Predicate count per subscription (0 = match-all).
+    predicate_counts: Vec<usize>,
+    /// (field, key) → subscriptions with an equality predicate on it.
+    equality: HashMap<(usize, Key), Vec<SubscriptionId>>,
+    /// Per field: numeric range predicates in sorted threshold lists.
+    thresholds: HashMap<usize, FieldThresholds>,
+    /// Predicates the index cannot accelerate (Ne, float equality,
+    /// type-mismatched): evaluated directly.
+    residual: Vec<(SubscriptionId, Predicate)>,
+}
+
+impl IndexMatcher {
+    /// Creates an empty matcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an index matcher from existing filters.
+    pub fn from_filters(filters: impl IntoIterator<Item = Filter>) -> Self {
+        let mut m = Self::new();
+        for f in filters {
+            m.subscribe(f);
+        }
+        m
+    }
+}
+
+impl Matcher for IndexMatcher {
+    fn subscribe(&mut self, filter: Filter) -> SubscriptionId {
+        let id = self.predicate_counts.len();
+        self.predicate_counts.push(filter.len());
+        for p in filter.predicates() {
+            match p.op {
+                Cmp::Eq => match Key::from_value(&p.constant) {
+                    Some(key) => {
+                        self.equality.entry((p.field, key)).or_default().push(id);
+                    }
+                    None => self.residual.push((id, p.clone())),
+                },
+                Cmp::Lt | Cmp::Le | Cmp::Ge | Cmp::Gt => match numeric(&p.constant) {
+                    Some(value) => {
+                        let lists = self.thresholds.entry(p.field).or_default();
+                        let (list, inclusive) = match p.op {
+                            Cmp::Lt => (&mut lists.upper, false),
+                            Cmp::Le => (&mut lists.upper, true),
+                            Cmp::Ge => (&mut lists.lower, true),
+                            Cmp::Gt => (&mut lists.lower, false),
+                            _ => unreachable!(),
+                        };
+                        list.push(Threshold { value, inclusive, subscription: id });
+                        list.sort_by(|a, b| {
+                            a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                    }
+                    None => self.residual.push((id, p.clone())),
+                },
+                Cmp::Ne => self.residual.push((id, p.clone())),
+            }
+        }
+        id
+    }
+
+    fn match_message(&self, message: &Message) -> MatchResult {
+        let mut satisfied = vec![0usize; self.predicate_counts.len()];
+        let mut work: u64 = 0;
+
+        // Equality buckets: one hash probe per field.
+        for field in 0..message.schema().len() {
+            work += 1;
+            if let Some(key) = Key::from_value(message.value(field)) {
+                if let Some(subs) = self.equality.get(&(field, key)) {
+                    for &s in subs {
+                        satisfied[s] += 1;
+                        work += 1;
+                    }
+                }
+            }
+        }
+        // Threshold lists: binary-search each field's sorted lists, then
+        // touch only the *satisfied* predicates (the counting algorithm's
+        // core trick — unsatisfied range predicates cost nothing).
+        for (field, lists) in &self.thresholds {
+            let Some(v) = numeric(message.value(*field)) else { continue };
+            // Upper list (Lt/Le): satisfied when v < t, or v == t and Le.
+            work += 1; // binary search
+            let start = lists.upper.partition_point(|t| t.value < v);
+            for t in &lists.upper[start..] {
+                work += 1;
+                if t.value > v || t.inclusive {
+                    satisfied[t.subscription] += 1;
+                }
+            }
+            // Lower list (Ge/Gt): satisfied when v > t, or v == t and Ge.
+            work += 1; // binary search
+            let end = lists.lower.partition_point(|t| t.value < v);
+            for t in &lists.lower[..end] {
+                work += 1;
+                satisfied[t.subscription] += 1;
+            }
+            // Boundary ties for the lower list (t.value == v, Ge only).
+            for t in &lists.lower[end..] {
+                if t.value > v {
+                    break;
+                }
+                work += 1;
+                if t.inclusive {
+                    satisfied[t.subscription] += 1;
+                }
+            }
+        }
+        // Residual predicates.
+        for (s, p) in &self.residual {
+            work += 1;
+            if p.matches(message) {
+                satisfied[*s] += 1;
+            }
+        }
+
+        let matches = satisfied
+            .iter()
+            .zip(&self.predicate_counts)
+            .enumerate()
+            .filter(|(_, (&got, &need))| got == need)
+            .map(|(id, _)| id)
+            .collect();
+        MatchResult { matches, work }
+    }
+
+    fn len(&self) -> usize {
+        self.predicate_counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{FilterGen, Predicate};
+    use crate::message::{Field, FieldType, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::new(vec![
+            Field { name: "price".into(), field_type: FieldType::Float, range: (0.0, 100.0) },
+            Field { name: "qty".into(), field_type: FieldType::Int, range: (0.0, 50.0) },
+            Field { name: "sym".into(), field_type: FieldType::Text, range: (0.0, 6.0) },
+            Field { name: "hot".into(), field_type: FieldType::Bool, range: (0.0, 1.0) },
+        ]))
+    }
+
+    fn both_matchers(filters: Vec<Filter>) -> (NaiveMatcher, IndexMatcher) {
+        let mut naive = NaiveMatcher::new();
+        for f in filters.clone() {
+            naive.subscribe(f);
+        }
+        (naive, IndexMatcher::from_filters(filters))
+    }
+
+    #[test]
+    fn empty_matchers_match_nothing() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = s.generate(&mut rng);
+        let (naive, index) = both_matchers(vec![]);
+        assert!(naive.is_empty() && index.is_empty());
+        assert!(naive.match_message(&m).matches.is_empty());
+        assert!(index.match_message(&m).matches.is_empty());
+    }
+
+    #[test]
+    fn match_all_filters_match_everything() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = s.generate(&mut rng);
+        let (naive, index) = both_matchers(vec![Filter::all(), Filter::all()]);
+        assert_eq!(naive.match_message(&m).matches, vec![0, 1]);
+        assert_eq!(index.match_message(&m).matches, vec![0, 1]);
+    }
+
+    #[test]
+    fn index_equals_naive_on_random_workloads() {
+        let s = schema();
+        let gen = FilterGen { predicates: (1, 4), range_bias: 0.6 };
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let filters: Vec<Filter> = (0..200).map(|_| gen.generate(&s, &mut rng)).collect();
+            let (naive, index) = both_matchers(filters);
+            for _ in 0..100 {
+                let m = s.generate(&mut rng);
+                let a = naive.match_message(&m);
+                let b = index.match_message(&m);
+                assert_eq!(a.matches, b.matches, "divergence on seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_handles_every_operator() {
+        let s = schema();
+        let filters: Vec<Filter> = Cmp::ALL
+            .iter()
+            .map(|&op| {
+                Filter::new(
+                    &s,
+                    vec![Predicate { field: 1, op, constant: Value::Int(25) }],
+                )
+            })
+            .collect();
+        let (naive, index) = both_matchers(filters);
+        for qty in [0i64, 24, 25, 26, 50] {
+            let m = message_with_qty(&s, qty);
+            assert_eq!(
+                naive.match_message(&m).matches,
+                index.match_message(&m).matches,
+                "qty {qty}"
+            );
+        }
+    }
+
+    #[allow(non_snake_case)]
+    fn message_with_qty(s: &Arc<Schema>, qty: i64) -> Message {
+        Message::new(
+            Arc::clone(s),
+            vec![
+                Value::Float(50.0),
+                Value::Int(qty),
+                Value::Text("v0".into()),
+                Value::Bool(true),
+            ],
+        )
+    }
+
+    #[test]
+    fn float_equality_routed_to_residual_correctly() {
+        let s = schema();
+        let f = Filter::new(
+            &s,
+            vec![Predicate { field: 0, op: Cmp::Eq, constant: Value::Float(50.0) }],
+        );
+        let (naive, index) = both_matchers(vec![f]);
+        let hit = message_with_qty(&s, 1); // price = 50.0
+        assert_eq!(naive.match_message(&hit).matches, vec![0]);
+        assert_eq!(index.match_message(&hit).matches, vec![0]);
+    }
+
+    #[test]
+    fn index_work_beats_naive_on_selective_equality_workload() {
+        // 1000 subscriptions each demanding a specific symbol: the index
+        // probes one bucket; naive evaluates all 1000.
+        let s = schema();
+        let filters: Vec<Filter> = (0..1000)
+            .map(|k| {
+                Filter::new(
+                    &s,
+                    vec![Predicate {
+                        field: 2,
+                        op: Cmp::Eq,
+                        constant: Value::Text(format!("v{}", k % 6)),
+                    }],
+                )
+            })
+            .collect();
+        let (naive, index) = both_matchers(filters);
+        let m = message_with_qty(&s, 1); // sym = v0
+        let a = naive.match_message(&m);
+        let b = index.match_message(&m);
+        assert_eq!(a.matches, b.matches);
+        assert!(
+            b.work * 3 < a.work,
+            "index work {} should be well under naive {}",
+            b.work,
+            a.work
+        );
+    }
+
+    #[test]
+    fn work_units_are_positive_and_grow_with_subscriptions() {
+        let s = schema();
+        let gen = FilterGen::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let small: Vec<Filter> = (0..10).map(|_| gen.generate(&s, &mut rng)).collect();
+        let large: Vec<Filter> = (0..500).map(|_| gen.generate(&s, &mut rng)).collect();
+        let m = s.generate(&mut rng);
+        let (naive_small, _) = both_matchers(small);
+        let (naive_large, _) = both_matchers(large);
+        let ws = naive_small.match_message(&m).work;
+        let wl = naive_large.match_message(&m).work;
+        assert!(ws > 0);
+        assert!(wl > ws);
+    }
+}

@@ -1,0 +1,317 @@
+//! Message schemas, values and generators.
+//!
+//! Messages in a content-based pub/sub system carry typed attributes that
+//! consumer filters inspect (§1.1: "consumers receive price messages which
+//! satisfy a consumer-specified filter, e.g. `price > 80`"). A [`Schema`]
+//! fixes the attribute names and types for one flow; a [`Message`] is a
+//! dense row of values aligned to its schema.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The type of one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean flag.
+    Bool,
+    /// Categorical string drawn from a small vocabulary.
+    Text,
+}
+
+/// One attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// Boolean value.
+    Bool(bool),
+    /// Text value.
+    Text(String),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn field_type(&self) -> FieldType {
+        match self {
+            Value::Int(_) => FieldType::Int,
+            Value::Float(_) => FieldType::Float,
+            Value::Bool(_) => FieldType::Bool,
+            Value::Text(_) => FieldType::Text,
+        }
+    }
+
+    /// Total order within one type; `None` across types.
+    pub fn partial_cmp_same_type(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Text(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// An attribute declaration: name, type, and the generator range used for
+/// synthetic traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Attribute name (e.g. `"price"`).
+    pub name: String,
+    /// Attribute type.
+    pub field_type: FieldType,
+    /// Numeric generation range (ints are drawn in `[lo, hi]`, floats in
+    /// `[lo, hi)`); ignored for bools. For text, `hi` is the vocabulary
+    /// size (values are `"v0".."v{hi-1}"`).
+    pub range: (f64, f64),
+}
+
+/// A flow's message schema.
+///
+/// # Examples
+///
+/// ```
+/// use lrgp_pubsub::message::{Field, FieldType, Schema};
+/// let schema = Schema::new(vec![
+///     Field { name: "price".into(), field_type: FieldType::Float, range: (0.0, 200.0) },
+///     Field { name: "symbol".into(), field_type: FieldType::Text, range: (0.0, 8.0) },
+/// ]);
+/// assert_eq!(schema.len(), 2);
+/// assert_eq!(schema.field_index("price"), Some(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from field declarations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate field names or an empty field list.
+    pub fn new(fields: Vec<Field>) -> Self {
+        assert!(!fields.is_empty(), "schema needs at least one field");
+        for (i, f) in fields.iter().enumerate() {
+            assert!(
+                !fields[..i].iter().any(|g| g.name == f.name),
+                "duplicate field name {:?}",
+                f.name
+            );
+        }
+        Self { fields }
+    }
+
+    /// A schema resembling the paper's trade-data scenario: price, size,
+    /// symbol, urgent flag.
+    pub fn trade_data() -> Self {
+        Self::new(vec![
+            Field { name: "price".into(), field_type: FieldType::Float, range: (0.0, 200.0) },
+            Field { name: "size".into(), field_type: FieldType::Int, range: (1.0, 10_000.0) },
+            Field { name: "symbol".into(), field_type: FieldType::Text, range: (0.0, 32.0) },
+            Field { name: "urgent".into(), field_type: FieldType::Bool, range: (0.0, 1.0) },
+        ])
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` if the schema has no fields (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Index of the field named `name`.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Generates a random message conforming to this schema.
+    pub fn generate<R: Rng>(self: &Arc<Self>, rng: &mut R) -> Message {
+        let values = self
+            .fields
+            .iter()
+            .map(|f| match f.field_type {
+                FieldType::Int => Value::Int(rng.gen_range(f.range.0 as i64..=f.range.1 as i64)),
+                FieldType::Float => Value::Float(rng.gen_range(f.range.0..f.range.1)),
+                FieldType::Bool => Value::Bool(rng.gen_bool(0.5)),
+                FieldType::Text => {
+                    Value::Text(format!("v{}", rng.gen_range(0..f.range.1 as u32)))
+                }
+            })
+            .collect();
+        Message { schema: Arc::clone(self), values }
+    }
+}
+
+/// A message: a dense value row over a shared schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    schema: Arc<Schema>,
+    values: Vec<Value>,
+}
+
+impl Message {
+    /// Creates a message, checking arity and types against the schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the schema's arity or types.
+    pub fn new(schema: Arc<Schema>, values: Vec<Value>) -> Self {
+        assert_eq!(values.len(), schema.len(), "message arity mismatch");
+        for (v, f) in values.iter().zip(schema.fields()) {
+            assert_eq!(v.field_type(), f.field_type, "type mismatch for field {:?}", f.name);
+        }
+        Self { schema, values }
+    }
+
+    /// The schema this message conforms to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The value at field index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// The value of the field named `name`, if it exists.
+    pub fn value_by_name(&self, name: &str) -> Option<&Value> {
+        self.schema.field_index(name).map(|i| &self.values[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schema_construction_and_lookup() {
+        let s = Schema::trade_data();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.field_index("price"), Some(0));
+        assert_eq!(s.field_index("urgent"), Some(3));
+        assert_eq!(s.field_index("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field name")]
+    fn schema_rejects_duplicates() {
+        let f = Field { name: "x".into(), field_type: FieldType::Int, range: (0.0, 1.0) };
+        let _ = Schema::new(vec![f.clone(), f]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one field")]
+    fn schema_rejects_empty() {
+        let _ = Schema::new(vec![]);
+    }
+
+    #[test]
+    fn generated_messages_conform() {
+        let schema = Arc::new(Schema::trade_data());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let m = schema.generate(&mut rng);
+            match m.value_by_name("price") {
+                Some(Value::Float(p)) => assert!((0.0..200.0).contains(p)),
+                other => panic!("bad price {other:?}"),
+            }
+            match m.value_by_name("size") {
+                Some(Value::Int(s)) => assert!((1..=10_000).contains(s)),
+                other => panic!("bad size {other:?}"),
+            }
+            match m.value_by_name("symbol") {
+                Some(Value::Text(t)) => assert!(t.starts_with('v')),
+                other => panic!("bad symbol {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn generation_deterministic_per_seed() {
+        let schema = Arc::new(Schema::trade_data());
+        let a: Vec<Message> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| schema.generate(&mut rng)).collect()
+        };
+        let b: Vec<Message> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| schema.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn message_type_checking() {
+        let schema = Arc::new(Schema::new(vec![Field {
+            name: "x".into(),
+            field_type: FieldType::Int,
+            range: (0.0, 10.0),
+        }]));
+        let m = Message::new(Arc::clone(&schema), vec![Value::Int(5)]);
+        assert_eq!(m.value(0), &Value::Int(5));
+        assert_eq!(m.schema().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn message_rejects_wrong_type() {
+        let schema = Arc::new(Schema::new(vec![Field {
+            name: "x".into(),
+            field_type: FieldType::Int,
+            range: (0.0, 10.0),
+        }]));
+        let _ = Message::new(schema, vec![Value::Bool(true)]);
+    }
+
+    #[test]
+    fn value_ordering_and_display() {
+        use std::cmp::Ordering;
+        assert_eq!(
+            Value::Int(1).partial_cmp_same_type(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(2.0).partial_cmp_same_type(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Value::Int(1).partial_cmp_same_type(&Value::Bool(true)), None);
+        assert_eq!(Value::Text("a".into()).to_string(), "\"a\"");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Int(7).field_type(), FieldType::Int);
+    }
+}

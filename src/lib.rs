@@ -1,0 +1,12 @@
+//! Workspace-level façade for the LRGP reproduction.
+//!
+//! Re-exports the member crates so the root examples and integration tests
+//! can use one import root.
+#![forbid(unsafe_code)]
+
+pub use lrgp;
+pub use lrgp_anneal;
+pub use lrgp_model;
+pub use lrgp_num;
+pub use lrgp_overlay;
+pub use lrgp_pubsub;

@@ -1,0 +1,96 @@
+//! Closed-loop validation across the whole stack: the pub/sub matching
+//! substrate calibrates the cost model, LRGP optimizes against it, and the
+//! resulting allocation's predicted broker load agrees with the load
+//! measured by actually matching messages.
+
+use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp_pubsub::calibrate::{calibrate, problem_from_calibration, CalibrationConfig};
+use lrgp_pubsub::filter::FilterGen;
+use lrgp_pubsub::matcher::{Matcher, NaiveMatcher};
+use lrgp_pubsub::message::Schema;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn naive_from(filters: Vec<lrgp_pubsub::Filter>) -> NaiveMatcher {
+    let mut m = NaiveMatcher::new();
+    for f in filters {
+        m.subscribe(f);
+    }
+    m
+}
+
+/// Measure → model → optimize → re-measure. The optimizer's predicted node
+/// usage must agree with the work observed when the allocated number of
+/// consumers actually match the allocated message rate.
+#[test]
+fn calibrated_model_predicts_measured_broker_load() {
+    let schema = Arc::new(Schema::trade_data());
+    let cal_cfg = CalibrationConfig::default();
+    let estimate = calibrate(&schema, naive_from, &cal_cfg);
+    assert!(estimate.r_squared > 0.99, "calibration fit r² = {}", estimate.r_squared);
+
+    // One flow, one class, capacity chosen so admission control must bite.
+    let capacity = 2e5;
+    let problem = problem_from_calibration(&estimate, 1, 1, 20_000, capacity, (10.0, 500.0))
+        .expect("calibrated problem");
+    let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+    engine.run_until_converged(400);
+    let allocation = engine.allocation();
+    let class = lrgp_model::ClassId::new(0);
+    let flow = lrgp_model::FlowId::new(0);
+    let consumers = allocation.population(class) as usize;
+    let rate = allocation.rate(flow);
+    assert!(consumers > 0, "optimizer admitted nobody");
+    assert!((1..20_000).contains(&consumers), "admission control should bite: {consumers}");
+
+    // Re-measure: build a broker with exactly `consumers` subscriptions and
+    // match one simulated second of traffic at the allocated rate.
+    let mut rng = StdRng::seed_from_u64(777);
+    let filters: Vec<_> =
+        (0..consumers).map(|_| FilterGen::default().generate(&schema, &mut rng)).collect();
+    let broker = naive_from(filters);
+    let messages = rate.round() as usize;
+    let mut measured_work = 0u64;
+    for _ in 0..messages {
+        let m = schema.generate(&mut rng);
+        measured_work += broker.match_message(&m).work;
+    }
+    let measured = measured_work as f64 + cal_cfg.routing_overhead * messages as f64;
+
+    // The model predicts node usage F·r + G·n·r for one second of traffic.
+    let predicted = allocation.node_usage(&problem, lrgp_model::NodeId::new(0));
+    let rel = (measured - predicted).abs() / predicted;
+    assert!(
+        rel < 0.10,
+        "measured broker load {measured:.0} vs model prediction {predicted:.0} (rel {rel:.3})"
+    );
+    // And the broker stays within its provisioned capacity.
+    assert!(measured <= capacity * 1.1, "measured {measured} vs capacity {capacity}");
+}
+
+/// The same loop with the index matcher: a cheaper engine must admit at
+/// least as many consumers at equal capacity.
+#[test]
+fn faster_matcher_admits_no_fewer_consumers() {
+    let schema = Arc::new(Schema::trade_data());
+    let cfg = CalibrationConfig::default();
+    let naive_est = calibrate(&schema, naive_from, &cfg);
+    let index_est = calibrate(
+        &schema,
+        lrgp_pubsub::matcher::IndexMatcher::from_filters,
+        &cfg,
+    );
+    let admitted = |est: &lrgp_pubsub::CostEstimate| {
+        let p = problem_from_calibration(est, 2, 2, 3_000, 3e5, (10.0, 500.0)).unwrap();
+        let mut e = LrgpEngine::new(p, LrgpConfig::default());
+        e.run_until_converged(400);
+        e.allocation().populations().iter().sum::<f64>()
+    };
+    let naive_admitted = admitted(&naive_est);
+    let index_admitted = admitted(&index_est);
+    assert!(
+        index_admitted >= naive_admitted * 0.99,
+        "index {index_admitted} vs naive {naive_admitted}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Integration tests of the distributed protocol against the centralized
+//! engine, over randomized workloads and topologies.
+
+use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp_model::workloads::{base_workload, RandomWorkload};
+use lrgp_overlay::{
+    run_asynchronous, run_synchronous, simulate_message_plane, AsyncConfig, LatencyModel,
+    PlaneConfig, SimTime, Topology,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn uniform_topology(p: &lrgp_model::Problem) -> Topology {
+    Topology::from_problem(
+        p,
+        LatencyModel::Uniform { latency: SimTime::from_millis(10) },
+        SimTime::from_micros(200),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The synchronous distributed protocol produces the same utility trace
+    /// as the centralized engine on any random workload.
+    #[test]
+    fn sync_protocol_equals_engine_on_random_workloads(
+        flows in 1usize..4,
+        nodes in 1usize..4,
+        classes in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let cfg = RandomWorkload {
+            flows,
+            consumer_nodes: nodes,
+            classes_per_flow: classes,
+            ..RandomWorkload::default()
+        };
+        let problem = cfg.generate(&mut StdRng::seed_from_u64(seed));
+        let topology = uniform_topology(&problem);
+        let sync = run_synchronous(&problem, &topology, LrgpConfig::default(), 40);
+        let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+        engine.run(40);
+        prop_assert_eq!(sync.utility.len(), engine.trace().utility.len());
+        for (a, b) in sync.utility.values().iter().zip(engine.trace().utility.values()) {
+            prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    /// Enacting any mid-run engine allocation on the data plane keeps node
+    /// utilization at or below capacity (within quantization noise).
+    #[test]
+    fn data_plane_respects_feasible_allocations(
+        seed in any::<u64>(),
+        iters in 5usize..60,
+    ) {
+        let cfg = RandomWorkload::default();
+        let problem = cfg.generate(&mut StdRng::seed_from_u64(seed));
+        let topology = uniform_topology(&problem);
+        let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+        engine.run(iters);
+        let allocation = engine.allocation();
+        prop_assert!(allocation.is_feasible(&problem, 1e-6));
+        let report = simulate_message_plane(&problem, &topology, &allocation, PlaneConfig {
+            duration: SimTime::from_millis(500),
+            ..PlaneConfig::default()
+        });
+        prop_assert!(!report.truncated);
+        prop_assert!(
+            report.peak_utilization() <= 1.10,
+            "peak utilization {}",
+            report.peak_utilization()
+        );
+    }
+}
+
+/// Async and sync agree on the paper's base workload across several seeds
+/// and latency regimes.
+#[test]
+fn async_tracks_sync_across_latency_regimes() {
+    let problem = base_workload();
+    let reference = {
+        let mut e = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+        e.run_until_converged(300).utility
+    };
+    for (min_ms, max_ms) in [(1, 5), (5, 40), (20, 80)] {
+        let topology = Topology::from_problem(
+            &problem,
+            LatencyModel::RandomUniform {
+                min: SimTime::from_millis(min_ms),
+                max: SimTime::from_millis(max_ms),
+                seed: 23,
+            },
+            SimTime::from_micros(200),
+        );
+        let out = run_asynchronous(
+            &problem,
+            &topology,
+            AsyncConfig { duration: SimTime::from_secs(25), ..AsyncConfig::default() },
+        );
+        let rel = (out.final_utility - reference).abs() / reference;
+        assert!(
+            rel < 0.05,
+            "latency {min_ms}-{max_ms}ms: async {} vs reference {reference}",
+            out.final_utility
+        );
+    }
+}
+
+/// Message counts per synchronous round are structural: flows × reached
+/// nodes rate updates plus the symmetric feedback.
+#[test]
+fn sync_message_count_is_structural() {
+    let problem = base_workload();
+    let topology = uniform_topology(&problem);
+    let per_round: u64 = problem
+        .flow_ids()
+        .map(|f| problem.nodes_of_flow(f).len() as u64)
+        .sum::<u64>()
+        * 2;
+    for rounds in [1usize, 7, 20] {
+        let sync = run_synchronous(&problem, &topology, LrgpConfig::default(), rounds);
+        assert_eq!(sync.messages, per_round * rounds as u64);
+    }
+}

@@ -1,0 +1,144 @@
+//! Edge-case integration tests: degenerate problems the optimizer must
+//! handle gracefully.
+
+use lrgp::{GammaMode, LrgpConfig, LrgpEngine};
+use lrgp_anneal::{anneal, AnnealConfig};
+use lrgp_model::{Problem, ProblemBuilder, RateBounds, Utility};
+
+fn single(class_max: u32, bounds: RateBounds, capacity: f64) -> Problem {
+    let mut b = ProblemBuilder::new();
+    let src = b.add_node(1e12);
+    let sink = b.add_node(capacity);
+    let f = b.add_flow(src, bounds);
+    b.set_node_cost(f, sink, 3.0);
+    b.add_class(f, sink, class_max, Utility::log(10.0), 19.0);
+    b.build().unwrap()
+}
+
+#[test]
+fn zero_demand_everywhere_is_stable_at_zero_utility() {
+    let p = single(0, RateBounds::new(10.0, 1000.0).unwrap(), 9e5);
+    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let out = e.run_until_converged(100);
+    assert_eq!(out.utility, 0.0);
+    assert!(e.allocation().is_feasible(&p, 1e-9));
+    // SA agrees.
+    let sa = anneal(&p, &AnnealConfig::paper(5.0, 10_000, 1));
+    assert_eq!(sa.best_utility, 0.0);
+}
+
+#[test]
+fn pinned_rate_bounds_still_admit() {
+    // r_min == r_max: no rate freedom, pure admission control.
+    let p = single(100, RateBounds::new(50.0, 50.0).unwrap(), 9e5);
+    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let out = e.run_until_converged(200);
+    let a = e.allocation();
+    assert_eq!(a.rate(lrgp_model::FlowId::new(0)), 50.0);
+    // Capacity 9e5 − flow cost 150 fits floor(899850/950) = 947 ≥ 100.
+    assert_eq!(a.population(lrgp_model::ClassId::new(0)), 100.0);
+    assert!(out.utility > 0.0);
+}
+
+#[test]
+fn capacity_too_small_for_even_one_consumer() {
+    // Flow cost alone ≈ fits, but one consumer at minimum rate exceeds the
+    // budget: everyone must stay unadmitted, with no panic or violation.
+    let p = single(10, RateBounds::new(10.0, 10.0).unwrap(), 40.0);
+    // flow cost = 3·10 = 30 ≤ 40; consumer cost 19·10 = 190 > 10 remaining.
+    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    e.run(50);
+    let a = e.allocation();
+    assert_eq!(a.population(lrgp_model::ClassId::new(0)), 0.0);
+    assert!(a.is_feasible(&p, 1e-9));
+    assert_eq!(e.total_utility(), 0.0);
+}
+
+#[test]
+fn flow_costs_exceeding_capacity_drive_price_up_not_panic() {
+    // Even the minimum rate overloads the node (F·r_min > c_b): the
+    // allocation is structurally infeasible, the price grows, and the
+    // engine keeps running without panicking.
+    let p = single(10, RateBounds::new(100.0, 1000.0).unwrap(), 100.0);
+    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    e.run(100);
+    // Rate pinned at minimum by the huge price.
+    assert_eq!(e.allocation().rate(lrgp_model::FlowId::new(0)), 100.0);
+    assert!(e.prices().node(lrgp_model::NodeId::new(1)) > 0.0);
+}
+
+#[test]
+fn single_consumer_single_message() {
+    let p = single(1, RateBounds::new(1.0, 1.0).unwrap(), 1e3);
+    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let out = e.run_until_converged(100);
+    assert!((out.utility - 10.0 * 2.0f64.ln()).abs() < 1e-9);
+}
+
+#[test]
+fn many_identical_classes_tie_break_deterministically() {
+    // 8 identical classes: greedy order must be deterministic (class id
+    // tie-break), so repeated runs agree exactly.
+    let mut b = ProblemBuilder::new();
+    let src = b.add_node(1e12);
+    let sink = b.add_node(5e4);
+    let f = b.add_flow(src, RateBounds::new(10.0, 100.0).unwrap());
+    b.set_node_cost(f, sink, 3.0);
+    for _ in 0..8 {
+        b.add_class(f, sink, 50, Utility::log(10.0), 19.0);
+    }
+    let p = b.build().unwrap();
+    let run = || {
+        let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+        e.run(100);
+        e.allocation()
+    };
+    let a = run();
+    let b2 = run();
+    assert_eq!(a, b2);
+    assert!(a.is_feasible(&p, 1e-9));
+}
+
+#[test]
+fn saturating_utility_flows_back_off_naturally() {
+    // A saturating utility has bounded value; with a characteristic scale
+    // far below r_max the optimizer should not bother pushing the rate up.
+    let mut b = ProblemBuilder::new();
+    let src = b.add_node(1e12);
+    let sink = b.add_node(9e5);
+    let f = b.add_flow(src, RateBounds::new(1.0, 1000.0).unwrap());
+    b.set_node_cost(f, sink, 3.0);
+    b.add_class(f, sink, 100, Utility::saturating(50.0, 20.0), 19.0);
+    let p = b.build().unwrap();
+    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    e.run_until_converged(500);
+    let r = e.allocation().rate(lrgp_model::FlowId::new(0));
+    assert!(r < 500.0, "saturating utility should not chase r_max, got {r}");
+    assert!(e.total_utility() > 0.0);
+}
+
+#[test]
+fn undamped_gamma_on_degenerate_problem_stays_finite() {
+    let p = single(100, RateBounds::new(10.0, 1000.0).unwrap(), 9e5);
+    let cfg = LrgpConfig { gamma: GammaMode::fixed(1.0), ..LrgpConfig::default() };
+    let mut e = LrgpEngine::new(p, cfg);
+    for _ in 0..500 {
+        let u = e.step();
+        assert!(u.is_finite());
+        assert!(e.prices().node_prices().iter().all(|p| p.is_finite()));
+    }
+}
+
+#[test]
+fn removing_every_flow_leaves_an_empty_but_valid_system() {
+    let p = lrgp_model::workloads::base_workload();
+    let mut e = LrgpEngine::new(p, LrgpConfig::default());
+    e.run(50);
+    for f in 0..6 {
+        e.remove_flow(lrgp_model::FlowId::new(f));
+    }
+    e.run(50);
+    assert_eq!(e.total_utility(), 0.0);
+    assert!(e.allocation().rates().iter().all(|&r| r == 0.0));
+    assert!(e.allocation().is_feasible(e.problem(), 1e-9));
+}

@@ -1,0 +1,116 @@
+//! Optimality validation on tiny instances where exhaustive enumeration is
+//! the ground truth — the oracle the paper could not run on its full
+//! workloads (§4.4).
+
+use lrgp::{LrgpConfig, LrgpEngine, PopulationMode};
+use lrgp_anneal::{anneal, exhaustive_search, exhaustive_search_exact_rates, AnnealConfig};
+use lrgp_model::{Problem, ProblemBuilder, RateBounds, Utility};
+
+/// One flow, one node, two classes competing for a tight budget.
+fn tiny_two_class() -> Problem {
+    let mut b = ProblemBuilder::new();
+    let src = b.add_node(1e12);
+    let sink = b.add_node(2_000.0);
+    let f = b.add_flow(src, RateBounds::new(5.0, 50.0).unwrap());
+    b.set_node_cost(f, sink, 2.0);
+    b.add_class(f, sink, 6, Utility::log(10.0), 8.0);
+    b.add_class(f, sink, 10, Utility::log(3.0), 4.0);
+    b.build().unwrap()
+}
+
+/// Two flows sharing one node.
+fn tiny_two_flow() -> Problem {
+    let mut b = ProblemBuilder::new();
+    let s0 = b.add_node(1e12);
+    let s1 = b.add_node(1e12);
+    let sink = b.add_node(3_000.0);
+    let f0 = b.add_flow(s0, RateBounds::new(5.0, 60.0).unwrap());
+    let f1 = b.add_flow(s1, RateBounds::new(5.0, 60.0).unwrap());
+    b.set_node_cost(f0, sink, 1.0);
+    b.set_node_cost(f1, sink, 1.0);
+    b.add_class(f0, sink, 8, Utility::log(12.0), 6.0);
+    b.add_class(f1, sink, 8, Utility::log(5.0), 6.0);
+    b.build().unwrap()
+}
+
+/// The true global optimum: populations enumerated exhaustively, rates
+/// solved exactly per population vector (convex subproblem).
+fn exhaustive_optimum(p: &Problem) -> f64 {
+    exhaustive_search_exact_rates(p, 50_000_000).expect("tiny instance").best_utility
+}
+
+#[test]
+fn lrgp_within_a_few_percent_of_exhaustive_on_tiny_two_class() {
+    let p = tiny_two_class();
+    let optimum = exhaustive_optimum(&p);
+    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let out = e.run_until_converged(2_000);
+    assert!(out.utility <= optimum * (1.0 + 1e-9), "LRGP cannot exceed the optimum");
+    assert!(
+        out.utility >= 0.93 * optimum,
+        "LRGP {} vs exhaustive optimum {optimum}",
+        out.utility
+    );
+    assert!(e.allocation().is_feasible(&p, 1e-6));
+}
+
+#[test]
+fn lrgp_within_a_few_percent_of_exhaustive_on_tiny_two_flow() {
+    let p = tiny_two_flow();
+    let optimum = exhaustive_optimum(&p);
+    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let out = e.run_until_converged(2_000);
+    assert!(out.utility <= optimum * (1.0 + 1e-9));
+    assert!(
+        out.utility >= 0.93 * optimum,
+        "LRGP {} vs exhaustive optimum {optimum}",
+        out.utility
+    );
+}
+
+#[test]
+fn sa_approaches_exhaustive_on_tiny_instances() {
+    for p in [tiny_two_class(), tiny_two_flow()] {
+        let optimum = exhaustive_optimum(&p);
+        let sa = anneal(&p, &AnnealConfig::paper(10.0, 500_000, 3));
+        assert!(sa.best_utility <= optimum * (1.0 + 1e-9));
+        assert!(
+            sa.best_utility >= 0.95 * optimum,
+            "SA {} vs exhaustive optimum {optimum}",
+            sa.best_utility
+        );
+    }
+}
+
+#[test]
+fn fractional_relaxation_dominates_integral_greedy() {
+    // On the same dynamics, fractional admission can only add utility at
+    // each node step, so the converged utility should not be (meaningfully)
+    // lower.
+    let p = tiny_two_class();
+    let integral = {
+        let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+        e.run_until_converged(2_000).utility
+    };
+    let fractional = {
+        let cfg = LrgpConfig {
+            population_mode: PopulationMode::Fractional,
+            ..LrgpConfig::default()
+        };
+        let mut e = LrgpEngine::new(p.clone(), cfg);
+        e.run_until_converged(2_000).utility
+    };
+    assert!(
+        fractional >= integral * 0.999,
+        "fractional {fractional} vs integral {integral}"
+    );
+}
+
+#[test]
+fn exhaustive_oracle_agrees_with_itself_on_grid_refinement() {
+    // Refining the rate grid can only improve (or keep) the optimum.
+    let p = tiny_two_class();
+    let coarse = exhaustive_search(&p, 7, 50_000_000).unwrap().best_utility;
+    let fine = exhaustive_search(&p, 31, 50_000_000).unwrap().best_utility;
+    assert!(fine >= coarse - 1e-9);
+}
