@@ -292,12 +292,12 @@ pub fn sweep(
         .flat_map(|&t| step_budgets.iter().map(move |&s| (t, s)))
         .collect();
     let mut runs: Vec<SweepRun> = Vec::with_capacity(cells.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = cells
             .iter()
             .enumerate()
             .map(|(i, &(t, s))| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let cfg = AnnealConfig::paper(t, s, seed.wrapping_add(i as u64));
                     SweepRun { start_temperature: t, total_steps: s, outcome: anneal(problem, &cfg) }
                 })
@@ -306,8 +306,7 @@ pub fn sweep(
         for h in handles {
             runs.push(h.join().expect("annealing worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     runs.sort_by(|a, b| {
         b.outcome
             .best_utility

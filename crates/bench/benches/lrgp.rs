@@ -5,9 +5,11 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use lrgp::admission::{allocate_consumers, AdmissionPolicy, PopulationMode};
 use lrgp::rate::{solve_rate, AggregateUtility};
-use lrgp::{LrgpConfig, LrgpEngine};
-use lrgp_model::workloads::Table2Workload;
-use lrgp_model::{NodeId, RateBounds, Utility};
+use lrgp::{LrgpConfig, LrgpEngine, ParallelLrgpEngine};
+use lrgp_model::workloads::{RandomWorkload, Table2Workload};
+use lrgp_model::{NodeId, Problem, RateBounds, Utility};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_iteration(c: &mut Criterion) {
     let mut group = c.benchmark_group("lrgp_iteration");
@@ -72,11 +74,48 @@ fn bench_admission(c: &mut Criterion) {
     });
 }
 
+/// A multi-hundred-flow synthetic workload whose mixed utility shapes force
+/// the bisection rate solver, making per-iteration compute heavy enough for
+/// the sharded engine's speedup to dominate thread-spawn overhead.
+fn large_workload() -> Problem {
+    let mut rng = StdRng::seed_from_u64(42);
+    RandomWorkload {
+        flows: 400,
+        consumer_nodes: 24,
+        classes_per_flow: 4,
+        mixed_shapes: true,
+        ..RandomWorkload::default()
+    }
+    .generate(&mut rng)
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let problem = large_workload();
+    let mut group = c.benchmark_group("lrgp_parallel_step");
+    group.bench_with_input(BenchmarkId::from_parameter("sequential"), &problem, |b, p| {
+        let mut engine = LrgpEngine::new(p.clone(), LrgpConfig::default());
+        b.iter(|| black_box(engine.step()));
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads_{threads}")),
+            &problem,
+            |b, p| {
+                let mut engine =
+                    ParallelLrgpEngine::with_threads(p.clone(), LrgpConfig::default(), threads);
+                b.iter(|| black_box(engine.step()));
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_iteration,
     bench_convergence,
     bench_rate_solver,
-    bench_admission
+    bench_admission,
+    bench_parallel
 );
 criterion_main!(benches);

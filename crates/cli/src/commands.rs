@@ -35,6 +35,17 @@ pub enum GammaArg {
     Fixed(f64),
 }
 
+/// Worker-thread selection for `solve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadsArg {
+    /// The sequential reference engine.
+    Sequential,
+    /// Size the worker pool from the problem and the machine.
+    Auto,
+    /// A fixed number of worker threads.
+    Count(usize),
+}
+
 /// `lrgp workload` — generate a workload JSON file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadCmd {
@@ -57,6 +68,8 @@ pub struct SolveCmd {
     pub iterations: usize,
     /// γ mode.
     pub gamma: GammaArg,
+    /// Worker threads for the sharded engine.
+    pub threads: ThreadsArg,
     /// Optional CSV path for the utility trace.
     pub trace: Option<PathBuf>,
     /// Optional JSON path for the solved problem + allocation.
@@ -144,7 +157,7 @@ lrgp — utility optimization for event-driven distributed infrastructures
 
 USAGE:
   lrgp workload [--shape log|pow25|pow50|pow75] [--systems N] [--cnodes N] -o FILE
-  lrgp solve    <base|FILE> [--iters N] [--gamma adaptive|FLOAT] [--trace CSV] [--save JSON]
+  lrgp solve    <base|FILE> [--iters N] [--gamma adaptive|FLOAT] [--threads auto|N] [--trace CSV] [--save JSON]
   lrgp anneal   <base|FILE> [--steps N] [--temp T] [--seed N]
   lrgp compare  <base|FILE> [--steps N] [--seed N]
   lrgp simulate <base|FILE> [--async] [--latency MS] [--amount N]
@@ -207,6 +220,7 @@ where
                 workload: WorkloadRef::parse(target),
                 iterations: 250,
                 gamma: GammaArg::Adaptive,
+                threads: ThreadsArg::Sequential,
                 trace: None,
                 save: None,
             };
@@ -219,6 +233,22 @@ where
                             GammaArg::Adaptive
                         } else {
                             GammaArg::Fixed(parse_num(flag, raw)?)
+                        };
+                    }
+                    "--threads" => {
+                        let raw = take_value(flag, &mut it)?;
+                        cmd.threads = if raw == "auto" {
+                            ThreadsArg::Auto
+                        } else {
+                            match parse_num(flag, raw)? {
+                                0 => {
+                                    return Err(ParseError(
+                                        "--threads: must be \"auto\" or ≥ 1".into(),
+                                    ))
+                                }
+                                1 => ThreadsArg::Sequential,
+                                n => ThreadsArg::Count(n),
+                            }
                         };
                     }
                     "--trace" => cmd.trace = Some(PathBuf::from(take_value(flag, &mut it)?)),
@@ -351,13 +381,14 @@ mod tests {
                 workload: WorkloadRef::Base,
                 iterations: 250,
                 gamma: GammaArg::Adaptive,
+                threads: ThreadsArg::Sequential,
                 trace: None,
                 save: None,
             })
         );
         let c = p(&[
-            "solve", "w.json", "--iters", "99", "--gamma", "0.1", "--trace", "t.csv", "--save",
-            "out.json",
+            "solve", "w.json", "--iters", "99", "--gamma", "0.1", "--threads", "4", "--trace",
+            "t.csv", "--save", "out.json",
         ])
         .unwrap();
         match c {
@@ -365,11 +396,25 @@ mod tests {
                 assert_eq!(s.workload, WorkloadRef::File(PathBuf::from("w.json")));
                 assert_eq!(s.iterations, 99);
                 assert_eq!(s.gamma, GammaArg::Fixed(0.1));
+                assert_eq!(s.threads, ThreadsArg::Count(4));
                 assert_eq!(s.trace, Some(PathBuf::from("t.csv")));
                 assert_eq!(s.save, Some(PathBuf::from("out.json")));
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn solve_threads_variants() {
+        let threads = |args: &[&str]| match p(args).unwrap() {
+            Command::Solve(s) => s.threads,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(threads(&["solve", "base", "--threads", "auto"]), ThreadsArg::Auto);
+        assert_eq!(threads(&["solve", "base", "--threads", "1"]), ThreadsArg::Sequential);
+        assert_eq!(threads(&["solve", "base", "--threads", "8"]), ThreadsArg::Count(8));
+        assert!(p(&["solve", "base", "--threads", "0"]).unwrap_err().0.contains("≥ 1"));
+        assert!(p(&["solve", "base", "--threads", "many"]).unwrap_err().0.contains("cannot parse"));
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Execution of parsed CLI commands.
 
 use crate::commands::{
-    AnnealCmd, Command, CompareCmd, GammaArg, InfoCmd, SimulateCmd, SolveCmd, WorkloadCmd,
-    WorkloadRef,
+    AnnealCmd, Command, CompareCmd, GammaArg, InfoCmd, SimulateCmd, SolveCmd, ThreadsArg,
+    WorkloadCmd, WorkloadRef,
 };
-use lrgp::{GammaMode, LrgpConfig, LrgpEngine, TraceConfig};
+use lrgp::{GammaMode, LrgpConfig, LrgpEngine, Parallelism, TraceConfig};
 use lrgp_anneal::{sweep, AnnealConfig};
 use lrgp_model::io::ProblemFile;
 use lrgp_model::workloads::{self, paper_workload};
@@ -70,8 +70,21 @@ fn solve(cmd: SolveCmd) -> CliResult {
         GammaArg::Adaptive => GammaMode::adaptive(),
         GammaArg::Fixed(g) => GammaMode::fixed(g),
     };
-    let config = LrgpConfig { gamma, trace: TraceConfig::default(), ..LrgpConfig::default() };
+    let parallelism = match cmd.threads {
+        ThreadsArg::Sequential => Parallelism::Sequential,
+        ThreadsArg::Auto => Parallelism::Auto,
+        ThreadsArg::Count(n) => Parallelism::Threads(n),
+    };
+    let config = LrgpConfig {
+        gamma,
+        parallelism,
+        trace: TraceConfig::default(),
+        ..LrgpConfig::default()
+    };
     let mut engine = LrgpEngine::new(problem.clone(), config);
+    if parallelism != Parallelism::Sequential {
+        println!("sharded engine: {} worker thread(s)", engine.effective_workers());
+    }
     let outcome = engine.run_until_converged(cmd.iterations);
     match outcome.converged_at {
         Some(k) => println!("converged after {k} iterations (0.1% amplitude criterion)"),

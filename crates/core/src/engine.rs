@@ -15,13 +15,18 @@
 
 use crate::admission::{allocate_consumers, AdmissionPolicy, PopulationMode};
 use crate::gamma::{GammaController, GammaMode};
+use crate::parallel::Parallelism;
 use crate::price::{update_link_price, update_node_price_with_rule, NodePriceRule};
 use crate::prices::PriceVector;
-use crate::rate::allocate_rates;
+use crate::rate::{allocate_rate_for_flow, allocate_rates};
 use crate::trace::{Trace, TraceConfig};
-use lrgp_model::{Allocation, FlowId, Problem};
+use lrgp_model::{Allocation, ClassId, FlowId, LinkId, NodeId, Problem};
 use lrgp_num::series::ConvergenceCriterion;
 use serde::{Deserialize, Serialize};
+
+/// Per-node result of the sharded admission phase: the node, its class
+/// populations, and its next price.
+type NodeOutcome = (NodeId, Vec<(ClassId, f64)>, f64);
 
 /// Starting point for the flow rates.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -60,6 +65,9 @@ pub struct LrgpConfig {
     pub convergence: ConvergenceCriterion,
     /// Which trace channels to record.
     pub trace: TraceConfig,
+    /// How the step's three phases are executed (sequential by default;
+    /// the sharded parallel path is bit-identical, see [`crate::parallel`]).
+    pub parallelism: Parallelism,
 }
 
 impl Default for LrgpConfig {
@@ -75,6 +83,7 @@ impl Default for LrgpConfig {
             admission_policy: AdmissionPolicy::default(),
             convergence: ConvergenceCriterion::paper_default(),
             trace: TraceConfig::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -160,7 +169,33 @@ impl LrgpEngine {
 
     /// Executes one full LRGP iteration and returns the total utility after
     /// it.
+    ///
+    /// Depending on [`LrgpConfig::parallelism`] the three phases run on this
+    /// thread or sharded over scoped workers; both paths call the same
+    /// per-element kernels on the same previous-iteration inputs, so the
+    /// results (and the recorded trace) are bit-identical either way.
     pub fn step(&mut self) -> f64 {
+        let workers = self.effective_workers();
+        if workers > 1 {
+            self.step_parallel(workers)
+        } else {
+            self.step_sequential()
+        }
+    }
+
+    /// Worker count the configured [`Parallelism`] resolves to for this
+    /// problem's size (1 means the sequential path).
+    pub fn effective_workers(&self) -> usize {
+        let units = self
+            .problem
+            .num_flows()
+            .max(self.problem.num_nodes())
+            .max(self.problem.num_links());
+        self.config.parallelism.workers_for(units)
+    }
+
+    /// Single-threaded reference step.
+    fn step_sequential(&mut self) -> f64 {
         // 1. Rate allocation at every source (Algorithm 1).
         self.rates = allocate_rates(&self.problem, &self.prices, &self.populations, &self.rates);
 
@@ -205,8 +240,183 @@ impl LrgpEngine {
             self.prices.set_link(link, next);
         }
 
-        // Record.
         let utility = allocation.total_utility(&self.problem);
+        self.record_step(utility);
+        utility
+    }
+
+    /// Sharded step: each phase partitions its elements into contiguous
+    /// id-order chunks, one chunk per worker, and applies the results in id
+    /// order. The main thread keeps the first chunk for itself (spawning a
+    /// thread costs more than a small chunk of kernel work, and the inline
+    /// chunk overlaps the spawn latency of the others). Every kernel reads
+    /// only previous-iteration state (the rates written in phase 1 are
+    /// "previous" for phases 2–3, exactly as in the sequential step), so the
+    /// outputs are bit-identical to [`Self::step_sequential`]; see
+    /// [`crate::parallel`] for the argument.
+    fn step_parallel(&mut self, workers: usize) -> f64 {
+        // 1. Rate allocation, sharded per flow.
+        let num_flows = self.problem.num_flows();
+        let flow_chunk = num_flows.div_ceil(workers).max(1);
+        self.rates = {
+            let problem = &self.problem;
+            let prices = &self.prices;
+            let populations = &self.populations;
+            let previous = &self.rates;
+            let solve_chunk = |start: usize, end: usize| {
+                (start..end)
+                    .map(|i| {
+                        allocate_rate_for_flow(
+                            problem,
+                            prices,
+                            populations,
+                            FlowId::new(i as u32),
+                            previous[i],
+                        )
+                    })
+                    .collect::<Vec<f64>>()
+            };
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..num_flows)
+                    .step_by(flow_chunk)
+                    .skip(1)
+                    .map(|start| {
+                        let end = (start + flow_chunk).min(num_flows);
+                        scope.spawn(move || solve_chunk(start, end))
+                    })
+                    .collect();
+                // In-order reduction: the inline first chunk, then each
+                // worker's chunk, concatenate back into flow-id order.
+                let mut rates = solve_chunk(0, flow_chunk.min(num_flows));
+                rates.reserve(num_flows - rates.len());
+                for handle in handles {
+                    rates.extend(handle.join().expect("rate worker panicked"));
+                }
+                rates
+            })
+        };
+
+        // 2 + 3a. Consumer allocation and node price update, sharded per
+        // node. Classes partition among nodes, so the population writes of
+        // different nodes never overlap; each worker owns its slice of γ
+        // controllers via `chunks_mut`.
+        let num_nodes = self.problem.num_nodes();
+        let node_chunk = num_nodes.div_ceil(workers).max(1);
+        {
+            let Self { problem, config, rates, populations, prices, gamma_controllers, .. } =
+                self;
+            let problem = &*problem;
+            let rates = &*rates;
+            let config = *config;
+            let prices_read = &*prices;
+            let run_chunk = |start: usize, controllers: &mut [GammaController]| {
+                controllers
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(offset, ctl)| {
+                        let node = NodeId::new((start + offset) as u32);
+                        let admission = allocate_consumers(
+                            problem,
+                            node,
+                            rates,
+                            config.population_mode,
+                            config.admission_policy,
+                        );
+                        let gamma = ctl.gamma();
+                        let next = update_node_price_with_rule(
+                            config.node_price_rule,
+                            prices_read.node(node),
+                            admission.benefit_cost,
+                            admission.used,
+                            problem.node(node).capacity,
+                            gamma,
+                            gamma,
+                        );
+                        ctl.observe_price(next);
+                        (node, admission.populations, next)
+                    })
+                    .collect::<Vec<NodeOutcome>>()
+            };
+            let (head, rest) = gamma_controllers.split_at_mut(node_chunk.min(num_nodes));
+            let outcomes: Vec<Vec<NodeOutcome>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = rest
+                        .chunks_mut(node_chunk)
+                        .enumerate()
+                        .map(|(chunk_index, controllers)| {
+                            let start = (chunk_index + 1) * node_chunk;
+                            scope.spawn(move || run_chunk(start, controllers))
+                        })
+                        .collect();
+                    let mut outcomes = vec![run_chunk(0, head)];
+                    outcomes
+                        .extend(handles.into_iter().map(|h| h.join().expect("node worker panicked")));
+                    outcomes
+                });
+            for chunk in outcomes {
+                for (node, node_populations, next) in chunk {
+                    for (class, n) in node_populations {
+                        populations[class.index()] = n;
+                    }
+                    prices.set_node(node, next);
+                }
+            }
+        }
+
+        // 3b. Link price update, sharded per link.
+        let allocation = self.allocation();
+        let num_links = self.problem.num_links();
+        if num_links > 0 {
+            let link_chunk = num_links.div_ceil(workers).max(1);
+            let next_prices: Vec<f64> = {
+                let problem = &self.problem;
+                let prices = &self.prices;
+                let allocation = &allocation;
+                let link_gamma = self.config.link_gamma;
+                let price_chunk = |start: usize, end: usize| {
+                    (start..end)
+                        .map(|i| {
+                            let link = LinkId::new(i as u32);
+                            let usage = allocation.link_usage(problem, link);
+                            update_link_price(
+                                prices.link(link),
+                                usage,
+                                problem.link(link).capacity,
+                                link_gamma,
+                            )
+                        })
+                        .collect::<Vec<f64>>()
+                };
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..num_links)
+                        .step_by(link_chunk)
+                        .skip(1)
+                        .map(|start| {
+                            let end = (start + link_chunk).min(num_links);
+                            scope.spawn(move || price_chunk(start, end))
+                        })
+                        .collect();
+                    let mut out = price_chunk(0, link_chunk.min(num_links));
+                    out.reserve(num_links - out.len());
+                    for handle in handles {
+                        out.extend(handle.join().expect("link worker panicked"));
+                    }
+                    out
+                })
+            };
+            for (i, price) in next_prices.into_iter().enumerate() {
+                self.prices.set_link(LinkId::new(i as u32), price);
+            }
+        }
+
+        let utility = allocation.total_utility(&self.problem);
+        self.record_step(utility);
+        utility
+    }
+
+    /// Advances the iteration counter and records the enabled trace
+    /// channels (shared by both step paths).
+    fn record_step(&mut self, utility: f64) {
         self.iteration += 1;
         self.trace.utility.push(utility);
         if let Some(series) = self.trace.rates.as_mut() {
@@ -234,7 +444,6 @@ impl LrgpEngine {
                 s.push(ctl.gamma());
             }
         }
-        utility
     }
 
     /// Runs exactly `iterations` steps; returns the final utility (0.0 if

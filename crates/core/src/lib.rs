@@ -50,6 +50,7 @@ pub mod dynamics;
 pub mod enactment;
 pub mod engine;
 pub mod gamma;
+pub mod parallel;
 pub mod price;
 pub mod prices;
 pub mod rate;
@@ -62,6 +63,7 @@ pub use dynamics::{run_scenario, ProblemChange, RandomChurn, Scenario, ScenarioO
 pub use enactment::{EnactmentPolicy, Enactor};
 pub use engine::{InitialRate, LrgpConfig, LrgpEngine, RunOutcome};
 pub use gamma::{AdaptiveGammaConfig, GammaController, GammaMode};
+pub use parallel::{ParallelLrgpEngine, Parallelism};
 pub use prices::PriceVector;
 pub use snapshot::EngineSnapshot;
 pub use trace::{Trace, TraceConfig};

@@ -159,6 +159,22 @@ pub fn solve_rate(
     }
 }
 
+/// Computes the new rate of a single flow (one per-element unit of the
+/// rate-allocation phase). Pure: reads only previous-iteration state, so the
+/// sequential and sharded engines call it with identical inputs and obtain
+/// bit-identical outputs.
+pub fn allocate_rate_for_flow(
+    problem: &Problem,
+    prices: &crate::prices::PriceVector,
+    populations: &[f64],
+    flow: FlowId,
+    previous_rate: f64,
+) -> f64 {
+    let aggregate = AggregateUtility::for_flow(problem, flow, populations);
+    let price = prices.aggregate_price(problem, flow, populations);
+    solve_rate(&aggregate, price, problem.flow(flow).bounds, previous_rate)
+}
+
 /// Computes new rates for every flow (the rate-allocation half of one LRGP
 /// iteration). `populations` and the returned vector are indexed by class id
 /// and flow id respectively; `previous_rates` supplies the fallback for
@@ -172,14 +188,7 @@ pub fn allocate_rates(
     problem
         .flow_ids()
         .map(|flow| {
-            let aggregate = AggregateUtility::for_flow(problem, flow, populations);
-            let price = prices.aggregate_price(problem, flow, populations);
-            solve_rate(
-                &aggregate,
-                price,
-                problem.flow(flow).bounds,
-                previous_rates[flow.index()],
-            )
+            allocate_rate_for_flow(problem, prices, populations, flow, previous_rates[flow.index()])
         })
         .collect()
 }

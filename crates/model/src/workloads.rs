@@ -216,6 +216,12 @@ pub struct RandomWorkload {
     pub rank: (f64, f64),
     /// Utility shape shared by all classes.
     pub shape: UtilityShape,
+    /// When `true`, ignore [`Self::shape`] and cycle each flow's classes
+    /// through [`UtilityShape::ALL`]. Flows with ≥ 2 classes then mix
+    /// shapes, which denies `solve_rate` its closed forms and forces the
+    /// bisection fallback — the compute-heavy regime the sharded engine is
+    /// benchmarked under.
+    pub mixed_shapes: bool,
     /// Node capacity `c_b`.
     pub node_capacity: f64,
     /// Flow-node cost `F_{b,i}`.
@@ -235,6 +241,7 @@ impl Default for RandomWorkload {
             max_population: (100, 2000),
             rank: (1.0, 100.0),
             shape: UtilityShape::Log,
+            mixed_shapes: false,
             node_capacity: GRYPHON_NODE_CAPACITY,
             flow_node_cost: GRYPHON_FLOW_NODE_COST,
             consumer_cost: GRYPHON_CONSUMER_COST,
@@ -264,12 +271,17 @@ impl RandomWorkload {
         for f in 0..self.flows {
             let src = b.add_labeled_node(self.node_capacity, format!("src{f}"));
             let flow = b.add_flow(src, bounds);
-            for _ in 0..self.classes_per_flow {
+            for c in 0..self.classes_per_flow {
                 let node = cnodes[rng.gen_range(0..cnodes.len())];
                 b.set_node_cost(flow, node, self.flow_node_cost);
                 let n_max = rng.gen_range(self.max_population.0..=self.max_population.1);
                 let rank = rng.gen_range(self.rank.0..=self.rank.1);
-                b.add_class(flow, node, n_max, self.shape.build(rank), self.consumer_cost);
+                let shape = if self.mixed_shapes {
+                    UtilityShape::ALL[c % UtilityShape::ALL.len()]
+                } else {
+                    self.shape
+                };
+                b.add_class(flow, node, n_max, shape.build(rank), self.consumer_cost);
             }
         }
         b.build().expect("random workload is structurally valid")
@@ -445,6 +457,31 @@ mod tests {
             assert!((50..=60).contains(&spec.max_population));
             let w = spec.utility.weight();
             assert!((2.0..=3.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn random_workload_mixed_shapes_cycle_within_each_flow() {
+        let cfg = RandomWorkload {
+            flows: 5,
+            classes_per_flow: 4,
+            mixed_shapes: true,
+            ..RandomWorkload::default()
+        };
+        let p = cfg.generate(&mut StdRng::seed_from_u64(3));
+        for f in p.flow_ids() {
+            let classes = p.classes_of_flow(f);
+            assert_eq!(classes.len(), 4);
+            let expected = [
+                UtilityShape::Log,
+                UtilityShape::Pow25,
+                UtilityShape::Pow50,
+                UtilityShape::Pow75,
+            ];
+            for (&c, shape) in classes.iter().zip(expected) {
+                let rank = p.class(c).utility.weight();
+                assert_eq!(p.class(c).utility, shape.build(rank));
+            }
         }
     }
 

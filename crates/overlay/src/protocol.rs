@@ -31,6 +31,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Result of one node's local Algorithm 2 + 3 round: the node price, its
+/// class populations, and the prices of the links it owns.
+type NodeRound = (f64, Vec<(ClassId, f64)>, Vec<(LinkId, f64)>);
+
 /// A protocol message or timer event.
 #[derive(Debug, Clone)]
 enum Event {
@@ -174,10 +178,7 @@ impl<'p> ProtocolState<'p> {
     /// Node-side admission + price computation (Algorithm 2) from the
     /// node's local view of rates, plus Algorithm 3 for the links this node
     /// owns. Returns the node price, populations and owned-link prices.
-    fn compute_node(
-        &mut self,
-        node: NodeId,
-    ) -> (f64, Vec<(ClassId, f64)>, Vec<(LinkId, f64)>) {
+    fn compute_node(&mut self, node: NodeId) -> NodeRound {
         let admission = allocate_consumers(
             self.problem,
             node,

@@ -200,7 +200,7 @@ impl FilterGen {
                         }
                     }
                     _ if rng.gen_bool(self.range_bias) => {
-                        [Cmp::Lt, Cmp::Le, Cmp::Ge, Cmp::Gt][rng.gen_range(0..4)]
+                        [Cmp::Lt, Cmp::Le, Cmp::Ge, Cmp::Gt][rng.gen_range(0..4usize)]
                     }
                     _ => {
                         if rng.gen_bool(0.5) {

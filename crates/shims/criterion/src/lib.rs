@@ -1,0 +1,237 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmark-definition API this workspace uses —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! backed by a simple wall-clock timing loop instead of criterion's
+//! statistical machinery. Each benchmark is warmed up briefly, then timed
+//! over an adaptively chosen iteration count; the mean time per iteration
+//! (and throughput, when declared) is printed to stdout.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets), every benchmark runs exactly one iteration so the suite
+//! doubles as a smoke test.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// How long the measurement loop aims to run per benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+/// How long the warm-up loop runs per benchmark.
+const TARGET_WARMUP: Duration = Duration::from_millis(50);
+
+/// Declared throughput for a benchmark group, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration measured by the last `iter` call.
+    mean: Duration,
+    /// True when running in `--test` smoke mode (single iteration, no timing).
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.mean = Duration::ZERO;
+            return;
+        }
+        // Warm-up: also discovers roughly how long one iteration takes.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < TARGET_WARMUP {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters.max(1) as u32;
+        let iters = if per_iter.is_zero() {
+            10_000
+        } else {
+            (TARGET_MEASURE.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / iters as u32;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{} ns", nanos)
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.test_mode {
+        println!("{name}: ok (smoke test, 1 iteration)");
+        return;
+    }
+    let mean = bencher.mean;
+    let mut line = format!("{name}: {} /iter", format_duration(mean));
+    if let Some(tp) = throughput {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  ({:.3e} elem/s)", n as f64 / secs));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  ({:.3e} B/s)", n as f64 / secs));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark manager; one per `criterion_group!`.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/libtest pass through that take a value.
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| name.contains(f))
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.selected(name) {
+            let mut bencher = Bencher { mean: Duration::ZERO, test_mode: self.test_mode };
+            f(&mut bencher);
+            report(name, &bencher, None);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.selected(&full) {
+            return;
+        }
+        let mut bencher = Bencher { mean: Duration::ZERO, test_mode: self.criterion.test_mode };
+        f(&mut bencher);
+        report(&full, &bencher, self.throughput);
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run(id, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

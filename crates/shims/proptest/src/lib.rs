@@ -1,0 +1,130 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Deterministic randomized property testing over the vendored `rand` shim.
+//! Covers the API surface this workspace uses: the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, [`prop_assert!`]/[`prop_assert_eq!`],
+//! [`prop_oneof!`], [`strategy::Strategy::prop_map`], [`arbitrary::any`],
+//! [`collection::vec`], numeric range strategies, [`strategy::Just`], and
+//! tuple strategies.
+//!
+//! Differences from real proptest: cases are drawn from a fixed seed
+//! sequence (test name hash + case index), there is no shrinking, and
+//! `.proptest-regressions` files are ignored. Failures report the case
+//! number and per-test deterministic seed, which reproduces the input.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod runner;
+pub mod strategy;
+pub mod test_runner;
+
+/// `bool` strategies, mirroring `proptest::bool`.
+pub mod bool {
+    /// Strategy producing both booleans.
+    pub const ANY: crate::strategy::BoolAny = crate::strategy::BoolAny;
+}
+
+/// `f64` strategies are plain ranges; nothing extra needed.
+pub use crate::runner::TestCaseError;
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property-test functions; see the crate docs for the supported
+/// grammar.
+///
+/// Unlike real proptest, `#[test]` is **not** added implicitly — this
+/// workspace annotates every function inside `proptest!` with an explicit
+/// `#[test]`, and adding a second one would register each test twice.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                $crate::runner::run_cases(&__config, stringify!($name), |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), __rng);)*
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __result
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (with the
+/// reproducing seed) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Chooses uniformly among the given strategies (unweighted form only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(::std::boxed::Box::new($strategy)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}

@@ -1,0 +1,59 @@
+//! Case execution loop and failure reporting.
+
+use crate::test_runner::ProptestConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A failed property-test case (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure carrying the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// Alias kept for parity with real proptest's `TestCaseError::Fail`.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// FNV-1a over the test name: gives each test its own deterministic seed
+/// stream without any global state.
+fn name_hash(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Runs `config.cases` deterministic cases of `case`, panicking (so the test
+/// harness records a failure) with the case index and seed on the first `Err`.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = name_hash(name);
+    for index in 0..config.cases {
+        let seed = base ^ u64::from(index).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(err) = case(&mut rng) {
+            panic!(
+                "proptest case failed: {} (test `{}`, case {}/{}, seed {:#x})",
+                err, name, index, config.cases, seed
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Runner configuration (`proptest::test_runner::ProptestConfig`).
+
+/// Controls how many cases each property test runs, mirroring the fields of
+/// real proptest's config that this workspace touches. Construct with struct
+/// update syntax: `ProptestConfig { cases: 64, ..ProptestConfig::default() }`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of randomized cases to execute per test.
+    pub cases: u32,
+    /// Maximum rejected (filtered-out) cases tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_global_rejects: 65536 }
+    }
+}
+
+impl ProptestConfig {
+    /// Convenience constructor matching real proptest.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}

@@ -1,0 +1,453 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` shim without depending on `syn`/`quote` (unavailable in
+//! this offline build environment). The input item is parsed with a small
+//! hand-rolled token walker that extracts exactly what code generation
+//! needs: field *names* for named structs, field *counts* for tuple structs,
+//! and the variant list for enums. Field types are never inspected — the
+//! generated code lets Rust's type inference pick the right
+//! `serde::Deserialize` impl per field.
+//!
+//! Supported shapes (everything this workspace derives):
+//! * structs with named fields,
+//! * tuple structs (single-field ones delegate to the inner value, matching
+//!   both real serde's newtype behavior and `#[serde(transparent)]`),
+//! * unit structs,
+//! * enums with unit, newtype, tuple, and struct variants, encoded with
+//!   real serde's external tagging.
+//!
+//! Generic types and non-`transparent` serde attributes are rejected with a
+//! compile error naming the construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the item parser extracts.
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Entry point for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Entry point for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(shape) => gen(&shape).parse().expect("generated impl parses"),
+        Err(msg) => format!("::core::compile_error!({msg:?});").parse().expect("error parses"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde shim derive: generic type `{name}` is not supported"));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct { name, arity: count_tuple_fields(g.stream()) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("serde shim derive supports struct/enum, found `{other}`")),
+    }
+}
+
+/// Skips `#[...]` outer attributes (doc comments arrive in this form too).
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1; // '#'
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skips a type (or any token run) up to a top-level `,`, tracking `<...>`
+/// nesting so commas inside generic arguments don't terminate early.
+/// Leaves `pos` on the comma (or at end).
+fn skip_to_top_level_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        skip_to_top_level_comma(&tokens, &mut pos);
+        pos += 1; // consume the comma (or step past end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated, non-empty chunks in a tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        let start = pos;
+        skip_to_top_level_comma(&tokens, &mut pos);
+        if pos > start {
+            count += 1;
+        }
+        pos += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Step over the separating comma, if any.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec::Vec::from([{}]))\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec::Vec::from([{}]))\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec::Vec::from([\
+                                 (::std::string::String::from({vn:?}), ::serde::Serialize::to_value(__f0))])),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec::Vec::from([\
+                                     (::std::string::String::from({vn:?}), ::serde::Value::Array(\
+                                         ::std::vec::Vec::from([{}])))])),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec::Vec::from([\
+                                     (::std::string::String::from({vn:?}), ::serde::Value::Object(\
+                                         ::std::vec::Vec::from([{}])))])),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(__obj, {f:?})?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                             ::std::format!(\"expected object for {name}, found {{}}\", __v.kind())))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let elems: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::get_elem(__arr, {i})?")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::custom(\
+                             ::std::format!(\"expected array for {name}, found {{}}\", __v.kind())))?;\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(_inner)?)),"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::get_elem(__arr, {i})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let __arr = _inner.as_array().ok_or_else(|| ::serde::DeError::custom(\
+                                         \"expected array for variant {vn}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::get_field(__obj, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let __obj = _inner.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                                         \"expected object for variant {vn}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     ::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                                 let _tag = &__entries[0].0;\n\
+                                 let _inner = &__entries[0].1;\n\
+                                 match _tag.as_str() {{\n\
+                                     {}\n\
+                                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                         ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"expected enum {name}, found {{}}\", __other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}

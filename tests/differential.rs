@@ -1,0 +1,198 @@
+//! Differential-testing harness: the sharded parallel engine must be
+//! **bit-identical** to the sequential reference engine.
+//!
+//! Both engines run step-by-step over randomized problems; after every
+//! single iteration the harness compares rates, populations (admissions),
+//! node prices, link prices, γ values, and the total-utility trace with
+//! `f64::to_bits` equality — no tolerances anywhere. Any reassociated sum,
+//! racy write, or out-of-order reduction in the parallel path shows up as a
+//! hard failure with the iteration and element index.
+
+use lrgp::{LrgpConfig, LrgpEngine, ParallelLrgpEngine, Parallelism, TraceConfig};
+use lrgp_model::workloads::{link_bottleneck_workload, paper_workload, RandomWorkload};
+use lrgp_model::{Problem, UtilityShape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Asserts two f64 slices are bit-for-bit equal.
+fn assert_bits_eq(label: &str, iteration: usize, seq: &[f64], par: &[f64]) {
+    assert_eq!(seq.len(), par.len(), "{label} length at iteration {iteration}");
+    for (i, (s, p)) in seq.iter().zip(par).enumerate() {
+        assert!(
+            s.to_bits() == p.to_bits(),
+            "{label}[{i}] diverged at iteration {iteration}: sequential {s:?} ({:#x}) vs \
+             parallel {p:?} ({:#x})",
+            s.to_bits(),
+            p.to_bits(),
+        );
+    }
+}
+
+/// Runs both engines `iterations` steps over `problem`, checking full-state
+/// bit-identity after every step.
+fn assert_engines_identical(
+    problem: Problem,
+    config: LrgpConfig,
+    parallelism: Parallelism,
+    iterations: usize,
+) {
+    let sequential_config =
+        LrgpConfig { parallelism: Parallelism::Sequential, trace: TraceConfig::full(), ..config };
+    let parallel_config =
+        LrgpConfig { parallelism, trace: TraceConfig::full(), ..config };
+    let mut sequential = LrgpEngine::new(problem.clone(), sequential_config);
+    let mut parallel = ParallelLrgpEngine::new(problem, parallel_config);
+    for k in 1..=iterations {
+        let u_seq = sequential.step();
+        let u_par = parallel.step();
+        assert!(
+            u_seq.to_bits() == u_par.to_bits(),
+            "utility diverged at iteration {k}: {u_seq:?} vs {u_par:?}"
+        );
+        let a_seq = sequential.allocation();
+        let a_par = parallel.allocation();
+        assert_bits_eq("rates", k, a_seq.rates(), a_par.rates());
+        assert_bits_eq("populations", k, a_seq.populations(), a_par.populations());
+        assert_bits_eq(
+            "node_prices",
+            k,
+            sequential.prices().node_prices(),
+            parallel.prices().node_prices(),
+        );
+        assert_bits_eq(
+            "link_prices",
+            k,
+            sequential.prices().link_prices(),
+            parallel.prices().link_prices(),
+        );
+        let gammas_seq: Vec<f64> =
+            sequential.problem().node_ids().map(|n| sequential.node_gamma(n)).collect();
+        let gammas_par: Vec<f64> =
+            parallel.problem().node_ids().map(|n| parallel.engine().node_gamma(n)).collect();
+        assert_bits_eq("gammas", k, &gammas_seq, &gammas_par);
+    }
+    // The recorded traces, being per-iteration snapshots of the state
+    // checked above, must agree wholesale.
+    assert_bits_eq(
+        "utility trace",
+        iterations,
+        sequential.trace().utility.values(),
+        parallel.trace().utility.values(),
+    );
+}
+
+fn workload_strategy() -> impl Strategy<Value = (RandomWorkload, u64, usize)> {
+    (
+        2usize..24,   // flows
+        1usize..8,    // consumer nodes
+        1usize..5,    // classes per flow
+        prop_oneof![
+            Just(UtilityShape::Log),
+            Just(UtilityShape::Pow25),
+            Just(UtilityShape::Pow50),
+            Just(UtilityShape::Pow75),
+        ],
+        0u64..1_000_000, // workload seed
+        2usize..8,    // worker threads
+    )
+        .prop_map(|(flows, cnodes, classes, shape, seed, threads)| {
+            let workload = RandomWorkload {
+                flows,
+                consumer_nodes: cnodes,
+                classes_per_flow: classes,
+                shape,
+                ..RandomWorkload::default()
+            };
+            (workload, seed, threads)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The acceptance criterion: ≥ 100 randomized problems, bit-identical
+    /// rates, admissions, prices, and utility traces at every iteration.
+    #[test]
+    fn parallel_engine_bit_identical_on_random_problems(
+        (workload, seed, threads) in workload_strategy()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = workload.generate(&mut rng);
+        assert_engines_identical(
+            problem,
+            LrgpConfig::default(),
+            Parallelism::Threads(threads),
+            25,
+        );
+    }
+}
+
+#[test]
+fn parallel_engine_bit_identical_on_paper_workload() {
+    // The Table 1 workload, long enough to pass through the initial
+    // oscillation and the adaptive-γ regime changes.
+    for threads in [2, 3, 4, 7] {
+        assert_engines_identical(
+            paper_workload(UtilityShape::Log, 1, 1),
+            LrgpConfig::default(),
+            Parallelism::Threads(threads),
+            120,
+        );
+    }
+}
+
+#[test]
+fn parallel_engine_bit_identical_with_link_prices() {
+    // RandomWorkload has no links; this workload makes the link-price phase
+    // (Eq. 13) the binding constraint so its sharded path is exercised.
+    assert_engines_identical(
+        link_bottleneck_workload(500.0),
+        LrgpConfig { link_gamma: 2e-3, ..LrgpConfig::default() },
+        Parallelism::Threads(2),
+        200,
+    );
+}
+
+#[test]
+fn parallel_engine_bit_identical_under_auto() {
+    // Auto may resolve to any worker count (including 1); identity must
+    // hold regardless.
+    let mut rng = StdRng::seed_from_u64(7);
+    let workload = RandomWorkload { flows: 64, consumer_nodes: 16, ..RandomWorkload::default() };
+    let problem = workload.generate(&mut rng);
+    assert_engines_identical(problem, LrgpConfig::default(), Parallelism::Auto, 40);
+}
+
+#[test]
+fn parallel_engine_bit_identical_with_more_workers_than_elements() {
+    // Degenerate sharding: more threads than flows/nodes must not change
+    // results (each chunk holds at most one element).
+    let mut rng = StdRng::seed_from_u64(11);
+    let workload = RandomWorkload { flows: 3, consumer_nodes: 2, ..RandomWorkload::default() };
+    let problem = workload.generate(&mut rng);
+    assert_engines_identical(problem, LrgpConfig::default(), Parallelism::Threads(32), 30);
+}
+
+#[test]
+fn parallel_engine_matches_through_flow_removal() {
+    // Dynamics (Fig. 3): removing a flow mid-run must keep the engines in
+    // lockstep afterwards too.
+    let problem = paper_workload(UtilityShape::Log, 1, 1);
+    let config = LrgpConfig { trace: TraceConfig::full(), ..LrgpConfig::default() };
+    let mut sequential = LrgpEngine::new(problem.clone(), config);
+    let mut parallel = ParallelLrgpEngine::with_threads(problem, config, 4);
+    sequential.run(50);
+    parallel.run(50);
+    let flow = lrgp_model::FlowId::new(5);
+    sequential.remove_flow(flow);
+    parallel.engine_mut().remove_flow(flow);
+    for k in 1..=50 {
+        let u_seq = sequential.step();
+        let u_par = parallel.step();
+        assert!(
+            u_seq.to_bits() == u_par.to_bits(),
+            "utility diverged at post-removal iteration {k}: {u_seq:?} vs {u_par:?}"
+        );
+    }
+}
