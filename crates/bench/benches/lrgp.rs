@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use lrgp::admission::{allocate_consumers, AdmissionPolicy, PopulationMode};
 use lrgp::rate::{solve_rate, AggregateUtility};
-use lrgp::{LrgpConfig, LrgpEngine, ParallelLrgpEngine};
+use lrgp::{IncrementalMode, LrgpConfig, LrgpEngine, ParallelLrgpEngine, Parallelism};
 use lrgp_model::workloads::{RandomWorkload, Table2Workload};
 use lrgp_model::{NodeId, Problem, RateBounds, Utility};
 use rand::rngs::StdRng;
@@ -110,12 +110,35 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_incremental(c: &mut Criterion) {
+    let problem = large_workload();
+    let mut group = c.benchmark_group("lrgp_incremental_step");
+    // Near-converged regime: warm up past the initial oscillation so the
+    // dirty sets reflect the steady state the incremental path targets.
+    let variants: [(&str, IncrementalMode, Parallelism); 4] = [
+        ("baseline", IncrementalMode::Off, Parallelism::Sequential),
+        ("incremental", IncrementalMode::On, Parallelism::Sequential),
+        ("incremental_threads_2", IncrementalMode::On, Parallelism::Threads(2)),
+        ("incremental_threads_4", IncrementalMode::On, Parallelism::Threads(4)),
+    ];
+    for (label, incremental, parallelism) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &problem, |b, p| {
+            let config = LrgpConfig { incremental, parallelism, ..LrgpConfig::default() };
+            let mut engine = LrgpEngine::new(p.clone(), config);
+            engine.run(300);
+            b.iter(|| black_box(engine.step()));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_iteration,
     bench_convergence,
     bench_rate_solver,
     bench_admission,
-    bench_parallel
+    bench_parallel,
+    bench_incremental
 );
 criterion_main!(benches);

@@ -1,0 +1,245 @@
+//! `lrgp bench` — tracked per-iteration step benchmarks.
+//!
+//! Measures the LRGP step with the full-recompute baseline and with the
+//! incremental dirty-set path ([`lrgp::incremental`]) on two workloads:
+//!
+//! * **paper** — the Table 1 base workload (small; bookkeeping-bound).
+//! * **large** — a synthetic workload sized so the per-iteration kernel
+//!   work dominates; this is where the incremental path's skipping pays.
+//!
+//! For each workload it reports the median first-iteration time (on a
+//! fresh engine; the incremental path's term tables are precomputed at
+//! engine construction, so this measures the all-dirty step) and the
+//! median near-converged step time (after a warmup run), plus a
+//! worker-thread sweep of the incremental path. `--json`
+//! writes the machine-readable report (default `BENCH_lrgp.json`), which is
+//! committed to the repository as the tracked baseline.
+
+use lrgp::{IncrementalMode, LrgpConfig, LrgpEngine, Parallelism};
+use lrgp_model::workloads::{paper_workload, RandomWorkload};
+use lrgp_model::{Problem, UtilityShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Median step times of one engine variant, nanoseconds.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct VariantNs {
+    /// Median time of the first iteration on a fresh engine (the term
+    /// tables are built at engine construction; this is the all-dirty
+    /// step).
+    pub first_iteration_ns: u64,
+    /// Median per-iteration time after the warmup run.
+    pub near_converged_ns: u64,
+}
+
+/// One entry of the incremental worker-thread sweep.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ThreadsEntry {
+    /// Worker threads (1 = sequential path).
+    pub threads: usize,
+    /// Median near-converged incremental step time, nanoseconds.
+    pub near_converged_ns: u64,
+}
+
+/// Benchmark results of one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadBench {
+    /// Workload label.
+    pub name: String,
+    /// Problem dimensions, for context.
+    pub flows: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of consumer classes.
+    pub classes: usize,
+    /// The full-recompute sequential reference.
+    pub baseline: VariantNs,
+    /// The dirty-set path, single-threaded.
+    pub incremental: VariantNs,
+    /// `baseline / incremental` near-converged median (higher is better).
+    pub near_converged_speedup: f64,
+    /// `incremental / baseline` first-iteration median (at most ~1.1 by the
+    /// acceptance criterion: the table build must stay cheap).
+    pub first_iteration_ratio: f64,
+    /// Incremental near-converged medians across worker counts.
+    pub threads_sweep: Vec<ThreadsEntry>,
+}
+
+/// The whole report, serialized to `BENCH_lrgp.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// True when produced by `--quick` (smaller samples; CI smoke).
+    pub quick: bool,
+    /// Warmup iterations before the near-converged sampling window.
+    pub warmup_iterations: usize,
+    /// Timed iterations per median.
+    pub sample_iterations: usize,
+    /// Per-workload results.
+    pub workloads: Vec<WorkloadBench>,
+}
+
+struct BenchParams {
+    warmup: usize,
+    samples: usize,
+    first_repeats: usize,
+}
+
+fn config(incremental: IncrementalMode, parallelism: Parallelism) -> LrgpConfig {
+    LrgpConfig { incremental, parallelism, ..LrgpConfig::default() }
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Median wall time of the first iteration over fresh engines.
+fn first_iteration_ns(problem: &Problem, config: LrgpConfig, repeats: usize) -> u64 {
+    let samples = (0..repeats)
+        .map(|_| {
+            let mut engine = LrgpEngine::new(problem.clone(), config);
+            let start = Instant::now();
+            engine.step();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    median(samples)
+}
+
+/// Median per-step wall time after `warmup` iterations.
+fn near_converged_ns(
+    problem: &Problem,
+    config: LrgpConfig,
+    warmup: usize,
+    samples: usize,
+) -> u64 {
+    let mut engine = LrgpEngine::new(problem.clone(), config);
+    engine.run(warmup);
+    let times = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            engine.step();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    median(times)
+}
+
+fn bench_workload(name: &str, problem: &Problem, params: &BenchParams) -> WorkloadBench {
+    let baseline_config = config(IncrementalMode::Off, Parallelism::Sequential);
+    let incremental_config = config(IncrementalMode::On, Parallelism::Sequential);
+    let baseline = VariantNs {
+        first_iteration_ns: first_iteration_ns(problem, baseline_config, params.first_repeats),
+        near_converged_ns: near_converged_ns(
+            problem,
+            baseline_config,
+            params.warmup,
+            params.samples,
+        ),
+    };
+    let incremental = VariantNs {
+        first_iteration_ns: first_iteration_ns(
+            problem,
+            incremental_config,
+            params.first_repeats,
+        ),
+        near_converged_ns: near_converged_ns(
+            problem,
+            incremental_config,
+            params.warmup,
+            params.samples,
+        ),
+    };
+    let threads_sweep = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let parallelism = if threads == 1 {
+                Parallelism::Sequential
+            } else {
+                Parallelism::Threads(threads)
+            };
+            ThreadsEntry {
+                threads,
+                near_converged_ns: near_converged_ns(
+                    problem,
+                    config(IncrementalMode::On, parallelism),
+                    params.warmup,
+                    params.samples,
+                ),
+            }
+        })
+        .collect();
+    WorkloadBench {
+        name: name.to_string(),
+        flows: problem.num_flows(),
+        nodes: problem.num_nodes(),
+        classes: problem.num_classes(),
+        near_converged_speedup: baseline.near_converged_ns as f64
+            / incremental.near_converged_ns.max(1) as f64,
+        first_iteration_ratio: incremental.first_iteration_ns as f64
+            / baseline.first_iteration_ns.max(1) as f64,
+        baseline,
+        incremental,
+        threads_sweep,
+    }
+}
+
+/// The large synthetic workload: enough flows, nodes, and classes that the
+/// per-iteration kernel work dominates the step.
+fn large_workload(quick: bool) -> Problem {
+    let workload = RandomWorkload {
+        flows: if quick { 120 } else { 400 },
+        consumer_nodes: if quick { 12 } else { 24 },
+        classes_per_flow: 4,
+        mixed_shapes: true,
+        ..RandomWorkload::default()
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    workload.generate(&mut rng)
+}
+
+/// Runs the full benchmark suite.
+pub fn run_bench(quick: bool) -> BenchReport {
+    let params = if quick {
+        BenchParams { warmup: 120, samples: 60, first_repeats: 3 }
+    } else {
+        BenchParams { warmup: 300, samples: 200, first_repeats: 5 }
+    };
+    let workloads = vec![
+        bench_workload("paper_base", &paper_workload(UtilityShape::Log, 1, 1), &params),
+        bench_workload("large_synthetic", &large_workload(quick), &params),
+    ];
+    BenchReport {
+        quick,
+        warmup_iterations: params.warmup,
+        sample_iterations: params.samples,
+        workloads,
+    }
+}
+
+/// Human-readable summary of a report.
+pub fn print_report(report: &BenchReport) {
+    for w in &report.workloads {
+        println!(
+            "{} ({} flows, {} nodes, {} classes):",
+            w.name, w.flows, w.nodes, w.classes
+        );
+        println!(
+            "  first iteration : baseline {:>10} ns, incremental {:>10} ns (ratio {:.2})",
+            w.baseline.first_iteration_ns, w.incremental.first_iteration_ns, w.first_iteration_ratio
+        );
+        println!(
+            "  near converged  : baseline {:>10} ns, incremental {:>10} ns (speedup {:.2}x)",
+            w.baseline.near_converged_ns, w.incremental.near_converged_ns, w.near_converged_speedup
+        );
+        for t in &w.threads_sweep {
+            println!(
+                "  incremental near-converged @ {} thread(s): {:>10} ns",
+                t.threads, t.near_converged_ns
+            );
+        }
+    }
+}

@@ -46,6 +46,30 @@ pub enum ThreadsArg {
     Count(usize),
 }
 
+/// Incremental-evaluation selection for `solve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementalArg {
+    /// Force the full-recompute reference step.
+    Off,
+    /// Force the dirty-set incremental step.
+    On,
+    /// Let the engine decide (the default).
+    Auto,
+}
+
+impl IncrementalArg {
+    fn parse(raw: &str) -> Result<IncrementalArg, ParseError> {
+        match raw {
+            "off" => Ok(IncrementalArg::Off),
+            "on" => Ok(IncrementalArg::On),
+            "auto" => Ok(IncrementalArg::Auto),
+            other => {
+                Err(ParseError(format!("--incremental: expected on|off|auto, got {other:?}")))
+            }
+        }
+    }
+}
+
 /// `lrgp workload` — generate a workload JSON file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadCmd {
@@ -70,10 +94,23 @@ pub struct SolveCmd {
     pub gamma: GammaArg,
     /// Worker threads for the sharded engine.
     pub threads: ThreadsArg,
+    /// Incremental dirty-set evaluation.
+    pub incremental: IncrementalArg,
     /// Optional CSV path for the utility trace.
     pub trace: Option<PathBuf>,
     /// Optional JSON path for the solved problem + allocation.
     pub save: Option<PathBuf>,
+}
+
+/// `lrgp bench` — per-iteration step benchmarks, baseline vs incremental.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCmd {
+    /// Write the machine-readable report to [`BenchCmd::output`].
+    pub json: bool,
+    /// Shrink warmup/sample counts for CI smoke runs.
+    pub quick: bool,
+    /// Report path (default `BENCH_lrgp.json`).
+    pub output: PathBuf,
 }
 
 /// `lrgp anneal` — run the simulated-annealing baseline.
@@ -127,6 +164,8 @@ pub enum Command {
     Workload(WorkloadCmd),
     /// Run LRGP.
     Solve(SolveCmd),
+    /// Step benchmarks.
+    Bench(BenchCmd),
     /// Run the SA baseline.
     Anneal(AnnealCmd),
     /// LRGP vs SA.
@@ -157,7 +196,8 @@ lrgp — utility optimization for event-driven distributed infrastructures
 
 USAGE:
   lrgp workload [--shape log|pow25|pow50|pow75] [--systems N] [--cnodes N] -o FILE
-  lrgp solve    <base|FILE> [--iters N] [--gamma adaptive|FLOAT] [--threads auto|N] [--trace CSV] [--save JSON]
+  lrgp solve    <base|FILE> [--iters N] [--gamma adaptive|FLOAT] [--threads auto|N] [--incremental on|off|auto] [--trace CSV] [--save JSON]
+  lrgp bench    [--json] [--quick] [--out FILE]
   lrgp anneal   <base|FILE> [--steps N] [--temp T] [--seed N]
   lrgp compare  <base|FILE> [--steps N] [--seed N]
   lrgp simulate <base|FILE> [--async] [--latency MS] [--amount N]
@@ -221,6 +261,7 @@ where
                 iterations: 250,
                 gamma: GammaArg::Adaptive,
                 threads: ThreadsArg::Sequential,
+                incremental: IncrementalArg::Auto,
                 trace: None,
                 save: None,
             };
@@ -251,12 +292,33 @@ where
                             }
                         };
                     }
+                    "--incremental" => {
+                        cmd.incremental = IncrementalArg::parse(take_value(flag, &mut it)?)?;
+                    }
                     "--trace" => cmd.trace = Some(PathBuf::from(take_value(flag, &mut it)?)),
                     "--save" => cmd.save = Some(PathBuf::from(take_value(flag, &mut it)?)),
                     other => return Err(ParseError(format!("solve: unknown flag {other}"))),
                 }
             }
             Ok(Command::Solve(cmd))
+        }
+        "bench" => {
+            let mut cmd = BenchCmd {
+                json: false,
+                quick: false,
+                output: PathBuf::from("BENCH_lrgp.json"),
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--json" => cmd.json = true,
+                    "--quick" => cmd.quick = true,
+                    "--out" | "--output" => {
+                        cmd.output = PathBuf::from(take_value(flag, &mut it)?);
+                    }
+                    other => return Err(ParseError(format!("bench: unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Bench(cmd))
         }
         "anneal" => {
             let target = it.next().ok_or_else(|| ParseError("anneal: missing workload".into()))?;
@@ -382,6 +444,7 @@ mod tests {
                 iterations: 250,
                 gamma: GammaArg::Adaptive,
                 threads: ThreadsArg::Sequential,
+                incremental: IncrementalArg::Auto,
                 trace: None,
                 save: None,
             })
@@ -402,6 +465,46 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn solve_incremental_variants() {
+        let incremental = |args: &[&str]| match p(args).unwrap() {
+            Command::Solve(s) => s.incremental,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(incremental(&["solve", "base"]), IncrementalArg::Auto);
+        assert_eq!(incremental(&["solve", "base", "--incremental", "on"]), IncrementalArg::On);
+        assert_eq!(incremental(&["solve", "base", "--incremental", "off"]), IncrementalArg::Off);
+        assert_eq!(
+            incremental(&["solve", "base", "--incremental", "auto"]),
+            IncrementalArg::Auto
+        );
+        assert!(p(&["solve", "base", "--incremental", "maybe"])
+            .unwrap_err()
+            .0
+            .contains("on|off|auto"));
+    }
+
+    #[test]
+    fn bench_defaults_and_flags() {
+        assert_eq!(
+            p(&["bench"]).unwrap(),
+            Command::Bench(BenchCmd {
+                json: false,
+                quick: false,
+                output: PathBuf::from("BENCH_lrgp.json"),
+            })
+        );
+        assert_eq!(
+            p(&["bench", "--json", "--quick", "--out", "b.json"]).unwrap(),
+            Command::Bench(BenchCmd {
+                json: true,
+                quick: true,
+                output: PathBuf::from("b.json"),
+            })
+        );
+        assert!(p(&["bench", "--bogus"]).unwrap_err().0.contains("unknown flag"));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! them with LRGP, run the simulated-annealing baseline, compare the two,
 //! simulate the distributed protocol, and inspect workload files.
 
+mod bench;
 mod commands;
 mod run;
 

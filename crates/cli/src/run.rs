@@ -1,10 +1,10 @@
 //! Execution of parsed CLI commands.
 
 use crate::commands::{
-    AnnealCmd, Command, CompareCmd, GammaArg, InfoCmd, SimulateCmd, SolveCmd, ThreadsArg,
-    WorkloadCmd, WorkloadRef,
+    AnnealCmd, BenchCmd, Command, CompareCmd, GammaArg, IncrementalArg, InfoCmd, SimulateCmd,
+    SolveCmd, ThreadsArg, WorkloadCmd, WorkloadRef,
 };
-use lrgp::{GammaMode, LrgpConfig, LrgpEngine, Parallelism, TraceConfig};
+use lrgp::{GammaMode, IncrementalMode, LrgpConfig, LrgpEngine, Parallelism, TraceConfig};
 use lrgp_anneal::{sweep, AnnealConfig};
 use lrgp_model::io::ProblemFile;
 use lrgp_model::workloads::{self, paper_workload};
@@ -21,6 +21,7 @@ pub fn run(command: Command) -> CliResult {
     match command {
         Command::Workload(c) => workload(c),
         Command::Solve(c) => solve(c),
+        Command::Bench(c) => bench(c),
         Command::Anneal(c) => anneal_cmd(c),
         Command::Compare(c) => compare(c),
         Command::Simulate(c) => simulate(c),
@@ -75,9 +76,15 @@ fn solve(cmd: SolveCmd) -> CliResult {
         ThreadsArg::Auto => Parallelism::Auto,
         ThreadsArg::Count(n) => Parallelism::Threads(n),
     };
+    let incremental = match cmd.incremental {
+        IncrementalArg::Off => IncrementalMode::Off,
+        IncrementalArg::On => IncrementalMode::On,
+        IncrementalArg::Auto => IncrementalMode::Auto,
+    };
     let config = LrgpConfig {
         gamma,
         parallelism,
+        incremental,
         trace: TraceConfig::default(),
         ..LrgpConfig::default()
     };
@@ -117,6 +124,16 @@ fn solve(cmd: SolveCmd) -> CliResult {
             .with_allocation(allocation)
             .save(path)?;
         println!("solution written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn bench(cmd: BenchCmd) -> CliResult {
+    let report = crate::bench::run_bench(cmd.quick);
+    crate::bench::print_report(&report);
+    if cmd.json {
+        std::fs::write(&cmd.output, serde_json::to_string_pretty(&report)?)?;
+        println!("report written to {}", cmd.output.display());
     }
     Ok(())
 }

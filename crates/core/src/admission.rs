@@ -81,6 +81,36 @@ pub fn allocate_consumers(
     mode: PopulationMode,
     policy: AdmissionPolicy,
 ) -> NodeAdmission {
+    let mut order: Vec<(ClassId, f64)> =
+        problem.classes_at_node(node).iter().map(|&c| (c, 0.0)).collect();
+    let mut populations = Vec::with_capacity(order.len());
+    let (used, benefit_cost) =
+        allocate_consumers_into(problem, node, rates, mode, policy, &mut order, &mut populations);
+    NodeAdmission { populations, used, benefit_cost }
+}
+
+/// The greedy admission kernel of [`allocate_consumers`], writing into
+/// caller-owned scratch so the engine's hot loop allocates nothing.
+///
+/// `order` must hold exactly the classes of `node` (any permutation; the
+/// paired `f64`s are stale benefit–cost values and are overwritten).
+/// `populations` is cleared and refilled. Returns `(used, benefit_cost)`.
+///
+/// The comparator below is a *strict total order* (`f64::total_cmp`, ties
+/// broken by class id, ids unique), so the sorted result is unique no matter
+/// how `order` was permuted on entry — which is what lets the incremental
+/// engine keep each node's previously sorted order as the starting point
+/// (`sort_by` is adaptive and near-sorted input re-sorts in linear time)
+/// while staying bit-identical to a from-scratch sort.
+pub fn allocate_consumers_into(
+    problem: &Problem,
+    node: NodeId,
+    rates: &[f64],
+    mode: PopulationMode,
+    policy: AdmissionPolicy,
+    order: &mut [(ClassId, f64)],
+    populations: &mut Vec<(ClassId, f64)>,
+) -> (f64, f64) {
     // Consumer-independent flow cost at this node.
     let flow_cost: f64 = problem
         .flows_at_node(node)
@@ -90,25 +120,22 @@ pub fn allocate_consumers(
     let capacity = problem.node(node).capacity;
 
     // Classes ordered by decreasing benefit–cost ratio. Ties broken by
-    // class id for determinism.
-    let mut order: Vec<(ClassId, f64)> = problem
-        .classes_at_node(node)
-        .iter()
-        .map(|&c| {
-            let r = rates[problem.class(c).flow.index()];
-            (c, benefit_cost(problem, c, r))
-        })
-        .collect();
-    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-        .then_with(|| a.0.cmp(&b.0)));
+    // class id for determinism; `total_cmp` keeps the comparator a total
+    // order even for NaN/degenerate ratios (a NaN BC — e.g. an unbounded
+    // rate — must not make the sort order unspecified).
+    for entry in order.iter_mut() {
+        let r = rates[problem.class(entry.0).flow.index()];
+        entry.1 = benefit_cost(problem, entry.0, r);
+    }
+    order.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
     let mut remaining = capacity - flow_cost;
     let mut used = flow_cost;
-    let mut populations = Vec::with_capacity(order.len());
+    populations.clear();
     let mut node_bc: f64 = 0.0;
     let mut blocked = false;
 
-    for &(class, bc) in &order {
+    for &(class, bc) in order.iter() {
         let spec = problem.class(class);
         let rate = rates[spec.flow.index()];
         let max = spec.max_population as f64;
@@ -148,7 +175,7 @@ pub fn allocate_consumers(
         populations.push((class, admitted));
     }
 
-    NodeAdmission { populations, used, benefit_cost: node_bc }
+    (used, node_bc)
 }
 
 #[cfg(test)]
@@ -348,6 +375,75 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn nan_benefit_cost_is_handled_totally_and_deterministically() {
+        // A NaN utility weight drives BC to NaN while every cost stays
+        // finite. The old `partial_cmp(..).unwrap_or(Equal)` comparator was
+        // *inconsistent* on such input (NaN "equal" to everything while real
+        // ratios still ordered), leaving the sort order unspecified;
+        // `total_cmp` keeps the order total, so the allocation must be
+        // deterministic and must not panic.
+        let cap = 30.0 * 1900.0;
+        let (p, rates) = one_node(cap, 0.0, &[(20, f64::NAN, 19.0), (20, 50.0, 19.0)]);
+        assert!(benefit_cost(&p, ClassId::new(0), 100.0).is_nan());
+        let run = || {
+            allocate_consumers(
+                &p,
+                NodeId::new(0),
+                &rates,
+                PopulationMode::Integral,
+                AdmissionPolicy::StopAtFirstBlock,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "NaN BC must not make the order unspecified");
+        // Under the total order NaN sorts above every real ratio, so the
+        // degenerate class saturates first (20 consumers) and the finite one
+        // takes the remaining 10 slots.
+        assert_eq!(pops(&a), vec![20.0, 10.0]);
+        assert!((a.used - cap).abs() < 1e-9);
+        // Eq. 11's max ignores NaN: the node BC is the finite class's ratio.
+        let expected_bc = benefit_cost(&p, ClassId::new(1), 100.0);
+        assert_eq!(a.benefit_cost.to_bits(), expected_bc.to_bits());
+    }
+
+    #[test]
+    fn scratch_kernel_matches_allocate_consumers_from_any_permutation() {
+        let (p, rates) = one_node(
+            12.0 * 1900.0,
+            1.0,
+            &[(500, 5.0, 19.0), (800, 50.0, 19.0), (200, 2.0, 7.0)],
+        );
+        let reference = allocate_consumers(
+            &p,
+            NodeId::new(0),
+            &rates,
+            PopulationMode::Integral,
+            AdmissionPolicy::StopAtFirstBlock,
+        );
+        // Feed the kernel every rotation of the class list with stale BC
+        // values: the strict total order must produce the identical result.
+        let classes: Vec<ClassId> = p.classes_at_node(NodeId::new(0)).to_vec();
+        for rot in 0..classes.len() {
+            let mut order: Vec<(ClassId, f64)> =
+                classes.iter().cycle().skip(rot).take(classes.len()).map(|&c| (c, -1.0)).collect();
+            let mut populations = Vec::new();
+            let (used, bc) = allocate_consumers_into(
+                &p,
+                NodeId::new(0),
+                &rates,
+                PopulationMode::Integral,
+                AdmissionPolicy::StopAtFirstBlock,
+                &mut order,
+                &mut populations,
+            );
+            assert_eq!(used.to_bits(), reference.used.to_bits());
+            assert_eq!(bc.to_bits(), reference.benefit_cost.to_bits());
+            assert_eq!(populations, reference.populations, "rotation {rot}");
         }
     }
 

@@ -15,6 +15,7 @@
 
 use crate::admission::{allocate_consumers, AdmissionPolicy, PopulationMode};
 use crate::gamma::{GammaController, GammaMode};
+use crate::incremental::{IncrementalMode, IncrementalState};
 use crate::parallel::Parallelism;
 use crate::price::{update_link_price, update_node_price_with_rule, NodePriceRule};
 use crate::prices::PriceVector;
@@ -68,6 +69,10 @@ pub struct LrgpConfig {
     /// How the step's three phases are executed (sequential by default;
     /// the sharded parallel path is bit-identical, see [`crate::parallel`]).
     pub parallelism: Parallelism,
+    /// Whether [`LrgpEngine::step`] uses the incremental dirty-set path
+    /// (off by default — the full recompute is the reference; the
+    /// incremental path is bit-identical, see [`crate::incremental`]).
+    pub incremental: IncrementalMode,
 }
 
 impl Default for LrgpConfig {
@@ -84,6 +89,7 @@ impl Default for LrgpConfig {
             convergence: ConvergenceCriterion::paper_default(),
             trace: TraceConfig::default(),
             parallelism: Parallelism::default(),
+            incremental: IncrementalMode::default(),
         }
     }
 }
@@ -127,6 +133,10 @@ pub struct LrgpEngine {
     gamma_controllers: Vec<GammaController>,
     iteration: usize,
     trace: Trace,
+    /// Built at construction when the config enables incremental stepping;
+    /// dropped whenever the problem or the optimizer state is replaced
+    /// wholesale, then lazily rebuilt on the next incremental step.
+    incremental: Option<IncrementalState>,
 }
 
 impl LrgpEngine {
@@ -155,6 +165,9 @@ impl LrgpEngine {
             problem.num_links(),
             problem.num_classes(),
         );
+        // Precompute the term tables and caches up front so the first
+        // incremental step pays only its (all-dirty) kernel work.
+        let incremental = config.incremental.enabled().then(|| IncrementalState::new(&problem));
         Self {
             populations: vec![0.0; problem.num_classes()],
             problem,
@@ -164,6 +177,7 @@ impl LrgpEngine {
             gamma_controllers,
             iteration: 0,
             trace,
+            incremental,
         }
     }
 
@@ -175,12 +189,35 @@ impl LrgpEngine {
     /// per-element kernels on the same previous-iteration inputs, so the
     /// results (and the recorded trace) are bit-identical either way.
     pub fn step(&mut self) -> f64 {
+        if self.config.incremental.enabled() {
+            return self.step_incremental();
+        }
         let workers = self.effective_workers();
         if workers > 1 {
             self.step_parallel(workers)
         } else {
             self.step_sequential()
         }
+    }
+
+    /// Dirty-set step ([`crate::incremental`]): bit-identical to the
+    /// baseline paths, but only recomputes what changed. The incremental
+    /// state is normally built at engine construction; after an
+    /// invalidation (problem/state replacement) it is rebuilt here.
+    fn step_incremental(&mut self) -> f64 {
+        let Self { problem, config, rates, populations, prices, gamma_controllers, incremental, .. } =
+            self;
+        let state = incremental.get_or_insert_with(|| IncrementalState::new(problem));
+        let utility = state.step(problem, config, rates, populations, prices, gamma_controllers);
+        self.record_step(utility);
+        utility
+    }
+
+    /// The incremental state, if the engine has stepped incrementally since
+    /// the last invalidation (test hook).
+    #[cfg(test)]
+    pub(crate) fn incremental_state(&self) -> Option<&IncrementalState> {
+        self.incremental.as_ref()
     }
 
     /// Worker count the configured [`Parallelism`] resolves to for this
@@ -525,6 +562,9 @@ impl LrgpEngine {
         self.prices = prices;
         self.gamma_controllers = gamma_controllers;
         self.iteration = iteration;
+        // The caches no longer describe the stored state; rebuild from
+        // scratch on the next incremental step.
+        self.incremental = None;
     }
 
     /// Current γ of `node`'s price controller.
@@ -559,6 +599,10 @@ impl LrgpEngine {
             self.populations[c.index()] = self.populations[c.index()].min(max);
         }
         self.problem = problem;
+        // Term tables and dirty sets were built against the old problem;
+        // the next incremental step rebuilds them and treats everything as
+        // dirty, exactly like a freshly constructed engine would.
+        self.incremental = None;
     }
 
     /// Removes `flow` from the system (its source leaves, §4.2 Fig. 3):

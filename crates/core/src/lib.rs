@@ -50,6 +50,7 @@ pub mod dynamics;
 pub mod enactment;
 pub mod engine;
 pub mod gamma;
+pub mod incremental;
 pub mod parallel;
 pub mod price;
 pub mod prices;
@@ -63,6 +64,7 @@ pub use dynamics::{run_scenario, ProblemChange, RandomChurn, Scenario, ScenarioO
 pub use enactment::{EnactmentPolicy, Enactor};
 pub use engine::{InitialRate, LrgpConfig, LrgpEngine, RunOutcome};
 pub use gamma::{AdaptiveGammaConfig, GammaController, GammaMode};
+pub use incremental::IncrementalMode;
 pub use parallel::{ParallelLrgpEngine, Parallelism};
 pub use prices::PriceVector;
 pub use snapshot::EngineSnapshot;

@@ -27,6 +27,18 @@
 //!
 //! The differential harness in `tests/differential.rs` enforces this with
 //! `f64::to_bits` equality at every iteration over randomized problems.
+//!
+//! # Composition with incremental evaluation
+//!
+//! The dirty-set step ([`crate::incremental`]) shards the *dirty* element
+//! lists instead of the full id ranges, resolving its worker count with
+//! [`Parallelism::workers_for`] on the dirty count — a step with ten dirty
+//! flows stays sequential under [`Parallelism::Auto`] even on a
+//! thousand-flow problem. The same determinism argument applies unchanged:
+//! the dirty lists are sorted ascending, chunks are contiguous sublists,
+//! and skipped elements keep their previous-iteration bits, so the parallel
+//! incremental trace is bit-identical to the sequential baseline too (same
+//! harness, same `to_bits` check).
 
 use crate::engine::{LrgpConfig, LrgpEngine, RunOutcome};
 use crate::prices::PriceVector;

@@ -6,7 +6,7 @@
 //! the path's link and node prices together with the flow's cost
 //! coefficients and the current consumer populations.
 
-use lrgp_model::{FlowId, LinkId, NodeId, Problem};
+use lrgp_model::{FlowId, LinkId, NodeId, PriceTermTable, Problem};
 use serde::{Deserialize, Serialize};
 
 /// The complete price state of the system: one price per node and per link.
@@ -111,6 +111,54 @@ impl PriceVector {
         self.aggregate_link_price(problem, flow)
             + self.aggregate_node_price(problem, flow, populations)
     }
+
+    /// `PL_i` (Eq. 8) from a precomputed term table: a linear scan over the
+    /// flow's contiguous link terms. Bit-identical to
+    /// [`Self::aggregate_link_price`] — the table stores the same costs in
+    /// the same order, so the sum performs the same additions.
+    pub fn aggregate_link_price_from_table(&self, table: &PriceTermTable, flow: FlowId) -> f64 {
+        table
+            .link_terms(flow)
+            .iter()
+            .map(|&(link, cost)| cost * self.link_prices[link as usize])
+            .sum()
+    }
+
+    /// `PB_i` (Eq. 9) from a precomputed term table. Bit-identical to
+    /// [`Self::aggregate_node_price`]: the per-node inner sums and the outer
+    /// fold run over the same terms in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `populations` is shorter than the number of classes.
+    pub fn aggregate_node_price_from_table(
+        &self,
+        table: &PriceTermTable,
+        flow: FlowId,
+        populations: &[f64],
+    ) -> f64 {
+        let mut total = 0.0;
+        for term in table.node_terms(flow) {
+            let mut per_rate_cost = term.flow_cost;
+            for &(class, consumer_cost) in table.class_terms(term) {
+                per_rate_cost += consumer_cost * populations[class as usize];
+            }
+            total += per_rate_cost * self.node_prices[term.node as usize];
+        }
+        total
+    }
+
+    /// `PL_i + PB_i` from a precomputed term table; bit-identical to
+    /// [`Self::aggregate_price`] on the problem the table was built from.
+    pub fn aggregate_price_from_table(
+        &self,
+        table: &PriceTermTable,
+        flow: FlowId,
+        populations: &[f64],
+    ) -> f64 {
+        self.aggregate_link_price_from_table(table, flow)
+            + self.aggregate_node_price_from_table(table, flow, populations)
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +232,30 @@ mod tests {
         v.set_node(NodeId::new(1), 2.0);
         let total = v.aggregate_price(&p, FlowId::new(0), &[0.0]);
         assert!((total - (1.0 + 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_aggregates_match_accessor_aggregates_bitwise() {
+        let p = fixture();
+        let table = PriceTermTable::new(&p);
+        let mut v = PriceVector::zeros(&p);
+        v.set_link(LinkId::new(0), 0.371);
+        v.set_node(NodeId::new(1), 2.043);
+        let flow = FlowId::new(0);
+        for pops in [[0.0], [4.0], [17.5]] {
+            assert_eq!(
+                v.aggregate_link_price(&p, flow).to_bits(),
+                v.aggregate_link_price_from_table(&table, flow).to_bits()
+            );
+            assert_eq!(
+                v.aggregate_node_price(&p, flow, &pops).to_bits(),
+                v.aggregate_node_price_from_table(&table, flow, &pops).to_bits()
+            );
+            assert_eq!(
+                v.aggregate_price(&p, flow, &pops).to_bits(),
+                v.aggregate_price_from_table(&table, flow, &pops).to_bits()
+            );
+        }
     }
 
     #[test]

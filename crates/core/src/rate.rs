@@ -23,7 +23,7 @@ const MAX_ITER: usize = 200;
 
 /// The weighted utility terms `Σ_j n_j U_j(r)` of one flow's rate
 /// subproblem.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AggregateUtility {
     terms: Vec<(f64, Utility)>,
 }
@@ -32,15 +32,24 @@ impl AggregateUtility {
     /// Collects the active terms (`n_j > 0`) for `flow` from `populations`
     /// (indexed by class id).
     pub fn for_flow(problem: &Problem, flow: FlowId, populations: &[f64]) -> Self {
-        let terms = problem
-            .classes_of_flow(flow)
-            .iter()
-            .filter_map(|&c| {
-                let n = populations[c.index()];
-                (n > 0.0).then(|| (n, problem.class(c).utility))
-            })
-            .collect();
-        Self { terms }
+        let mut agg = Self::default();
+        agg.refill_for_flow(problem, flow, populations);
+        agg
+    }
+
+    /// Clears the terms and recollects them for `flow`, reusing the existing
+    /// allocation. Produces the same terms in the same order as
+    /// [`Self::for_flow`]; once the buffer has grown to the flow's class
+    /// count this performs no allocation, which is what the incremental
+    /// engine's hot path relies on.
+    pub fn refill_for_flow(&mut self, problem: &Problem, flow: FlowId, populations: &[f64]) {
+        self.terms.clear();
+        for &c in problem.classes_of_flow(flow) {
+            let n = populations[c.index()];
+            if n > 0.0 {
+                self.terms.push((n, problem.class(c).utility));
+            }
+        }
     }
 
     /// Builds directly from `(population, utility)` pairs; zero-population

@@ -1,0 +1,111 @@
+//! Property tests for the precomputed price-term tables.
+//!
+//! The incremental engine aggregates `PL_i`/`PB_i` from the flattened
+//! [`PriceTermTable`] instead of walking the problem's accessor maps. The
+//! table is only admissible if it performs the **same floating-point
+//! additions in the same order** — these tests assert `f64::to_bits`
+//! equality of both aggregation routes on randomized problems, prices, and
+//! populations.
+
+use lrgp::PriceVector;
+use lrgp_model::workloads::{link_bottleneck_workload, RandomWorkload};
+use lrgp_model::{PriceTermTable, Problem, UtilityShape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fills prices and populations with pseudo-random values (including exact
+/// zeros, which exercise the `max(0.0)` projection and the skip guards).
+fn randomize_state(problem: &Problem, rng: &mut StdRng) -> (PriceVector, Vec<f64>) {
+    let mut prices = PriceVector::zeros(problem);
+    for node in problem.node_ids() {
+        if rng.gen_range(0..4) != 0 {
+            prices.set_node(node, rng.gen_range(0.0..10.0));
+        }
+    }
+    for link in problem.link_ids() {
+        if rng.gen_range(0..4) != 0 {
+            prices.set_link(link, rng.gen_range(0.0..10.0));
+        }
+    }
+    let populations: Vec<f64> = problem
+        .class_ids()
+        .map(|c| {
+            let max = problem.class(c).max_population as f64;
+            if rng.gen_range(0..4) == 0 { 0.0 } else { rng.gen_range(0.0..=max.max(1.0)) }
+        })
+        .collect();
+    (prices, populations)
+}
+
+/// Asserts both aggregation routes agree bitwise for every flow.
+fn assert_table_matches(problem: &Problem, prices: &PriceVector, populations: &[f64]) {
+    let table = PriceTermTable::new(problem);
+    for flow in problem.flow_ids() {
+        let direct_link = prices.aggregate_link_price(problem, flow);
+        let table_link = prices.aggregate_link_price_from_table(&table, flow);
+        assert_eq!(
+            direct_link.to_bits(),
+            table_link.to_bits(),
+            "PL diverged for flow {flow:?}: {direct_link:?} vs {table_link:?}"
+        );
+        let direct_node = prices.aggregate_node_price(problem, flow, populations);
+        let table_node = prices.aggregate_node_price_from_table(&table, flow, populations);
+        assert_eq!(
+            direct_node.to_bits(),
+            table_node.to_bits(),
+            "PB diverged for flow {flow:?}: {direct_node:?} vs {table_node:?}"
+        );
+        let direct = prices.aggregate_price(problem, flow, populations);
+        let table_total = prices.aggregate_price_from_table(&table, flow, populations);
+        assert_eq!(
+            direct.to_bits(),
+            table_total.to_bits(),
+            "PL+PB diverged for flow {flow:?}: {direct:?} vs {table_total:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// On random problems with random prices and populations, the table
+    /// route reproduces `aggregate_price` bit-for-bit.
+    #[test]
+    fn table_aggregation_bit_identical_on_random_problems(
+        flows in 2usize..24,
+        cnodes in 1usize..8,
+        classes in 1usize..5,
+        shape in prop_oneof![
+            Just(UtilityShape::Log),
+            Just(UtilityShape::Pow25),
+            Just(UtilityShape::Pow50),
+            Just(UtilityShape::Pow75),
+        ],
+        seed in 0u64..1_000_000,
+    ) {
+        let workload = RandomWorkload {
+            flows,
+            consumer_nodes: cnodes,
+            classes_per_flow: classes,
+            shape,
+            ..RandomWorkload::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = workload.generate(&mut rng);
+        let (prices, populations) = randomize_state(&problem, &mut rng);
+        assert_table_matches(&problem, &prices, &populations);
+    }
+}
+
+#[test]
+fn table_aggregation_bit_identical_with_links() {
+    // RandomWorkload has no links; the bottleneck workload exercises the
+    // link-term half of the table (Eq. 8) with nonzero link prices.
+    let problem = link_bottleneck_workload(500.0);
+    for seed in [3u64, 17, 99] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (prices, populations) = randomize_state(&problem, &mut rng);
+        assert_table_matches(&problem, &prices, &populations);
+    }
+}

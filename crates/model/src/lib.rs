@@ -42,6 +42,7 @@ pub mod analysis;
 pub mod ids;
 pub mod io;
 pub mod problem;
+pub mod terms;
 pub mod utility;
 pub mod workloads;
 
@@ -51,4 +52,5 @@ pub use ids::{ClassId, FlowId, LinkId, NodeId};
 pub use problem::{
     ClassSpec, FlowSpec, LinkSpec, NodeSpec, Problem, ProblemBuilder, RateBounds, ValidationError,
 };
+pub use terms::{NodePriceTerm, PriceTermTable};
 pub use utility::{Utility, UtilityShape};

@@ -1,0 +1,233 @@
+//! Flattened, cache-friendly price-term tables (CSR layout).
+//!
+//! The price aggregation of Eqs. 8–9 walks, per flow, its link costs, its
+//! node costs, and the consumer costs of its classes at each node. The
+//! [`crate::Problem`] accessors serve those walks through per-flow `Vec`s of
+//! `(id, cost)` pairs plus an id-filtered scan for `attachMap_i(b)` — fine
+//! for one evaluation, wasteful when the same walk runs every iteration of
+//! an optimizer.
+//!
+//! [`PriceTermTable`] precomputes the walks once into four contiguous arrays
+//! in CSR (compressed sparse row) style: all link terms of all flows live in
+//! one `Vec` sliced by per-flow offsets, and likewise for node terms, class
+//! terms, and per-link usage terms. Aggregating a flow's price becomes a
+//! pair of linear scans over adjacent memory with no nested id-indexed
+//! lookups and no per-call filtering.
+//!
+//! The tables store terms in **exactly** the order the `Problem` accessors
+//! produce them ([`Problem::links_of_flow`], [`Problem::nodes_of_flow`],
+//! [`Problem::classes_of_flow_at_node`], [`Problem::flows_on_link`]), so a
+//! consumer that folds them left-to-right performs the same floating-point
+//! additions in the same order as the accessor-based code and obtains
+//! bit-identical sums. A table is a snapshot: rebuild it whenever the
+//! problem is replaced.
+
+use crate::ids::{FlowId, LinkId};
+use crate::problem::Problem;
+
+/// One node term of a flow's `PB_i` aggregation (Eq. 9): the node, the
+/// flow-cost coefficient `F_{b,i}`, and the slice of class terms attached to
+/// the flow at this node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodePriceTerm {
+    /// Node index (raw id).
+    pub node: u32,
+    /// `F_{b,i}`: the consumer-independent per-rate cost at the node.
+    pub flow_cost: f64,
+    /// Start of this term's class range in [`PriceTermTable::class_terms`].
+    pub class_start: u32,
+    /// End (exclusive) of this term's class range.
+    pub class_end: u32,
+}
+
+/// Precomputed CSR-style term tables for price aggregation and link usage.
+///
+/// # Examples
+///
+/// ```
+/// use lrgp_model::workloads::base_workload;
+/// use lrgp_model::{FlowId, PriceTermTable};
+///
+/// let problem = base_workload();
+/// let table = PriceTermTable::new(&problem);
+/// let flow = FlowId::new(0);
+/// // The node terms mirror Problem::nodes_of_flow exactly.
+/// assert_eq!(table.node_terms(flow).len(), problem.nodes_of_flow(flow).len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceTermTable {
+    /// `(link index, L_{l,i})` for every flow, concatenated.
+    link_terms: Vec<(u32, f64)>,
+    /// Per-flow offsets into `link_terms` (length `num_flows + 1`).
+    link_offsets: Vec<u32>,
+    /// Node terms for every flow, concatenated.
+    node_terms: Vec<NodePriceTerm>,
+    /// Per-flow offsets into `node_terms` (length `num_flows + 1`).
+    node_offsets: Vec<u32>,
+    /// `(class index, G_{b,j})`, indexed by the ranges in `node_terms`.
+    class_terms: Vec<(u32, f64)>,
+    /// `(flow index, L_{l,i})` for every link, concatenated.
+    usage_terms: Vec<(u32, f64)>,
+    /// Per-link offsets into `usage_terms` (length `num_links + 1`).
+    usage_offsets: Vec<u32>,
+}
+
+impl PriceTermTable {
+    /// Builds the tables by walking every flow and link of `problem` in
+    /// accessor order.
+    pub fn new(problem: &Problem) -> Self {
+        let mut link_terms = Vec::new();
+        let mut link_offsets = Vec::with_capacity(problem.num_flows() + 1);
+        let mut node_terms = Vec::new();
+        let mut node_offsets = Vec::with_capacity(problem.num_flows() + 1);
+        let mut class_terms = Vec::with_capacity(problem.num_classes());
+        link_offsets.push(0);
+        node_offsets.push(0);
+        for flow in problem.flow_ids() {
+            for &(link, cost) in problem.links_of_flow(flow) {
+                link_terms.push((link.index() as u32, cost));
+            }
+            link_offsets.push(link_terms.len() as u32);
+            for &(node, flow_cost) in problem.nodes_of_flow(flow) {
+                let class_start = class_terms.len() as u32;
+                for class in problem.classes_of_flow_at_node(flow, node) {
+                    class_terms
+                        .push((class.index() as u32, problem.class(class).consumer_cost));
+                }
+                node_terms.push(NodePriceTerm {
+                    node: node.index() as u32,
+                    flow_cost,
+                    class_start,
+                    class_end: class_terms.len() as u32,
+                });
+            }
+            node_offsets.push(node_terms.len() as u32);
+        }
+        let mut usage_terms = Vec::new();
+        let mut usage_offsets = Vec::with_capacity(problem.num_links() + 1);
+        usage_offsets.push(0);
+        for link in problem.link_ids() {
+            for &flow in problem.flows_on_link(link) {
+                usage_terms.push((flow.index() as u32, problem.link_cost(link, flow)));
+            }
+            usage_offsets.push(usage_terms.len() as u32);
+        }
+        Self {
+            link_terms,
+            link_offsets,
+            node_terms,
+            node_offsets,
+            class_terms,
+            usage_terms,
+            usage_offsets,
+        }
+    }
+
+    /// `flow`'s link terms, in [`Problem::links_of_flow`] order.
+    pub fn link_terms(&self, flow: FlowId) -> &[(u32, f64)] {
+        let lo = self.link_offsets[flow.index()] as usize;
+        let hi = self.link_offsets[flow.index() + 1] as usize;
+        &self.link_terms[lo..hi]
+    }
+
+    /// `flow`'s node terms, in [`Problem::nodes_of_flow`] order.
+    pub fn node_terms(&self, flow: FlowId) -> &[NodePriceTerm] {
+        let lo = self.node_offsets[flow.index()] as usize;
+        let hi = self.node_offsets[flow.index() + 1] as usize;
+        &self.node_terms[lo..hi]
+    }
+
+    /// The class terms of one node term, in
+    /// [`Problem::classes_of_flow_at_node`] order.
+    pub fn class_terms(&self, term: &NodePriceTerm) -> &[(u32, f64)] {
+        &self.class_terms[term.class_start as usize..term.class_end as usize]
+    }
+
+    /// `link`'s usage terms `(flow index, L_{l,i})`, in
+    /// [`Problem::flows_on_link`] order.
+    pub fn link_usage_terms(&self, link: LinkId) -> &[(u32, f64)] {
+        let lo = self.usage_offsets[link.index()] as usize;
+        let hi = self.usage_offsets[link.index() + 1] as usize;
+        &self.usage_terms[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ProblemBuilder, RateBounds};
+    use crate::utility::Utility;
+    use crate::workloads;
+
+    /// src → link → sink with two classes at the sink plus one flow-only
+    /// node.
+    fn fixture() -> Problem {
+        let mut b = ProblemBuilder::new();
+        let src = b.add_node(1e6);
+        let sink = b.add_node(9e5);
+        let relay = b.add_node(5e5);
+        let l = b.add_link_between(1e4, src, sink);
+        let f = b.add_flow(src, RateBounds::new(10.0, 1000.0).unwrap());
+        b.set_link_cost(f, l, 2.0);
+        b.set_node_cost(f, sink, 3.0);
+        b.set_node_cost(f, relay, 1.5);
+        b.add_class(f, sink, 100, Utility::log(20.0), 19.0);
+        b.add_class(f, sink, 50, Utility::log(5.0), 7.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mirrors_problem_accessors() {
+        let p = fixture();
+        let t = PriceTermTable::new(&p);
+        let f = FlowId::new(0);
+        assert_eq!(t.link_terms(f), &[(0, 2.0)]);
+        let nodes = t.node_terms(f);
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].node, 1);
+        assert_eq!(nodes[0].flow_cost, 3.0);
+        assert_eq!(t.class_terms(&nodes[0]), &[(0, 19.0), (1, 7.0)]);
+        assert_eq!(nodes[1].node, 2);
+        assert_eq!(nodes[1].flow_cost, 1.5);
+        assert!(t.class_terms(&nodes[1]).is_empty());
+        assert_eq!(t.link_usage_terms(crate::ids::LinkId::new(0)), &[(0, 2.0)]);
+    }
+
+    #[test]
+    fn covers_every_flow_and_link_of_a_real_workload() {
+        let p = workloads::base_workload();
+        let t = PriceTermTable::new(&p);
+        let mut classes_seen = 0;
+        for flow in p.flow_ids() {
+            assert_eq!(t.link_terms(flow).len(), p.links_of_flow(flow).len());
+            let node_terms = t.node_terms(flow);
+            assert_eq!(node_terms.len(), p.nodes_of_flow(flow).len());
+            for (term, &(node, f_cost)) in node_terms.iter().zip(p.nodes_of_flow(flow)) {
+                assert_eq!(term.node as usize, node.index());
+                assert_eq!(term.flow_cost.to_bits(), f_cost.to_bits());
+                let expected: Vec<(u32, f64)> = p
+                    .classes_of_flow_at_node(flow, node)
+                    .map(|c| (c.index() as u32, p.class(c).consumer_cost))
+                    .collect();
+                assert_eq!(t.class_terms(term), expected.as_slice());
+                classes_seen += expected.len();
+            }
+        }
+        // Every class is attached to exactly one (flow, node) pair.
+        assert_eq!(classes_seen, p.num_classes());
+        for link in p.link_ids() {
+            assert_eq!(t.link_usage_terms(link).len(), p.flows_on_link(link).len());
+        }
+    }
+
+    #[test]
+    fn rebuild_after_flow_removal_zeroes_its_costs() {
+        let p = fixture();
+        let pruned = p.without_flow(FlowId::new(0));
+        let t = PriceTermTable::new(&pruned);
+        // `without_flow` keeps the entries but zeroes the coefficients; the
+        // rebuilt table must reflect that, not the original costs.
+        assert!(t.link_terms(FlowId::new(0)).iter().all(|&(_, c)| c == 0.0));
+        assert!(t.node_terms(FlowId::new(0)).iter().all(|term| term.flow_cost == 0.0));
+    }
+}

@@ -8,9 +8,12 @@
 //! racy write, or out-of-order reduction in the parallel path shows up as a
 //! hard failure with the iteration and element index.
 
-use lrgp::{LrgpConfig, LrgpEngine, ParallelLrgpEngine, Parallelism, TraceConfig};
+use lrgp::{
+    IncrementalMode, LrgpConfig, LrgpEngine, ParallelLrgpEngine, Parallelism, ProblemChange,
+    TraceConfig,
+};
 use lrgp_model::workloads::{link_bottleneck_workload, paper_workload, RandomWorkload};
-use lrgp_model::{Problem, UtilityShape};
+use lrgp_model::{FlowId, Problem, UtilityShape};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -82,6 +85,92 @@ fn assert_engines_identical(
     );
 }
 
+/// Compares the full optimizer state of `candidate` against `reference`
+/// with bitwise equality after iteration `k`.
+fn assert_same_state(label: &str, k: usize, reference: &LrgpEngine, candidate: &LrgpEngine) {
+    let a_ref = reference.allocation();
+    let a_can = candidate.allocation();
+    assert_bits_eq(&format!("{label} rates"), k, a_ref.rates(), a_can.rates());
+    assert_bits_eq(&format!("{label} populations"), k, a_ref.populations(), a_can.populations());
+    assert_bits_eq(
+        &format!("{label} node_prices"),
+        k,
+        reference.prices().node_prices(),
+        candidate.prices().node_prices(),
+    );
+    assert_bits_eq(
+        &format!("{label} link_prices"),
+        k,
+        reference.prices().link_prices(),
+        candidate.prices().link_prices(),
+    );
+    let gammas_ref: Vec<f64> =
+        reference.problem().node_ids().map(|n| reference.node_gamma(n)).collect();
+    let gammas_can: Vec<f64> =
+        candidate.problem().node_ids().map(|n| candidate.node_gamma(n)).collect();
+    assert_bits_eq(&format!("{label} gammas"), k, &gammas_ref, &gammas_can);
+}
+
+/// Runs the baseline full-recompute engine against two incremental engines
+/// (sequential and sharded with the given parallelism) in lockstep,
+/// asserting full-state bit-identity after every iteration. If `removal` is
+/// `Some((k, flow))`, the flow is removed from all three engines right
+/// before iteration `k` — the incremental engines must invalidate their
+/// dirty sets and stay identical afterwards.
+fn assert_incremental_identical(
+    problem: Problem,
+    config: LrgpConfig,
+    parallelism: Parallelism,
+    iterations: usize,
+    removal: Option<(usize, u32)>,
+) {
+    let baseline_config = LrgpConfig {
+        parallelism: Parallelism::Sequential,
+        incremental: IncrementalMode::Off,
+        trace: TraceConfig::full(),
+        ..config
+    };
+    let inc_seq_config = LrgpConfig { incremental: IncrementalMode::On, ..baseline_config };
+    let inc_par_config = LrgpConfig { parallelism, ..inc_seq_config };
+    let mut baseline = LrgpEngine::new(problem.clone(), baseline_config);
+    let mut inc_seq = LrgpEngine::new(problem.clone(), inc_seq_config);
+    let mut inc_par = LrgpEngine::new(problem, inc_par_config);
+    for k in 1..=iterations {
+        if let Some((at, flow)) = removal {
+            if k == at {
+                baseline.remove_flow(FlowId::new(flow));
+                inc_seq.remove_flow(FlowId::new(flow));
+                inc_par.remove_flow(FlowId::new(flow));
+            }
+        }
+        let u_base = baseline.step();
+        let u_seq = inc_seq.step();
+        let u_par = inc_par.step();
+        assert!(
+            u_base.to_bits() == u_seq.to_bits(),
+            "incremental-sequential utility diverged at iteration {k}: {u_base:?} vs {u_seq:?}"
+        );
+        assert!(
+            u_base.to_bits() == u_par.to_bits(),
+            "incremental-threads utility diverged at iteration {k}: {u_base:?} vs {u_par:?}"
+        );
+        assert_same_state("incremental-sequential", k, &baseline, &inc_seq);
+        assert_same_state("incremental-threads", k, &baseline, &inc_par);
+    }
+    assert_bits_eq(
+        "incremental-sequential utility trace",
+        iterations,
+        baseline.trace().utility.values(),
+        inc_seq.trace().utility.values(),
+    );
+    assert_bits_eq(
+        "incremental-threads utility trace",
+        iterations,
+        baseline.trace().utility.values(),
+        inc_par.trace().utility.values(),
+    );
+}
+
 fn workload_strategy() -> impl Strategy<Value = (RandomWorkload, u64, usize)> {
     (
         2usize..24,   // flows
@@ -124,6 +213,30 @@ proptest! {
             LrgpConfig::default(),
             Parallelism::Threads(threads),
             25,
+        );
+    }
+
+    /// The incremental acceptance criterion: on the same randomized problem
+    /// population, the dirty-set engine (sequential and threaded) is
+    /// bit-identical to the full-recompute baseline at every iteration —
+    /// including across a mid-run flow removal, which must invalidate the
+    /// term tables and dirty sets.
+    #[test]
+    fn incremental_engine_bit_identical_on_random_problems(
+        (workload, seed, threads) in workload_strategy()
+    ) {
+        let flows = workload.flows;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = workload.generate(&mut rng);
+        // Remove a seed-chosen flow before iteration 16 of 25, so every case
+        // exercises both steady-state skipping and invalidation.
+        let removal = Some((16, (seed % flows as u64) as u32));
+        assert_incremental_identical(
+            problem,
+            LrgpConfig::default(),
+            Parallelism::Threads(threads),
+            25,
+            removal,
         );
     }
 }
@@ -194,5 +307,78 @@ fn parallel_engine_matches_through_flow_removal() {
             u_seq.to_bits() == u_par.to_bits(),
             "utility diverged at post-removal iteration {k}: {u_seq:?} vs {u_par:?}"
         );
+    }
+}
+
+#[test]
+fn incremental_engine_bit_identical_on_paper_workload() {
+    // Long enough to pass through the initial oscillation, the adaptive-γ
+    // regime changes, and into the steady state where the dirty sets have
+    // shrunk to the churning core — the regime the skipping logic exists
+    // for.
+    for threads in [2, 4] {
+        assert_incremental_identical(
+            paper_workload(UtilityShape::Log, 1, 1),
+            LrgpConfig::default(),
+            Parallelism::Threads(threads),
+            300,
+            None,
+        );
+    }
+}
+
+#[test]
+fn incremental_engine_bit_identical_with_link_prices() {
+    // RandomWorkload has no links; this workload drives the dirty-link
+    // usage recomputation and the Eq. 13 change detection.
+    assert_incremental_identical(
+        link_bottleneck_workload(500.0),
+        LrgpConfig { link_gamma: 2e-3, ..LrgpConfig::default() },
+        Parallelism::Threads(2),
+        200,
+        Some((120, 0)),
+    );
+}
+
+#[test]
+fn incremental_engine_bit_identical_under_auto() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let workload = RandomWorkload { flows: 64, consumer_nodes: 16, ..RandomWorkload::default() };
+    let problem = workload.generate(&mut rng);
+    assert_incremental_identical(problem, LrgpConfig::default(), Parallelism::Auto, 40, None);
+}
+
+#[test]
+fn incremental_engine_matches_through_capacity_and_population_churn() {
+    // Dynamics beyond flow removal: capacity and max-population edits go
+    // through `replace_problem`, which must drop the incremental state so
+    // the next step re-derives everything against the edited problem.
+    let problem = paper_workload(UtilityShape::Log, 1, 1);
+    let config = LrgpConfig { trace: TraceConfig::full(), ..LrgpConfig::default() };
+    let inc_config = LrgpConfig { incremental: IncrementalMode::On, ..config };
+    let mut baseline = LrgpEngine::new(problem.clone(), config);
+    let mut incremental = LrgpEngine::new(problem, inc_config);
+    let node = baseline.problem().node_ids().next().expect("workload has nodes");
+    let class = baseline.problem().class_ids().next().expect("workload has classes");
+    let changes: [(usize, ProblemChange); 3] = [
+        (40, ProblemChange::SetNodeCapacity { node, capacity: 30_000.0 }),
+        (80, ProblemChange::SetMaxPopulation { class, max_population: 10 }),
+        (120, ProblemChange::SetNodeCapacity { node, capacity: 57_000.0 }),
+    ];
+    for k in 1..=160 {
+        for (at, change) in &changes {
+            if k == *at {
+                let edited = change.apply(baseline.problem()).expect("change is valid");
+                baseline.replace_problem(edited.clone());
+                incremental.replace_problem(edited);
+            }
+        }
+        let u_base = baseline.step();
+        let u_inc = incremental.step();
+        assert!(
+            u_base.to_bits() == u_inc.to_bits(),
+            "utility diverged at churn iteration {k}: {u_base:?} vs {u_inc:?}"
+        );
+        assert_same_state("churn", k, &baseline, &incremental);
     }
 }
