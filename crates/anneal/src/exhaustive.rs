@@ -147,6 +147,7 @@ pub fn exhaustive_search(
         }
     }
 
+    // lrgp-lint: allow(library-unwrap, reason = "the all-zero grid point is always enumerated and feasible, so best is Some")
     let best = best.expect("the all-zero population point is always enumerated");
     Ok(ExhaustiveOutcome { best, best_utility, feasible_points, total_points })
 }
@@ -306,6 +307,7 @@ pub fn exhaustive_search_exact_rates(
         }
     }
 
+    // lrgp-lint: allow(library-unwrap, reason = "the all-zero/minimum-rate point is always enumerated and feasible, so best is Some")
     let best = best.expect("all-zero populations with minimum rates must be enumerated");
     Ok(ExhaustiveOutcome { best, best_utility, feasible_points, total_points })
 }

@@ -304,16 +304,25 @@ pub fn sweep(
             })
             .collect();
         for h in handles {
-            runs.push(h.join().expect("annealing worker panicked"));
+            match h.join() {
+                Ok(run) => runs.push(run),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
-    runs.sort_by(|a, b| {
-        b.outcome
-            .best_utility
-            .partial_cmp(&a.outcome.best_utility)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    sort_runs_best_first(&mut runs);
     runs
+}
+
+/// Sorts sweep runs best-utility-first under `f64::total_cmp`, so a
+/// degenerate (NaN-utility) run lands in a fixed position instead of an
+/// input-order-dependent one. `sort_by` is stable, so equal-utility cells
+/// keep the deterministic temperature-major sweep order. Note the
+/// `total_cmp` NaN ordering: a positive-NaN outcome sorts *before* +∞ here
+/// — callers that must never pick a poisoned run should validate utility
+/// finiteness, not rely on ordering.
+pub fn sort_runs_best_first(runs: &mut [SweepRun]) {
+    runs.sort_by(|a, b| b.outcome.best_utility.total_cmp(&a.outcome.best_utility));
 }
 
 #[cfg(test)]
@@ -323,6 +332,34 @@ mod tests {
 
     fn small_cfg(seed: u64) -> AnnealConfig {
         AnnealConfig::paper(5.0, 50_000, seed)
+    }
+
+    #[test]
+    fn sort_runs_best_first_is_deterministic_with_nan_utility() {
+        let p = base_workload();
+        let mk = |utility: f64, label: f64| SweepRun {
+            start_temperature: label,
+            total_steps: 1,
+            outcome: SearchOutcome {
+                best: Allocation::lower_bounds(&p),
+                best_utility: utility,
+                steps: 1,
+                accepted: 0,
+                elapsed: Duration::ZERO,
+            },
+        };
+        let mut a = vec![mk(1.0, 1.0), mk(f64::NAN, 2.0), mk(5.0, 3.0)];
+        let mut b = vec![mk(5.0, 3.0), mk(1.0, 1.0), mk(f64::NAN, 2.0)];
+        sort_runs_best_first(&mut a);
+        sort_runs_best_first(&mut b);
+        let labels = |runs: &[SweepRun]| -> Vec<f64> {
+            runs.iter().map(|r| r.start_temperature).collect()
+        };
+        // Same order regardless of input permutation; positive NaN sorts
+        // first under descending total_cmp, the finite runs descend after.
+        assert_eq!(labels(&a), labels(&b));
+        assert!(a[0].outcome.best_utility.is_nan());
+        assert_eq!(labels(&a)[1..], [3.0, 1.0]);
     }
 
     #[test]

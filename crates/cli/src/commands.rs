@@ -157,6 +157,21 @@ pub struct InfoCmd {
     pub workload: WorkloadRef,
 }
 
+/// `lrgp lint` — run the determinism-invariant static analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintCmd {
+    /// Roots to scan (default: the current directory).
+    pub paths: Vec<PathBuf>,
+    /// Exit non-zero when any finding survives suppression.
+    pub deny: bool,
+    /// Emit the machine-readable JSON report instead of human lines.
+    pub json: bool,
+    /// Write the report to this file as well as stdout.
+    pub out: Option<PathBuf>,
+    /// Print the rule table and exit.
+    pub list_rules: bool,
+}
+
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -174,6 +189,8 @@ pub enum Command {
     Simulate(SimulateCmd),
     /// Describe a workload file.
     Info(InfoCmd),
+    /// Static analysis.
+    Lint(LintCmd),
     /// Print usage.
     Help,
 }
@@ -202,6 +219,7 @@ USAGE:
   lrgp compare  <base|FILE> [--steps N] [--seed N]
   lrgp simulate <base|FILE> [--async] [--latency MS] [--amount N]
   lrgp info     <FILE>
+  lrgp lint     [PATH ...] [--deny] [--json] [--out FILE] [--list-rules]
   lrgp help";
 
 fn take_value<'a, I: Iterator<Item = &'a str>>(
@@ -382,6 +400,25 @@ where
             let target = it.next().ok_or_else(|| ParseError("info: missing workload".into()))?;
             Ok(Command::Info(InfoCmd { workload: WorkloadRef::parse(target) }))
         }
+        "lint" => {
+            let mut cmd =
+                LintCmd { paths: Vec::new(), deny: false, json: false, out: None, list_rules: false };
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--deny" => cmd.deny = true,
+                    "--json" => cmd.json = true,
+                    "--out" | "--output" => {
+                        cmd.out = Some(PathBuf::from(take_value(arg, &mut it)?));
+                    }
+                    "--list-rules" => cmd.list_rules = true,
+                    other if other.starts_with('-') => {
+                        return Err(ParseError(format!("lint: unknown flag {other}")))
+                    }
+                    path => cmd.paths.push(PathBuf::from(path)),
+                }
+            }
+            Ok(Command::Lint(cmd))
+        }
         other => Err(ParseError(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -556,6 +593,43 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn lint_defaults_and_flags() {
+        assert_eq!(
+            p(&["lint"]).unwrap(),
+            Command::Lint(LintCmd {
+                paths: vec![],
+                deny: false,
+                json: false,
+                out: None,
+                list_rules: false,
+            })
+        );
+        assert_eq!(
+            p(&["lint", "crates/core", "crates/model", "--deny", "--json", "--out", "r.json"])
+                .unwrap(),
+            Command::Lint(LintCmd {
+                paths: vec![PathBuf::from("crates/core"), PathBuf::from("crates/model")],
+                deny: true,
+                json: true,
+                out: Some(PathBuf::from("r.json")),
+                list_rules: false,
+            })
+        );
+        assert_eq!(
+            p(&["lint", "--list-rules"]).unwrap(),
+            Command::Lint(LintCmd {
+                paths: vec![],
+                deny: false,
+                json: false,
+                out: None,
+                list_rules: true,
+            })
+        );
+        assert!(p(&["lint", "--bogus"]).unwrap_err().0.contains("unknown flag"));
+        assert!(p(&["lint", "--out"]).unwrap_err().0.contains("requires a value"));
     }
 
     #[test]

@@ -2,7 +2,11 @@
 //!
 //! Run `lrgp help` for usage. Subcommands: generate workload files, solve
 //! them with LRGP, run the simulated-annealing baseline, compare the two,
-//! simulate the distributed protocol, and inspect workload files.
+//! simulate the distributed protocol, inspect workload files, and run the
+//! determinism-invariant static analyzer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 mod bench;
 mod commands;

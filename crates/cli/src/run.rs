@@ -1,8 +1,8 @@
 //! Execution of parsed CLI commands.
 
 use crate::commands::{
-    AnnealCmd, BenchCmd, Command, CompareCmd, GammaArg, IncrementalArg, InfoCmd, SimulateCmd,
-    SolveCmd, ThreadsArg, WorkloadCmd, WorkloadRef,
+    AnnealCmd, BenchCmd, Command, CompareCmd, GammaArg, IncrementalArg, InfoCmd, LintCmd,
+    SimulateCmd, SolveCmd, ThreadsArg, WorkloadCmd, WorkloadRef,
 };
 use lrgp::{GammaMode, IncrementalMode, LrgpConfig, LrgpEngine, Parallelism, TraceConfig};
 use lrgp_anneal::{sweep, AnnealConfig};
@@ -26,8 +26,46 @@ pub fn run(command: Command) -> CliResult {
         Command::Compare(c) => compare(c),
         Command::Simulate(c) => simulate(c),
         Command::Info(c) => info(c),
+        Command::Lint(c) => lint(c),
         Command::Help => unreachable!("handled in main"),
     }
+}
+
+fn lint(cmd: LintCmd) -> CliResult {
+    if cmd.list_rules {
+        for rule in lrgp_lint::RULES {
+            println!("{}", rule.id);
+            println!("  flags:     {}", rule.summary);
+            println!("  protects:  {}", rule.invariant);
+        }
+        println!(
+            "\nsuppress with: // lrgp-lint: allow(<rule>, reason = \"...\") \
+             (covers its line and the next code line)"
+        );
+        return Ok(());
+    }
+    let roots = if cmd.paths.is_empty() {
+        vec![std::path::PathBuf::from(".")]
+    } else {
+        cmd.paths
+    };
+    let report = lrgp_lint::lint_paths(&roots)?;
+    if let Some(path) = &cmd.out {
+        std::fs::write(path, report.to_json())?;
+    }
+    if cmd.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if cmd.deny && !report.is_clean() {
+        return Err(format!(
+            "lint: {} unsuppressed finding(s) with --deny",
+            report.findings.len()
+        )
+        .into());
+    }
+    Ok(())
 }
 
 fn load(workload: &WorkloadRef) -> Result<Problem, Box<dyn Error>> {

@@ -327,7 +327,7 @@ impl LrgpEngine {
                 let mut rates = solve_chunk(0, flow_chunk.min(num_flows));
                 rates.reserve(num_flows - rates.len());
                 for handle in handles {
-                    rates.extend(handle.join().expect("rate worker panicked"));
+                    rates.extend(crate::parallel::join_worker(handle));
                 }
                 rates
             })
@@ -387,7 +387,7 @@ impl LrgpEngine {
                         .collect();
                     let mut outcomes = vec![run_chunk(0, head)];
                     outcomes
-                        .extend(handles.into_iter().map(|h| h.join().expect("node worker panicked")));
+                        .extend(handles.into_iter().map(crate::parallel::join_worker));
                     outcomes
                 });
             for chunk in outcomes {
@@ -436,7 +436,7 @@ impl LrgpEngine {
                     let mut out = price_chunk(0, link_chunk.min(num_links));
                     out.reserve(num_links - out.len());
                     for handle in handles {
-                        out.extend(handle.join().expect("link worker panicked"));
+                        out.extend(crate::parallel::join_worker(handle));
                     }
                     out
                 })

@@ -335,7 +335,7 @@ impl IncrementalState {
                     .collect();
                 solve_chunk(&mut head[0], inline);
                 for handle in handles {
-                    handle.join().expect("incremental rate worker panicked");
+                    crate::parallel::join_worker(handle);
                 }
             });
         }
@@ -405,7 +405,8 @@ impl IncrementalState {
         let mut base = 0usize;
         for ids in self.dirty_nodes.chunks(chunk) {
             let lo = ids[0] as usize;
-            let hi = *ids.last().expect("chunks are non-empty") as usize + 1;
+            // `chunks()` never yields an empty slice, so indexing is safe.
+            let hi = ids[ids.len() - 1] as usize + 1;
             let tail = std::mem::take(&mut caches);
             let (_, tail) = tail.split_at_mut(lo - base);
             let (mine, tail) = tail.split_at_mut(hi - lo);
@@ -427,7 +428,7 @@ impl IncrementalState {
                 run_job(job);
             }
             for handle in handles {
-                handle.join().expect("incremental admission worker panicked");
+                crate::parallel::join_worker(handle);
             }
         });
     }

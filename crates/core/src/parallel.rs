@@ -55,6 +55,19 @@ const AUTO_MIN_UNITS: usize = 192;
 /// with workers while per-step work is fixed).
 const AUTO_MAX_WORKERS: usize = 8;
 
+/// Joins a scoped worker, re-raising its panic payload unchanged.
+///
+/// Equivalent to `handle.join().expect(...)` but preserves the worker's
+/// original panic payload instead of replacing it with a new message, and
+/// keeps panicking escape hatches out of library code (the
+/// `library-unwrap` lint invariant).
+pub(crate) fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 /// How the engine executes the three phases of a step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum Parallelism {

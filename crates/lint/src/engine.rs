@@ -1,0 +1,368 @@
+//! Per-file analysis driver: token stream → findings.
+//!
+//! The engine owns everything that is rule-independent: classifying a file
+//! from its path, locating `#[cfg(test)]`/`#[test]` regions by brace
+//! matching, running every rule, and applying inline suppression
+//! directives. Rules (in [`crate::rules`]) only look at tokens.
+
+use crate::lexer::{lex, Token};
+use crate::rules;
+
+/// Pseudo-rule id for malformed or unknown suppression directives. Not a
+/// real rule: it cannot itself be suppressed, so a typo in an `allow(...)`
+/// can never silently disable enforcement.
+pub const BAD_DIRECTIVE: &str = "bad-directive";
+
+/// What role a file plays, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`src/**`) of an invariant-bearing crate.
+    Library,
+    /// Binary / experiment-harness code (`src/bin/**`, the `cli` and
+    /// `bench` crates): panicking on bad input is acceptable there, so
+    /// `library-unwrap` does not apply.
+    Harness,
+    /// Test, bench, example, or fixture code: exempt from all rules.
+    Test,
+}
+
+/// Crates whose `src/` is harness code rather than library code.
+const HARNESS_CRATES: &[&str] = &["cli", "bench"];
+
+/// Path components that mark a file as test-like.
+const TEST_COMPONENTS: &[&str] = &["tests", "benches", "examples", "fixtures"];
+
+/// Extracts the workspace crate name from a path like
+/// `crates/<name>/src/lib.rs`. Returns `None` for the root package.
+pub fn crate_of(path: &str) -> Option<&str> {
+    let mut parts = path.split('/').peekable();
+    while let Some(part) = parts.next() {
+        if part == "crates" {
+            return parts.peek().copied();
+        }
+    }
+    None
+}
+
+/// Classifies a (repo-relative, `/`-separated) path.
+pub fn classify(path: &str) -> FileKind {
+    if path.split('/').any(|c| TEST_COMPONENTS.contains(&c)) {
+        return FileKind::Test;
+    }
+    if path.contains("/src/bin/") {
+        return FileKind::Harness;
+    }
+    match crate_of(path) {
+        Some(name) if HARNESS_CRATES.contains(&name) => FileKind::Harness,
+        _ => FileKind::Library,
+    }
+}
+
+/// One diagnostic emitted by a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule id (stable, kebab-case).
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation of what is wrong and what to do instead.
+    pub message: String,
+}
+
+/// A suppression that actually matched a finding.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The suppressed rule.
+    pub rule: String,
+    /// File the directive lives in.
+    pub file: String,
+    /// Directive line.
+    pub line: u32,
+    /// The stated justification.
+    pub reason: String,
+}
+
+/// Everything the rules get to see about one file.
+pub struct FileContext<'a> {
+    /// Repo-relative path.
+    pub path: &'a str,
+    /// Role of the file.
+    pub kind: FileKind,
+    /// Workspace crate name, if under `crates/`.
+    pub krate: Option<&'a str>,
+    /// The full token stream.
+    pub tokens: &'a [Token],
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileContext<'_> {
+    /// True if token `idx` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| idx >= lo && idx <= hi)
+    }
+
+    /// Convenience: a finding anchored at token `idx`.
+    pub fn finding(&self, rule: &'static str, idx: usize, message: String) -> Finding {
+        let t = &self.tokens[idx];
+        Finding { rule, file: self.path.to_string(), line: t.line, col: t.col, message }
+    }
+}
+
+/// The analysis result for one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Unsuppressed findings, in source order.
+    pub findings: Vec<Finding>,
+    /// Findings that were suppressed by a directive (one entry per
+    /// directive that matched at least one finding).
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Locates `#[cfg(test)]`-style regions as token-index ranges.
+///
+/// An attribute marks the following item as test code when its token
+/// stream mentions the ident `test` and does not mention `not` (so
+/// `#[cfg(not(test))]` correctly stays live code). The region extends over
+/// the item's brace block, or to the terminating `;` for brace-less items
+/// like `#[cfg(test)] mod tests;`.
+fn test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Walk the attribute's bracket group.
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut saw_test = false;
+        let mut saw_not = false;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("test") {
+                saw_test = true;
+            } else if t.is_ident("not") {
+                saw_not = true;
+            }
+            j += 1;
+        }
+        if !(saw_test && !saw_not) {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further stacked attributes, then find the item body.
+        let mut k = j + 1;
+        while k < tokens.len()
+            && tokens[k].is_punct("#")
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct("["))
+        {
+            let mut d = 0usize;
+            k += 1;
+            while k < tokens.len() {
+                if tokens[k].is_punct("[") {
+                    d += 1;
+                } else if tokens[k].is_punct("]") {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // Scan the item header for `{` (start of body) or `;` (no body).
+        let mut paren = 0i32;
+        let mut end = None;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct("(") || t.is_punct("[") {
+                paren += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                paren -= 1;
+            } else if paren == 0 && t.is_punct(";") {
+                end = Some(k);
+                break;
+            } else if paren == 0 && t.is_punct("{") {
+                let mut braces = 1i32;
+                let mut m = k + 1;
+                while m < tokens.len() && braces > 0 {
+                    if tokens[m].is_punct("{") {
+                        braces += 1;
+                    } else if tokens[m].is_punct("}") {
+                        braces -= 1;
+                    }
+                    m += 1;
+                }
+                end = Some(m.saturating_sub(1));
+                break;
+            }
+            k += 1;
+        }
+        let end = end.unwrap_or(tokens.len().saturating_sub(1));
+        ranges.push((start, end));
+        i = end + 1;
+    }
+    ranges
+}
+
+/// Runs every rule on one file and applies suppression directives.
+///
+/// `path` should be the repo-relative path with `/` separators: it drives
+/// both file classification and the per-crate scoping of rules.
+pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
+    let lexed = lex(src);
+    let kind = classify(path);
+    let mut analysis = FileAnalysis::default();
+    // Directive hygiene is checked even in test files: a malformed
+    // directive anywhere is a lie about what is being enforced.
+    for (line, msg) in &lexed.directive_errors {
+        analysis.findings.push(Finding {
+            rule: BAD_DIRECTIVE,
+            file: path.to_string(),
+            line: *line,
+            col: 1,
+            message: format!("malformed lrgp-lint directive: {msg}"),
+        });
+    }
+    for d in &lexed.directives {
+        if !rules::is_known_rule(&d.rule) {
+            analysis.findings.push(Finding {
+                rule: BAD_DIRECTIVE,
+                file: path.to_string(),
+                line: d.line,
+                col: 1,
+                message: format!("allow() names unknown rule `{}`", d.rule),
+            });
+        }
+    }
+    if kind == FileKind::Test {
+        return analysis;
+    }
+    let ctx = FileContext {
+        path,
+        kind,
+        krate: crate_of(path),
+        tokens: &lexed.tokens,
+        test_ranges: test_ranges(&lexed.tokens),
+    };
+    let mut raw: Vec<Finding> = Vec::new();
+    for rule in rules::RULES {
+        raw.extend((rule.check)(&ctx));
+    }
+    // A directive covers its own line and the next line carrying a token.
+    let covered_lines = |directive_line: u32| -> [u32; 2] {
+        let next = lexed
+            .tokens
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > directive_line)
+            .min()
+            .unwrap_or(directive_line);
+        [directive_line, next]
+    };
+    let mut used = vec![false; lexed.directives.len()];
+    'findings: for f in raw {
+        for (di, d) in lexed.directives.iter().enumerate() {
+            if d.rule == f.rule && covered_lines(d.line).contains(&f.line) {
+                if !used[di] {
+                    used[di] = true;
+                    analysis.suppressions.push(Suppression {
+                        rule: d.rule.clone(),
+                        file: path.to_string(),
+                        line: d.line,
+                        reason: d.reason.clone(),
+                    });
+                }
+                continue 'findings;
+            }
+        }
+        analysis.findings.push(f);
+    }
+    analysis.findings.sort_by(|a, b| {
+        (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule))
+    });
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/core/src/engine.rs"), FileKind::Library);
+        assert_eq!(classify("crates/cli/src/main.rs"), FileKind::Harness);
+        assert_eq!(classify("crates/bench/src/bin/fig1.rs"), FileKind::Harness);
+        assert_eq!(classify("crates/core/tests/props.rs"), FileKind::Test);
+        assert_eq!(classify("examples/demo.rs"), FileKind::Test);
+        assert_eq!(classify("crates/lint/tests/fixtures/x.rs"), FileKind::Test);
+        assert_eq!(classify("src/lib.rs"), FileKind::Library);
+        assert_eq!(crate_of("crates/model/src/analysis.rs"), Some("model"));
+        assert_eq!(crate_of("src/lib.rs"), None);
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let a = analyze_source("crates/model/src/x.rs", src);
+        assert_eq!(a.findings.len(), 1, "{:?}", a.findings);
+        assert_eq!(a.findings[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_live() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let a = analyze_source("crates/model/src/x.rs", src);
+        assert_eq!(a.findings.len(), 1, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() { x.unwrap(); }\n";
+        let a = analyze_source("crates/model/src/x.rs", src);
+        assert_eq!(a.findings.len(), 1, "{:?}", a.findings);
+        assert_eq!(a.findings[0].line, 3);
+    }
+
+    #[test]
+    fn suppression_same_line_and_next_line() {
+        let trailing =
+            "fn f() { x.unwrap(); } // lrgp-lint: allow(library-unwrap, reason = \"ok\")\n";
+        assert!(analyze_source("crates/model/src/x.rs", trailing).findings.is_empty());
+        let above = "// lrgp-lint: allow(library-unwrap, reason = \"ok\")\nfn f() { x.unwrap(); }\n";
+        let a = analyze_source("crates/model/src/x.rs", above);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.suppressions.len(), 1);
+        assert_eq!(a.suppressions[0].reason, "ok");
+    }
+
+    #[test]
+    fn suppression_must_name_the_right_rule() {
+        let src = "// lrgp-lint: allow(float-eq, reason = \"wrong rule\")\nfn f() { x.unwrap(); }\n";
+        let a = analyze_source("crates/model/src/x.rs", src);
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, "library-unwrap");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_reported() {
+        let src = "// lrgp-lint: allow(no-such-rule, reason = \"typo\")\nfn f() {}\n";
+        let a = analyze_source("crates/model/src/x.rs", src);
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, BAD_DIRECTIVE);
+    }
+}

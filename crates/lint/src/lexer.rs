@@ -1,0 +1,594 @@
+//! A hand-rolled, line/column-tracked Rust lexer.
+//!
+//! The analyzer deliberately avoids `syn` (consistent with the workspace's
+//! vendored-shims / no-network policy), so this module implements the small
+//! subset of Rust lexing the rules need: identifiers, numeric literals with
+//! int/float classification, string/char/lifetime literals (including raw
+//! and byte strings), nested block comments, and multi-character operators.
+//! Comments are not emitted as tokens, but line comments are scanned for
+//! `// lrgp-lint: allow(<rule>, reason = "...")` suppression directives.
+//!
+//! The lexer is intentionally forgiving: on malformed input it degrades to
+//! single-character punctuation tokens rather than failing, because a lint
+//! must never be the reason a build script dies on a file `rustc` itself
+//! accepts.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `partial_cmp`, `HashMap`, ...).
+    Ident,
+    /// An integer literal (`42`, `0xff_u32`, `1_000`).
+    Int,
+    /// A float literal (`0.0`, `1e-9`, `2.5f64`, `1.`).
+    Float,
+    /// A string literal of any flavor (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation / operators; [`Token::text`] holds the full spelling
+    /// (`"=="`, `"::"`, `"+="`, `"{"`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// The exact source spelling.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True if this token is an identifier with exactly this spelling.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True if this token is punctuation with exactly this spelling.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// An inline suppression: `// lrgp-lint: allow(<rule>, reason = "...")`.
+///
+/// A directive suppresses findings of `rule` on its own line and on the
+/// next line that carries any token, so it works both as a trailing
+/// comment and on the line above the offending code.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// The rule id being allowed (e.g. `float-eq`).
+    pub rule: String,
+    /// The mandatory human justification.
+    pub reason: String,
+    /// 1-based line the directive comment sits on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Well-formed suppression directives found in line comments.
+    pub directives: Vec<Directive>,
+    /// Malformed `lrgp-lint:` directives: `(line, what is wrong)`.
+    pub directive_errors: Vec<(u32, String)>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: LexedFile,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token { kind, text, line, col });
+    }
+
+    /// True if the most recently emitted token is a `.` — used to lex
+    /// tuple indices (`x.0.1`) as integers rather than floats.
+    fn after_dot(&self) -> bool {
+        self.out.tokens.last().is_some_and(|t| t.is_punct("."))
+    }
+
+    fn lex_line_comment(&mut self) {
+        let line = self.line;
+        let mut body = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            body.push(c);
+            self.bump();
+        }
+        scan_directive(&body, line, &mut self.out);
+    }
+
+    fn lex_block_comment(&mut self) {
+        // Already consumed `/*`; block comments nest.
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a `"..."` body (opening quote already consumed), honoring
+    /// backslash escapes.
+    fn lex_string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body after `r##...` — `hashes` already
+    /// counted, opening quote already consumed. No escapes.
+    fn lex_raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Lexes what follows a `'`: a lifetime or a char literal.
+    fn lex_quote(&mut self, line: u32, col: u32) {
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape, then to closing quote.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, String::from("'…'"), line, col);
+            }
+            Some(c) if is_ident_start(c) && self.peek(1) != Some('\'') => {
+                // Lifetime: 'name with no closing quote.
+                let mut name = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    name.push(c);
+                    self.bump();
+                }
+                self.push(TokenKind::Lifetime, name, line, col);
+            }
+            Some(_) => {
+                // Plain char literal 'x'.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, String::from("'…'"), line, col);
+            }
+            None => self.push(TokenKind::Punct, String::from("'"), line, col),
+        }
+    }
+
+    fn lex_number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        let first = self.bump().unwrap_or('0');
+        text.push(first);
+        if first == '0' && matches!(self.peek(0), Some('x' | 'X' | 'b' | 'B' | 'o' | 'O')) {
+            // Radix literal: digits + underscores + hex letters + suffix.
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Int, text, line, col);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part — but not for `0..10` (range) or `x.0.1` (tuple
+        // indices, detected via the previously emitted `.`).
+        if !self.after_dot() && self.peek(0) == Some('.') {
+            let next = self.peek(1);
+            let fraction = next.is_none_or(|c| c.is_ascii_digit());
+            let trailing_dot = !matches!(
+                next,
+                Some(c) if c.is_ascii_digit() || c == '.' || is_ident_start(c)
+            );
+            if fraction || trailing_dot {
+                float = true;
+                text.push('.');
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Exponent.
+        if let Some(e @ ('e' | 'E')) = self.peek(0) {
+            let (p1, p2) = (self.peek(1), self.peek(2));
+            let has_exp = matches!(p1, Some(c) if c.is_ascii_digit())
+                || (matches!(p1, Some('+' | '-')) && matches!(p2, Some(c) if c.is_ascii_digit()));
+            if has_exp {
+                float = true;
+                text.push(e);
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' || c == '+' || c == '-' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (`f64`, `u32`, ...).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if float { TokenKind::Float } else { TokenKind::Int };
+        self.push(kind, text, line, col);
+    }
+
+    fn lex_ident_or_string(&mut self, line: u32, col: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            name.push(c);
+            self.bump();
+        }
+        // String prefixes: r"", r#""#, b"", br"", b'x'.
+        let raw = matches!(name.as_str(), "r" | "br" | "rb");
+        let bytes = matches!(name.as_str(), "b" | "br" | "rb");
+        match self.peek(0) {
+            Some('"') if raw || bytes => {
+                self.bump();
+                if raw {
+                    self.lex_raw_string_body(0);
+                } else {
+                    self.lex_string_body();
+                }
+                self.push(TokenKind::Str, String::from("\"…\""), line, col);
+            }
+            Some('#') if raw => {
+                let mut hashes = 0;
+                while self.peek(0) == Some('#') {
+                    self.bump();
+                    hashes += 1;
+                }
+                if self.peek(0) == Some('"') {
+                    self.bump();
+                    self.lex_raw_string_body(hashes);
+                    self.push(TokenKind::Str, String::from("\"…\""), line, col);
+                } else {
+                    // `r#ident` (raw identifier) — hashes belong to it.
+                    let mut rest = name;
+                    while let Some(c) = self.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        rest.push(c);
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, rest, line, col);
+                }
+            }
+            Some('\'') if name == "b" => {
+                self.bump();
+                self.lex_quote(line, col);
+            }
+            _ => self.push(TokenKind::Ident, name, line, col),
+        }
+    }
+
+    fn run(mut self) -> LexedFile {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            if c == '/' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                self.lex_line_comment();
+                continue;
+            }
+            if c == '/' && self.peek(1) == Some('*') {
+                self.bump();
+                self.bump();
+                self.lex_block_comment();
+                continue;
+            }
+            if c == '"' {
+                self.bump();
+                self.lex_string_body();
+                self.push(TokenKind::Str, String::from("\"…\""), line, col);
+                continue;
+            }
+            if c == '\'' {
+                self.bump();
+                self.lex_quote(line, col);
+                continue;
+            }
+            if c.is_ascii_digit() {
+                self.lex_number(line, col);
+                continue;
+            }
+            if is_ident_start(c) {
+                self.lex_ident_or_string(line, col);
+                continue;
+            }
+            // Punctuation: longest multi-char operator first.
+            let mut matched = None;
+            for op in MULTI_PUNCT {
+                let n = op.chars().count();
+                if (0..n).all(|k| self.peek(k) == op.chars().nth(k)) {
+                    matched = Some(*op);
+                    break;
+                }
+            }
+            match matched {
+                Some(op) => {
+                    for _ in 0..op.chars().count() {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Punct, op.to_string(), line, col);
+                }
+                None => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+}
+
+/// Lexes one source file. Never fails: malformed constructs degrade into
+/// punctuation tokens.
+pub fn lex(src: &str) -> LexedFile {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, col: 1, out: LexedFile::default() }
+        .run()
+}
+
+/// Parses a line-comment body for an `lrgp-lint:` directive.
+///
+/// Grammar: `lrgp-lint: allow(<rule-id>, reason = "<text>")`. Anything that
+/// starts with `lrgp-lint:` but does not parse is recorded as an error so
+/// typos cannot silently suppress nothing (the engine turns these into
+/// `bad-directive` findings).
+fn scan_directive(comment_body: &str, line: u32, out: &mut LexedFile) {
+    let body = comment_body.trim();
+    let Some(rest) = body.strip_prefix("lrgp-lint:") else {
+        return;
+    };
+    let rest = rest.trim();
+    let fail = |msg: &str, out: &mut LexedFile| {
+        out.directive_errors.push((line, msg.to_string()));
+    };
+    let Some(inner) = rest.strip_prefix("allow(").and_then(|r| r.strip_suffix(')')) else {
+        fail("expected `allow(<rule>, reason = \"...\")`", out);
+        return;
+    };
+    let Some((rule, reason_part)) = inner.split_once(',') else {
+        fail("missing `, reason = \"...\"` — suppressions must be justified", out);
+        return;
+    };
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+        fail("rule id must be a lowercase-kebab-case identifier", out);
+        return;
+    }
+    let reason_part = reason_part.trim();
+    let Some(q) = reason_part.strip_prefix("reason").map(str::trim_start) else {
+        fail("expected `reason = \"...\"` after the rule id", out);
+        return;
+    };
+    let Some(q) = q.strip_prefix('=').map(str::trim_start) else {
+        fail("expected `=` after `reason`", out);
+        return;
+    };
+    let reason = q.strip_prefix('"').and_then(|r| r.strip_suffix('"')).unwrap_or("");
+    if reason.trim().is_empty() {
+        fail("reason must be a non-empty quoted string", out);
+        return;
+    }
+    out.directives.push(Directive { rule: rule.to_string(), reason: reason.to_string(), line });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_ops() {
+        let toks = kinds("let x = a.partial_cmp(&b) == 0.5e-3;");
+        assert!(toks.contains(&(TokenKind::Ident, "partial_cmp".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "==".into())));
+        assert!(toks.contains(&(TokenKind::Float, "0.5e-3".into())));
+    }
+
+    #[test]
+    fn float_vs_int_classification() {
+        assert_eq!(kinds("1")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1.0")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1.")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1e9")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("0xff")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1_000")[0].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn ranges_and_tuple_indices_stay_ints() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0], (TokenKind::Int, "0".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, "..".into()));
+        let toks = kinds("x.0.1");
+        assert_eq!(toks[2], (TokenKind::Int, "0".into()));
+        assert_eq!(toks[4], (TokenKind::Int, "1".into()));
+        // `1.max(2)` — method call on an integer literal.
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Int, "1".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn strings_chars_lifetimes_comments() {
+        let toks = kinds("let s = \"a == 1.5 .unwrap()\"; // trailing == 2.0\nlet c = 'x';");
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Str).count(), 1);
+        assert!(!toks.iter().any(|t| t.1 == "unwrap"));
+        assert!(!toks.iter().any(|t| t.1 == "2.0"));
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Char).count(), 1);
+        let toks = kinds("fn f<'a>(x: &'a str) {}");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r###"let s = r#"embedded "quote" == 3.5"#; let b = b"bytes";"###);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Str).count(), 2);
+        assert!(!toks.iter().any(|t| t.1 == "3.5"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* x /* y */ still comment == 9.5 */ b");
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn directive_parses() {
+        let lexed = lex("x // lrgp-lint: allow(float-eq, reason = \"sentinel compare\")\ny");
+        assert_eq!(lexed.directives.len(), 1);
+        assert_eq!(lexed.directives[0].rule, "float-eq");
+        assert_eq!(lexed.directives[0].reason, "sentinel compare");
+        assert_eq!(lexed.directives[0].line, 1);
+        assert!(lexed.directive_errors.is_empty());
+    }
+
+    #[test]
+    fn malformed_directives_are_errors() {
+        for bad in [
+            "// lrgp-lint: allow(float-eq)",
+            "// lrgp-lint: deny(float-eq, reason = \"x\")",
+            "// lrgp-lint: allow(float-eq, reason = \"\")",
+            "// lrgp-lint: allow(Float_EQ, reason = \"x\")",
+        ] {
+            let lexed = lex(bad);
+            assert!(lexed.directives.is_empty(), "{bad} should not parse");
+            assert_eq!(lexed.directive_errors.len(), 1, "{bad} should be an error");
+        }
+        // Ordinary comments are left alone.
+        assert!(lex("// nothing to see").directive_errors.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! `lrgp-lint` — determinism-invariant static analysis for the LRGP
+//! workspace.
+//!
+//! The repo's core guarantee is that the sequential, parallel-sharded, and
+//! incremental LRGP engines produce **bit-identical** (`f64::to_bits`)
+//! results. That guarantee is enforced dynamically by the differential
+//! harness, but the bug classes that break it are visible statically —
+//! PR 2 had to hand-fix a `partial_cmp(..).unwrap_or(Equal)` admission
+//! comparator that this tool now catches at review time. This crate is the
+//! static side of the enforcement:
+//!
+//! * [`lexer`] — a hand-rolled, line/column-tracked Rust lexer (no `syn`,
+//!   consistent with the vendored-shims policy): comment/string/attribute
+//!   aware, and the scanner for inline suppression directives.
+//! * [`rules`] — the rules themselves; see [`rules::RULES`] for the list
+//!   and the engine invariant each one protects.
+//! * [`engine`] — per-file orchestration: `#[cfg(test)]` region detection,
+//!   path-based file classification, suppression application.
+//! * [`report`] — stable, sorted human and JSON output.
+//!
+//! # Suppressions
+//!
+//! Intentional uses are documented in place and must carry a reason:
+//!
+//! ```text
+//! // lrgp-lint: allow(float-total-order, reason = "three-valued compare is the API")
+//! ```
+//!
+//! A directive covers its own line and the next line with code. Malformed
+//! directives and unknown rule ids are themselves findings
+//! (`bad-directive`), so a typo can never silently disable enforcement.
+//!
+//! # Example
+//!
+//! ```
+//! let analysis = lrgp_lint::analyze_source(
+//!     "crates/model/src/x.rs",
+//!     "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
+//! );
+//! let rules: Vec<_> = analysis.findings.iter().map(|f| f.rule).collect();
+//! assert_eq!(rules, ["float-total-order", "library-unwrap"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{
+    analyze_source, classify, crate_of, FileAnalysis, FileKind, Finding, Suppression,
+    BAD_DIRECTIVE,
+};
+pub use report::{Report, JSON_SCHEMA_VERSION};
+pub use rules::{is_known_rule, Rule, RULES};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into when scanning.
+///
+/// * `target`, `.git`, `results` — build/VCS/experiment outputs.
+/// * `shims` — vendored stand-ins mimicking external crates' APIs
+///   (panicking to mirror the real crate is part of their contract).
+/// * `tests`, `benches`, `examples`, `fixtures` — test-like code is exempt
+///   from every rule, so scanning it is pure noise (and the lint's own
+///   known-bad fixtures live under `tests/fixtures/`).
+pub const SKIPPED_DIRS: &[&str] =
+    &["target", ".git", "results", "shims", "tests", "benches", "examples", "fixtures"];
+
+/// Normalizes a path into the repo-relative, `/`-separated label used in
+/// diagnostics (and relied on for stable report ordering).
+pub fn label_of(path: &Path) -> String {
+    let raw = path.to_string_lossy().replace('\\', "/");
+    raw.strip_prefix("./").unwrap_or(&raw).to_string()
+}
+
+fn walk_into(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        entries.push(entry?.path());
+    }
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        let name = name.as_deref().unwrap_or("");
+        if path.is_dir() {
+            if !SKIPPED_DIRS.contains(&name) {
+                walk_into(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Collects every `.rs` file under `root` (or `root` itself if it is a
+/// file), skipping [`SKIPPED_DIRS`]. Results are sorted by label.
+pub fn collect_rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    if root.is_dir() {
+        walk_into(root, &mut files)?;
+    } else {
+        files.push(root.to_path_buf());
+    }
+    files.sort_by_key(|p| label_of(p));
+    Ok(files)
+}
+
+/// Lints every Rust file under the given roots and aggregates a
+/// stable-sorted [`Report`].
+pub fn lint_paths(roots: &[PathBuf]) -> io::Result<Report> {
+    let mut findings = Vec::new();
+    let mut suppressions = Vec::new();
+    let mut files_scanned = 0usize;
+    for root in roots {
+        for file in collect_rust_files(root)? {
+            let src = std::fs::read_to_string(&file)?;
+            let analysis = analyze_source(&label_of(&file), &src);
+            findings.extend(analysis.findings);
+            suppressions.extend(analysis.suppressions);
+            files_scanned += 1;
+        }
+    }
+    Ok(Report::new(findings, suppressions, files_scanned))
+}

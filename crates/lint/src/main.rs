@@ -1,0 +1,115 @@
+//! The `lrgp-lint` binary: scan a tree, print diagnostics, gate CI.
+//!
+//! ```text
+//! lrgp-lint [PATH ...] [--deny] [--json] [--out FILE] [--list-rules]
+//! ```
+//!
+//! With no paths, scans the current directory (the workspace root in CI).
+//! `--deny` exits non-zero when any unsuppressed finding remains; `--json`
+//! prints the machine-readable report to stdout; `--out FILE` additionally
+//! writes the JSON report to a file (used by the CI artifact upload).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+lrgp-lint — determinism-invariant static analysis for the LRGP workspace
+
+USAGE:
+  lrgp-lint [PATH ...] [--deny] [--json] [--out FILE] [--list-rules]
+
+OPTIONS:
+  --deny        exit 1 if any unsuppressed finding remains (CI mode)
+  --json        print the stable, sorted JSON report to stdout
+  --out FILE    also write the JSON report to FILE
+  --list-rules  describe every rule and the invariant it protects";
+
+struct Options {
+    roots: Vec<PathBuf>,
+    deny: bool,
+    json: bool,
+    out: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { roots: Vec::new(), deny: false, json: false, out: None, list_rules: false };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--out" => match it.next() {
+                Some(path) => opts.out = Some(PathBuf::from(path)),
+                None => return Err("--out requires a file path".to_string()),
+            },
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            path => opts.roots.push(PathBuf::from(path)),
+        }
+    }
+    if opts.roots.is_empty() {
+        opts.roots.push(PathBuf::from("."));
+    }
+    Ok(opts)
+}
+
+fn list_rules() {
+    for rule in lrgp_lint::RULES {
+        println!("{}", rule.id);
+        println!("  flags:     {}", rule.summary);
+        println!("  protects:  {}", rule.invariant);
+    }
+    println!(
+        "\nsuppress with: // lrgp-lint: allow(<rule>, reason = \"...\") \
+         (covers its line and the next code line)"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        list_rules();
+        return ExitCode::SUCCESS;
+    }
+    let report = match lrgp_lint::lint_paths(&opts.roots) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if opts.deny && !report.is_clean() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,186 @@
+//! Aggregated reports: stable ordering, human rendering, JSON.
+//!
+//! Findings are sorted by `(file, line, col, rule)` and suppressions by
+//! `(file, line, rule)` so that two runs over the same tree produce
+//! byte-identical output — the same committed-baseline workflow used for
+//! `BENCH_lrgp.json` can diff lint reports directly.
+
+use crate::engine::{Finding, Suppression};
+use std::fmt::Write as _;
+
+/// Version stamp for the JSON schema, bumped on breaking shape changes.
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
+/// The aggregated result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by `(file, line, col, rule)`.
+    pub findings: Vec<Finding>,
+    /// Matched suppressions, sorted by `(file, line, rule)`.
+    pub suppressions: Vec<Suppression>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Builds a report, establishing the stable sort order.
+    pub fn new(
+        mut findings: Vec<Finding>,
+        mut suppressions: Vec<Suppression>,
+        files_scanned: usize,
+    ) -> Report {
+        findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+        suppressions
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        Report { findings, suppressions, files_scanned }
+    }
+
+    /// True if nothing unsuppressed was found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// `file:line:col: rule: message` per finding, plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}:{}: {}: {}", f.file, f.line, f.col, f.rule, f.message);
+        }
+        let _ = writeln!(
+            out,
+            "lrgp-lint: {} finding{} ({} suppression{} honored) across {} file{}",
+            self.findings.len(),
+            plural(self.findings.len()),
+            self.suppressions.len(),
+            plural(self.suppressions.len()),
+            self.files_scanned,
+            plural(self.files_scanned),
+        );
+        out
+    }
+
+    /// Machine-readable report; keys and array order are stable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"tool\": \"lrgp-lint\",");
+        let _ = writeln!(out, "  \"schema_version\": {JSON_SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"total_findings\": {},", self.findings.len());
+        let _ = writeln!(out, "  \"total_suppressions\": {},", self.suppressions.len());
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i + 1 < self.findings.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}{}",
+                json_string(&f.file),
+                f.line,
+                f.col,
+                json_string(f.rule),
+                json_string(&f.message),
+                sep,
+            );
+        }
+        out.push_str(if self.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"suppressions\": [");
+        for (i, s) in self.suppressions.iter().enumerate() {
+            let sep = if i + 1 < self.suppressions.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}{}",
+                json_string(&s.file),
+                s.line,
+                json_string(&s.rule),
+                json_string(&s.reason),
+                sep,
+            );
+        }
+        out.push_str(if self.suppressions.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Minimal JSON string encoding (the report contains no exotic content,
+/// but escaping is still done properly).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, col: u32, rule: &'static str) -> Finding {
+        Finding { rule, file: file.to_string(), line, col, message: "m".to_string() }
+    }
+
+    #[test]
+    fn report_orders_findings_stably() {
+        let unsorted = vec![
+            finding("b.rs", 1, 1, "float-eq"),
+            finding("a.rs", 9, 1, "float-eq"),
+            finding("a.rs", 2, 7, "library-unwrap"),
+            finding("a.rs", 2, 7, "float-eq"),
+        ];
+        let r = Report::new(unsorted, Vec::new(), 2);
+        let order: Vec<(String, u32, &str)> =
+            r.findings.iter().map(|f| (f.file.clone(), f.line, f.rule)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".to_string(), 2, "float-eq"),
+                ("a.rs".to_string(), 2, "library-unwrap"),
+                ("a.rs".to_string(), 9, "float-eq"),
+                ("b.rs".to_string(), 1, "float-eq"),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut f = finding("a.rs", 1, 2, "float-eq");
+        f.message = "say \"hi\"\npath\\x".to_string();
+        let r = Report::new(vec![f], Vec::new(), 1);
+        let json = r.to_json();
+        assert_eq!(json, r.to_json(), "same input must render identically");
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains(r#"say \"hi\"\npath\\x"#));
+        assert!(json.contains("\"total_findings\": 1"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = Report::new(Vec::new(), Vec::new(), 3);
+        assert!(r.is_clean());
+        assert!(r.render_human().contains("0 findings"));
+        assert!(r.to_json().contains("\"findings\": []"));
+    }
+}

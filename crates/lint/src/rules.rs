@@ -1,0 +1,407 @@
+//! The determinism-invariant rules.
+//!
+//! Every rule is a pure function over one file's token stream (see
+//! [`FileContext`]); none of them parse Rust properly, and none of them
+//! need to — each targets a concrete token-level pattern that PR reviews
+//! have already had to catch by hand. The rules err on the side of
+//! flagging: intentional uses are documented in place with
+//! `// lrgp-lint: allow(<rule>, reason = "...")`.
+
+use crate::engine::{FileContext, FileKind, Finding};
+use crate::lexer::TokenKind;
+
+/// One registered rule.
+pub struct Rule {
+    /// Stable kebab-case id, used in diagnostics and `allow()` directives.
+    pub id: &'static str,
+    /// One-line description of the pattern it flags.
+    pub summary: &'static str,
+    /// The engine invariant the rule protects (shown by `--list-rules`
+    /// and quoted in DESIGN.md).
+    pub invariant: &'static str,
+    /// The checker.
+    pub check: fn(&FileContext) -> Vec<Finding>,
+}
+
+/// All rules, in the order they run.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "float-total-order",
+        summary: "`partial_cmp` used as a float comparator — use `f64::total_cmp`",
+        invariant: "sorted orders (admission BC order, report orderings, threshold \
+                    lists) must be total and input-permutation-stable, or the three \
+                    engines stop being bit-identical",
+        check: float_total_order,
+    },
+    Rule {
+        id: "float-eq",
+        summary: "`==`/`!=` against a non-zero float constant",
+        invariant: "engine equivalence is defined via `f64::to_bits`; value-level \
+                    float equality silently diverges under rounding-mode or \
+                    evaluation-order changes (exact-zero sentinel checks are exempt)",
+        check: float_eq,
+    },
+    Rule {
+        id: "nondeterministic-source",
+        summary: "wall clock, system RNG, or process environment in a numeric path",
+        invariant: "crates/{core,model,num} compute the same bits for the same \
+                    problem on every run; time, ambient randomness, and env vars \
+                    must be injected by callers, never read in the numeric kernel",
+        check: nondeterministic_source,
+    },
+    Rule {
+        id: "unordered-float-iteration",
+        summary: "float accumulation while iterating a HashMap/HashSet",
+        invariant: "std hash iteration order is randomly seeded per process, and \
+                    float addition is non-associative: accumulating in hash order \
+                    changes low bits run-to-run",
+        check: unordered_float_iteration,
+    },
+    Rule {
+        id: "library-unwrap",
+        summary: "`unwrap`/`expect`/`panic!` in non-test library code",
+        invariant: "library crates are driven by long-running engines and the \
+                    distributed protocol; a panic in a worker poisons a whole \
+                    solve instead of surfacing a recoverable error",
+        check: library_unwrap,
+    },
+];
+
+/// True if `id` names a registered rule.
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+fn float_total_order(ctx: &FileContext) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if !t.is_ident("partial_cmp") || ctx.in_test(i) {
+            continue;
+        }
+        // `fn partial_cmp(...)` — a PartialOrd impl defining the method,
+        // not a call site choosing a comparator.
+        if i > 0 && ctx.tokens[i - 1].is_ident("fn") {
+            continue;
+        }
+        out.push(ctx.finding(
+            "float-total-order",
+            i,
+            "`partial_cmp` is not a total order on floats: NaN yields `None`, and \
+             `unwrap_or(Equal)` fallbacks make the result depend on operand order; \
+             use `f64::total_cmp` (with an explicit tiebreaker if needed)"
+                .to_string(),
+        ));
+    }
+    out
+}
+
+/// Parses a float-literal spelling and reports whether it is exactly zero.
+fn is_zero_literal(text: &str) -> bool {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let cleaned = cleaned.strip_suffix("f64").or_else(|| cleaned.strip_suffix("f32")).map_or(
+        cleaned.as_str(),
+        |s| s,
+    );
+    cleaned.parse::<f64>().map(|v| v == 0.0).unwrap_or(false)
+}
+
+fn float_eq(ctx: &FileContext) -> Vec<Finding> {
+    let toks = ctx.tokens;
+    let non_finite = |name: &str| matches!(name, "NAN" | "INFINITY" | "NEG_INFINITY");
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) || ctx.in_test(i) {
+            continue;
+        }
+        let right_float = toks.get(i + 1).is_some_and(|r| {
+            (r.kind == TokenKind::Float && !is_zero_literal(&r.text))
+                || (matches!(r.text.as_str(), "f32" | "f64")
+                    && toks.get(i + 2).is_some_and(|c| c.is_punct("::"))
+                    && toks.get(i + 3).is_some_and(|n| non_finite(&n.text)))
+        });
+        let left_float = i >= 1
+            && ((toks[i - 1].kind == TokenKind::Float && !is_zero_literal(&toks[i - 1].text))
+                || (non_finite(&toks[i - 1].text)
+                    && i >= 2
+                    && toks[i - 2].is_punct("::")));
+        if right_float || left_float {
+            out.push(ctx.finding(
+                "float-eq",
+                i,
+                format!(
+                    "`{}` against a float constant: computed floats differ in low bits \
+                     across engines and platforms; compare `f64::to_bits` values, use an \
+                     explicit tolerance, or restructure around an exact-zero sentinel",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Crates whose numeric paths must be bit-reproducible.
+const NUMERIC_CRATES: &[&str] = &["core", "model", "num"];
+
+fn nondeterministic_source(ctx: &FileContext) -> Vec<Finding> {
+    if !ctx.krate.is_some_and(|k| NUMERIC_CRATES.contains(&k)) {
+        return Vec::new();
+    }
+    let toks = ctx.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "Instant" => {
+                toks.get(i + 1).is_some_and(|a| a.is_punct("::"))
+                    && toks.get(i + 2).is_some_and(|b| b.is_ident("now"))
+            }
+            "SystemTime" | "thread_rng" => true,
+            "std" => {
+                toks.get(i + 1).is_some_and(|a| a.is_punct("::"))
+                    && toks.get(i + 2).is_some_and(|b| b.is_ident("env"))
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push(ctx.finding(
+                "nondeterministic-source",
+                i,
+                format!(
+                    "`{}` in a numeric path: crates/{{core,model,num}} must produce \
+                     identical bits for identical problems; take time/randomness/config \
+                     as explicit inputs from the caller",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn unordered_float_iteration(ctx: &FileContext) -> Vec<Finding> {
+    let toks = ctx.tokens;
+    // Pass 1: names bound or typed as HashMap/HashSet in this file
+    // (`let m = HashMap::new()`, `field: HashMap<..>`, `x: &mut HashSet<..>`).
+    let mut hash_names: Vec<&str> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && (toks[j - 1].is_punct("&") || toks[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        if j >= 2
+            && (toks[j - 1].is_punct(":") || toks[j - 1].is_punct("="))
+            && toks[j - 2].kind == TokenKind::Ident
+        {
+            hash_names.push(&toks[j - 2].text);
+        }
+    }
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("for") || ctx.in_test(i) {
+            continue;
+        }
+        // Find `in` at depth 0 before the loop body; `impl T for U` has none.
+        let mut depth = 0i32;
+        let mut k = i + 1;
+        let mut in_idx = None;
+        while k < toks.len() {
+            let tk = &toks[k];
+            if tk.is_punct("(") || tk.is_punct("[") {
+                depth += 1;
+            } else if tk.is_punct(")") || tk.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && tk.is_punct("{") {
+                break;
+            } else if depth == 0 && tk.is_ident("in") {
+                in_idx = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        let Some(in_idx) = in_idx else { continue };
+        // Header: `in` → `{` at depth 0.
+        let mut depth = 0i32;
+        let mut k = in_idx + 1;
+        let mut iterates_hash = false;
+        while k < toks.len() {
+            let tk = &toks[k];
+            if tk.is_punct("(") || tk.is_punct("[") {
+                depth += 1;
+            } else if tk.is_punct(")") || tk.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && tk.is_punct("{") {
+                break;
+            } else if tk.kind == TokenKind::Ident
+                && (tk.text == "HashMap"
+                    || tk.text == "HashSet"
+                    || hash_names.iter().any(|n| *n == tk.text))
+            {
+                iterates_hash = true;
+            }
+            k += 1;
+        }
+        if !iterates_hash || k >= toks.len() {
+            continue;
+        }
+        // Body: matched brace region starting at k.
+        let mut braces = 1i32;
+        let mut m = k + 1;
+        let mut accumulates = false;
+        while m < toks.len() && braces > 0 {
+            let tm = &toks[m];
+            if tm.is_punct("{") {
+                braces += 1;
+            } else if tm.is_punct("}") {
+                braces -= 1;
+            } else if matches!(tm.text.as_str(), "+=" | "-=" | "*=" | "/=")
+                && tm.kind == TokenKind::Punct
+            {
+                accumulates = true;
+            } else if (tm.is_ident("sum") || tm.is_ident("product"))
+                && m >= 1
+                && toks[m - 1].is_punct(".")
+            {
+                accumulates = true;
+            }
+            m += 1;
+        }
+        if accumulates {
+            out.push(ctx.finding(
+                "unordered-float-iteration",
+                i,
+                "accumulating while iterating a HashMap/HashSet: std hash order is \
+                 randomly seeded per process and float addition is non-associative, so \
+                 results differ run-to-run; iterate a sorted key list (or an ordered \
+                 container) instead"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+fn library_unwrap(ctx: &FileContext) -> Vec<Finding> {
+    if ctx.kind != FileKind::Library {
+        return Vec::new();
+    }
+    let toks = ctx.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "unwrap" | "expect" => {
+                i >= 1
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            }
+            "panic" => toks.get(i + 1).is_some_and(|n| n.is_punct("!")),
+            _ => false,
+        };
+        if flagged {
+            out.push(ctx.finding(
+                "library-unwrap",
+                i,
+                format!(
+                    "`{}` in library code: engines and the distributed protocol run \
+                     long-lived solves, and a panic inside one poisons the whole run; \
+                     return Result/Option, or prove infallibility and suppress with a \
+                     reason",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::analyze_source;
+
+    fn findings(path: &str, src: &str) -> Vec<(String, u32, u32)> {
+        analyze_source(path, src)
+            .findings
+            .into_iter()
+            .map(|f| (f.rule.to_string(), f.line, f.col))
+            .collect()
+    }
+
+    const LIB: &str = "crates/model/src/x.rs";
+
+    #[test]
+    fn partial_cmp_flagged_but_not_its_definition() {
+        let src = "impl PartialOrd for X {\n    fn partial_cmp(&self, o: &X) -> Option<Ordering> { Some(self.cmp(o)) }\n}\nfn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Equal)); }\n";
+        // `unwrap_or` is not `unwrap`, so only float-total-order fires.
+        let got = findings(LIB, src);
+        assert_eq!(got, vec![("float-total-order".to_string(), 4, 42)]);
+    }
+
+    #[test]
+    fn float_eq_flags_nonzero_and_exempts_zero() {
+        assert_eq!(findings(LIB, "fn f(x: f64) -> bool { x == 0.25 }"), vec![(
+            "float-eq".to_string(),
+            1,
+            26
+        )]);
+        assert!(findings(LIB, "fn f(x: f64) -> bool { x == 0.0 }").is_empty());
+        assert!(findings(LIB, "fn f(x: f64) -> bool { x != 0.0 }").is_empty());
+        assert!(findings(LIB, "fn f(a: f64, b: f64) -> bool { a.to_bits() == b.to_bits() }")
+            .is_empty());
+        assert_eq!(findings(LIB, "fn f(x: f64) -> bool { x == f64::NAN }").len(), 1);
+        assert_eq!(findings(LIB, "fn f(x: f64) -> bool { 1.5 != x }").len(), 1);
+    }
+
+    #[test]
+    fn nondet_sources_only_in_numeric_crates() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(findings("crates/core/src/x.rs", src).len(), 1);
+        assert_eq!(findings("crates/num/src/x.rs", src).len(), 1);
+        assert!(findings("crates/anneal/src/x.rs", src).is_empty());
+        assert_eq!(findings("crates/model/src/x.rs", "fn f() { thread_rng(); }").len(), 1);
+        assert_eq!(
+            findings("crates/model/src/x.rs", "fn f() { std::env::var(\"X\"); }").len(),
+            1
+        );
+        // `Instant` as a plain type mention (no `::now`) is fine.
+        assert!(findings("crates/core/src/x.rs", "fn f(t: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_needs_hash_and_accumulation() {
+        let bad = "fn f(m: &HashMap<u32, f64>) -> f64 {\n    let mut s = 0.0;\n    for (_k, v) in m { s += v; }\n    s\n}\n";
+        assert_eq!(findings(LIB, bad), vec![("unordered-float-iteration".to_string(), 3, 5)]);
+        // Same body over a Vec: fine.
+        let good = "fn f(m: &[f64]) -> f64 {\n    let mut s = 0.0;\n    for v in m { s += v; }\n    s\n}\n";
+        assert!(findings(LIB, good).is_empty());
+        // Hash iteration without accumulation: fine.
+        let good = "fn f(m: &HashMap<u32, f64>) {\n    for (_k, v) in m { println!(\"{v}\"); }\n}\n";
+        assert!(findings(LIB, good).is_empty());
+        // `.values().sum()` chain is caught too.
+        let bad = "fn f() -> f64 {\n    let m: HashMap<u32, f64> = HashMap::new();\n    let mut t = 0.0;\n    for v in m.values() { t = t + v.sum(); }\n    t\n}\n";
+        assert_eq!(findings(LIB, bad).len(), 1);
+    }
+
+    #[test]
+    fn library_unwrap_scoping() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(findings(LIB, src).len(), 1);
+        assert!(findings("crates/cli/src/run.rs", src).is_empty());
+        assert!(findings("crates/bench/src/bin/fig1.rs", src).is_empty());
+        assert!(findings("crates/core/tests/t.rs", src).is_empty());
+        assert_eq!(findings(LIB, "fn f() { panic!(\"boom\"); }").len(), 1);
+        assert_eq!(findings(LIB, "fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }").len(), 1);
+        // unwrap_or and resume_unwind are not escape hatches.
+        assert!(findings(LIB, "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }").is_empty());
+        assert!(
+            findings(LIB, "fn f(p: Payload) { std::panic::resume_unwind(p) }").is_empty()
+        );
+    }
+}

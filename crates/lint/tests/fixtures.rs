@@ -1,0 +1,90 @@
+//! Fixture-based end-to-end tests: every rule has a known-bad file that is
+//! detected at an exact `file:line:col`, a known-good twin that stays
+//! clean, and the suppression machinery is exercised on real files.
+//!
+//! Fixtures live under `tests/fixtures/` (a [`lrgp_lint::SKIPPED_DIRS`]
+//! component, so the workspace self-check never scans them) and are fed to
+//! the analyzer under a synthetic library-crate label, since rules key off
+//! the repo-relative path.
+
+use lrgp_lint::analyze_source;
+
+/// Analyzes a fixture as if it lived at `crates/<krate>/src/fixture.rs`.
+fn run(krate: &str, src: &str) -> lrgp_lint::FileAnalysis {
+    analyze_source(&format!("crates/{krate}/src/fixture.rs"), src)
+}
+
+fn triples(analysis: &lrgp_lint::FileAnalysis) -> Vec<(&str, u32, u32)> {
+    analysis.findings.iter().map(|f| (f.rule, f.line, f.col)).collect()
+}
+
+#[test]
+fn float_total_order_fixture_pair() {
+    let bad = run("model", include_str!("fixtures/float_total_order_bad.rs"));
+    assert_eq!(triples(&bad), vec![("float-total-order", 5, 24)]);
+    let good = run("model", include_str!("fixtures/float_total_order_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn float_eq_fixture_pair() {
+    let bad = run("model", include_str!("fixtures/float_eq_bad.rs"));
+    assert_eq!(triples(&bad), vec![("float-eq", 5, 10)]);
+    let good = run("model", include_str!("fixtures/float_eq_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn nondeterministic_source_fixture_pair() {
+    let src = include_str!("fixtures/nondeterministic_source_bad.rs");
+    let bad = run("core", src);
+    assert_eq!(
+        triples(&bad),
+        vec![("nondeterministic-source", 5, 14), ("nondeterministic-source", 6, 19)]
+    );
+    // The same file outside the numeric crates is out of the rule's scope.
+    assert!(triples(&run("overlay", src)).is_empty());
+    let good = run("core", include_str!("fixtures/nondeterministic_source_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn unordered_float_iteration_fixture_pair() {
+    let bad = run("model", include_str!("fixtures/unordered_float_iteration_bad.rs"));
+    assert_eq!(triples(&bad), vec![("unordered-float-iteration", 6, 5)]);
+    let good = run("model", include_str!("fixtures/unordered_float_iteration_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn library_unwrap_fixture_pair() {
+    let src = include_str!("fixtures/library_unwrap_bad.rs");
+    let bad = run("model", src);
+    assert_eq!(triples(&bad), vec![("library-unwrap", 5, 30), ("library-unwrap", 7, 9)]);
+    // Harness crates may panic on bad input; the same file there is clean.
+    assert!(triples(&run("cli", src)).is_empty());
+    let good = run("model", include_str!("fixtures/library_unwrap_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn suppression_silences_only_the_named_rule() {
+    let analysis = run("model", include_str!("fixtures/suppressed.rs"));
+    // The wrong-rule allow leaves the comparator finding standing.
+    assert_eq!(triples(&analysis), vec![("float-total-order", 13, 24)]);
+    // The justified allow is honored and reported with its reason.
+    assert_eq!(analysis.suppressions.len(), 1);
+    let s = &analysis.suppressions[0];
+    assert_eq!((s.rule.as_str(), s.line), ("library-unwrap", 6));
+    assert_eq!(s.reason, "caller guarantees non-empty");
+}
+
+#[test]
+fn malformed_and_unknown_directives_are_findings() {
+    let analysis = run("model", include_str!("fixtures/bad_directive.rs"));
+    assert_eq!(
+        triples(&analysis),
+        vec![("bad-directive", 3, 1), ("bad-directive", 6, 1)]
+    );
+    assert!(analysis.suppressions.is_empty());
+}

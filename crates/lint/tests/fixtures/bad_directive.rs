@@ -1,0 +1,7 @@
+//! Fixture: malformed and unknown-rule directives are themselves findings.
+
+// lrgp-lint: allow(no-such-rule, reason = "unknown rule id")
+pub fn a() {}
+
+// lrgp-lint: allow(float-eq)
+pub fn b() {}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: value-level float equality.
+
+/// Compares a computed rate against a magic constant.
+pub fn at_target(rate: f64) -> bool {
+    rate == 62.5
+}

@@ -1,0 +1,7 @@
+//! Known-good fixture: exact-zero sentinel and bitwise comparison.
+
+/// Zero population is an exact sentinel; cross-engine equality is
+/// defined over bit patterns.
+pub fn checks(n: f64, a: f64, b: f64) -> bool {
+    n == 0.0 && a.to_bits() == b.to_bits()
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: a non-total float comparator.
+
+/// Sorts utilities descending with a NaN-unstable comparator.
+pub fn sort_desc(v: &mut [f64]) {
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,6 @@
+//! Known-good fixture: a total, NaN-stable comparator.
+
+/// Sorts utilities descending under `f64::total_cmp`.
+pub fn sort_desc(v: &mut [f64]) {
+    v.sort_by(|a, b| b.total_cmp(a));
+}

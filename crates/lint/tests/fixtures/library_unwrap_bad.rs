@@ -1,0 +1,10 @@
+//! Known-bad fixture: panicking escape hatches in library code.
+
+/// Reads a rate that "must" exist and panics when the map disagrees.
+pub fn rate_of(rates: &BTreeMap<u32, f64>, flow: u32) -> f64 {
+    let r = rates.get(&flow).unwrap();
+    if !r.is_finite() {
+        panic!("rate for flow {flow} is not finite");
+    }
+    *r
+}

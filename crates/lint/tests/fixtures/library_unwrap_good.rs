@@ -1,0 +1,7 @@
+//! Known-good fixture: fallible lookups return Option/Result.
+
+/// Reads a rate, surfacing absence and non-finite values to the caller.
+pub fn rate_of(rates: &BTreeMap<u32, f64>, flow: u32) -> Option<f64> {
+    let r = *rates.get(&flow)?;
+    r.is_finite().then_some(r)
+}

@@ -1,0 +1,8 @@
+//! Known-bad fixture: ambient nondeterminism in a numeric path.
+
+/// Times a solve with the wall clock and seeds from the OS.
+pub fn solve_step() -> f64 {
+    let t0 = Instant::now();
+    let mut rng = thread_rng();
+    rng.gen::<f64>() + t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,7 @@
+//! Known-good fixture: determinism inputs are injected by the caller.
+
+/// The caller passes the seed; the kernel never consults ambient state.
+pub fn solve_step(seed: u64) -> f64 {
+    let mut rng = SplitMix64::new(seed);
+    rng.next_f64()
+}

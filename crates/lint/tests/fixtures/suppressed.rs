@@ -1,0 +1,14 @@
+//! Fixture: a justified suppression silences its finding; a wrong-rule
+//! suppression does not.
+
+/// A documented infallible unwrap.
+pub fn first(v: &[f64]) -> f64 {
+    // lrgp-lint: allow(library-unwrap, reason = "caller guarantees non-empty")
+    *v.first().unwrap()
+}
+
+/// The allow below names the wrong rule, so the comparator still fires.
+pub fn bad(v: &mut [f64]) {
+    // lrgp-lint: allow(float-eq, reason = "does not apply to this line")
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

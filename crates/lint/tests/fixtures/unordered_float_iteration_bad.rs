@@ -1,0 +1,10 @@
+//! Known-bad fixture: float accumulation in hash iteration order.
+
+/// Sums per-class utility by walking the map directly.
+pub fn total(utilities: &HashMap<u32, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_class, u) in utilities {
+        sum += u;
+    }
+    sum
+}

@@ -1,0 +1,12 @@
+//! Known-good fixture: iterate a sorted key list, then accumulate.
+
+/// Sums per-class utility in ascending class order.
+pub fn total(utilities: &HashMap<u32, f64>) -> f64 {
+    let mut classes: Vec<u32> = utilities.keys().copied().collect();
+    classes.sort_unstable();
+    let mut sum = 0.0;
+    for class in &classes {
+        sum += utilities[class];
+    }
+    sum
+}

@@ -1,0 +1,50 @@
+//! The linter must hold on its own workspace: `lrgp-lint --deny` exiting 0
+//! over the repo is an acceptance criterion, and `crates/core` must be
+//! clean without a single suppression.
+
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    // Canonicalize so labels contain no `..` components — `crate_of` keys
+    // off the first `crates/<name>` pair in the label.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lrgp_lint::lint_paths(&[repo_root()]).expect("workspace scan");
+    assert!(report.files_scanned > 50, "scan looks truncated: {} files", report.files_scanned);
+    assert!(report.findings.is_empty(), "\n{}", report.render_human());
+}
+
+#[test]
+fn core_crate_needs_no_suppressions() {
+    let core = repo_root().join("crates/core");
+    let report = lrgp_lint::lint_paths(&[core]).expect("core scan");
+    assert!(report.findings.is_empty(), "\n{}", report.render_human());
+    assert!(
+        report.suppressions.is_empty(),
+        "crates/core must satisfy every rule without allows: {:?}",
+        report.suppressions
+    );
+}
+
+#[test]
+fn json_report_is_stable_and_sorted() {
+    let root = repo_root();
+    let a = lrgp_lint::lint_paths(&[root.clone()]).expect("scan");
+    let b = lrgp_lint::lint_paths(&[root]).expect("scan");
+    assert_eq!(a.to_json(), b.to_json(), "repeated scans must serialize identically");
+    let sups = &a.suppressions;
+    for w in sups.windows(2) {
+        assert!(
+            (&w[0].file, w[0].line) <= (&w[1].file, w[1].line),
+            "suppressions out of order: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}

@@ -119,7 +119,7 @@ impl AllocationReport {
         let jain = jain_index(&ratios);
 
         let mut utilities: Vec<f64> = classes.iter().map(|c| c.utility).collect();
-        utilities.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        utilities.sort_by(|a, b| b.total_cmp(a));
         let top = utilities.len().div_ceil(10);
         let top_sum: f64 = utilities.iter().take(top).sum();
         let top_decile_utility_share =
@@ -179,7 +179,7 @@ pub fn gini_coefficient(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     let sum: f64 = sorted.iter().sum();
     if sum == 0.0 {
         return 0.0;
@@ -285,6 +285,18 @@ mod tests {
         // Full concentration in one of n values: (n-1)/n.
         let g = gini_coefficient(&[0.0, 0.0, 0.0, 10.0]);
         assert!((g - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_metrics_tolerate_nan_deterministically() {
+        // total_cmp gives NaN a fixed sort position, so the (NaN) result is
+        // bit-identical across input permutations instead of depending on
+        // where the NaN happened to sit.
+        let a = gini_coefficient(&[f64::NAN, 3.0, 1.0, 2.0]);
+        let b = gini_coefficient(&[2.0, 1.0, f64::NAN, 3.0]);
+        assert!(a.is_nan() && b.is_nan());
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert!(jain_index(&[f64::NAN, 1.0]).is_nan());
     }
 
     #[test]

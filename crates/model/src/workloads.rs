@@ -97,6 +97,7 @@ pub fn paper_workload(shape: UtilityShape, system_copies: usize, cnode_copies: u
     assert!(system_copies > 0, "system_copies must be positive");
     assert!(cnode_copies > 0, "cnode_copies must be positive");
     let mut b = ProblemBuilder::new();
+    // lrgp-lint: allow(library-unwrap, reason = "paper constants are statically valid; a failure is a programming error")
     let bounds = RateBounds::new(PAPER_RATE_MIN, PAPER_RATE_MAX).expect("paper bounds valid");
 
     for sys in 0..system_copies {
@@ -134,6 +135,7 @@ pub fn paper_workload(shape: UtilityShape, system_copies: usize, cnode_copies: u
             }
         }
     }
+    // lrgp-lint: allow(library-unwrap, reason = "generator-built problems are structurally valid by construction")
     b.build().expect("paper workload is structurally valid")
 }
 
@@ -267,6 +269,7 @@ impl RandomWorkload {
             .map(|i| b.add_labeled_node(self.node_capacity, format!("C{i}")))
             .collect();
         let bounds = RateBounds::new(self.rate_bounds.0, self.rate_bounds.1)
+            // lrgp-lint: allow(library-unwrap, reason = "workload specs assert their own bounds; invalid specs are caller bugs")
             .expect("random workload rate bounds must be valid");
         for f in 0..self.flows {
             let src = b.add_labeled_node(self.node_capacity, format!("src{f}"));
@@ -284,6 +287,7 @@ impl RandomWorkload {
                 b.add_class(flow, node, n_max, shape.build(rank), self.consumer_cost);
             }
         }
+        // lrgp-lint: allow(library-unwrap, reason = "generator-built problems are structurally valid by construction")
         b.build().expect("random workload is structurally valid")
     }
 }
@@ -302,6 +306,7 @@ pub fn link_bottleneck_workload(link_capacity: f64) -> Problem {
     let src1 = b.add_labeled_node(1e9, "src1");
     let sink = b.add_labeled_node(1e9, "sink");
     let link = b.add_link_between(link_capacity, src0, sink);
+    // lrgp-lint: allow(library-unwrap, reason = "literal bounds are statically valid")
     let bounds = RateBounds::new(1.0, 10_000.0).expect("valid bounds");
     let f0 = b.add_flow(src0, bounds);
     let f1 = b.add_flow(src1, bounds);
@@ -311,6 +316,7 @@ pub fn link_bottleneck_workload(link_capacity: f64) -> Problem {
     }
     b.add_class(f0, sink, 10, Utility::log(30.0), 0.001);
     b.add_class(f1, sink, 10, Utility::log(10.0), 0.001);
+    // lrgp-lint: allow(library-unwrap, reason = "generator-built problems are structurally valid by construction")
     b.build().expect("link bottleneck workload is structurally valid")
 }
 

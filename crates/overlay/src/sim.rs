@@ -195,6 +195,7 @@ impl<E> EventQueue<E> {
                 Some(s) if s.at <= horizon => {}
                 _ => break,
             }
+            // lrgp-lint: allow(library-unwrap, reason = "the event was just peeked, so pop cannot fail")
             let (t, e) = self.pop().expect("peeked event must pop");
             handler(self, t, e);
             handled += 1;

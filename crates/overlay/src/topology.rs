@@ -67,6 +67,7 @@ impl Topology {
             let l = match model {
                 LatencyModel::Uniform { latency } => latency,
                 LatencyModel::RandomUniform { min, max, .. } => {
+                    // lrgp-lint: allow(library-unwrap, reason = "rng is constructed whenever the model is RandomUniform")
                     let rng = rng.as_mut().expect("random model has rng");
                     SimTime::from_micros(rng.gen_range(min.as_micros()..=max.as_micros()))
                 }
@@ -106,6 +107,7 @@ impl Topology {
     /// Panics if the pair never communicates in this topology.
     pub fn delay(&self, from: NodeId, to: NodeId) -> SimTime {
         self.latency(from, to)
+            // lrgp-lint: allow(library-unwrap, reason = "documented panic contract: the pair must communicate")
             .unwrap_or_else(|| panic!("no path {from} -> {to} in topology"))
             + self.processing_delay
     }

@@ -98,6 +98,7 @@ impl TreeWorkload {
         assert!(self.branching > 0, "branching must be positive");
         assert!(self.classes_per_leaf > 0, "need at least one class per leaf");
         let bounds = RateBounds::new(self.rate_bounds.0, self.rate_bounds.1)
+            // lrgp-lint: allow(library-unwrap, reason = "builder asserts its own spec; invalid bounds are caller bugs")
             .expect("tree workload rate bounds must be valid");
 
         let mut b = ProblemBuilder::new();
@@ -171,6 +172,7 @@ impl TreeWorkload {
                 }
             }
         }
+        // lrgp-lint: allow(library-unwrap, reason = "generator-built problems are structurally valid by construction")
         let problem = b.build().expect("tree workload is structurally valid");
         TreeInstance { problem, root, routers, leaves, edges }
     }

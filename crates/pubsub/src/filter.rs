@@ -111,6 +111,7 @@ impl Filter {
             let field = schema
                 .fields()
                 .get(p.field)
+                // lrgp-lint: allow(library-unwrap, reason = "schema mismatch is a caller bug; documented panic contract")
                 .unwrap_or_else(|| panic!("predicate references unknown field {}", p.field));
             assert_eq!(
                 p.constant.field_type(),

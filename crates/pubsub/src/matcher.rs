@@ -185,9 +185,10 @@ impl Matcher for IndexMatcher {
                             _ => unreachable!(),
                         };
                         list.push(Threshold { value, inclusive, subscription: id });
-                        list.sort_by(|a, b| {
-                            a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal)
-                        });
+                        // Total order: a NaN constant must land in a fixed
+                        // position or the binary-search partition (and thus
+                        // the match result) depends on insertion history.
+                        list.sort_by(|a, b| a.value.total_cmp(&b.value));
                     }
                     None => self.residual.push((id, p.clone())),
                 },
@@ -216,6 +217,7 @@ impl Matcher for IndexMatcher {
         // Threshold lists: binary-search each field's sorted lists, then
         // touch only the *satisfied* predicates (the counting algorithm's
         // core trick — unsatisfied range predicates cost nothing).
+        // lrgp-lint: allow(unordered-float-iteration, reason = "integer work/satisfied counters only; order-independent")
         for (field, lists) in &self.thresholds {
             let Some(v) = numeric(message.value(*field)) else { continue };
             // Upper list (Lt/Le): satisfied when v < t, or v == t and Le.
@@ -223,7 +225,9 @@ impl Matcher for IndexMatcher {
             let start = lists.upper.partition_point(|t| t.value < v);
             for t in &lists.upper[start..] {
                 work += 1;
-                if t.value > v || t.inclusive {
+                // The boundary test must be explicit: a NaN threshold sits in
+                // this suffix (total_cmp sorts it last) but satisfies nothing.
+                if t.value > v || (t.inclusive && t.value == v) {
                     satisfied[t.subscription] += 1;
                 }
             }
@@ -235,8 +239,10 @@ impl Matcher for IndexMatcher {
                 satisfied[t.subscription] += 1;
             }
             // Boundary ties for the lower list (t.value == v, Ge only).
+            // `!= v` (not `> v`) so a trailing NaN threshold also stops the
+            // scan instead of being treated as a tie.
             for t in &lists.lower[end..] {
-                if t.value > v {
+                if t.value != v {
                     break;
                 }
                 work += 1;
@@ -366,6 +372,58 @@ mod tests {
                 Value::Bool(true),
             ],
         )
+    }
+
+    #[test]
+    fn nan_threshold_constant_matches_nothing_in_any_insertion_order() {
+        let s = schema();
+        let mk = |op, c| Filter::new(&s, vec![Predicate { field: 0, op, constant: Value::Float(c) }]);
+        // Every range operator with a NaN constant, plus finite filters the
+        // message (price = 50.0) does satisfy.
+        for nan_op in [Cmp::Lt, Cmp::Le, Cmp::Ge, Cmp::Gt] {
+            let orders: [Vec<Filter>; 2] = [
+                vec![mk(nan_op, f64::NAN), mk(Cmp::Ge, 10.0), mk(Cmp::Le, 90.0)],
+                vec![mk(Cmp::Ge, 10.0), mk(Cmp::Le, 90.0), mk(nan_op, f64::NAN)],
+            ];
+            for (which, filters) in orders.into_iter().enumerate() {
+                let nan_id = filters
+                    .iter()
+                    .position(|f| {
+                        f.predicates().iter().any(|p| matches!(p.constant, Value::Float(c) if c.is_nan()))
+                    })
+                    .expect("one NaN filter per order");
+                let (naive, index) = both_matchers(filters);
+                let m = message_with_qty(&s, 1);
+                let a = naive.match_message(&m);
+                let b = index.match_message(&m);
+                assert_eq!(a.matches, b.matches, "op {nan_op:?} order {which}");
+                assert!(!b.matches.contains(&nan_id), "NaN {nan_op:?} matched in order {which}");
+                assert_eq!(b.matches.len(), 2, "finite filters must still match");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_message_value_matches_no_range_predicate() {
+        let s = schema();
+        let filters: Vec<Filter> = [Cmp::Lt, Cmp::Le, Cmp::Ge, Cmp::Gt]
+            .into_iter()
+            .map(|op| {
+                Filter::new(&s, vec![Predicate { field: 0, op, constant: Value::Float(50.0) }])
+            })
+            .collect();
+        let (naive, index) = both_matchers(filters);
+        let m = Message::new(
+            Arc::clone(&s),
+            vec![
+                Value::Float(f64::NAN),
+                Value::Int(1),
+                Value::Text("v0".into()),
+                Value::Bool(true),
+            ],
+        );
+        assert!(naive.match_message(&m).matches.is_empty());
+        assert!(index.match_message(&m).matches.is_empty());
     }
 
     #[test]

@@ -52,6 +52,7 @@ impl Value {
     pub fn partial_cmp_same_type(&self, other: &Value) -> Option<std::cmp::Ordering> {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            // lrgp-lint: allow(float-total-order, reason = "three-valued compare is the API; None marks NaN/type mismatch as unmatched")
             (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
             (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),

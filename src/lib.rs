@@ -3,6 +3,7 @@
 //! Re-exports the member crates so the root examples and integration tests
 //! can use one import root.
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use lrgp;
 pub use lrgp_anneal;
