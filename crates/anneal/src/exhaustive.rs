@@ -53,6 +53,7 @@ pub struct ExhaustiveOutcome {
 /// Returns [`SpaceTooLarge`] when the total number of combinations exceeds
 /// `limit` — call sites should keep instances tiny (this is a test oracle,
 /// not an optimizer).
+#[must_use = "this Result reports a failure the caller must handle"]
 pub fn exhaustive_search(
     problem: &Problem,
     rate_grid: usize,
@@ -171,6 +172,7 @@ pub fn exhaustive_search(
 ///
 /// Panics if some flow reaches more than one node or traverses a link
 /// (the multiplier decomposition would no longer be exact).
+#[must_use = "this Result reports a failure the caller must handle"]
 pub fn exhaustive_search_exact_rates(
     problem: &Problem,
     limit: u128,

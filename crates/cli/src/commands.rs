@@ -168,6 +168,10 @@ pub struct LintCmd {
     pub json: bool,
     /// Write the report to this file as well as stdout.
     pub out: Option<PathBuf>,
+    /// Apply machine-applicable rewrites in place before reporting.
+    pub fix: bool,
+    /// Report only files that differ from this git ref (diff-scoped mode).
+    pub changed: Option<String>,
     /// Print the rule table and exit.
     pub list_rules: bool,
 }
@@ -219,7 +223,7 @@ USAGE:
   lrgp compare  <base|FILE> [--steps N] [--seed N]
   lrgp simulate <base|FILE> [--async] [--latency MS] [--amount N]
   lrgp info     <FILE>
-  lrgp lint     [PATH ...] [--deny] [--json] [--out FILE] [--list-rules]
+  lrgp lint     [PATH ...] [--deny] [--json] [--out FILE] [--fix] [--changed REF] [--list-rules]
   lrgp help";
 
 fn take_value<'a, I: Iterator<Item = &'a str>>(
@@ -401,14 +405,25 @@ where
             Ok(Command::Info(InfoCmd { workload: WorkloadRef::parse(target) }))
         }
         "lint" => {
-            let mut cmd =
-                LintCmd { paths: Vec::new(), deny: false, json: false, out: None, list_rules: false };
+            let mut cmd = LintCmd {
+                paths: Vec::new(),
+                deny: false,
+                json: false,
+                out: None,
+                fix: false,
+                changed: None,
+                list_rules: false,
+            };
             while let Some(arg) = it.next() {
                 match arg {
                     "--deny" => cmd.deny = true,
                     "--json" => cmd.json = true,
+                    "--fix" => cmd.fix = true,
                     "--out" | "--output" => {
                         cmd.out = Some(PathBuf::from(take_value(arg, &mut it)?));
+                    }
+                    "--changed" => {
+                        cmd.changed = Some(take_value(arg, &mut it)?.to_string());
                     }
                     "--list-rules" => cmd.list_rules = true,
                     other if other.starts_with('-') => {
@@ -597,16 +612,16 @@ mod tests {
 
     #[test]
     fn lint_defaults_and_flags() {
-        assert_eq!(
-            p(&["lint"]).unwrap(),
-            Command::Lint(LintCmd {
-                paths: vec![],
-                deny: false,
-                json: false,
-                out: None,
-                list_rules: false,
-            })
-        );
+        let defaults = LintCmd {
+            paths: vec![],
+            deny: false,
+            json: false,
+            out: None,
+            fix: false,
+            changed: None,
+            list_rules: false,
+        };
+        assert_eq!(p(&["lint"]).unwrap(), Command::Lint(defaults.clone()));
         assert_eq!(
             p(&["lint", "crates/core", "crates/model", "--deny", "--json", "--out", "r.json"])
                 .unwrap(),
@@ -615,21 +630,41 @@ mod tests {
                 deny: true,
                 json: true,
                 out: Some(PathBuf::from("r.json")),
-                list_rules: false,
+                ..defaults.clone()
             })
         );
         assert_eq!(
             p(&["lint", "--list-rules"]).unwrap(),
-            Command::Lint(LintCmd {
-                paths: vec![],
-                deny: false,
-                json: false,
-                out: None,
-                list_rules: true,
-            })
+            Command::Lint(LintCmd { list_rules: true, ..defaults.clone() })
         );
         assert!(p(&["lint", "--bogus"]).unwrap_err().0.contains("unknown flag"));
         assert!(p(&["lint", "--out"]).unwrap_err().0.contains("requires a value"));
+    }
+
+    #[test]
+    fn lint_fix_and_changed_flags() {
+        let defaults = LintCmd {
+            paths: vec![],
+            deny: false,
+            json: false,
+            out: None,
+            fix: false,
+            changed: None,
+            list_rules: false,
+        };
+        assert_eq!(
+            p(&["lint", "--fix"]).unwrap(),
+            Command::Lint(LintCmd { fix: true, ..defaults.clone() })
+        );
+        assert_eq!(
+            p(&["lint", "--changed", "origin/main", "--deny"]).unwrap(),
+            Command::Lint(LintCmd {
+                changed: Some("origin/main".to_string()),
+                deny: true,
+                ..defaults.clone()
+            })
+        );
+        assert!(p(&["lint", "--changed"]).unwrap_err().0.contains("requires a value"));
     }
 
     #[test]

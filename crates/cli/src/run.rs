@@ -49,7 +49,18 @@ fn lint(cmd: LintCmd) -> CliResult {
     } else {
         cmd.paths
     };
-    let report = lrgp_lint::lint_paths(&roots)?;
+    if cmd.fix {
+        let outcome = lrgp_lint::fix_paths(&roots)?;
+        eprintln!(
+            "lrgp-lint: applied {} fix edit(s) across {} file(s)",
+            outcome.edits_applied, outcome.files_changed
+        );
+    }
+    let only = match &cmd.changed {
+        None => None,
+        Some(base) => Some(lrgp_lint::changed_labels(base)?),
+    };
+    let report = lrgp_lint::lint_paths_filtered(&roots, only.as_ref())?;
     if let Some(path) = &cmd.out {
         std::fs::write(path, report.to_json())?;
     }

@@ -51,6 +51,7 @@ impl ProblemChange {
     ///
     /// Propagates model validation errors (non-positive capacity, invalid
     /// bounds).
+    #[must_use = "this Result reports a failure the caller must handle"]
     pub fn apply(&self, problem: &Problem) -> Result<Problem, ValidationError> {
         match *self {
             ProblemChange::RemoveFlow(flow) => Ok(problem.without_flow(flow)),
@@ -125,6 +126,7 @@ pub struct ScenarioOutcome {
 /// # Errors
 ///
 /// Propagates validation errors from applying a change.
+#[must_use = "this Result reports a failure the caller must handle"]
 pub fn run_scenario(
     engine: &mut LrgpEngine,
     scenario: &Scenario,

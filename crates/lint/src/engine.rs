@@ -5,8 +5,10 @@
 //! matching, running every rule, and applying inline suppression
 //! directives. Rules (in [`crate::rules`]) only look at tokens.
 
-use crate::lexer::{lex, Token};
+use crate::lexer::{lex, LexedFile, Token};
+use crate::parser::{parse, ParsedFile};
 use crate::rules;
+use crate::symbols::Symbols;
 
 /// Pseudo-rule id for malformed or unknown suppression directives. Not a
 /// real rule: it cannot itself be suppressed, so a typo in an `allow(...)`
@@ -71,6 +73,8 @@ pub struct Finding {
     pub col: u32,
     /// Human explanation of what is wrong and what to do instead.
     pub message: String,
+    /// True if `lrgp lint --fix` can rewrite this finding mechanically.
+    pub fixable: bool,
 }
 
 /// A suppression that actually matched a finding.
@@ -96,6 +100,10 @@ pub struct FileContext<'a> {
     pub krate: Option<&'a str>,
     /// The full token stream.
     pub tokens: &'a [Token],
+    /// Structural view: items, signatures, imports, delimiter pairing.
+    pub parsed: &'a ParsedFile,
+    /// Workspace-wide symbol table (field types, fn returns, statics).
+    pub symbols: &'a Symbols,
     test_ranges: Vec<(usize, usize)>,
 }
 
@@ -108,7 +116,21 @@ impl FileContext<'_> {
     /// Convenience: a finding anchored at token `idx`.
     pub fn finding(&self, rule: &'static str, idx: usize, message: String) -> Finding {
         let t = &self.tokens[idx];
-        Finding { rule, file: self.path.to_string(), line: t.line, col: t.col, message }
+        Finding {
+            rule,
+            file: self.path.to_string(),
+            line: t.line,
+            col: t.col,
+            message,
+            fixable: false,
+        }
+    }
+
+    /// Like [`FileContext::finding`], marked machine-fixable.
+    pub fn fixable_finding(&self, rule: &'static str, idx: usize, message: String) -> Finding {
+        let mut f = self.finding(rule, idx, message);
+        f.fixable = true;
+        f
     }
 }
 
@@ -219,13 +241,56 @@ fn test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
     ranges
 }
 
+/// One file prepared for analysis: lexed, parsed, classified.
+struct PreparedFile {
+    path: String,
+    kind: FileKind,
+    lexed: LexedFile,
+    parsed: ParsedFile,
+}
+
+/// Runs every rule on a set of files as one workspace: symbols (field
+/// types, fn return types, `static mut` declarations) are collected from
+/// **all** non-test files first, then each file is analyzed against that
+/// shared table — this is what lets a rule in `topology.rs` know the type
+/// of a field declared three modules away.
+///
+/// Paths should be repo-relative with `/` separators: they drive file
+/// classification, per-crate rule scoping, and symbol-table keying.
+/// Returns one [`FileAnalysis`] per input, in input order.
+pub fn analyze_files(files: &[(String, String)]) -> Vec<FileAnalysis> {
+    let prepared: Vec<PreparedFile> = files
+        .iter()
+        .map(|(path, src)| {
+            let lexed = lex(src);
+            let parsed = parse(&lexed.tokens);
+            PreparedFile { path: path.clone(), kind: classify(path), lexed, parsed }
+        })
+        .collect();
+    let symbols = Symbols::build(
+        prepared
+            .iter()
+            .filter(|p| p.kind != FileKind::Test)
+            .map(|p| (crate_of(&p.path), &p.parsed)),
+    );
+    prepared.iter().map(|p| analyze_prepared(p, &symbols)).collect()
+}
+
 /// Runs every rule on one file and applies suppression directives.
 ///
-/// `path` should be the repo-relative path with `/` separators: it drives
-/// both file classification and the per-crate scoping of rules.
+/// Single-file convenience over [`analyze_files`]: the symbol table is
+/// built from this file alone, so cross-file facts resolve only within
+/// it.
 pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
-    let lexed = lex(src);
-    let kind = classify(path);
+    analyze_files(&[(path.to_string(), src.to_string())])
+        .pop()
+        .unwrap_or_default()
+}
+
+fn analyze_prepared(file: &PreparedFile, symbols: &Symbols) -> FileAnalysis {
+    let lexed = &file.lexed;
+    let path = file.path.as_str();
+    let kind = file.kind;
     let mut analysis = FileAnalysis::default();
     // Directive hygiene is checked even in test files: a malformed
     // directive anywhere is a lie about what is being enforced.
@@ -236,6 +301,7 @@ pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
             line: *line,
             col: 1,
             message: format!("malformed lrgp-lint directive: {msg}"),
+            fixable: false,
         });
     }
     for d in &lexed.directives {
@@ -246,6 +312,7 @@ pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
                 line: d.line,
                 col: 1,
                 message: format!("allow() names unknown rule `{}`", d.rule),
+                fixable: false,
             });
         }
     }
@@ -257,6 +324,8 @@ pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
         kind,
         krate: crate_of(path),
         tokens: &lexed.tokens,
+        parsed: &file.parsed,
+        symbols,
         test_ranges: test_ranges(&lexed.tokens),
     };
     let mut raw: Vec<Finding> = Vec::new();

@@ -8,6 +8,11 @@
 //! Comments are not emitted as tokens, but line comments are scanned for
 //! `// lrgp-lint: allow(<rule>, reason = "...")` suppression directives.
 //!
+//! Every token records its **character span** (`offset`/`len` in `char`
+//! units into the source) in addition to line/column: the span is what the
+//! `--fix` rewriter edits, so it must cover the token's full source
+//! spelling even for literals whose `text` is elided (`"…"`, `'…'`).
+//!
 //! The lexer is intentionally forgiving: on malformed input it degrades to
 //! single-character punctuation tokens rather than failing, because a lint
 //! must never be the reason a build script dies on a file `rustc` itself
@@ -33,17 +38,21 @@ pub enum TokenKind {
     Punct,
 }
 
-/// One lexed token with its 1-based source position.
+/// One lexed token with its 1-based source position and character span.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// Token classification.
     pub kind: TokenKind,
-    /// The exact source spelling.
+    /// The exact source spelling (literal bodies are elided to `…`).
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: u32,
     /// 1-based column (in characters) of the token's first character.
     pub col: u32,
+    /// Offset of the token's first character, in `char` units.
+    pub offset: usize,
+    /// Length of the token's source spelling, in `char` units.
+    pub len: usize,
 }
 
 impl Token {
@@ -124,8 +133,11 @@ impl Lexer {
         Some(c)
     }
 
-    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
-        self.out.tokens.push(Token { kind, text, line, col });
+    /// Emits a token starting at `(line, col, start)` and ending at the
+    /// current cursor.
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32, start: usize) {
+        let len = self.pos.saturating_sub(start);
+        self.out.tokens.push(Token { kind, text, line, col, offset: start, len });
     }
 
     /// True if the most recently emitted token is a `.` — used to lex
@@ -185,16 +197,27 @@ impl Lexer {
     }
 
     /// Consumes a raw-string body after `r##...` — `hashes` already
-    /// counted, opening quote already consumed. No escapes.
+    /// counted, opening quote already consumed. No escapes: the body ends
+    /// at the first `"` followed by exactly `hashes` `#` characters, so a
+    /// quote followed by *fewer* hashes (`"#` inside an `r##"..."##`
+    /// string) is body content, not a terminator.
     fn lex_raw_string_body(&mut self, hashes: usize) {
         while let Some(c) = self.bump() {
             if c == '"' {
+                // Count candidate hashes without consuming short runs: a
+                // run shorter than `hashes` stays part of the body, and its
+                // characters must be re-scanned (one of them could start
+                // another `"` candidate only if it is a quote, which a `#`
+                // never is — but partial consumption would still desync the
+                // span bookkeeping for nested `"#` sequences).
                 let mut matched = 0;
-                while matched < hashes && self.peek(0) == Some('#') {
-                    self.bump();
+                while matched < hashes && self.peek(matched) == Some('#') {
                     matched += 1;
                 }
                 if matched == hashes {
+                    for _ in 0..matched {
+                        self.bump();
+                    }
                     break;
                 }
             }
@@ -202,7 +225,13 @@ impl Lexer {
     }
 
     /// Lexes what follows a `'`: a lifetime or a char literal.
-    fn lex_quote(&mut self, line: u32, col: u32) {
+    ///
+    /// Disambiguation: `'x` followed by a closing quote is a char literal
+    /// (`'a'`), an identifier-start character *not* followed by a closing
+    /// quote opens a lifetime (`'a`, `'static`, `'_`), and anything else is
+    /// a char literal. For valid Rust this is exact: a lifetime is never
+    /// immediately followed by `'`.
+    fn lex_quote(&mut self, line: u32, col: u32, start: usize) {
         match self.peek(0) {
             Some('\\') => {
                 // Escaped char literal: consume escape, then to closing quote.
@@ -213,7 +242,7 @@ impl Lexer {
                         break;
                     }
                 }
-                self.push(TokenKind::Char, String::from("'…'"), line, col);
+                self.push(TokenKind::Char, String::from("'…'"), line, col, start);
             }
             Some(c) if is_ident_start(c) && self.peek(1) != Some('\'') => {
                 // Lifetime: 'name with no closing quote.
@@ -225,7 +254,7 @@ impl Lexer {
                     name.push(c);
                     self.bump();
                 }
-                self.push(TokenKind::Lifetime, name, line, col);
+                self.push(TokenKind::Lifetime, name, line, col, start);
             }
             Some(_) => {
                 // Plain char literal 'x'.
@@ -233,13 +262,13 @@ impl Lexer {
                 if self.peek(0) == Some('\'') {
                     self.bump();
                 }
-                self.push(TokenKind::Char, String::from("'…'"), line, col);
+                self.push(TokenKind::Char, String::from("'…'"), line, col, start);
             }
-            None => self.push(TokenKind::Punct, String::from("'"), line, col),
+            None => self.push(TokenKind::Punct, String::from("'"), line, col, start),
         }
     }
 
-    fn lex_number(&mut self, line: u32, col: u32) {
+    fn lex_number(&mut self, line: u32, col: u32, start: usize) {
         let mut text = String::new();
         let mut float = false;
         let first = self.bump().unwrap_or('0');
@@ -254,7 +283,7 @@ impl Lexer {
                     break;
                 }
             }
-            self.push(TokenKind::Int, text, line, col);
+            self.push(TokenKind::Int, text, line, col, start);
             return;
         }
         while let Some(c) = self.peek(0) {
@@ -322,10 +351,10 @@ impl Lexer {
         }
         text.push_str(&suffix);
         let kind = if float { TokenKind::Float } else { TokenKind::Int };
-        self.push(kind, text, line, col);
+        self.push(kind, text, line, col, start);
     }
 
-    fn lex_ident_or_string(&mut self, line: u32, col: u32) {
+    fn lex_ident_or_string(&mut self, line: u32, col: u32, start: usize) {
         let mut name = String::new();
         while let Some(c) = self.peek(0) {
             if !is_ident_continue(c) {
@@ -345,7 +374,7 @@ impl Lexer {
                 } else {
                     self.lex_string_body();
                 }
-                self.push(TokenKind::Str, String::from("\"…\""), line, col);
+                self.push(TokenKind::Str, String::from("\"…\""), line, col, start);
             }
             Some('#') if raw => {
                 let mut hashes = 0;
@@ -356,10 +385,16 @@ impl Lexer {
                 if self.peek(0) == Some('"') {
                     self.bump();
                     self.lex_raw_string_body(hashes);
-                    self.push(TokenKind::Str, String::from("\"…\""), line, col);
+                    self.push(TokenKind::Str, String::from("\"…\""), line, col, start);
                 } else {
-                    // `r#ident` (raw identifier) — hashes belong to it.
+                    // Raw identifier `r#ident`: the ident spelling keeps its
+                    // `r#` prefix so `r#type` is distinguishable from the
+                    // keyword `type`, and the consumed `#` stays inside the
+                    // token span.
                     let mut rest = name;
+                    for _ in 0..hashes {
+                        rest.push('#');
+                    }
                     while let Some(c) = self.peek(0) {
                         if !is_ident_continue(c) {
                             break;
@@ -367,20 +402,20 @@ impl Lexer {
                         rest.push(c);
                         self.bump();
                     }
-                    self.push(TokenKind::Ident, rest, line, col);
+                    self.push(TokenKind::Ident, rest, line, col, start);
                 }
             }
             Some('\'') if name == "b" => {
                 self.bump();
-                self.lex_quote(line, col);
+                self.lex_quote(line, col, start);
             }
-            _ => self.push(TokenKind::Ident, name, line, col),
+            _ => self.push(TokenKind::Ident, name, line, col, start),
         }
     }
 
     fn run(mut self) -> LexedFile {
         while let Some(c) = self.peek(0) {
-            let (line, col) = (self.line, self.col);
+            let (line, col, start) = (self.line, self.col, self.pos);
             if c.is_whitespace() {
                 self.bump();
                 continue;
@@ -400,20 +435,20 @@ impl Lexer {
             if c == '"' {
                 self.bump();
                 self.lex_string_body();
-                self.push(TokenKind::Str, String::from("\"…\""), line, col);
+                self.push(TokenKind::Str, String::from("\"…\""), line, col, start);
                 continue;
             }
             if c == '\'' {
                 self.bump();
-                self.lex_quote(line, col);
+                self.lex_quote(line, col, start);
                 continue;
             }
             if c.is_ascii_digit() {
-                self.lex_number(line, col);
+                self.lex_number(line, col, start);
                 continue;
             }
             if is_ident_start(c) {
-                self.lex_ident_or_string(line, col);
+                self.lex_ident_or_string(line, col, start);
                 continue;
             }
             // Punctuation: longest multi-char operator first.
@@ -430,11 +465,11 @@ impl Lexer {
                     for _ in 0..op.chars().count() {
                         self.bump();
                     }
-                    self.push(TokenKind::Punct, op.to_string(), line, col);
+                    self.push(TokenKind::Punct, op.to_string(), line, col, start);
                 }
                 None => {
                     self.bump();
-                    self.push(TokenKind::Punct, c.to_string(), line, col);
+                    self.push(TokenKind::Punct, c.to_string(), line, col, start);
                 }
             }
         }
@@ -554,6 +589,56 @@ mod tests {
     }
 
     #[test]
+    fn nested_raw_strings_with_embedded_terminator_prefixes() {
+        // `"#` inside an `r##"..."##` string is content, not a terminator.
+        let src = r####"let s = r##"quote "# inside"##; after(1.5);"####;
+        let toks = lex(src).tokens;
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        let after = toks.iter().find(|t| t.is_ident("after")).expect("after survives");
+        assert_eq!((after.line, after.col), (1, 33));
+        // A short hash run right before the real terminator.
+        let src = r#####"let s = r###"x"## y"###; done()"#####;
+        let toks = lex(src).tokens;
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        // Byte raw strings take the same path.
+        let src = r####"let s = br##"bytes "# ok"##; done()"####;
+        assert!(lex(src).tokens.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn raw_identifiers_keep_prefix_and_span() {
+        let toks = lex("let r#type = r#match + 1;").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("r#type")));
+        assert!(toks.iter().any(|t| t.is_ident("r#match")));
+        let t = toks.iter().find(|t| t.is_ident("r#type")).expect("raw ident");
+        assert_eq!(t.len, "r#type".chars().count());
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal_disambiguation() {
+        // Exact positions: lifetimes in generics, char literals in tuples.
+        let toks = lex("fn f<'a, '_, 'static>(x: &'a u8) { g(('a', 'b'), b'z') }").tokens;
+        let lifetimes: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).map(|t| t.text.as_str()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'_", "'static", "'a"]);
+        // 'a', 'b', b'z' are chars.
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 3);
+        // Labeled loops and escaped quotes.
+        let toks = lex("'outer: loop { break 'outer; } let q = '\\''; let n = '\\n';").tokens;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count(),
+            2,
+            "label definition and break target"
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 2);
+        // Exact position of the token after a char literal.
+        let lexed = lex("let c = 'x'; next");
+        let next = lexed.tokens.iter().find(|t| t.is_ident("next")).expect("next token");
+        assert_eq!((next.line, next.col), (1, 14));
+    }
+
+    #[test]
     fn nested_block_comments() {
         let toks = kinds("a /* x /* y */ still comment == 9.5 */ b");
         assert_eq!(toks.len(), 2);
@@ -564,6 +649,25 @@ mod tests {
         let lexed = lex("ab\n  cd");
         assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
         assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn char_spans_cover_source_spelling() {
+        let src = "alpha = \"str\" + 'c' + 2.5f64;";
+        let chars: Vec<char> = src.chars().collect();
+        for t in lex(src).tokens {
+            let spelling: String = chars[t.offset..t.offset + t.len].iter().collect();
+            match t.kind {
+                TokenKind::Str => assert_eq!(spelling, "\"str\""),
+                TokenKind::Char => assert_eq!(spelling, "'c'"),
+                _ => assert_eq!(spelling, t.text, "span must reproduce the token"),
+            }
+        }
+        // Spans are contiguous and non-overlapping in source order.
+        let lexed = lex("a.partial_cmp(&b)");
+        for w in lexed.tokens.windows(2) {
+            assert!(w[0].offset + w[0].len <= w[1].offset);
+        }
     }
 
     #[test]

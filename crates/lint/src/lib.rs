@@ -45,14 +45,19 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fix;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod semantic;
+pub mod symbols;
 
 pub use engine::{
-    analyze_source, classify, crate_of, FileAnalysis, FileKind, Finding, Suppression,
-    BAD_DIRECTIVE,
+    analyze_files, analyze_source, classify, crate_of, FileAnalysis, FileKind, Finding,
+    Suppression, BAD_DIRECTIVE,
 };
+pub use fix::{fix_paths, FixOutcome};
 pub use report::{Report, JSON_SCHEMA_VERSION};
 pub use rules::{is_known_rule, Rule, RULES};
 
@@ -99,6 +104,7 @@ fn walk_into(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
 
 /// Collects every `.rs` file under `root` (or `root` itself if it is a
 /// file), skipping [`SKIPPED_DIRS`]. Results are sorted by label.
+#[must_use = "the file list is the entire point of calling this"]
 pub fn collect_rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
     if root.is_dir() {
@@ -110,20 +116,68 @@ pub fn collect_rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
+/// Labels of the `.rs` files that differ from `base`, as reported by
+/// `git diff --name-only <base>` (deleted files excluded). Paths come back
+/// repo-relative with `/` separators, i.e. already in [`label_of`] form —
+/// so diff-scoped linting (`lrgp lint --changed <ref>`) must run from the
+/// repository root, which is where every other workspace-relative command
+/// runs from too.
+#[must_use = "this Result reports a failure the caller must handle"]
+pub fn changed_labels(base: &str) -> io::Result<std::collections::BTreeSet<String>> {
+    let out = std::process::Command::new("git")
+        .args(["diff", "--name-only", "--diff-filter=d", base, "--", "*.rs"])
+        .output()?;
+    if !out.status.success() {
+        return Err(io::Error::other(format!(
+            "git diff --name-only {base} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        )));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect())
+}
+
 /// Lints every Rust file under the given roots and aggregates a
 /// stable-sorted [`Report`].
+///
+/// The whole set is analyzed as one workspace (see
+/// [`engine::analyze_files`]): symbols resolve across files, so e.g. a
+/// hash-typed struct field declared in one module is seen by iteration
+/// sites in another.
+#[must_use = "the report carries the findings; dropping it skips enforcement"]
 pub fn lint_paths(roots: &[PathBuf]) -> io::Result<Report> {
-    let mut findings = Vec::new();
-    let mut suppressions = Vec::new();
-    let mut files_scanned = 0usize;
+    lint_paths_filtered(roots, None)
+}
+
+/// Like [`lint_paths`], but reports findings and suppressions only for
+/// files whose label is in `only` (when given). The **whole** tree is
+/// still read and analyzed — cross-file symbol resolution needs it — so a
+/// diff-scoped run (`lrgp lint --changed <ref>`) is faster to act on, not
+/// less correct. `files_scanned` counts analyzed files, not reported ones.
+#[must_use = "the report carries the findings; dropping it skips enforcement"]
+pub fn lint_paths_filtered(
+    roots: &[PathBuf],
+    only: Option<&std::collections::BTreeSet<String>>,
+) -> io::Result<Report> {
+    let mut files: Vec<(String, String)> = Vec::new();
     for root in roots {
         for file in collect_rust_files(root)? {
-            let src = std::fs::read_to_string(&file)?;
-            let analysis = analyze_source(&label_of(&file), &src);
-            findings.extend(analysis.findings);
-            suppressions.extend(analysis.suppressions);
-            files_scanned += 1;
+            files.push((label_of(&file), std::fs::read_to_string(&file)?));
         }
     }
-    Ok(Report::new(findings, suppressions, files_scanned))
+    let analyses = engine::analyze_files(&files);
+    let mut findings = Vec::new();
+    let mut suppressions = Vec::new();
+    for ((label, _), analysis) in files.iter().zip(analyses) {
+        if only.is_some_and(|set| !set.contains(label)) {
+            continue;
+        }
+        findings.extend(analysis.findings);
+        suppressions.extend(analysis.suppressions);
+    }
+    Ok(Report::new(findings, suppressions, files.len()))
 }

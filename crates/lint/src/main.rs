@@ -1,13 +1,17 @@
 //! The `lrgp-lint` binary: scan a tree, print diagnostics, gate CI.
 //!
 //! ```text
-//! lrgp-lint [PATH ...] [--deny] [--json] [--out FILE] [--list-rules]
+//! lrgp-lint [PATH ...] [--deny] [--json] [--out FILE] [--fix] [--changed REF] [--list-rules]
 //! ```
 //!
 //! With no paths, scans the current directory (the workspace root in CI).
 //! `--deny` exits non-zero when any unsuppressed finding remains; `--json`
 //! prints the machine-readable report to stdout; `--out FILE` additionally
 //! writes the JSON report to a file (used by the CI artifact upload).
+//! `--fix` applies machine-applicable rewrites in place before reporting,
+//! so the report shows what remains for a human. `--changed REF` reports
+//! only findings in files that differ from the given git ref (the whole
+//! tree is still analyzed, so cross-file symbols stay correct).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,34 +23,50 @@ const USAGE: &str = "\
 lrgp-lint — determinism-invariant static analysis for the LRGP workspace
 
 USAGE:
-  lrgp-lint [PATH ...] [--deny] [--json] [--out FILE] [--list-rules]
+  lrgp-lint [PATH ...] [--deny] [--json] [--out FILE] [--fix] [--changed REF] [--list-rules]
 
 OPTIONS:
-  --deny        exit 1 if any unsuppressed finding remains (CI mode)
-  --json        print the stable, sorted JSON report to stdout
-  --out FILE    also write the JSON report to FILE
-  --list-rules  describe every rule and the invariant it protects";
+  --deny         exit 1 if any unsuppressed finding remains (CI mode)
+  --json         print the stable, sorted JSON report to stdout
+  --out FILE     also write the JSON report to FILE
+  --fix          apply machine-applicable rewrites in place, then report
+  --changed REF  report only files that differ from the given git ref
+  --list-rules   describe every rule and the invariant it protects";
 
 struct Options {
     roots: Vec<PathBuf>,
     deny: bool,
     json: bool,
     out: Option<PathBuf>,
+    fix: bool,
+    changed: Option<String>,
     list_rules: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts =
-        Options { roots: Vec::new(), deny: false, json: false, out: None, list_rules: false };
+    let mut opts = Options {
+        roots: Vec::new(),
+        deny: false,
+        json: false,
+        out: None,
+        fix: false,
+        changed: None,
+        list_rules: false,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deny" => opts.deny = true,
             "--json" => opts.json = true,
+            "--fix" => opts.fix = true,
             "--list-rules" => opts.list_rules = true,
             "--out" => match it.next() {
                 Some(path) => opts.out = Some(PathBuf::from(path)),
                 None => return Err("--out requires a file path".to_string()),
+            },
+            "--changed" => match it.next() {
+                Some(base) => opts.changed = Some(base.clone()),
+                None => return Err("--changed requires a git ref".to_string()),
             },
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => {
@@ -90,7 +110,29 @@ fn main() -> ExitCode {
         list_rules();
         return ExitCode::SUCCESS;
     }
-    let report = match lrgp_lint::lint_paths(&opts.roots) {
+    if opts.fix {
+        match lrgp_lint::fix_paths(&opts.roots) {
+            Ok(outcome) => eprintln!(
+                "lrgp-lint: applied {} fix edit(s) across {} file(s)",
+                outcome.edits_applied, outcome.files_changed
+            ),
+            Err(e) => {
+                eprintln!("error: --fix failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let only = match &opts.changed {
+        None => None,
+        Some(base) => match lrgp_lint::changed_labels(base) {
+            Ok(labels) => Some(labels),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let report = match lrgp_lint::lint_paths_filtered(&opts.roots, only.as_ref()) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: {e}");

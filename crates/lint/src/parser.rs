@@ -1,0 +1,964 @@
+//! Token-tree parsing: an AST-lite view of one file.
+//!
+//! The semantic rules need more than a token stream — they need to know
+//! which names are `HashMap`-typed, which functions return `Result`, where
+//! item bodies start and end — but pulling in `syn` is off the table
+//! (vendored-shims policy). This module is the middle ground: a forgiving,
+//! dependency-free structural pass over the [`crate::lexer`] output that
+//! recovers items (with attributes, visibility, and derive lists), fn
+//! signatures, `use` imports with aliases, `let` bindings, and a
+//! delimiter-matching table for jumping across `()`/`[]`/`{}` groups.
+//!
+//! "Forgiving" is load-bearing: on code this parser does not understand it
+//! skips tokens rather than erroring, because the linter must degrade to
+//! fewer findings — never to a crash — on any file `rustc` accepts.
+
+use crate::lexer::{Token, TokenKind};
+
+/// The head of a type expression, e.g. `&mut HashMap<NodeId, f64>` has
+/// head `HashMap` and args `["NodeId", "f64"]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeHead {
+    /// Last path segment of the type constructor (`Result` for
+    /// `io::Result<()>`), with references/`mut`/`dyn`/`impl` stripped.
+    pub head: String,
+    /// Every identifier inside the generic argument list, flattened —
+    /// enough to ask "does this type carry an `f64` anywhere".
+    pub args: Vec<String>,
+}
+
+impl TypeHead {
+    /// True if the head or any generic argument is this identifier.
+    pub fn mentions(&self, name: &str) -> bool {
+        self.head == name || self.args.iter().any(|a| a == name)
+    }
+}
+
+/// What kind of item a declaration is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` (free function or method).
+    Fn,
+    /// `struct`.
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `impl` block.
+    Impl,
+    /// `trait` definition.
+    Trait,
+    /// `mod` (inline or out-of-line).
+    Mod,
+    /// `const` item.
+    Const,
+    /// `static` item.
+    Static,
+    /// `type` alias.
+    TypeAlias,
+}
+
+/// Where an item is nested — rules treat trait-impl methods differently
+/// from inherent ones (e.g. `#[must_use]` belongs on the trait, not the
+/// impl).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Container {
+    /// File or inline-module scope.
+    TopLevel,
+    /// Inside `impl Type { .. }`.
+    InherentImpl,
+    /// Inside `impl Trait for Type { .. }`.
+    TraitImpl,
+    /// Inside `trait { .. }`.
+    Trait,
+}
+
+/// A parsed fn signature.
+#[derive(Debug, Clone, Default)]
+pub struct FnSig {
+    /// `(name, type head)` per typed parameter; `self` receivers and
+    /// pattern parameters are skipped.
+    pub params: Vec<(String, TypeHead)>,
+    /// The return type head, if an `->` was present.
+    pub ret: Option<TypeHead>,
+}
+
+/// One item declaration.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Declared name (`impl` blocks use the implemented type's head;
+    /// unnamed/unparsed items get `""`).
+    pub name: String,
+    /// True for `pub` / `pub(crate)` items.
+    pub is_pub: bool,
+    /// Token index of the defining keyword (`fn`, `struct`, ...).
+    pub kw: usize,
+    /// Token indices of the body's `{` and `}`, if the item has a body.
+    pub body: Option<(usize, usize)>,
+    /// Token index of the item's last token (`}` or `;`).
+    pub end: usize,
+    /// Idents listed in a leading `#[derive(...)]`.
+    pub derives: Vec<String>,
+    /// True if a leading attribute mentions `must_use`.
+    pub has_must_use: bool,
+    /// Parsed signature, for `Fn` items.
+    pub sig: Option<FnSig>,
+    /// `(name, type head)` per named struct field, for `Struct` items.
+    pub fields: Vec<(String, TypeHead)>,
+    /// True for `static mut` items.
+    pub is_static_mut: bool,
+    /// Enclosing container of this item.
+    pub container: Container,
+}
+
+/// One imported name: `use std::collections::HashMap as Map` yields
+/// `local = "Map"`, `path = "std::collections::HashMap"`.
+#[derive(Debug, Clone)]
+pub struct UseImport {
+    /// The name the import binds in this file.
+    pub local: String,
+    /// The full `::`-joined source path.
+    pub path: String,
+}
+
+/// A `let` binding recovered from a body region.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Bound name (pattern bindings like `let (a, b) = ..` are skipped).
+    pub name: String,
+    /// Type from an explicit `: Type` annotation.
+    pub ty: Option<TypeHead>,
+    /// Head of the initializer path for `= Head::new()` / `= Head { .. }`
+    /// style initializers — a cheap type inference for constructor calls.
+    pub init_head: Option<String>,
+    /// Token index of the bound name.
+    pub idx: usize,
+}
+
+/// The structural view of one lexed file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// `match_of[i]` is the index of the delimiter paired with token `i`
+    /// (for `(`/`[`/`{` and their closers), or `None` for non-delimiters
+    /// and unbalanced ones.
+    pub match_of: Vec<Option<usize>>,
+    /// All items, outer-to-inner (module/impl members follow their
+    /// container).
+    pub items: Vec<Item>,
+    /// All `use` imports.
+    pub uses: Vec<UseImport>,
+}
+
+impl ParsedFile {
+    /// True if the file imports `name` from a path ending in `target`
+    /// (e.g. is `Map` an alias of `HashMap`), or `name == target`.
+    pub fn resolves_to(&self, name: &str, target: &str) -> bool {
+        if name == target {
+            return true;
+        }
+        self.uses.iter().any(|u| {
+            u.local == name && u.path.rsplit("::").next().is_some_and(|last| last == target)
+        })
+    }
+}
+
+/// Pairs up `()`, `[]`, and `{}` delimiters.
+pub fn match_delims(tokens: &[Token]) -> Vec<Option<usize>> {
+    let mut out = vec![None; tokens.len()];
+    let mut stack: Vec<(usize, &str)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => stack.push((i, t.text.as_str())),
+            ")" | "]" | "}" => {
+                let want = match t.text.as_str() {
+                    ")" => "(",
+                    "]" => "[",
+                    _ => "{",
+                };
+                // Pop only a matching opener; a mismatched closer (broken
+                // code) is left unpaired rather than corrupting the stack.
+                if stack.last().is_some_and(|&(_, open)| open == want) {
+                    if let Some((j, _)) = stack.pop() {
+                        out[i] = Some(j);
+                        out[j] = Some(i);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parses the token stream of one file.
+pub fn parse(tokens: &[Token]) -> ParsedFile {
+    let match_of = match_delims(tokens);
+    let mut parsed = ParsedFile { match_of, items: Vec::new(), uses: Vec::new() };
+    let (items, uses) = {
+        let mut items = Vec::new();
+        let mut uses = Vec::new();
+        parse_items(
+            tokens,
+            &parsed.match_of,
+            0,
+            tokens.len(),
+            Container::TopLevel,
+            &mut items,
+            &mut uses,
+        );
+        (items, uses)
+    };
+    parsed.items = items;
+    parsed.uses = uses;
+    parsed
+}
+
+/// Skips a generic-argument list; `i` points at the opening `<`. Returns
+/// the index just past the matching close. `<<`/`>>` count double because
+/// the lexer munches them as single tokens.
+fn skip_angles(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "<" if tokens[i].kind == TokenKind::Punct => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            // A `;` or `{` at any point means this was not a generic list
+            // after all (e.g. a comparison) — bail out where we stand.
+            ";" | "{" => return i,
+            _ => {}
+        }
+        i += 1;
+        if depth <= 0 {
+            return i;
+        }
+    }
+    i
+}
+
+/// Extracts the [`TypeHead`] from a type-position token range.
+pub fn type_head(tokens: &[Token], lo: usize, hi: usize) -> Option<TypeHead> {
+    let mut i = lo;
+    // Strip reference/pointer/mutability/existential prefixes.
+    while i < hi {
+        let t = &tokens[i];
+        let skip = t.is_punct("&")
+            || t.is_punct("&&")
+            || t.is_punct("*")
+            || t.is_ident("mut")
+            || t.is_ident("const")
+            || t.is_ident("dyn")
+            || t.is_ident("impl")
+            || t.kind == TokenKind::Lifetime;
+        if !skip {
+            break;
+        }
+        i += 1;
+    }
+    if i >= hi {
+        return None;
+    }
+    if tokens[i].is_punct("(") || tokens[i].is_punct("[") {
+        // Tuple or slice type: the delimiter is the head, the idents
+        // inside are the args.
+        let head = tokens[i].text.clone();
+        let mut args = Vec::new();
+        let mut j = i + 1;
+        let mut depth = 1i32;
+        while j < hi && depth > 0 {
+            let t = &tokens[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if t.kind == TokenKind::Ident {
+                args.push(t.text.clone());
+            }
+            j += 1;
+        }
+        return Some(TypeHead { head, args });
+    }
+    // Path: `a::b::Last<Args>` — walk segments, keep the last one.
+    let mut head = None;
+    while i < hi {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident {
+            head = Some(t.text.clone());
+            i += 1;
+        } else if t.is_punct("::") {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let head = head?;
+    let mut args = Vec::new();
+    if i < hi && tokens[i].is_punct("<") {
+        let close = skip_angles(tokens, i);
+        for t in &tokens[i + 1..close.min(hi)] {
+            if t.kind == TokenKind::Ident {
+                args.push(t.text.clone());
+            }
+        }
+    }
+    Some(TypeHead { head, args })
+}
+
+/// Scans `[lo, hi)` for the first depth-0 occurrence of any `stops` punct
+/// or ident; returns its index (or `hi`). Depth counts `()`, `[]`, `{}`.
+fn scan_depth0(tokens: &[Token], lo: usize, hi: usize, stops: &[&str]) -> usize {
+    let mut depth = 0i32;
+    let mut i = lo;
+    while i < hi {
+        let t = &tokens[i];
+        // A stop wins over depth bookkeeping: `{` can be both an opener
+        // and the boundary being searched for.
+        if depth == 0 && stops.contains(&t.text.as_str()) {
+            return i;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" if t.kind == TokenKind::Punct => depth += 1,
+            ")" | "]" | "}" if t.kind == TokenKind::Punct => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    hi
+}
+
+/// Recovers `let` bindings in a token range (typically a fn body).
+pub fn let_bindings(tokens: &[Token], lo: usize, hi: usize) -> Vec<Binding> {
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi.min(tokens.len()) {
+        if !tokens[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < hi && tokens[j].is_ident("mut") {
+            j += 1;
+        }
+        if j >= hi || tokens[j].kind != TokenKind::Ident {
+            i = j;
+            continue;
+        }
+        let name = tokens[j].text.clone();
+        let idx = j;
+        let mut ty = None;
+        let mut init_head = None;
+        let mut k = j + 1;
+        if k < hi && tokens[k].is_punct(":") {
+            let stop = scan_depth0(tokens, k + 1, hi, &["=", ";"]);
+            ty = type_head(tokens, k + 1, stop);
+            k = stop;
+        }
+        if k < hi && tokens[k].is_punct("=") && tokens.get(k + 1).is_some_and(|t| {
+            t.kind == TokenKind::Ident
+        }) {
+            // `= Head::new(..)` / `= Head { .. }` / `= Head::default()`:
+            // take the first path segment as a constructor-type hint.
+            init_head = Some(tokens[k + 1].text.clone());
+        }
+        out.push(Binding { name, ty, init_head, idx });
+        i = k + 1;
+    }
+    out
+}
+
+/// Parses `(name, TypeHead)` pairs from a fn parameter list range
+/// (exclusive of the parens).
+fn parse_params(tokens: &[Token], lo: usize, hi: usize) -> Vec<(String, TypeHead)> {
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        let colon = scan_depth0(tokens, i, hi, &[":"]);
+        let comma = scan_depth0(tokens, i, hi, &[","]);
+        if colon >= comma {
+            // Untyped parameter (`self`, `&mut self`, a pattern) — skip.
+            i = comma + 1;
+            continue;
+        }
+        // The name is the last ident before the colon (handles `mut name`).
+        let name = tokens[i..colon]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokenKind::Ident && t.text != "mut")
+            .map(|t| t.text.clone());
+        // The type runs to the next depth-0 comma *beyond* the colon; a
+        // comma inside `HashMap<K, V>` sits inside `<..>`, which
+        // `scan_depth0` does not track, so re-scan skipping angle groups.
+        let mut end = colon + 1;
+        let mut depth = 0i32;
+        while end < hi {
+            let t = &tokens[end];
+            match t.text.as_str() {
+                "(" | "[" if t.kind == TokenKind::Punct => depth += 1,
+                ")" | "]" if t.kind == TokenKind::Punct => depth -= 1,
+                "<" if t.kind == TokenKind::Punct => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "," if depth == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        if let (Some(name), Some(ty)) = (name, type_head(tokens, colon + 1, end)) {
+            out.push((name, ty));
+        }
+        i = end + 1;
+    }
+    out
+}
+
+/// Parses named struct fields from a struct body range (exclusive of the
+/// braces).
+fn parse_fields(tokens: &[Token], lo: usize, hi: usize) -> Vec<(String, TypeHead)> {
+    // Field grammar is close enough to params that the same splitter works
+    // (attributes and `pub` are skipped by the name-before-colon rule
+    // because `]`/`pub` are not the last ident before `:` — but an
+    // attribute *argument* could be, so strip attrs first).
+    let mut cleaned: Vec<Token> = Vec::new();
+    let mut i = lo;
+    while i < hi.min(tokens.len()) {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let mut depth = 0i32;
+            i += 1;
+            while i < hi {
+                if tokens[i].is_punct("[") {
+                    depth += 1;
+                } else if tokens[i].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            i += 1;
+            continue;
+        }
+        cleaned.push(tokens[i].clone());
+        i += 1;
+    }
+    parse_params(&cleaned, 0, cleaned.len())
+}
+
+/// One leading attribute group's contribution to the next item.
+#[derive(Default)]
+struct Pending {
+    derives: Vec<String>,
+    has_must_use: bool,
+    is_pub: bool,
+}
+
+/// Parses the items in `[lo, hi)`, recursing into `mod`/`impl`/`trait`
+/// bodies (but not into fn bodies — nested fn items are rare and never
+/// public API).
+fn parse_items(
+    tokens: &[Token],
+    match_of: &[Option<usize>],
+    lo: usize,
+    hi: usize,
+    container: Container,
+    items: &mut Vec<Item>,
+    uses: &mut Vec<UseImport>,
+) {
+    let mut i = lo;
+    let mut pending = Pending::default();
+    while i < hi.min(tokens.len()) {
+        let t = &tokens[i];
+        // Inner attribute `#![..]`: skip without touching pending state.
+        if t.is_punct("#")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct("["))
+        {
+            i = match_of.get(i + 2).copied().flatten().map_or(i + 3, |c| c + 1);
+            continue;
+        }
+        // Outer attribute `#[..]`: harvest derives / must_use.
+        if t.is_punct("#") && tokens.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+            let close = match_of.get(i + 1).copied().flatten().unwrap_or(hi.saturating_sub(1));
+            let inner = &tokens[i + 2..close.min(hi)];
+            if inner.first().is_some_and(|f| f.is_ident("derive")) {
+                for tok in inner.iter().skip(1) {
+                    if tok.kind == TokenKind::Ident {
+                        pending.derives.push(tok.text.clone());
+                    }
+                }
+            }
+            if inner.iter().any(|tok| tok.is_ident("must_use")) {
+                pending.has_must_use = true;
+            }
+            i = close + 1;
+            continue;
+        }
+        if t.is_ident("pub") {
+            pending.is_pub = true;
+            i += 1;
+            // `pub(crate)` / `pub(in ..)` restriction group.
+            if tokens.get(i).is_some_and(|n| n.is_punct("(")) {
+                i = match_of.get(i).copied().flatten().map_or(i + 1, |c| c + 1);
+            }
+            continue;
+        }
+        // Transparent fn/impl qualifiers.
+        if t.is_ident("unsafe") || t.is_ident("async") {
+            i += 1;
+            continue;
+        }
+        if t.is_ident("extern") {
+            i += 1;
+            if tokens.get(i).is_some_and(|n| n.kind == TokenKind::Str) {
+                i += 1;
+            }
+            continue;
+        }
+        // `const fn` is a fn; bare `const` is a const item.
+        let kw = if t.is_ident("const") && tokens.get(i + 1).is_some_and(|n| n.is_ident("fn")) {
+            i += 1;
+            "fn"
+        } else {
+            t.text.as_str()
+        };
+        let is_item_kw = t.kind == TokenKind::Ident
+            && matches!(
+                kw,
+                "fn" | "struct" | "enum" | "impl" | "trait" | "mod" | "use" | "const"
+                    | "static" | "type"
+            );
+        if !is_item_kw {
+            pending = Pending::default();
+            i += 1;
+            continue;
+        }
+        let end = parse_one_item(tokens, match_of, i, hi, kw, &pending, container, items, uses);
+        pending = Pending::default();
+        i = end + 1;
+    }
+}
+
+/// Parses a single item whose keyword sits at `kw_idx`; returns the index
+/// of the item's final token.
+#[allow(clippy::too_many_arguments)]
+fn parse_one_item(
+    tokens: &[Token],
+    match_of: &[Option<usize>],
+    kw_idx: usize,
+    hi: usize,
+    kw: &str,
+    pending: &Pending,
+    container: Container,
+    items: &mut Vec<Item>,
+    uses: &mut Vec<UseImport>,
+) -> usize {
+    let next_ident = |from: usize| -> Option<(usize, String)> {
+        tokens
+            .get(from)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (from, t.text.clone()))
+    };
+    let mut item = Item {
+        kind: ItemKind::Fn,
+        name: String::new(),
+        is_pub: pending.is_pub,
+        kw: kw_idx,
+        body: None,
+        end: kw_idx,
+        derives: pending.derives.clone(),
+        has_must_use: pending.has_must_use,
+        sig: None,
+        fields: Vec::new(),
+        is_static_mut: false,
+        container,
+    };
+    match kw {
+        "use" => {
+            let end = parse_use(tokens, kw_idx + 1, hi, &mut Vec::new(), uses);
+            return end;
+        }
+        "fn" => {
+            let Some((name_idx, name)) = next_ident(kw_idx + 1) else {
+                return kw_idx;
+            };
+            item.name = name;
+            let mut k = name_idx + 1;
+            if tokens.get(k).is_some_and(|t| t.is_punct("<")) {
+                k = skip_angles(tokens, k);
+            }
+            let mut sig = FnSig::default();
+            if tokens.get(k).is_some_and(|t| t.is_punct("(")) {
+                if let Some(close) = match_of.get(k).copied().flatten() {
+                    sig.params = parse_params(tokens, k + 1, close);
+                    k = close + 1;
+                }
+            }
+            // Header tail: optional `-> Type`, optional `where ..`, then
+            // `{` body or `;` (trait method declaration).
+            let mut saw_where = false;
+            while k < hi {
+                let t = &tokens[k];
+                if t.is_punct("->") && !saw_where {
+                    let stop = scan_depth0(tokens, k + 1, hi, &[";", "{", "where"]);
+                    sig.ret = type_head(tokens, k + 1, stop);
+                    k = stop;
+                } else if t.is_ident("where") {
+                    saw_where = true;
+                    k += 1;
+                } else if t.is_punct("{") {
+                    let close = match_of.get(k).copied().flatten().unwrap_or(hi - 1);
+                    item.body = Some((k, close));
+                    item.end = close;
+                    break;
+                } else if t.is_punct(";") {
+                    item.end = k;
+                    break;
+                } else {
+                    k += 1;
+                }
+            }
+            if item.end == kw_idx {
+                item.end = hi.saturating_sub(1);
+            }
+            item.sig = Some(sig);
+        }
+        "struct" | "enum" => {
+            item.kind = if kw == "struct" { ItemKind::Struct } else { ItemKind::Enum };
+            let Some((name_idx, name)) = next_ident(kw_idx + 1) else {
+                return kw_idx;
+            };
+            item.name = name;
+            let mut k = name_idx + 1;
+            if tokens.get(k).is_some_and(|t| t.is_punct("<")) {
+                k = skip_angles(tokens, k);
+            }
+            let stop = scan_depth0(tokens, k, hi, &[";", "{", "("]);
+            match tokens.get(stop).map(|t| t.text.as_str()) {
+                Some("{") => {
+                    let close = match_of.get(stop).copied().flatten().unwrap_or(hi - 1);
+                    item.body = Some((stop, close));
+                    item.end = close;
+                    if item.kind == ItemKind::Struct {
+                        item.fields = parse_fields(tokens, stop + 1, close);
+                    }
+                }
+                Some("(") => {
+                    // Tuple struct: skip the group, end at the `;`.
+                    let close = match_of.get(stop).copied().flatten().unwrap_or(stop);
+                    item.end = scan_depth0(tokens, close + 1, hi, &[";"]).min(hi - 1);
+                }
+                _ => item.end = stop.min(hi.saturating_sub(1)),
+            }
+        }
+        "impl" | "trait" | "mod" => {
+            item.kind = match kw {
+                "impl" => ItemKind::Impl,
+                "trait" => ItemKind::Trait,
+                _ => ItemKind::Mod,
+            };
+            let mut k = kw_idx + 1;
+            if tokens.get(k).is_some_and(|t| t.is_punct("<")) {
+                k = skip_angles(tokens, k);
+            }
+            let body_or_semi = scan_depth0(tokens, k, hi, &["{", ";"]);
+            let mut child_container = container;
+            if kw == "impl" {
+                let for_idx = scan_depth0(tokens, k, body_or_semi, &["for"]);
+                let trait_impl = for_idx < body_or_semi;
+                child_container =
+                    if trait_impl { Container::TraitImpl } else { Container::InherentImpl };
+                let ty_lo = if trait_impl { for_idx + 1 } else { k };
+                if let Some(head) = type_head(tokens, ty_lo, body_or_semi) {
+                    item.name = head.head;
+                }
+            } else if kw == "trait" {
+                child_container = Container::Trait;
+                if let Some((_, name)) = next_ident(k) {
+                    item.name = name;
+                }
+            } else if let Some((_, name)) = next_ident(k) {
+                item.name = name;
+            }
+            if tokens.get(body_or_semi).is_some_and(|t| t.is_punct("{")) {
+                let close = match_of.get(body_or_semi).copied().flatten().unwrap_or(hi - 1);
+                item.body = Some((body_or_semi, close));
+                item.end = close;
+                // Emit the container before its children so `items` stays
+                // outer-to-inner ordered.
+                let end = item.end;
+                items.push(item);
+                parse_items(
+                    tokens,
+                    match_of,
+                    body_or_semi + 1,
+                    close,
+                    child_container,
+                    items,
+                    uses,
+                );
+                return end;
+            }
+            item.end = body_or_semi.min(hi.saturating_sub(1));
+        }
+        "const" | "static" | "type" => {
+            item.kind = match kw {
+                "const" => ItemKind::Const,
+                "static" => ItemKind::Static,
+                _ => ItemKind::TypeAlias,
+            };
+            let mut k = kw_idx + 1;
+            if kw == "static" && tokens.get(k).is_some_and(|t| t.is_ident("mut")) {
+                item.is_static_mut = true;
+                k += 1;
+            }
+            if let Some((_, name)) = next_ident(k) {
+                item.name = name;
+            }
+            item.end = scan_depth0(tokens, k, hi, &[";"]).min(hi.saturating_sub(1));
+        }
+        _ => return kw_idx,
+    }
+    items.push(item);
+    items.last().map_or(kw_idx, |it| it.end)
+}
+
+/// Parses one `use` tree level; `prefix` carries the path segments
+/// accumulated so far. Returns the index of the terminating `;` (or of
+/// the `,`/`}` that ends a nested level).
+fn parse_use(
+    tokens: &[Token],
+    mut i: usize,
+    hi: usize,
+    prefix: &mut Vec<String>,
+    uses: &mut Vec<UseImport>,
+) -> usize {
+    let depth_at_entry = prefix.len();
+    let mut alias: Option<String> = None;
+    let mut saw_group_or_glob = false;
+    while i < hi {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident && t.text == "as" {
+            if let Some(a) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                alias = Some(a.text.clone());
+                i += 2;
+                continue;
+            }
+        }
+        if t.kind == TokenKind::Ident {
+            prefix.push(t.text.clone());
+            i += 1;
+            continue;
+        }
+        if t.is_punct("::") {
+            i += 1;
+            continue;
+        }
+        if t.is_punct("*") {
+            saw_group_or_glob = true;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("{") {
+            saw_group_or_glob = true;
+            i += 1;
+            loop {
+                i = parse_use(tokens, i, hi, prefix, uses);
+                if tokens.get(i).is_some_and(|n| n.is_punct(",")) {
+                    i += 1;
+                    continue;
+                }
+                break;
+            }
+            if tokens.get(i).is_some_and(|n| n.is_punct("}")) {
+                i += 1;
+            }
+            continue;
+        }
+        // `;`, `,`, `}` — end of this level.
+        break;
+    }
+    if !saw_group_or_glob && prefix.len() > depth_at_entry {
+        // `self` re-exports the parent segment (`use a::b::{self}`).
+        let last_real = prefix.iter().rev().find(|s| s.as_str() != "self");
+        if let Some(last) = last_real {
+            let local = alias.unwrap_or_else(|| last.clone());
+            let path: Vec<&str> =
+                prefix.iter().filter(|s| s.as_str() != "self").map(|s| s.as_str()).collect();
+            uses.push(UseImport { local, path: path.join("::") });
+        }
+    }
+    prefix.truncate(depth_at_entry);
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> (Vec<Token>, ParsedFile) {
+        let tokens = lex(src).tokens;
+        let parsed = parse(&tokens);
+        (tokens, parsed)
+    }
+
+    #[test]
+    fn delimiters_pair_up() {
+        let (tokens, p) = parse_src("fn f(a: [u8; 2]) { g(1); }");
+        for (i, m) in p.match_of.iter().enumerate() {
+            if let Some(j) = m {
+                assert_eq!(p.match_of[*j], Some(i), "pairing must be symmetric");
+                assert_ne!(tokens[i].text, tokens[*j].text);
+            }
+        }
+        let opens = p.match_of.iter().filter(|m| m.is_some()).count();
+        assert_eq!(opens, 8, "four pairs, each marked on both ends");
+    }
+
+    #[test]
+    fn fn_signatures_and_bodies() {
+        let (_, p) = parse_src(
+            "pub fn save(&self, path: &Path, m: HashMap<NodeId, f64>) -> io::Result<()> {\n    body();\n}\nfn private(x: u32) {}\n",
+        );
+        assert_eq!(p.items.len(), 2);
+        let save = &p.items[0];
+        assert_eq!((save.kind, save.is_pub, save.name.as_str()), (ItemKind::Fn, true, "save"));
+        let sig = save.sig.clone().unwrap_or_default();
+        assert_eq!(sig.params.len(), 2, "self receiver skipped: {:?}", sig.params);
+        assert_eq!(sig.params[1].0, "m");
+        assert_eq!(sig.params[1].1.head, "HashMap");
+        assert_eq!(sig.params[1].1.args, vec!["NodeId", "f64"]);
+        assert_eq!(sig.ret.clone().map(|r| r.head), Some("Result".to_string()));
+        assert!(save.body.is_some());
+        assert!(!p.items[1].is_pub);
+    }
+
+    #[test]
+    fn generics_and_where_clauses() {
+        let (_, p) = parse_src(
+            "pub fn pick<T: Ord, F>(xs: Vec<Vec<T>>, f: F) -> Option<T>\nwhere F: Fn(&T) -> bool {\n    None\n}\n",
+        );
+        let sig = p.items[0].sig.clone().unwrap_or_default();
+        assert_eq!(sig.ret.clone().map(|r| r.head), Some("Option".to_string()));
+        assert_eq!(sig.params.len(), 2);
+        assert_eq!(sig.params[0].1.head, "Vec");
+    }
+
+    #[test]
+    fn struct_fields_and_derives() {
+        let (_, p) = parse_src(
+            "#[derive(Debug, Clone, Serialize)]\npub struct Topology {\n    pub latencies: HashMap<(NodeId, NodeId), SimTime>,\n    processing_delay: SimTime,\n}\n",
+        );
+        let s = &p.items[0];
+        assert_eq!(s.kind, ItemKind::Struct);
+        assert_eq!(s.derives, vec!["Debug", "Clone", "Serialize"]);
+        assert_eq!(s.fields.len(), 2, "{:?}", s.fields);
+        assert_eq!(s.fields[0].0, "latencies");
+        assert_eq!(s.fields[0].1.head, "HashMap");
+        assert_eq!(s.fields[1].1.head, "SimTime");
+    }
+
+    #[test]
+    fn impl_blocks_and_containers() {
+        let (_, p) = parse_src(
+            "impl Topology {\n    pub fn max_rtt(&self) -> SimTime { body() }\n}\nimpl fmt::Display for NodeId {\n    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result { ok() }\n}\n",
+        );
+        let kinds: Vec<(ItemKind, Container, &str)> =
+            p.items.iter().map(|i| (i.kind, i.container, i.name.as_str())).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (ItemKind::Impl, Container::TopLevel, "Topology"),
+                (ItemKind::Fn, Container::InherentImpl, "max_rtt"),
+                (ItemKind::Impl, Container::TopLevel, "NodeId"),
+                (ItemKind::Fn, Container::TraitImpl, "fmt"),
+            ]
+        );
+    }
+
+    #[test]
+    fn modules_recurse_and_const_fn_is_fn() {
+        let (_, p) = parse_src(
+            "mod inner {\n    pub const fn f() -> u32 { 1 }\n    static mut COUNTER: u32 = 0;\n}\n",
+        );
+        assert_eq!(p.items[0].kind, ItemKind::Mod);
+        assert_eq!(p.items[1].kind, ItemKind::Fn);
+        assert!(p.items[1].is_pub);
+        assert_eq!(p.items[2].kind, ItemKind::Static);
+        assert!(p.items[2].is_static_mut);
+        assert_eq!(p.items[2].name, "COUNTER");
+    }
+
+    #[test]
+    fn must_use_attr_is_seen() {
+        let (_, p) = parse_src(
+            "#[must_use = \"handle the error\"]\npub fn a() -> Result<(), E> { ok() }\npub fn b() -> Result<(), E> { ok() }\n",
+        );
+        assert!(p.items[0].has_must_use);
+        assert!(!p.items[1].has_must_use);
+    }
+
+    #[test]
+    fn use_imports_with_aliases_groups_and_self() {
+        let (_, p) = parse_src(
+            "use std::collections::{HashMap, HashSet as Fast};\nuse std::fmt::{self, Write};\nuse crate::model::NodeId;\n",
+        );
+        let got: Vec<(String, String)> =
+            p.uses.iter().map(|u| (u.local.clone(), u.path.clone())).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("HashMap".to_string(), "std::collections::HashMap".to_string()),
+                ("Fast".to_string(), "std::collections::HashSet".to_string()),
+                ("fmt".to_string(), "std::fmt".to_string()),
+                ("Write".to_string(), "std::fmt::Write".to_string()),
+                ("NodeId".to_string(), "crate::model::NodeId".to_string()),
+            ]
+        );
+        assert!(p.resolves_to("Fast", "HashSet"));
+        assert!(p.resolves_to("HashMap", "HashMap"));
+        assert!(!p.resolves_to("Write", "HashMap"));
+    }
+
+    #[test]
+    fn let_bindings_with_types_and_init_heads() {
+        let (tokens, _) = parse_src(
+            "fn f() {\n    let mut m: HashMap<u32, f64> = HashMap::new();\n    let t = BTreeMap::new();\n    let (a, b) = pair();\n    let plain = 4;\n}\n",
+        );
+        let binds = let_bindings(&tokens, 0, tokens.len());
+        assert_eq!(binds.len(), 3, "{binds:?}");
+        assert_eq!(binds[0].name, "m");
+        assert_eq!(binds[0].ty.clone().map(|t| t.head), Some("HashMap".to_string()));
+        assert_eq!(binds[1].name, "t");
+        assert_eq!(binds[1].init_head, Some("BTreeMap".to_string()));
+        assert_eq!(binds[2].name, "plain");
+    }
+
+    #[test]
+    fn type_head_strips_refs_and_wrappers() {
+        let heads = |src: &str| -> Option<TypeHead> {
+            let tokens = lex(src).tokens;
+            type_head(&tokens, 0, tokens.len())
+        };
+        assert_eq!(heads("&mut HashMap<K, V>").map(|t| t.head), Some("HashMap".to_string()));
+        assert_eq!(heads("io::Result<()>").map(|t| t.head), Some("Result".to_string()));
+        assert_eq!(heads("&'a [f64]").map(|t| t.head), Some("[".to_string()));
+        assert!(heads("dyn Iterator<Item = f64>")
+            .is_some_and(|t| t.head == "Iterator" && t.mentions("f64")));
+    }
+
+    #[test]
+    fn forgiving_on_broken_input() {
+        // Unbalanced braces and stray tokens must not panic or loop.
+        for src in ["fn f( {", "struct }{", "impl for {", "use ::;", "pub pub fn"] {
+            let (_, p) = parse_src(src);
+            let _ = p.items.len();
+        }
+    }
+}

@@ -9,7 +9,8 @@ use crate::engine::{Finding, Suppression};
 use std::fmt::Write as _;
 
 /// Version stamp for the JSON schema, bumped on breaking shape changes.
-pub const JSON_SCHEMA_VERSION: u32 = 1;
+/// Version 2 added the per-finding `fixable` key.
+pub const JSON_SCHEMA_VERSION: u32 = 2;
 
 /// The aggregated result of linting a set of files.
 #[derive(Debug, Default)]
@@ -75,11 +76,12 @@ impl Report {
             let sep = if i + 1 < self.findings.len() { "," } else { "" };
             let _ = write!(
                 out,
-                "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}{}",
+                "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"fixable\": {}, \"message\": {}}}{}",
                 json_string(&f.file),
                 f.line,
                 f.col,
                 json_string(f.rule),
+                f.fixable,
                 json_string(&f.message),
                 sep,
             );
@@ -139,7 +141,14 @@ mod tests {
     use super::*;
 
     fn finding(file: &str, line: u32, col: u32, rule: &'static str) -> Finding {
-        Finding { rule, file: file.to_string(), line, col, message: "m".to_string() }
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            col,
+            message: "m".to_string(),
+            fixable: false,
+        }
     }
 
     #[test]
@@ -171,9 +180,10 @@ mod tests {
         let r = Report::new(vec![f], Vec::new(), 1);
         let json = r.to_json();
         assert_eq!(json, r.to_json(), "same input must render identically");
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains(r#"say \"hi\"\npath\\x"#));
         assert!(json.contains("\"total_findings\": 1"));
+        assert!(json.contains("\"fixable\": false"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::engine::{FileContext, FileKind, Finding};
 use crate::lexer::TokenKind;
+use crate::semantic;
 
 /// One registered rule.
 pub struct Rule {
@@ -65,11 +66,71 @@ pub const RULES: &[Rule] = &[
                     solve instead of surfacing a recoverable error",
         check: library_unwrap,
     },
+    Rule {
+        id: "hash-order-iteration",
+        summary: "iteration over HashMap/HashSet whose result escapes to state or output",
+        invariant: "std hash iteration order is randomly seeded per process; any \
+                    escaping iteration (loops that write outer state, unterminated \
+                    iterator chains, serialized/compared hash fields) makes engine \
+                    output depend on the seed instead of the problem",
+        check: semantic::hash_order_iteration,
+    },
+    Rule {
+        id: "shared-mut-across-threads",
+        summary: "captured `&mut`, Cell/RefCell, or `static mut` crossing a spawn boundary",
+        invariant: "the sharded engine is deterministic only because workers own \
+                    disjoint id-ordered chunks; mutable state shared across a spawn \
+                    reintroduces scheduler-dependent results (or UB)",
+        check: semantic::shared_mut_across_threads,
+    },
+    Rule {
+        id: "lossy-float-cast",
+        summary: "`as f32`/`as usize`/... applied to an f64-carrying expression",
+        invariant: "prices and rates are f64 end-to-end; a silent narrowing cast \
+                    rounds differently than the sequential reference path and the \
+                    engines stop being bit-identical",
+        check: semantic::lossy_float_cast,
+    },
+    Rule {
+        id: "missing-must-use",
+        summary: "Result-returning public API without `#[must_use = \"..\"]`",
+        invariant: "library errors surface as Result; an ignorable Result lets a \
+                    failed step pass silently and later iterations run on stale \
+                    state",
+        check: semantic::missing_must_use,
+    },
 ];
 
 /// True if `id` names a registered rule.
 pub fn is_known_rule(id: &str) -> bool {
     RULES.iter().any(|r| r.id == id)
+}
+
+/// For a `partial_cmp` ident at token `idx`, returns the token span
+/// `(dot, close)` of a directly chained `.unwrap()` / `.expect(..)` call —
+/// the part `--fix` deletes when rewriting to `total_cmp`.
+pub(crate) fn partial_cmp_unwrap_span(
+    toks: &[crate::lexer::Token],
+    match_of: &[Option<usize>],
+    idx: usize,
+) -> Option<(usize, usize)> {
+    if !toks.get(idx + 1)?.is_punct("(") {
+        return None;
+    }
+    let call_close = match_of.get(idx + 1).copied().flatten()?;
+    let dot = call_close + 1;
+    if !toks.get(dot)?.is_punct(".") {
+        return None;
+    }
+    let method = toks.get(dot + 1)?;
+    if !(method.is_ident("unwrap") || method.is_ident("expect")) {
+        return None;
+    }
+    if !toks.get(dot + 2)?.is_punct("(") {
+        return None;
+    }
+    let close = match_of.get(dot + 2).copied().flatten()?;
+    Some((dot, close))
 }
 
 fn float_total_order(ctx: &FileContext) -> Vec<Finding> {
@@ -83,14 +144,19 @@ fn float_total_order(ctx: &FileContext) -> Vec<Finding> {
         if i > 0 && ctx.tokens[i - 1].is_ident("fn") {
             continue;
         }
-        out.push(ctx.finding(
+        let mut f = ctx.finding(
             "float-total-order",
             i,
             "`partial_cmp` is not a total order on floats: NaN yields `None`, and \
              `unwrap_or(Equal)` fallbacks make the result depend on operand order; \
              use `f64::total_cmp` (with an explicit tiebreaker if needed)"
                 .to_string(),
-        ));
+        );
+        // `a.partial_cmp(b).unwrap()` / `.expect(..)` is mechanically
+        // rewritable to `a.total_cmp(b)`; other shapes need a human.
+        f.fixable =
+            partial_cmp_unwrap_span(ctx.tokens, &ctx.parsed.match_of, i).is_some();
+        out.push(f);
     }
     out
 }
@@ -377,16 +443,25 @@ mod tests {
     #[test]
     fn unordered_iteration_needs_hash_and_accumulation() {
         let bad = "fn f(m: &HashMap<u32, f64>) -> f64 {\n    let mut s = 0.0;\n    for (_k, v) in m { s += v; }\n    s\n}\n";
-        assert_eq!(findings(LIB, bad), vec![("unordered-float-iteration".to_string(), 3, 5)]);
+        // The semantic hash-order-iteration rule co-fires on the same
+        // loop: the accumulator escapes the body.
+        assert_eq!(
+            findings(LIB, bad),
+            vec![
+                ("hash-order-iteration".to_string(), 3, 5),
+                ("unordered-float-iteration".to_string(), 3, 5)
+            ]
+        );
         // Same body over a Vec: fine.
         let good = "fn f(m: &[f64]) -> f64 {\n    let mut s = 0.0;\n    for v in m { s += v; }\n    s\n}\n";
         assert!(findings(LIB, good).is_empty());
         // Hash iteration without accumulation: fine.
         let good = "fn f(m: &HashMap<u32, f64>) {\n    for (_k, v) in m { println!(\"{v}\"); }\n}\n";
         assert!(findings(LIB, good).is_empty());
-        // `.values().sum()` chain is caught too.
+        // `.values().sum()` chain is caught too (both rules fire: the
+        // accumulation pattern and the escaping hash iteration).
         let bad = "fn f() -> f64 {\n    let m: HashMap<u32, f64> = HashMap::new();\n    let mut t = 0.0;\n    for v in m.values() { t = t + v.sum(); }\n    t\n}\n";
-        assert_eq!(findings(LIB, bad).len(), 1);
+        assert_eq!(findings(LIB, bad).len(), 2);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Workspace-wide symbol table.
+//!
+//! Cross-file rules need answers a single file cannot give: "what type is
+//! `self.latencies`?" when the struct is declared in another module, "does
+//! `rtt_of()` return an `f64`?", "is `COUNTER` a `static mut` anywhere in
+//! this crate?". This pass runs over every parsed non-test file and
+//! collects those facts per crate, keyed the same way
+//! [`crate::engine::crate_of`] keys file classification.
+//!
+//! Resolution is deliberately name-based rather than path-based: the
+//! workspace's crates are small and field/function names are effectively
+//! unique within a crate, so a `(crate, name)` key gives the right answer
+//! in practice while keeping the pass dependency-free and `O(items)`.
+//! Collisions keep the first definition in scan order (scan order is the
+//! sorted file list, so this is deterministic).
+
+use crate::parser::{ItemKind, ParsedFile, TypeHead};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-crate symbol information for the whole workspace.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    /// `(crate, field name)` → declared field type head.
+    field_types: BTreeMap<(String, String), TypeHead>,
+    /// `(crate, fn name)` → return type head.
+    fn_returns: BTreeMap<(String, String), TypeHead>,
+    /// crate → names declared `static mut`.
+    mut_statics: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Key used for files outside any `crates/<name>/` directory.
+const ROOT_CRATE: &str = "(root)";
+
+fn crate_key(krate: Option<&str>) -> String {
+    krate.unwrap_or(ROOT_CRATE).to_string()
+}
+
+impl Symbols {
+    /// Builds the table from `(crate, parsed file)` pairs — callers pass
+    /// every non-test file in the scan set.
+    pub fn build<'a>(files: impl IntoIterator<Item = (Option<&'a str>, &'a ParsedFile)>) -> Symbols {
+        let mut sym = Symbols::default();
+        for (krate, parsed) in files {
+            let key = crate_key(krate);
+            for item in &parsed.items {
+                match item.kind {
+                    ItemKind::Struct => {
+                        for (field, ty) in &item.fields {
+                            sym.field_types
+                                .entry((key.clone(), field.clone()))
+                                .or_insert_with(|| ty.clone());
+                        }
+                    }
+                    ItemKind::Fn => {
+                        if let Some(ret) = item.sig.as_ref().and_then(|s| s.ret.as_ref()) {
+                            sym.fn_returns
+                                .entry((key.clone(), item.name.clone()))
+                                .or_insert_with(|| ret.clone());
+                        }
+                    }
+                    ItemKind::Static if item.is_static_mut => {
+                        sym.mut_statics.entry(key.clone()).or_default().insert(item.name.clone());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        sym
+    }
+
+    /// The declared type head of field `name` in crate `krate`, if any
+    /// struct in that crate declares it.
+    pub fn field_head(&self, krate: Option<&str>, name: &str) -> Option<&TypeHead> {
+        self.field_types.get(&(crate_key(krate), name.to_string()))
+    }
+
+    /// The return type head of fn `name` in crate `krate`.
+    pub fn fn_return_head(&self, krate: Option<&str>, name: &str) -> Option<&TypeHead> {
+        self.fn_returns.get(&(crate_key(krate), name.to_string()))
+    }
+
+    /// True if crate `krate` declares a `static mut` with this name.
+    pub fn is_mut_static(&self, krate: Option<&str>, name: &str) -> bool {
+        self.mut_statics.get(&crate_key(krate)).is_some_and(|s| s.contains(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    #[test]
+    fn collects_fields_returns_and_statics_per_crate() {
+        let a = parse(
+            &lex(
+                "pub struct Topology { latencies: HashMap<(NodeId, NodeId), SimTime> }\n\
+                 pub fn rtt_of(x: u32) -> f64 { go() }\n\
+                 static mut SCRATCH: u32 = 0;\n",
+            )
+            .tokens,
+        );
+        let b = parse(&lex("pub struct Other { latencies: Vec<f64> }").tokens);
+        let sym = Symbols::build([(Some("overlay"), &a), (Some("pubsub"), &b)]);
+        assert_eq!(
+            sym.field_head(Some("overlay"), "latencies").map(|t| t.head.as_str()),
+            Some("HashMap")
+        );
+        assert_eq!(
+            sym.field_head(Some("pubsub"), "latencies").map(|t| t.head.as_str()),
+            Some("Vec"),
+            "same field name resolves per crate"
+        );
+        assert!(sym.field_head(Some("core"), "latencies").is_none());
+        assert_eq!(
+            sym.fn_return_head(Some("overlay"), "rtt_of").map(|t| t.head.as_str()),
+            Some("f64")
+        );
+        assert!(sym.is_mut_static(Some("overlay"), "SCRATCH"));
+        assert!(!sym.is_mut_static(Some("pubsub"), "SCRATCH"));
+    }
+
+    #[test]
+    fn root_files_key_separately() {
+        let a = parse(&lex("pub fn top() -> Result<(), E> { go() }").tokens);
+        let sym = Symbols::build([(None, &a)]);
+        assert_eq!(sym.fn_return_head(None, "top").map(|t| t.head.as_str()), Some("Result"));
+        assert!(sym.fn_return_head(Some("core"), "top").is_none());
+    }
+}

@@ -51,7 +51,11 @@ fn nondeterministic_source_fixture_pair() {
 #[test]
 fn unordered_float_iteration_fixture_pair() {
     let bad = run("model", include_str!("fixtures/unordered_float_iteration_bad.rs"));
-    assert_eq!(triples(&bad), vec![("unordered-float-iteration", 6, 5)]);
+    // The semantic hash-order rule independently reaches the same site.
+    assert_eq!(
+        triples(&bad),
+        vec![("hash-order-iteration", 6, 5), ("unordered-float-iteration", 6, 5)]
+    );
     let good = run("model", include_str!("fixtures/unordered_float_iteration_good.rs"));
     assert!(triples(&good).is_empty(), "{:?}", good.findings);
 }
@@ -64,6 +68,74 @@ fn library_unwrap_fixture_pair() {
     // Harness crates may panic on bad input; the same file there is clean.
     assert!(triples(&run("cli", src)).is_empty());
     let good = run("model", include_str!("fixtures/library_unwrap_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn hash_order_iteration_fixture_pair() {
+    let bad = run("overlay", include_str!("fixtures/hash_order_iteration_bad.rs"));
+    assert_eq!(
+        triples(&bad),
+        vec![
+            // Serialized HashSet field, anchored at the struct keyword.
+            ("hash-order-iteration", 6, 5),
+            // Escaping `for` loop (grows the caller's collection).
+            ("hash-order-iteration", 11, 5),
+            // Unterminated iterator chain reaching the caller.
+            ("hash-order-iteration", 17, 13),
+        ]
+    );
+    let good = run("overlay", include_str!("fixtures/hash_order_iteration_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+    // The same bad file outside the order-sensitive crates is out of scope.
+    let elsewhere = run("lint", include_str!("fixtures/hash_order_iteration_bad.rs"));
+    assert!(triples(&elsewhere).is_empty(), "{:?}", elsewhere.findings);
+}
+
+#[test]
+fn shared_mut_fixture_pair() {
+    let bad = run("model", include_str!("fixtures/shared_mut_bad.rs"));
+    assert_eq!(
+        triples(&bad),
+        vec![
+            // Non-`move` closure writing a captured binding.
+            ("shared-mut-across-threads", 10, 9),
+            // `&mut` reference reaching out of the closure.
+            ("shared-mut-across-threads", 11, 15),
+            // RefCell-typed capture.
+            ("shared-mut-across-threads", 12, 9),
+        ]
+    );
+    let good = run("model", include_str!("fixtures/shared_mut_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn lossy_float_cast_fixture_pair() {
+    let bad = run("model", include_str!("fixtures/lossy_float_cast_bad.rs"));
+    assert_eq!(
+        triples(&bad),
+        vec![("lossy-float-cast", 8, 11), ("lossy-float-cast", 12, 12)]
+    );
+    // The good twin includes `rate as usize` on a u32 while a `fn rate()
+    // -> f64` exists in the same file: name-based return evidence must
+    // only apply to actual calls.
+    let good = run("model", include_str!("fixtures/lossy_float_cast_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn missing_must_use_fixture_pair() {
+    let src = include_str!("fixtures/missing_must_use_bad.rs");
+    let bad = run("model", src);
+    assert_eq!(
+        triples(&bad),
+        vec![("missing-must-use", 5, 5), ("missing-must-use", 13, 9)]
+    );
+    // Harness crates are exempt: panicking or ignoring errors at the CLI
+    // boundary is its own policy.
+    assert!(triples(&run("cli", src)).is_empty());
+    let good = run("model", include_str!("fixtures/missing_must_use_good.rs"));
     assert!(triples(&good).is_empty(), "{:?}", good.findings);
 }
 

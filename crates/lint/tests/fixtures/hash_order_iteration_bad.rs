@@ -1,0 +1,18 @@
+//! Known-bad: hash iteration escaping into state, output, and serialization.
+
+use std::collections::{HashMap, HashSet};
+
+#[derive(Serialize)]
+pub struct Snapshot {
+    pub members: HashSet<u32>,
+}
+
+pub fn collect_all(weights: &HashMap<u32, u64>, out: &mut Vec<u64>) {
+    for (_, w) in weights.iter() {
+        out.push(*w);
+    }
+}
+
+pub fn keys(weights: &HashMap<u32, u64>) -> Vec<u32> {
+    weights.keys().copied().collect()
+}

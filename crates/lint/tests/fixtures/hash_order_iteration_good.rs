@@ -1,0 +1,20 @@
+//! Known-good twin: ordered containers, local-only loops, and order-free
+//! terminals stay clean.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Snapshot {
+    pub members: BTreeMap<u32, u64>,
+}
+
+pub fn total(weights: &BTreeMap<u32, u64>) -> u64 {
+    let mut sum = 0;
+    for (_, w) in weights.iter() {
+        sum += w;
+    }
+    sum
+}
+
+pub fn occupancy(load: &HashMap<u32, u64>) -> usize {
+    load.values().count()
+}

@@ -1,0 +1,13 @@
+//! Known-bad: narrowing casts with positive f64 evidence.
+
+pub struct Meter {
+    pub rate: f64,
+}
+
+pub fn quantize(price: f64) -> u32 {
+    price as u32
+}
+
+pub fn bucket(m: &Meter) -> usize {
+    m.rate as usize
+}

@@ -1,0 +1,16 @@
+//! Known-bad: public Result-returning APIs without `#[must_use]`.
+
+use std::io;
+
+pub fn persist(path: &str) -> io::Result<()> {
+    let _ = path;
+    Ok(())
+}
+
+pub struct Store;
+
+impl Store {
+    pub fn flush(&self) -> Result<(), String> {
+        Ok(())
+    }
+}

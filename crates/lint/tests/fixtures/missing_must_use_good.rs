@@ -1,0 +1,23 @@
+//! Known-good twin: annotated, private, non-Result, and trait-declared
+//! functions are all out of scope.
+
+use std::io;
+
+#[must_use = "the save may fail"]
+pub fn persist(path: &str) -> io::Result<()> {
+    let _ = path;
+    Ok(())
+}
+
+fn internal() -> io::Result<()> {
+    Ok(())
+}
+
+pub fn answer() -> u32 {
+    let _ = internal();
+    7
+}
+
+pub trait Sink {
+    fn put(&mut self) -> Result<(), String>;
+}

@@ -1,0 +1,14 @@
+//! Known-bad: mutable state crossing a spawn boundary three ways.
+
+use std::cell::RefCell;
+use std::thread;
+
+pub fn race(touch: fn(&mut f64)) {
+    let mut total = 0.0;
+    let cell = RefCell::new(0.0);
+    thread::spawn(|| {
+        total += 1.0;
+        touch(&mut total);
+        cell.replace(2.0);
+    });
+}

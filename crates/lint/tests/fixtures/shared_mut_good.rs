@@ -1,0 +1,11 @@
+//! Known-good twin: workers own moved chunks and report through the join.
+
+use std::thread;
+
+pub fn fan_out(chunks: Vec<Vec<u64>>) -> u64 {
+    let mut handles = Vec::new();
+    for chunk in chunks {
+        handles.push(thread::spawn(move || chunk.iter().sum::<u64>()));
+    }
+    handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+}

@@ -33,6 +33,33 @@ fn core_crate_needs_no_suppressions() {
 }
 
 #[test]
+fn semantic_rules_are_registered_and_enforced() {
+    for id in
+        ["hash-order-iteration", "shared-mut-across-threads", "lossy-float-cast", "missing-must-use"]
+    {
+        assert!(lrgp_lint::is_known_rule(id), "rule {id} missing from RULES");
+    }
+    // `workspace_is_lint_clean` passing with the semantic rules active is
+    // the acceptance criterion; the registry check keeps that meaningful.
+}
+
+#[test]
+fn fix_plans_nothing_on_the_clean_workspace() {
+    // `lrgp lint --fix` must be a no-op on a workspace that lints clean:
+    // every fixable finding has been applied, so planning again finds no
+    // edits. CI re-asserts this on every push.
+    let root = repo_root();
+    let mut files = Vec::new();
+    for path in lrgp_lint::collect_rust_files(&root).expect("collect") {
+        let src = std::fs::read_to_string(&path).expect("read");
+        files.push((lrgp_lint::label_of(&path), src));
+    }
+    let plans = lrgp_lint::fix::plan_fixes(&files);
+    let touched: Vec<&str> = plans.iter().map(|(label, _, _)| label.as_str()).collect();
+    assert!(touched.is_empty(), "--fix would still rewrite: {touched:?}");
+}
+
+#[test]
 fn json_report_is_stable_and_sorted() {
     let root = repo_root();
     let a = lrgp_lint::lint_paths(&[root.clone()]).expect("scan");

@@ -97,6 +97,7 @@ impl ProblemFile {
     ///
     /// Returns [`IoError::Json`] if serialization fails (practically
     /// impossible for these types).
+    #[must_use = "this Result reports a failure the caller must handle"]
     pub fn to_json(&self) -> Result<String, IoError> {
         Ok(serde_json::to_string_pretty(self)?)
     }
@@ -107,6 +108,7 @@ impl ProblemFile {
     ///
     /// [`IoError::Json`] on malformed input, [`IoError::UnsupportedVersion`]
     /// on a version mismatch.
+    #[must_use = "this Result reports a failure the caller must handle"]
     pub fn from_json(text: &str) -> Result<Self, IoError> {
         let file: ProblemFile = serde_json::from_str(text)?;
         if file.version != FORMAT_VERSION {
@@ -124,6 +126,7 @@ impl ProblemFile {
     ///
     /// [`IoError::Io`] on filesystem failure, [`IoError::Json`] on
     /// serialization failure.
+    #[must_use = "this Result reports a failure the caller must handle"]
     pub fn save(&self, path: &Path) -> Result<(), IoError> {
         std::fs::write(path, self.to_json()?)?;
         Ok(())
@@ -135,6 +138,7 @@ impl ProblemFile {
     ///
     /// [`IoError::Io`] on filesystem failure, plus the [`Self::from_json`]
     /// conditions.
+    #[must_use = "this Result reports a failure the caller must handle"]
     pub fn load(path: &Path) -> Result<Self, IoError> {
         Self::from_json(&std::fs::read_to_string(path)?)
     }

@@ -27,6 +27,7 @@ impl RateBounds {
     /// # Errors
     ///
     /// Returns [`ValidationError::InvalidRateBounds`] when violated.
+    #[must_use = "this Result reports a failure the caller must handle"]
     pub fn new(min: f64, max: f64) -> Result<Self, ValidationError> {
         if !(min.is_finite() && max.is_finite()) || min < 0.0 || min > max {
             return Err(ValidationError::InvalidRateBounds { min, max });
@@ -415,6 +416,7 @@ impl Problem {
     ///
     /// [`ValidationError::NonPositiveCapacity`] unless the new capacity is
     /// finite and strictly positive.
+    #[must_use = "this Result reports a failure the caller must handle"]
     pub fn with_node_capacity(
         &self,
         node: NodeId,
@@ -444,6 +446,7 @@ impl Problem {
     /// # Errors
     ///
     /// [`ValidationError::InvalidRateBounds`] on invalid bounds.
+    #[must_use = "this Result reports a failure the caller must handle"]
     pub fn with_rate_bounds(
         &self,
         flow: FlowId,
@@ -585,6 +588,7 @@ impl ProblemBuilder {
     /// non-positive capacities, invalid rate bounds, negative costs,
     /// non-positive consumer costs, classes attached to unreached nodes, or
     /// duplicate cost entries.
+    #[must_use = "this Result reports a failure the caller must handle"]
     pub fn build(self) -> Result<Problem, ValidationError> {
         let n_nodes = self.nodes.len();
         let n_links = self.links.len();

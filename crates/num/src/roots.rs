@@ -90,6 +90,7 @@ impl std::error::Error for RootError {}
 /// let root = bisect_decreasing(|x| 4.0 - x, 0.0, 10.0, 1e-10, 100).unwrap();
 /// assert!((root - 4.0).abs() < 1e-9);
 /// ```
+#[must_use = "this Result reports a failure the caller must handle"]
 pub fn bisect_decreasing<F: FnMut(f64) -> f64>(
     mut f: F,
     lo: f64,
@@ -166,6 +167,7 @@ pub fn bisect_decreasing<F: FnMut(f64) -> f64>(
 /// .unwrap();
 /// assert!((root - 3.0).abs() < 1e-9);
 /// ```
+#[must_use = "this Result reports a failure the caller must handle"]
 pub fn newton_safeguarded<F, D>(
     mut f: F,
     mut df: D,

@@ -116,6 +116,7 @@ pub fn simulate_message_plane(
                 -mean_micros * u.ln()
             }
         };
+        // lrgp-lint: allow(lossy-float-cast, reason = "intentional quantization of a seeded sample to whole simulated microseconds; truncation is deterministic and part of the clock model")
         SimTime::from_micros(micros.max(1.0) as u64)
     };
 

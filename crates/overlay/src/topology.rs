@@ -14,7 +14,7 @@ use lrgp_model::{FlowId, NodeId, Problem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How pairwise latencies are assigned.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,7 +46,7 @@ impl Default for LatencyModel {
 /// Concrete communication topology over a problem's nodes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Topology {
-    latencies: HashMap<(NodeId, NodeId), SimTime>,
+    latencies: BTreeMap<(NodeId, NodeId), SimTime>,
     processing_delay: SimTime,
 }
 
@@ -59,8 +59,8 @@ impl Topology {
             LatencyModel::RandomUniform { seed, .. } => Some(StdRng::seed_from_u64(seed)),
             LatencyModel::Uniform { .. } => None,
         };
-        let mut latencies = HashMap::new();
-        let mut draw = |a: NodeId, b: NodeId, latencies: &mut HashMap<(NodeId, NodeId), SimTime>| {
+        let mut latencies = BTreeMap::new();
+        let mut draw = |a: NodeId, b: NodeId, latencies: &mut BTreeMap<(NodeId, NodeId), SimTime>| {
             if latencies.contains_key(&(a, b)) {
                 return;
             }

@@ -13,7 +13,7 @@ use crate::sim::SimTime;
 use crate::topology::Topology;
 use lrgp_model::{LinkId, NodeId, Problem, ProblemBuilder, RateBounds, UtilityShape};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Specification of a balanced dissemination-tree workload.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -201,7 +201,7 @@ pub fn leaf_count(spec: &TreeWorkload) -> usize {
 /// Checks that `instance`'s edges form a tree spanning root → leaves (used
 /// in tests; exposed for external validation of custom instances).
 pub fn is_spanning_tree(instance: &TreeInstance) -> bool {
-    let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
     for &(p, c, _) in &instance.edges {
         children.entry(p).or_default().push(c);
     }

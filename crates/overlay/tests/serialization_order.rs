@@ -1,0 +1,45 @@
+//! Regression tests for the HashMap → BTreeMap conversion flagged by
+//! `lrgp-lint` (`hash-order-iteration`): topology serialization and
+//! comparison must not depend on the order entries were inserted in.
+//!
+//! The round-trip test is the sharp one: `Topology::from_problem` inserts
+//! latencies in draw order, while deserialization inserts them in JSON
+//! document order — two genuinely different insertion histories that must
+//! serialize to identical bytes.
+
+use lrgp_overlay::sim::SimTime;
+use lrgp_overlay::topology::{LatencyModel, Topology};
+use lrgp_overlay::tree::TreeWorkload;
+
+fn model() -> LatencyModel {
+    LatencyModel::RandomUniform {
+        min: SimTime::from_millis(1),
+        max: SimTime::from_millis(20),
+        seed: 7,
+    }
+}
+
+#[test]
+fn topology_serialization_is_insertion_order_independent() {
+    let instance = TreeWorkload::default().build();
+    let built = Topology::from_problem(&instance.problem, model(), SimTime::from_micros(250));
+    let bytes = serde_json::to_string(&built).expect("serialize");
+
+    // Different insertion history: entries arrive in document order.
+    let round_tripped: Topology = serde_json::from_str(&bytes).expect("deserialize");
+    assert_eq!(built, round_tripped);
+    assert_eq!(bytes, serde_json::to_string(&round_tripped).expect("serialize"));
+}
+
+#[test]
+fn rebuilt_topologies_compare_and_serialize_identically() {
+    let instance = TreeWorkload::default().build();
+    let a = Topology::from_problem(&instance.problem, model(), SimTime::from_micros(250));
+    let b = Topology::from_problem(&instance.problem, model(), SimTime::from_micros(250));
+    assert_eq!(a, b);
+    assert_eq!(
+        serde_json::to_string(&a).expect("serialize"),
+        serde_json::to_string(&b).expect("serialize"),
+    );
+    assert_eq!(a.max_rtt(), b.max_rtt());
+}

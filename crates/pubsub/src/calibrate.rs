@@ -126,6 +126,7 @@ where
 ///
 /// This is the paper's pipeline in miniature: measure the middleware,
 /// plug the coefficients into the model, optimize.
+#[must_use = "this Result reports a failure the caller must handle"]
 pub fn problem_from_calibration(
     estimate: &CostEstimate,
     flows: usize,

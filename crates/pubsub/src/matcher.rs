@@ -18,7 +18,7 @@
 
 use crate::filter::{Cmp, Filter, Predicate};
 use crate::message::{Message, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies one subscription within a matcher.
 pub type SubscriptionId = usize;
@@ -86,8 +86,10 @@ impl Matcher for NaiveMatcher {
     }
 }
 
-/// A hashable projection of the values usable as equality-bucket keys.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// An ordered projection of the values usable as equality-bucket keys.
+/// The derived `Ord` (variant order, then payload) is what makes the
+/// BTreeMap buckets iterate deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum Key {
     Int(i64),
     Bool(bool),
@@ -138,9 +140,9 @@ pub struct IndexMatcher {
     /// Predicate count per subscription (0 = match-all).
     predicate_counts: Vec<usize>,
     /// (field, key) → subscriptions with an equality predicate on it.
-    equality: HashMap<(usize, Key), Vec<SubscriptionId>>,
+    equality: BTreeMap<(usize, Key), Vec<SubscriptionId>>,
     /// Per field: numeric range predicates in sorted threshold lists.
-    thresholds: HashMap<usize, FieldThresholds>,
+    thresholds: BTreeMap<usize, FieldThresholds>,
     /// Predicates the index cannot accelerate (Ne, float equality,
     /// type-mismatched): evaluated directly.
     residual: Vec<(SubscriptionId, Predicate)>,
@@ -217,7 +219,6 @@ impl Matcher for IndexMatcher {
         // Threshold lists: binary-search each field's sorted lists, then
         // touch only the *satisfied* predicates (the counting algorithm's
         // core trick — unsatisfied range predicates cost nothing).
-        // lrgp-lint: allow(unordered-float-iteration, reason = "integer work/satisfied counters only; order-independent")
         for (field, lists) in &self.thresholds {
             let Some(v) = numeric(message.value(*field)) else { continue };
             // Upper list (Lt/Le): satisfied when v < t, or v == t and Le.

@@ -1,0 +1,74 @@
+//! Regression test for the HashMap → BTreeMap conversion flagged by
+//! `lrgp-lint` (`hash-order-iteration`): the index matcher's results must
+//! be a function of the subscription *set*, not the order subscriptions
+//! were inserted in (modulo the id permutation insertion order defines).
+
+use lrgp_pubsub::filter::{Cmp, Filter, Predicate};
+use lrgp_pubsub::matcher::{IndexMatcher, Matcher};
+use lrgp_pubsub::message::{Field, FieldType, Message, Schema, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        Field { name: "a".into(), field_type: FieldType::Int, range: (0.0, 20.0) },
+        Field { name: "b".into(), field_type: FieldType::Float, range: (0.0, 10.0) },
+        Field { name: "c".into(), field_type: FieldType::Text, range: (0.0, 4.0) },
+        Field { name: "d".into(), field_type: FieldType::Bool, range: (0.0, 1.0) },
+    ]))
+}
+
+fn filters(schema: &Schema) -> Vec<Filter> {
+    let p = |field, op, constant| Predicate { field, op, constant };
+    vec![
+        Filter::new(schema, vec![p(0, Cmp::Eq, Value::Int(3))]),
+        Filter::new(schema, vec![p(0, Cmp::Eq, Value::Int(3)), p(3, Cmp::Eq, Value::Bool(true))]),
+        Filter::new(schema, vec![p(1, Cmp::Lt, Value::Float(5.0))]),
+        Filter::new(schema, vec![p(1, Cmp::Ge, Value::Float(2.5)), p(2, Cmp::Eq, Value::Text("v1".into()))]),
+        Filter::new(schema, vec![p(2, Cmp::Ne, Value::Text("v0".into()))]),
+        Filter::new(schema, vec![]), // match-all
+        Filter::new(schema, vec![p(0, Cmp::Gt, Value::Int(10)), p(1, Cmp::Le, Value::Float(9.0))]),
+        Filter::new(schema, vec![p(3, Cmp::Eq, Value::Bool(false)), p(0, Cmp::Le, Value::Int(7))]),
+    ]
+}
+
+fn messages() -> Vec<Message> {
+    let mut out = Vec::new();
+    for a in [0i64, 3, 7, 11, 20] {
+        for (b, c, d) in [(1.0, "v0", true), (2.5, "v1", false), (8.5, "v3", true)] {
+            out.push(Message::new(
+                schema(),
+                vec![Value::Int(a), Value::Float(b), Value::Text(c.into()), Value::Bool(d)],
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn index_matcher_results_are_insertion_order_independent() {
+    let schema = schema();
+    let set = filters(&schema);
+    let n = set.len();
+
+    let mut forward = IndexMatcher::new();
+    for f in &set {
+        forward.subscribe(f.clone());
+    }
+    // Reverse insertion order: subscription id `i` now holds the filter
+    // that id `n - 1 - i` holds in `forward`.
+    let mut reverse = IndexMatcher::new();
+    for f in set.iter().rev() {
+        reverse.subscribe(f.clone());
+    }
+
+    for msg in messages() {
+        let fwd = forward.match_message(&msg);
+        let rev = reverse.match_message(&msg);
+        let fwd_set: BTreeSet<usize> = fwd.matches.iter().copied().collect();
+        let rev_set: BTreeSet<usize> = rev.matches.iter().copied().map(|id| n - 1 - id).collect();
+        assert_eq!(fwd_set, rev_set, "matched filter sets diverged");
+        // The counting algorithm touches the same predicates either way.
+        assert_eq!(fwd.work, rev.work, "work accounting diverged");
+    }
+}
