@@ -177,7 +177,7 @@ pub fn exhaustive_search_exact_rates(
     problem: &Problem,
     limit: u128,
 ) -> Result<ExhaustiveOutcome, SpaceTooLarge> {
-    use lrgp::rate::{solve_rate, AggregateUtility};
+    use lrgp::kernel::rate::{solve_rate, AggregateUtility};
 
     for f in problem.flow_ids() {
         assert!(

@@ -3,9 +3,9 @@
 //! two inner kernels (rate solving and greedy admission).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use lrgp::admission::{allocate_consumers, AdmissionPolicy, PopulationMode};
-use lrgp::rate::{solve_rate, AggregateUtility};
-use lrgp::{IncrementalMode, LrgpConfig, LrgpEngine, ParallelLrgpEngine, Parallelism};
+use lrgp::kernel::admission::{allocate_consumers, AdmissionPolicy, PopulationMode};
+use lrgp::kernel::rate::{solve_rate, AggregateUtility};
+use lrgp::{Engine, IncrementalMode, LrgpConfig, Parallelism};
 use lrgp_model::workloads::{RandomWorkload, Table2Workload};
 use lrgp_model::{NodeId, Problem, RateBounds, Utility};
 use rand::rngs::StdRng;
@@ -19,7 +19,7 @@ fn bench_iteration(c: &mut Criterion) {
             BenchmarkId::from_parameter(workload.label()),
             &problem,
             |b, p| {
-                let mut engine = LrgpEngine::new(p.clone(), LrgpConfig::default());
+                let mut engine = Engine::new(p.clone(), LrgpConfig::default());
                 b.iter(|| black_box(engine.step()));
             },
         );
@@ -31,7 +31,7 @@ fn bench_convergence(c: &mut Criterion) {
     let problem = Table2Workload::Base.build();
     c.bench_function("lrgp_converge_base", |b| {
         b.iter(|| {
-            let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+            let mut engine = Engine::new(problem.clone(), LrgpConfig::default());
             black_box(engine.run_until_converged(250))
         })
     });
@@ -93,7 +93,7 @@ fn bench_parallel(c: &mut Criterion) {
     let problem = large_workload();
     let mut group = c.benchmark_group("lrgp_parallel_step");
     group.bench_with_input(BenchmarkId::from_parameter("sequential"), &problem, |b, p| {
-        let mut engine = LrgpEngine::new(p.clone(), LrgpConfig::default());
+        let mut engine = Engine::new(p.clone(), LrgpConfig::default());
         b.iter(|| black_box(engine.step()));
     });
     for threads in [2usize, 4, 8] {
@@ -101,8 +101,11 @@ fn bench_parallel(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("threads_{threads}")),
             &problem,
             |b, p| {
-                let mut engine =
-                    ParallelLrgpEngine::with_threads(p.clone(), LrgpConfig::default(), threads);
+                let config = LrgpConfig {
+                    parallelism: Parallelism::Threads(threads),
+                    ..LrgpConfig::default()
+                };
+                let mut engine = Engine::new(p.clone(), config);
                 b.iter(|| black_box(engine.step()));
             },
         );
@@ -124,7 +127,7 @@ fn bench_incremental(c: &mut Criterion) {
     for (label, incremental, parallelism) in variants {
         group.bench_with_input(BenchmarkId::from_parameter(label), &problem, |b, p| {
             let config = LrgpConfig { incremental, parallelism, ..LrgpConfig::default() };
-            let mut engine = LrgpEngine::new(p.clone(), config);
+            let mut engine = Engine::new(p.clone(), config);
             engine.run(300);
             b.iter(|| black_box(engine.step()));
         });

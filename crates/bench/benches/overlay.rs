@@ -2,7 +2,7 @@
 //! throughput, distributed-protocol rounds, and the message plane.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp::{Engine, LrgpConfig};
 use lrgp_model::workloads::base_workload;
 use lrgp_overlay::{
     run_synchronous, simulate_message_plane, EventQueue, LatencyModel, PlaneConfig, SimTime,
@@ -48,7 +48,7 @@ fn bench_message_plane(c: &mut Criterion) {
         LatencyModel::Uniform { latency: SimTime::from_millis(5) },
         SimTime::from_micros(100),
     );
-    let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+    let mut engine = Engine::new(problem.clone(), LrgpConfig::default());
     engine.run_until_converged(250);
     let allocation = engine.allocation();
     c.bench_function("message_plane_1s", |b| {

@@ -8,13 +8,13 @@
 //!   fractional relaxation (an upper bound on greedy node utility).
 //! * **γ control** — adaptive vs the Fig. 1 fixed settings.
 
-use lrgp::price::NodePriceRule;
-use lrgp::{AdmissionPolicy, GammaMode, LrgpConfig, LrgpEngine, PopulationMode};
+use lrgp::kernel::price::NodePriceRule;
+use lrgp::{AdmissionPolicy, Engine, GammaMode, LrgpConfig, PopulationMode};
 use lrgp_bench::{Args, Table};
 use lrgp_model::workloads::base_workload;
 
 fn run(config: LrgpConfig, iters: usize) -> (Option<usize>, f64) {
-    let mut engine = LrgpEngine::new(base_workload(), config);
+    let mut engine = Engine::new(base_workload(), config);
     let out = engine.run_until_converged(iters);
     (out.converged_at, out.utility)
 }

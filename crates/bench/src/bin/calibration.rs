@@ -3,7 +3,7 @@
 //! the paper's Gryphon-measurement pipeline (ref \[3\], §4.1) reproduced against
 //! this repository's own broker substrate.
 
-use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp::{Engine, LrgpConfig};
 use lrgp_bench::{Args, Table};
 use lrgp_pubsub::calibrate::{calibrate, problem_from_calibration, CalibrationConfig};
 use lrgp_pubsub::matcher::{IndexMatcher, Matcher, NaiveMatcher};
@@ -49,7 +49,7 @@ fn main() {
     for (name, est) in [("naive", &naive), ("counting index", &index)] {
         let problem = problem_from_calibration(est, 4, 3, 2_000, 5e5, (10.0, 1000.0))
             .expect("calibrated problem valid");
-        let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+        let mut engine = Engine::new(problem.clone(), LrgpConfig::default());
         let out = engine.run_until_converged(args.iters.max(400));
         let a = engine.allocation();
         opt.row(vec![

@@ -6,7 +6,7 @@
 //! single-iteration relative utility drop, and whether the system re-quiets
 //! between changes; fairness metrics summarize who bears the churn.
 
-use lrgp::{run_scenario, LrgpConfig, LrgpEngine, RandomChurn};
+use lrgp::{run_scenario, Engine, LrgpConfig, RandomChurn};
 use lrgp_bench::{table::write_series_csv, Args, Table};
 use lrgp_model::workloads::base_workload;
 use lrgp_model::AllocationReport;
@@ -28,7 +28,7 @@ fn main() {
         let problem = base_workload();
         let churn = RandomChurn { period: 25, changes: 8, seed, ..RandomChurn::default() };
         let scenario = churn.scenario(&problem);
-        let mut engine = LrgpEngine::new(problem, LrgpConfig::default());
+        let mut engine = Engine::new(problem, LrgpConfig::default());
         let out = run_scenario(&mut engine, &scenario, args.iters.max(300))
             .expect("churn scenario must apply cleanly");
         let report = AllocationReport::new(engine.problem(), &engine.allocation());

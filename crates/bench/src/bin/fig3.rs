@@ -5,21 +5,23 @@
 //! Expected shape (paper §4.2): utility drops sharply at the removal, then
 //! recovers much faster and with smaller fluctuations under adaptive γ.
 
-use lrgp::{GammaMode, LrgpConfig, LrgpEngine};
+use lrgp::{Engine, GammaMode, LrgpConfig};
 use lrgp_bench::{table::write_series_csv, Args, Table};
 use lrgp_model::workloads::base_workload;
-use lrgp_model::FlowId;
+use lrgp_model::{FlowId, ProblemDelta};
 use lrgp_num::series::TimeSeries;
 
 const REMOVAL_ITERATION: usize = 150;
 
 fn run(gamma: GammaMode, iters: usize) -> TimeSeries {
-    let mut engine = LrgpEngine::new(
+    let mut engine = Engine::new(
         base_workload(),
         LrgpConfig { gamma, ..LrgpConfig::default() },
     );
     engine.run(REMOVAL_ITERATION);
-    engine.remove_flow(FlowId::new(5));
+    engine
+        .apply_delta(&ProblemDelta::new().remove_flow(FlowId::new(5)))
+        .expect("flow 5 exists in the base workload");
     engine.run(iters.saturating_sub(REMOVAL_ITERATION));
     engine.trace().utility.clone()
 }

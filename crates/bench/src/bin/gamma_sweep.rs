@@ -3,7 +3,7 @@
 //! convergence, final utility, and residual oscillation amplitude, with the
 //! adaptive heuristic as the reference row.
 
-use lrgp::{GammaMode, LrgpConfig, LrgpEngine};
+use lrgp::{Engine, GammaMode, LrgpConfig};
 use lrgp_bench::{Args, Table};
 use lrgp_model::workloads::base_workload;
 use lrgp_num::series::ConvergenceCriterion;
@@ -20,7 +20,7 @@ fn main() {
     ]);
     let mut run = |label: String, mode: GammaMode| {
         let mut engine =
-            LrgpEngine::new(base_workload(), LrgpConfig { gamma: mode, ..Default::default() });
+            Engine::new(base_workload(), LrgpConfig { gamma: mode, ..Default::default() });
         engine.run(iters);
         let trace = &engine.trace().utility;
         let amp = trace.relative_amplitude(50).unwrap_or(f64::NAN);

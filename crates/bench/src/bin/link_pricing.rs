@@ -7,7 +7,7 @@
 //! proportional fairness — rates split in proportion to `n_j · rank_j` —
 //! which LRGP's Eq. 13 link pricing should find.
 
-use lrgp::{GammaMode, LrgpConfig, LrgpEngine, TraceConfig};
+use lrgp::{Engine, GammaMode, LrgpConfig, TraceConfig};
 use lrgp_bench::{Args, Table};
 use lrgp_model::workloads::link_bottleneck_workload;
 use lrgp_model::{FlowId, LinkId};
@@ -23,7 +23,7 @@ fn main() {
         trace: TraceConfig { link_prices: true, rates: true, ..Default::default() },
         ..LrgpConfig::default()
     };
-    let mut engine = LrgpEngine::new(problem.clone(), config);
+    let mut engine = Engine::new(problem.clone(), config);
     engine.run(args.iters.max(2000));
     let allocation = engine.allocation();
 

@@ -14,7 +14,7 @@
 //! scheduling overhead (speedup < 1 by construction) — the binary prints
 //! the core count it saw so the numbers can be read accordingly.
 
-use lrgp::{LrgpConfig, LrgpEngine, ParallelLrgpEngine, TraceConfig};
+use lrgp::{Engine, LrgpConfig, Parallelism, TraceConfig};
 use lrgp_bench::{Args, Table};
 use lrgp_model::workloads::RandomWorkload;
 use rand::rngs::StdRng;
@@ -57,7 +57,7 @@ fn main() {
     let config = LrgpConfig { trace: TraceConfig::default(), ..LrgpConfig::default() };
 
     let start = Instant::now();
-    let mut sequential = LrgpEngine::new(problem.clone(), config);
+    let mut sequential = Engine::new(problem.clone(), config);
     sequential.run(iterations);
     let baseline = start.elapsed();
     let reference_utility = sequential.trace().utility.last().unwrap_or(0.0);
@@ -80,7 +80,9 @@ fn main() {
     ]);
     for threads in [2usize, 4, 8] {
         let start = Instant::now();
-        let mut parallel = ParallelLrgpEngine::with_threads(problem.clone(), config, threads);
+        let sharded_config =
+            LrgpConfig { parallelism: Parallelism::Threads(threads), ..config };
+        let mut parallel = Engine::new(problem.clone(), sharded_config);
         parallel.run(iterations);
         let elapsed = start.elapsed();
         let utility = parallel.trace().utility.last().unwrap_or(0.0);

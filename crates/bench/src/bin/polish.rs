@@ -6,7 +6,7 @@
 //! strong local optimum — evidence beyond the paper's Table 2 comparison,
 //! where SA started from scratch.
 
-use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp::{Engine, LrgpConfig};
 use lrgp_anneal::{anneal_from, AnnealConfig};
 use lrgp_bench::{Args, Table};
 use lrgp_model::workloads::{base_workload_with_shape, Table2Workload};
@@ -23,7 +23,7 @@ fn main() {
         "polish accepted moves",
     ]);
     let mut run = |name: &str, problem: lrgp_model::Problem| {
-        let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+        let mut engine = Engine::new(problem.clone(), LrgpConfig::default());
         let lrgp = engine.run_until_converged(400);
         let polished = anneal_from(
             &problem,

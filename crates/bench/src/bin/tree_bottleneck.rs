@@ -7,7 +7,7 @@
 //! track the crossover: total rate pinned at the link capacity once links
 //! bind, admission re-balancing to compensate.
 
-use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp::{Engine, LrgpConfig};
 use lrgp_bench::{Args, Table};
 use lrgp_overlay::TreeWorkload;
 
@@ -33,7 +33,7 @@ fn main() {
         };
         let inst = spec.build();
         let cfg = LrgpConfig { link_gamma: 2e-3, ..LrgpConfig::default() };
-        let mut engine = LrgpEngine::new(inst.problem.clone(), cfg);
+        let mut engine = Engine::new(inst.problem.clone(), cfg);
         engine.run(args.iters.max(3000));
         let a = engine.allocation();
         let total_rate: f64 = a.rates().iter().sum();

@@ -1,6 +1,6 @@
 //! Shared experiment runners used by the figure/table binaries.
 
-use lrgp::{GammaMode, LrgpConfig, LrgpEngine, RunOutcome, TraceConfig};
+use lrgp::{Engine, GammaMode, LrgpConfig, RunOutcome, TraceConfig};
 use lrgp_anneal::{sweep, SweepRun};
 use lrgp_model::Problem;
 use lrgp_num::series::TimeSeries;
@@ -12,14 +12,14 @@ pub const PAPER_TEMPERATURES: [f64; 4] = [5.0, 10.0, 50.0, 100.0];
 /// returns the utility trace.
 pub fn lrgp_trace(problem: &Problem, gamma: GammaMode, iters: usize) -> TimeSeries {
     let config = LrgpConfig { gamma, trace: TraceConfig::default(), ..LrgpConfig::default() };
-    let mut engine = LrgpEngine::new(problem.clone(), config);
+    let mut engine = Engine::new(problem.clone(), config);
     engine.run(iters);
     engine.trace().utility.clone()
 }
 
 /// Runs LRGP to convergence (paper criterion) with the default adaptive γ.
 pub fn lrgp_converge(problem: &Problem, max_iters: usize) -> RunOutcome {
-    let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+    let mut engine = Engine::new(problem.clone(), LrgpConfig::default());
     engine.run_until_converged(max_iters)
 }
 

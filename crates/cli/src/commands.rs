@@ -111,6 +111,9 @@ pub struct BenchCmd {
     pub quick: bool,
     /// Report path (default `BENCH_lrgp.json`).
     pub output: PathBuf,
+    /// Fail (exit non-zero) when the large workload's near-converged
+    /// incremental speedup falls below this factor.
+    pub min_speedup: Option<f64>,
 }
 
 /// `lrgp anneal` — run the simulated-annealing baseline.
@@ -218,7 +221,7 @@ lrgp — utility optimization for event-driven distributed infrastructures
 USAGE:
   lrgp workload [--shape log|pow25|pow50|pow75] [--systems N] [--cnodes N] -o FILE
   lrgp solve    <base|FILE> [--iters N] [--gamma adaptive|FLOAT] [--threads auto|N] [--incremental on|off|auto] [--trace CSV] [--save JSON]
-  lrgp bench    [--json] [--quick] [--out FILE]
+  lrgp bench    [--json] [--quick] [--out FILE] [--min-speedup X]
   lrgp anneal   <base|FILE> [--steps N] [--temp T] [--seed N]
   lrgp compare  <base|FILE> [--steps N] [--seed N]
   lrgp simulate <base|FILE> [--async] [--latency MS] [--amount N]
@@ -329,6 +332,7 @@ where
                 json: false,
                 quick: false,
                 output: PathBuf::from("BENCH_lrgp.json"),
+                min_speedup: None,
             };
             while let Some(flag) = it.next() {
                 match flag {
@@ -336,6 +340,9 @@ where
                     "--quick" => cmd.quick = true,
                     "--out" | "--output" => {
                         cmd.output = PathBuf::from(take_value(flag, &mut it)?);
+                    }
+                    "--min-speedup" => {
+                        cmd.min_speedup = Some(parse_num(flag, take_value(flag, &mut it)?)?);
                     }
                     other => return Err(ParseError(format!("bench: unknown flag {other}"))),
                 }
@@ -546,17 +553,22 @@ mod tests {
                 json: false,
                 quick: false,
                 output: PathBuf::from("BENCH_lrgp.json"),
+                min_speedup: None,
             })
         );
         assert_eq!(
-            p(&["bench", "--json", "--quick", "--out", "b.json"]).unwrap(),
+            p(&["bench", "--json", "--quick", "--out", "b.json", "--min-speedup", "3.5"])
+                .unwrap(),
             Command::Bench(BenchCmd {
                 json: true,
                 quick: true,
                 output: PathBuf::from("b.json"),
+                min_speedup: Some(3.5),
             })
         );
         assert!(p(&["bench", "--bogus"]).unwrap_err().0.contains("unknown flag"));
+        assert!(p(&["bench", "--min-speedup"]).unwrap_err().0.contains("requires a value"));
+        assert!(p(&["bench", "--min-speedup", "fast"]).unwrap_err().0.contains("cannot parse"));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::commands::{
     AnnealCmd, BenchCmd, Command, CompareCmd, GammaArg, IncrementalArg, InfoCmd, LintCmd,
     SimulateCmd, SolveCmd, ThreadsArg, WorkloadCmd, WorkloadRef,
 };
-use lrgp::{GammaMode, IncrementalMode, LrgpConfig, LrgpEngine, Parallelism, TraceConfig};
+use lrgp::{Engine, GammaMode, IncrementalMode, LrgpConfig, Parallelism, TraceConfig};
 use lrgp_anneal::{sweep, AnnealConfig};
 use lrgp_model::io::ProblemFile;
 use lrgp_model::workloads::{self, paper_workload};
@@ -137,7 +137,7 @@ fn solve(cmd: SolveCmd) -> CliResult {
         trace: TraceConfig::default(),
         ..LrgpConfig::default()
     };
-    let mut engine = LrgpEngine::new(problem.clone(), config);
+    let mut engine = Engine::new(problem.clone(), config);
     if parallelism != Parallelism::Sequential {
         println!("sharded engine: {} worker thread(s)", engine.effective_workers());
     }
@@ -184,6 +184,30 @@ fn bench(cmd: BenchCmd) -> CliResult {
         std::fs::write(&cmd.output, serde_json::to_string_pretty(&report)?)?;
         println!("report written to {}", cmd.output.display());
     }
+    if let Some(min) = cmd.min_speedup {
+        // The large workload is where the dirty-set path is meant to pay;
+        // the paper-scale workload is bookkeeping-bound, so it is exempt.
+        let large = report
+            .workloads
+            .iter()
+            .filter(|w| w.name.starts_with("large"))
+            .min_by(|a, b| a.near_converged_speedup.total_cmp(&b.near_converged_speedup));
+        match large {
+            Some(w) if w.near_converged_speedup < min => {
+                return Err(format!(
+                    "bench: {} near-converged incremental speedup {:.2}x is below the \
+                     --min-speedup floor {min}x",
+                    w.name, w.near_converged_speedup
+                )
+                .into());
+            }
+            Some(w) => println!(
+                "speedup floor met: {} at {:.2}x (≥ {min}x)",
+                w.name, w.near_converged_speedup
+            ),
+            None => return Err("bench: no large workload to check --min-speedup against".into()),
+        }
+    }
     Ok(())
 }
 
@@ -200,7 +224,7 @@ fn anneal_cmd(cmd: AnnealCmd) -> CliResult {
 
 fn compare(cmd: CompareCmd) -> CliResult {
     let problem = load(&cmd.workload)?;
-    let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+    let mut engine = Engine::new(problem.clone(), LrgpConfig::default());
     let lrgp_out = engine.run_until_converged(400);
     println!(
         "LRGP: utility {:.0} ({} iterations)",

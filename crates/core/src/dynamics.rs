@@ -7,8 +7,10 @@
 //! iterations while the engine keeps running, and [`RandomChurn`] generates
 //! such schedules for stress testing.
 
-use crate::engine::LrgpEngine;
-use lrgp_model::{ClassId, FlowId, NodeId, Problem, RateBounds, ValidationError};
+use crate::engine::Engine;
+use lrgp_model::{
+    ClassId, DeltaOp, FlowId, NodeId, Problem, ProblemDelta, RateBounds, ValidationError,
+};
 use lrgp_num::series::TimeSeries;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,6 +49,9 @@ pub enum ProblemChange {
 impl ProblemChange {
     /// Applies the change to a problem, producing the modified copy.
     ///
+    /// This is the pure-transform oracle; live engines apply changes
+    /// through [`Engine::apply_delta`] instead (see [`run_scenario`]).
+    ///
     /// # Errors
     ///
     /// Propagates model validation errors (non-positive capacity, invalid
@@ -63,6 +68,22 @@ impl ProblemChange {
             }
             ProblemChange::SetRateBounds { flow, bounds } => {
                 problem.with_rate_bounds(flow, bounds)
+            }
+        }
+    }
+
+    /// The equivalent first-class delta op.
+    pub fn to_delta_op(&self) -> DeltaOp {
+        match *self {
+            ProblemChange::RemoveFlow(flow) => DeltaOp::RemoveFlow { flow },
+            ProblemChange::SetNodeCapacity { node, capacity } => {
+                DeltaOp::SetNodeCapacity { node, capacity }
+            }
+            ProblemChange::SetMaxPopulation { class, max_population } => {
+                DeltaOp::SetMaxPopulation { class, max_population }
+            }
+            ProblemChange::SetRateBounds { flow, bounds } => {
+                DeltaOp::SetRateBounds { flow, bounds }
             }
         }
     }
@@ -121,14 +142,15 @@ pub struct ScenarioOutcome {
 }
 
 /// Runs `engine` for `iterations` steps, applying the scenario's changes at
-/// their scheduled points.
+/// their scheduled points through [`Engine::apply_delta`] (changes due at
+/// the same iteration are applied as one batched delta).
 ///
 /// # Errors
 ///
 /// Propagates validation errors from applying a change.
 #[must_use = "this Result reports a failure the caller must handle"]
 pub fn run_scenario(
-    engine: &mut LrgpEngine,
+    engine: &mut Engine,
     scenario: &Scenario,
     iterations: usize,
 ) -> Result<ScenarioOutcome, ValidationError> {
@@ -139,16 +161,17 @@ pub fn run_scenario(
     let mut prev: Option<f64> = None;
     let mut worst_drop = 0.0f64;
     for k in 0..iterations {
+        let mut delta = ProblemDelta::new();
         while let Some(&&(at, change)) = pending.peek() {
             if at <= k {
-                let next = change.apply(engine.problem())?;
-                engine.replace_problem(next);
+                delta.push(change.to_delta_op());
                 change_points.push(start + k);
                 pending.next();
             } else {
                 break;
             }
         }
+        engine.apply_delta(&delta)?;
         let u = engine.step();
         if let Some(p) = prev {
             if p > 0.0 {
@@ -235,7 +258,7 @@ mod tests {
 
     #[test]
     fn empty_scenario_is_a_plain_run() {
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         let out = run_scenario(&mut e, &Scenario::new(), 30).unwrap();
         assert_eq!(out.utility.len(), 30);
         assert!(out.change_points.is_empty());
@@ -245,13 +268,13 @@ mod tests {
     #[test]
     fn remove_flow_scenario_matches_manual_removal() {
         let scenario = Scenario::new().at(20, ProblemChange::RemoveFlow(FlowId::new(5)));
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         let out = run_scenario(&mut e, &scenario, 60).unwrap();
         assert_eq!(out.change_points, vec![20]);
         // Manual equivalent.
-        let mut manual = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut manual = Engine::new(base_workload(), LrgpConfig::default());
         manual.run(20);
-        manual.remove_flow(FlowId::new(5));
+        manual.apply_delta(&ProblemDelta::new().remove_flow(FlowId::new(5))).unwrap();
         manual.run(40);
         assert!((out.final_utility - manual.total_utility()).abs() < 1e-6);
         assert!(out.worst_drop > 0.2, "removal should cause a visible drop");
@@ -261,9 +284,9 @@ mod tests {
     fn capacity_cut_reduces_utility_and_stays_feasible() {
         let scenario = Scenario::new()
             .at(30, ProblemChange::SetNodeCapacity { node: NodeId::new(0), capacity: 3e5 });
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         let before = {
-            let mut probe = LrgpEngine::new(base_workload(), LrgpConfig::default());
+            let mut probe = Engine::new(base_workload(), LrgpConfig::default());
             probe.run_until_converged(250).utility
         };
         let out = run_scenario(&mut e, &scenario, 250).unwrap();
@@ -279,10 +302,10 @@ mod tests {
             ProblemChange::SetMaxPopulation { class: ClassId::new(18), max_population: 3000 },
         );
         let baseline = {
-            let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+            let mut e = Engine::new(base_workload(), LrgpConfig::default());
             e.run_until_converged(300).utility
         };
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         let out = run_scenario(&mut e, &scenario, 300).unwrap();
         assert!(
             out.final_utility > baseline,
@@ -296,7 +319,7 @@ mod tests {
         let nb = RateBounds { min: 10.0, max: 20.0 };
         let scenario = Scenario::new()
             .at(10, ProblemChange::SetRateBounds { flow: FlowId::new(0), bounds: nb });
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         run_scenario(&mut e, &scenario, 50).unwrap();
         let r = e.allocation().rate(FlowId::new(0));
         assert!((10.0..=20.0).contains(&r), "rate {r} escaped new bounds");
@@ -306,7 +329,7 @@ mod tests {
     fn invalid_change_propagates_error() {
         let scenario = Scenario::new()
             .at(5, ProblemChange::SetNodeCapacity { node: NodeId::new(0), capacity: -1.0 });
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         assert!(run_scenario(&mut e, &scenario, 10).is_err());
     }
 
@@ -319,7 +342,7 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
         assert_eq!(s.events()[0].0, 10);
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         let out = run_scenario(&mut e, &s, 50).unwrap();
         assert_eq!(out.change_points, vec![10, 10, 30]);
         assert_eq!(e.allocation().rate(FlowId::new(0)), 0.0);
@@ -334,7 +357,7 @@ mod tests {
         let s2 = churn.scenario(&p);
         assert_eq!(s1, s2);
         assert_eq!(s1.len(), 6);
-        let mut e = LrgpEngine::new(p, LrgpConfig::default());
+        let mut e = Engine::new(p, LrgpConfig::default());
         let out = run_scenario(&mut e, &s1, 200).unwrap();
         assert_eq!(out.change_points.len(), 6);
         assert!(out.final_utility > 0.0);

@@ -1,6 +1,6 @@
 //! The synchronous LRGP engine (§3, Algorithms 1–3).
 //!
-//! One [`LrgpEngine::step`] performs a full LRGP iteration:
+//! One [`Engine::step`] performs a full LRGP iteration:
 //!
 //! 1. **Rate allocation** at every flow source (Algorithm 1), using the
 //!    prices and populations published in the previous iteration.
@@ -9,25 +9,26 @@
 //! 3. **Price computation**: node prices via Eq. 12 with per-node γ control,
 //!    link prices via Eq. 13.
 //!
+//! The iteration itself is implemented once, in the dirty-set executor
+//! ([`crate::exec`]); the engine derives an [`ExecutionPlan`] from its
+//! configuration and delegates every step to it. Sequential, threaded,
+//! incremental and full-recompute execution are plan choices over the same
+//! loop, all bit-identical (see [`crate::plan`]).
+//!
 //! The engine records the total-utility trace and supports the paper's
-//! dynamics experiments (removing a flow mid-run, Fig. 3) and enactment
-//! policies (§2.1).
+//! dynamics experiments (changing the problem mid-run, Fig. 3) through the
+//! first-class delta API ([`Engine::apply_delta`]) and enactment policies
+//! (§2.1).
 
-use crate::admission::{allocate_consumers, AdmissionPolicy, PopulationMode};
+use crate::exec::StepState;
 use crate::gamma::{GammaController, GammaMode};
-use crate::incremental::{IncrementalMode, IncrementalState};
-use crate::parallel::Parallelism;
-use crate::price::{update_link_price, update_node_price_with_rule, NodePriceRule};
-use crate::prices::PriceVector;
-use crate::rate::{allocate_rate_for_flow, allocate_rates};
+use crate::kernel::admission::{AdmissionPolicy, PopulationMode};
+use crate::kernel::price::{NodePriceRule, PriceVector};
+use crate::plan::{ExecutionPlan, IncrementalMode, Parallelism};
 use crate::trace::{Trace, TraceConfig};
-use lrgp_model::{Allocation, ClassId, FlowId, LinkId, NodeId, Problem};
+use lrgp_model::{Allocation, DeltaOp, FlowId, Problem, ProblemDelta, ValidationError};
 use lrgp_num::series::ConvergenceCriterion;
 use serde::{Deserialize, Serialize};
-
-/// Per-node result of the sharded admission phase: the node, its class
-/// populations, and its next price.
-type NodeOutcome = (NodeId, Vec<(ClassId, f64)>, f64);
 
 /// Starting point for the flow rates.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -40,6 +41,17 @@ pub enum InitialRate {
     Min,
     /// Every flow starts at the given rate, clamped into its bounds.
     Value(f64),
+}
+
+impl InitialRate {
+    /// The starting rate for a flow with the given bounds.
+    fn rate_for(self, bounds: lrgp_model::RateBounds) -> f64 {
+        match self {
+            InitialRate::Max => bounds.max,
+            InitialRate::Min => bounds.min,
+            InitialRate::Value(v) => bounds.clamp(v),
+        }
+    }
 }
 
 /// Engine configuration.
@@ -62,16 +74,16 @@ pub struct LrgpConfig {
     pub population_mode: PopulationMode,
     /// Greedy admission variant (paper stops at the first blocked class).
     pub admission_policy: AdmissionPolicy,
-    /// Convergence test applied by [`LrgpEngine::run_until_converged`].
+    /// Convergence test applied by [`Engine::run_until_converged`].
     pub convergence: ConvergenceCriterion,
     /// Which trace channels to record.
     pub trace: TraceConfig,
     /// How the step's three phases are executed (sequential by default;
-    /// the sharded parallel path is bit-identical, see [`crate::parallel`]).
+    /// the sharded parallel path is bit-identical, see [`crate::plan`]).
     pub parallelism: Parallelism,
-    /// Whether [`LrgpEngine::step`] uses the incremental dirty-set path
+    /// Whether [`Engine::step`] carries dirty sets across iterations
     /// (off by default — the full recompute is the reference; the
-    /// incremental path is bit-identical, see [`crate::incremental`]).
+    /// incremental path is bit-identical, see [`crate::exec`]).
     pub incremental: IncrementalMode,
 }
 
@@ -94,7 +106,7 @@ impl Default for LrgpConfig {
     }
 }
 
-/// Outcome of [`LrgpEngine::run_until_converged`].
+/// Outcome of [`Engine::run_until_converged`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunOutcome {
     /// Iteration at which the convergence criterion was first satisfied
@@ -113,46 +125,43 @@ pub struct RunOutcome {
 /// # Examples
 ///
 /// ```
-/// use lrgp::{LrgpConfig, LrgpEngine};
+/// use lrgp::{Engine, LrgpConfig};
 /// use lrgp_model::workloads;
 ///
 /// let problem = workloads::base_workload();
-/// let mut engine = LrgpEngine::new(problem, LrgpConfig::default());
+/// let mut engine = Engine::new(problem, LrgpConfig::default());
 /// let outcome = engine.run_until_converged(250);
 /// assert!(outcome.utility > 0.0);
 /// let allocation = engine.allocation();
 /// assert!(allocation.is_feasible(engine.problem(), 1e-6));
 /// ```
 #[derive(Debug, Clone)]
-pub struct LrgpEngine {
+pub struct Engine {
     problem: Problem,
     config: LrgpConfig,
+    plan: ExecutionPlan,
     rates: Vec<f64>,
     populations: Vec<f64>,
     prices: PriceVector,
     gamma_controllers: Vec<GammaController>,
     iteration: usize,
     trace: Trace,
-    /// Built at construction when the config enables incremental stepping;
-    /// dropped whenever the problem or the optimizer state is replaced
-    /// wholesale, then lazily rebuilt on the next incremental step.
-    incremental: Option<IncrementalState>,
+    /// Built at construction so the first step pays only its (all-dirty)
+    /// kernel work; dropped whenever the problem's cost structure or the
+    /// optimizer state is replaced wholesale, then lazily rebuilt on the
+    /// next step.
+    state: Option<StepState>,
 }
 
-impl LrgpEngine {
+/// Deprecated name of [`Engine`], from when the crate had one engine type
+/// per execution strategy.
+#[deprecated(since = "0.2.0", note = "renamed to `Engine`")]
+pub type LrgpEngine = Engine;
+
+impl Engine {
     /// Creates an engine over `problem` with the given configuration.
     pub fn new(problem: Problem, config: LrgpConfig) -> Self {
-        let rates = problem
-            .flow_ids()
-            .map(|f| {
-                let b = problem.flow(f).bounds;
-                match config.initial_rate {
-                    InitialRate::Max => b.max,
-                    InitialRate::Min => b.min,
-                    InitialRate::Value(v) => b.clamp(v),
-                }
-            })
-            .collect();
+        let rates = initial_rates(&problem, config.initial_rate);
         let prices =
             PriceVector::uniform(&problem, config.initial_node_price, config.initial_link_price);
         let gamma_controllers = (0..problem.num_nodes())
@@ -165,11 +174,10 @@ impl LrgpEngine {
             problem.num_links(),
             problem.num_classes(),
         );
-        // Precompute the term tables and caches up front so the first
-        // incremental step pays only its (all-dirty) kernel work.
-        let incremental = config.incremental.enabled().then(|| IncrementalState::new(&problem));
+        let state = Some(StepState::new(&problem));
         Self {
             populations: vec![0.0; problem.num_classes()],
+            plan: ExecutionPlan::from_config(&config),
             problem,
             config,
             rates,
@@ -177,47 +185,40 @@ impl LrgpEngine {
             gamma_controllers,
             iteration: 0,
             trace,
-            incremental,
+            state,
         }
     }
 
     /// Executes one full LRGP iteration and returns the total utility after
     /// it.
     ///
-    /// Depending on [`LrgpConfig::parallelism`] the three phases run on this
-    /// thread or sharded over scoped workers; both paths call the same
-    /// per-element kernels on the same previous-iteration inputs, so the
-    /// results (and the recorded trace) are bit-identical either way.
+    /// The step runs under the engine's [`ExecutionPlan`]: depending on
+    /// [`LrgpConfig::parallelism`] the three phases run on this thread or
+    /// sharded over scoped workers, and depending on
+    /// [`LrgpConfig::incremental`] they recompute everything or only the
+    /// dirty subset; all plans call the same per-element kernels on the
+    /// same previous-iteration inputs, so the results (and the recorded
+    /// trace) are bit-identical (see [`crate::plan`]).
     pub fn step(&mut self) -> f64 {
-        if self.config.incremental.enabled() {
-            return self.step_incremental();
-        }
-        let workers = self.effective_workers();
-        if workers > 1 {
-            self.step_parallel(workers)
-        } else {
-            self.step_sequential()
-        }
-    }
-
-    /// Dirty-set step ([`crate::incremental`]): bit-identical to the
-    /// baseline paths, but only recomputes what changed. The incremental
-    /// state is normally built at engine construction; after an
-    /// invalidation (problem/state replacement) it is rebuilt here.
-    fn step_incremental(&mut self) -> f64 {
-        let Self { problem, config, rates, populations, prices, gamma_controllers, incremental, .. } =
+        let Self { problem, config, plan, rates, populations, prices, gamma_controllers, state, .. } =
             self;
-        let state = incremental.get_or_insert_with(|| IncrementalState::new(problem));
-        let utility = state.step(problem, config, rates, populations, prices, gamma_controllers);
+        let state = state.get_or_insert_with(|| StepState::new(problem));
+        let utility =
+            plan.execute(state, problem, config, rates, populations, prices, gamma_controllers);
         self.record_step(utility);
         utility
     }
 
-    /// The incremental state, if the engine has stepped incrementally since
-    /// the last invalidation (test hook).
+    /// The step state, if the engine has one since the last invalidation
+    /// (test hook).
     #[cfg(test)]
-    pub(crate) fn incremental_state(&self) -> Option<&IncrementalState> {
-        self.incremental.as_ref()
+    pub(crate) fn step_state(&self) -> Option<&StepState> {
+        self.state.as_ref()
+    }
+
+    /// The execution plan derived from the configuration at construction.
+    pub fn plan(&self) -> ExecutionPlan {
+        self.plan
     }
 
     /// Worker count the configured [`Parallelism`] resolves to for this
@@ -228,231 +229,11 @@ impl LrgpEngine {
             .num_flows()
             .max(self.problem.num_nodes())
             .max(self.problem.num_links());
-        self.config.parallelism.workers_for(units)
-    }
-
-    /// Single-threaded reference step.
-    fn step_sequential(&mut self) -> f64 {
-        // 1. Rate allocation at every source (Algorithm 1).
-        self.rates = allocate_rates(&self.problem, &self.prices, &self.populations, &self.rates);
-
-        // 2 + 3a. Consumer allocation and node price update at every node
-        // (Algorithm 2).
-        for node in self.problem.node_ids() {
-            let admission = allocate_consumers(
-                &self.problem,
-                node,
-                &self.rates,
-                self.config.population_mode,
-                self.config.admission_policy,
-            );
-            for &(class, n) in &admission.populations {
-                self.populations[class.index()] = n;
-            }
-            let ctl = &mut self.gamma_controllers[node.index()];
-            let gamma = ctl.gamma();
-            let next = update_node_price_with_rule(
-                self.config.node_price_rule,
-                self.prices.node(node),
-                admission.benefit_cost,
-                admission.used,
-                self.problem.node(node).capacity,
-                gamma,
-                gamma,
-            );
-            ctl.observe_price(next);
-            self.prices.set_node(node, next);
-        }
-
-        // 3b. Link price update (Algorithm 3).
-        let allocation = self.allocation();
-        for link in self.problem.link_ids() {
-            let usage = allocation.link_usage(&self.problem, link);
-            let next = update_link_price(
-                self.prices.link(link),
-                usage,
-                self.problem.link(link).capacity,
-                self.config.link_gamma,
-            );
-            self.prices.set_link(link, next);
-        }
-
-        let utility = allocation.total_utility(&self.problem);
-        self.record_step(utility);
-        utility
-    }
-
-    /// Sharded step: each phase partitions its elements into contiguous
-    /// id-order chunks, one chunk per worker, and applies the results in id
-    /// order. The main thread keeps the first chunk for itself (spawning a
-    /// thread costs more than a small chunk of kernel work, and the inline
-    /// chunk overlaps the spawn latency of the others). Every kernel reads
-    /// only previous-iteration state (the rates written in phase 1 are
-    /// "previous" for phases 2–3, exactly as in the sequential step), so the
-    /// outputs are bit-identical to [`Self::step_sequential`]; see
-    /// [`crate::parallel`] for the argument.
-    fn step_parallel(&mut self, workers: usize) -> f64 {
-        // 1. Rate allocation, sharded per flow.
-        let num_flows = self.problem.num_flows();
-        let flow_chunk = num_flows.div_ceil(workers).max(1);
-        self.rates = {
-            let problem = &self.problem;
-            let prices = &self.prices;
-            let populations = &self.populations;
-            let previous = &self.rates;
-            let solve_chunk = |start: usize, end: usize| {
-                (start..end)
-                    .map(|i| {
-                        allocate_rate_for_flow(
-                            problem,
-                            prices,
-                            populations,
-                            FlowId::new(i as u32),
-                            previous[i],
-                        )
-                    })
-                    .collect::<Vec<f64>>()
-            };
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..num_flows)
-                    .step_by(flow_chunk)
-                    .skip(1)
-                    .map(|start| {
-                        let end = (start + flow_chunk).min(num_flows);
-                        scope.spawn(move || solve_chunk(start, end))
-                    })
-                    .collect();
-                // In-order reduction: the inline first chunk, then each
-                // worker's chunk, concatenate back into flow-id order.
-                let mut rates = solve_chunk(0, flow_chunk.min(num_flows));
-                rates.reserve(num_flows - rates.len());
-                for handle in handles {
-                    rates.extend(crate::parallel::join_worker(handle));
-                }
-                rates
-            })
-        };
-
-        // 2 + 3a. Consumer allocation and node price update, sharded per
-        // node. Classes partition among nodes, so the population writes of
-        // different nodes never overlap; each worker owns its slice of γ
-        // controllers via `chunks_mut`.
-        let num_nodes = self.problem.num_nodes();
-        let node_chunk = num_nodes.div_ceil(workers).max(1);
-        {
-            let Self { problem, config, rates, populations, prices, gamma_controllers, .. } =
-                self;
-            let problem = &*problem;
-            let rates = &*rates;
-            let config = *config;
-            let prices_read = &*prices;
-            let run_chunk = |start: usize, controllers: &mut [GammaController]| {
-                controllers
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(offset, ctl)| {
-                        let node = NodeId::new((start + offset) as u32);
-                        let admission = allocate_consumers(
-                            problem,
-                            node,
-                            rates,
-                            config.population_mode,
-                            config.admission_policy,
-                        );
-                        let gamma = ctl.gamma();
-                        let next = update_node_price_with_rule(
-                            config.node_price_rule,
-                            prices_read.node(node),
-                            admission.benefit_cost,
-                            admission.used,
-                            problem.node(node).capacity,
-                            gamma,
-                            gamma,
-                        );
-                        ctl.observe_price(next);
-                        (node, admission.populations, next)
-                    })
-                    .collect::<Vec<NodeOutcome>>()
-            };
-            let (head, rest) = gamma_controllers.split_at_mut(node_chunk.min(num_nodes));
-            let outcomes: Vec<Vec<NodeOutcome>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = rest
-                        .chunks_mut(node_chunk)
-                        .enumerate()
-                        .map(|(chunk_index, controllers)| {
-                            let start = (chunk_index + 1) * node_chunk;
-                            scope.spawn(move || run_chunk(start, controllers))
-                        })
-                        .collect();
-                    let mut outcomes = vec![run_chunk(0, head)];
-                    outcomes
-                        .extend(handles.into_iter().map(crate::parallel::join_worker));
-                    outcomes
-                });
-            for chunk in outcomes {
-                for (node, node_populations, next) in chunk {
-                    for (class, n) in node_populations {
-                        populations[class.index()] = n;
-                    }
-                    prices.set_node(node, next);
-                }
-            }
-        }
-
-        // 3b. Link price update, sharded per link.
-        let allocation = self.allocation();
-        let num_links = self.problem.num_links();
-        if num_links > 0 {
-            let link_chunk = num_links.div_ceil(workers).max(1);
-            let next_prices: Vec<f64> = {
-                let problem = &self.problem;
-                let prices = &self.prices;
-                let allocation = &allocation;
-                let link_gamma = self.config.link_gamma;
-                let price_chunk = |start: usize, end: usize| {
-                    (start..end)
-                        .map(|i| {
-                            let link = LinkId::new(i as u32);
-                            let usage = allocation.link_usage(problem, link);
-                            update_link_price(
-                                prices.link(link),
-                                usage,
-                                problem.link(link).capacity,
-                                link_gamma,
-                            )
-                        })
-                        .collect::<Vec<f64>>()
-                };
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..num_links)
-                        .step_by(link_chunk)
-                        .skip(1)
-                        .map(|start| {
-                            let end = (start + link_chunk).min(num_links);
-                            scope.spawn(move || price_chunk(start, end))
-                        })
-                        .collect();
-                    let mut out = price_chunk(0, link_chunk.min(num_links));
-                    out.reserve(num_links - out.len());
-                    for handle in handles {
-                        out.extend(crate::parallel::join_worker(handle));
-                    }
-                    out
-                })
-            };
-            for (i, price) in next_prices.into_iter().enumerate() {
-                self.prices.set_link(LinkId::new(i as u32), price);
-            }
-        }
-
-        let utility = allocation.total_utility(&self.problem);
-        self.record_step(utility);
-        utility
+        self.plan.workers_for(units)
     }
 
     /// Advances the iteration counter and records the enabled trace
-    /// channels (shared by both step paths).
+    /// channels.
     fn record_step(&mut self, utility: f64) {
         self.iteration += 1;
         self.trace.utility.push(utility);
@@ -563,8 +344,8 @@ impl LrgpEngine {
         self.gamma_controllers = gamma_controllers;
         self.iteration = iteration;
         // The caches no longer describe the stored state; rebuild from
-        // scratch on the next incremental step.
-        self.incremental = None;
+        // scratch on the next step.
+        self.state = None;
     }
 
     /// Current γ of `node`'s price controller.
@@ -572,10 +353,134 @@ impl LrgpEngine {
         self.gamma_controllers[node.index()].gamma()
     }
 
+    /// Applies a batched [`ProblemDelta`] to the engine's problem,
+    /// preserving prices, rates, populations, γ controllers and the trace
+    /// across the change.
+    ///
+    /// The optimizer state is reconciled with the changed problem exactly
+    /// as [`Engine::replace_problem`] would (rates clamped into the final
+    /// bounds, populations capped at the final maxima, new flows starting
+    /// at their [`LrgpConfig::initial_rate`]), so
+    /// `engine.apply_delta(&delta)` and
+    /// `engine.replace_problem(delta.apply(engine.problem())?)` continue
+    /// bit-identically. Unlike `replace_problem`, capacity / population /
+    /// rate-bound edits keep the incremental executor's caches and inject
+    /// precise dirty marks instead of invalidating everything, so under an
+    /// incremental plan the next step costs work proportional to what the
+    /// delta touched. Flow additions, removals and path-cost edits change
+    /// the cost structure and still invalidate wholesale.
+    ///
+    /// Applying a delta *before* the first step re-derives the initial
+    /// optimizer state, making the engine bit-identical to one freshly
+    /// constructed on the changed problem.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ProblemDelta::apply`] reports; on error the engine is
+    /// unchanged.
+    #[must_use = "this Result reports a failure the caller must handle"]
+    pub fn apply_delta(&mut self, delta: &ProblemDelta) -> Result<(), ValidationError> {
+        if delta.is_empty() {
+            return Ok(());
+        }
+        let next = delta.apply(&self.problem)?;
+        if self.iteration == 0 {
+            // Nothing has run: re-derive the initial state from the changed
+            // problem, as a fresh construction would.
+            self.rates = initial_rates(&next, self.config.initial_rate);
+            self.populations = vec![0.0; next.num_classes()];
+            self.trace = Trace::new(
+                self.config.trace,
+                next.num_flows(),
+                next.num_nodes(),
+                next.num_links(),
+                next.num_classes(),
+            );
+            self.problem = next;
+            self.state = Some(StepState::new(&self.problem));
+            return Ok(());
+        }
+        if delta.grows_problem() || delta.changes_costs() {
+            // The cost structure (and possibly the id space) changed: the
+            // term tables and caches are rebuilt and the next step treats
+            // everything as dirty, exactly like a freshly constructed
+            // engine would.
+            for f in self.problem.num_flows()..next.num_flows() {
+                let bounds = next.flow(FlowId::new(f as u32)).bounds;
+                self.rates.push(self.config.initial_rate.rate_for(bounds));
+            }
+            self.populations.resize(next.num_classes(), 0.0);
+            self.trace.grow(next.num_flows(), next.num_classes());
+            self.problem = next;
+            self.clamp_state_into_problem();
+            self.state = None;
+            return Ok(());
+        }
+        // Capacity / population / rate-bound edits keep the cost structure:
+        // reconcile only the touched state and hand the executor precise
+        // dirty marks. Clamps run against the *final* problem so a batched
+        // delta matches a wholesale replacement bitwise.
+        self.problem = next;
+        for op in delta.ops() {
+            match op {
+                DeltaOp::SetNodeCapacity { node, .. } => {
+                    if let Some(state) = self.state.as_mut() {
+                        state.note_capacity_change(*node);
+                    }
+                }
+                DeltaOp::SetLinkCapacity { .. } => {
+                    // The link price update always runs and reads the
+                    // capacity directly; no cached quantity depends on it.
+                }
+                DeltaOp::SetMaxPopulation { class, .. } => {
+                    let max = self.problem.class(*class).max_population as f64;
+                    let slot = &mut self.populations[class.index()];
+                    let clamped = slot.min(max);
+                    let moved = clamped.to_bits() != slot.to_bits();
+                    *slot = clamped;
+                    if let Some(state) = self.state.as_mut() {
+                        state.note_population_change(&self.problem, *class, moved);
+                    }
+                }
+                DeltaOp::SetRateBounds { flow, .. } => {
+                    let bounds = self.problem.flow(*flow).bounds;
+                    let slot = &mut self.rates[flow.index()];
+                    let clamped = bounds.clamp(*slot);
+                    let moved = clamped.to_bits() != slot.to_bits();
+                    *slot = clamped;
+                    if let Some(state) = self.state.as_mut() {
+                        state.note_bounds_change(&self.problem, *flow, moved);
+                    }
+                }
+                DeltaOp::AddFlow { .. }
+                | DeltaOp::RemoveFlow { .. }
+                | DeltaOp::SetFlowNodeCost { .. } => {
+                    // Excluded by the `changes_costs` branch above.
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Clamps rates into the current problem's bounds and populations under
+    /// its maxima, so the next iteration starts feasible.
+    fn clamp_state_into_problem(&mut self) {
+        for f in self.problem.flow_ids() {
+            self.rates[f.index()] = self.problem.flow(f).bounds.clamp(self.rates[f.index()]);
+        }
+        for c in self.problem.class_ids() {
+            let max = self.problem.class(c).max_population as f64;
+            self.populations[c.index()] = self.populations[c.index()].min(max);
+        }
+    }
+
     /// Replaces the problem mid-run, preserving prices, rates, populations,
     /// γ controllers and the trace. The new problem must have identical
     /// dimensions (same id spaces) — use the [`Problem::without_flow`] /
-    /// capacity-editing transforms, which keep ids stable.
+    /// capacity-editing transforms, which keep ids stable. This is the
+    /// wholesale escape hatch (and the oracle [`Engine::apply_delta`] is
+    /// checked against); deltas should prefer `apply_delta`, which keeps
+    /// the incremental caches alive where it can.
     ///
     /// # Panics
     ///
@@ -589,36 +494,39 @@ impl LrgpEngine {
             self.problem.num_classes(),
             "class count must not change"
         );
+        self.problem = problem;
         // Clamp state into the new problem's bounds so the next iteration
         // starts feasible.
-        for f in problem.flow_ids() {
-            self.rates[f.index()] = problem.flow(f).bounds.clamp(self.rates[f.index()]);
-        }
-        for c in problem.class_ids() {
-            let max = problem.class(c).max_population as f64;
-            self.populations[c.index()] = self.populations[c.index()].min(max);
-        }
-        self.problem = problem;
+        self.clamp_state_into_problem();
         // Term tables and dirty sets were built against the old problem;
-        // the next incremental step rebuilds them and treats everything as
-        // dirty, exactly like a freshly constructed engine would.
-        self.incremental = None;
+        // the next step rebuilds them and treats everything as dirty,
+        // exactly like a freshly constructed engine would.
+        self.state = None;
     }
 
     /// Removes `flow` from the system (its source leaves, §4.2 Fig. 3):
     /// rate collapses to zero, its classes stop being admitted, its resource
     /// costs vanish. Ids remain valid.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::apply_delta` with `ProblemDelta::remove_flow`"
+    )]
     pub fn remove_flow(&mut self, flow: FlowId) {
         let pruned = self.problem.without_flow(flow);
         self.replace_problem(pruned);
     }
 }
 
+/// The initial rate vector for `problem` under the configured policy.
+fn initial_rates(problem: &Problem, initial: InitialRate) -> Vec<f64> {
+    problem.flow_ids().map(|f| initial.rate_for(problem.flow(f).bounds)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lrgp_model::workloads::{self, base_workload};
-    use lrgp_model::{ClassId, NodeId};
+    use lrgp_model::{ClassId, NodeId, RateBounds};
 
     fn quick_config() -> LrgpConfig {
         LrgpConfig { trace: TraceConfig::full(), ..LrgpConfig::default() }
@@ -626,7 +534,7 @@ mod tests {
 
     #[test]
     fn engine_runs_and_produces_positive_utility() {
-        let mut e = LrgpEngine::new(base_workload(), quick_config());
+        let mut e = Engine::new(base_workload(), quick_config());
         let u = e.run(50);
         assert!(u > 0.0, "utility {u}");
         assert_eq!(e.iteration(), 50);
@@ -635,7 +543,7 @@ mod tests {
 
     #[test]
     fn allocation_feasible_after_every_iteration() {
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         for _ in 0..60 {
             e.step();
             let a = e.allocation();
@@ -646,7 +554,7 @@ mod tests {
 
     #[test]
     fn populations_integral_by_default() {
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         e.run(30);
         assert!(e.allocation().populations_are_integral());
     }
@@ -657,7 +565,7 @@ mod tests {
             population_mode: PopulationMode::Fractional,
             ..LrgpConfig::default()
         };
-        let mut e = LrgpEngine::new(base_workload(), cfg);
+        let mut e = Engine::new(base_workload(), cfg);
         e.run(30);
         // Fractional utility dominates integral utility for same dynamics.
         assert!(e.total_utility() > 0.0);
@@ -665,7 +573,7 @@ mod tests {
 
     #[test]
     fn converges_on_base_workload() {
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         let out = e.run_until_converged(250);
         assert!(out.converged_at.is_some(), "did not converge in 250 iterations");
         let k = out.converged_at.unwrap();
@@ -676,12 +584,12 @@ mod tests {
     #[test]
     fn adaptive_gamma_converges_no_slower_than_small_fixed_gamma() {
         let adaptive = {
-            let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+            let mut e = Engine::new(base_workload(), LrgpConfig::default());
             e.run_until_converged(1000)
         };
         let fixed_small = {
             let cfg = LrgpConfig { gamma: GammaMode::fixed(0.01), ..LrgpConfig::default() };
-            let mut e = LrgpEngine::new(base_workload(), cfg);
+            let mut e = Engine::new(base_workload(), cfg);
             e.run_until_converged(1000)
         };
         let a = adaptive.converged_at.unwrap_or(usize::MAX);
@@ -693,7 +601,7 @@ mod tests {
     fn undamped_gamma_oscillates_more_than_damped() {
         let amplitude = |gamma: f64| {
             let cfg = LrgpConfig { gamma: GammaMode::fixed(gamma), ..LrgpConfig::default() };
-            let mut e = LrgpEngine::new(base_workload(), cfg);
+            let mut e = Engine::new(base_workload(), cfg);
             e.run(250);
             // Amplitude over the last 50 iterations.
             let tail = e.trace().utility.window(200, 250);
@@ -712,7 +620,7 @@ mod tests {
     #[test]
     fn utility_scales_linearly_with_cnode_copies() {
         let run = |w: workloads::Table2Workload| {
-            let mut e = LrgpEngine::new(w.build(), LrgpConfig::default());
+            let mut e = Engine::new(w.build(), LrgpConfig::default());
             e.run_until_converged(250).utility
         };
         let base = run(workloads::Table2Workload::Base);
@@ -726,10 +634,11 @@ mod tests {
 
     #[test]
     fn removing_a_flow_drops_then_recovers_utility() {
-        let mut e = LrgpEngine::new(base_workload(), quick_config());
+        let mut e = Engine::new(base_workload(), quick_config());
         e.run(150);
         let before = e.total_utility();
-        e.remove_flow(FlowId::new(5)); // the rank-100 flow, as in Fig. 3
+        // Remove the rank-100 flow, as in Fig. 3.
+        e.apply_delta(&ProblemDelta::new().remove_flow(FlowId::new(5))).unwrap();
         e.run(100);
         let after = e.total_utility();
         assert!(after > 0.0);
@@ -748,7 +657,7 @@ mod tests {
 
     #[test]
     fn trace_channels_populate_when_enabled() {
-        let mut e = LrgpEngine::new(base_workload(), quick_config());
+        let mut e = Engine::new(base_workload(), quick_config());
         e.run(5);
         let t = e.trace();
         assert_eq!(t.rates.as_ref().unwrap()[0].len(), 5);
@@ -760,14 +669,14 @@ mod tests {
     #[test]
     fn initial_rate_variants() {
         let p = base_workload();
-        let min = LrgpEngine::new(
+        let min = Engine::new(
             p.clone(),
             LrgpConfig { initial_rate: InitialRate::Min, ..Default::default() },
         );
         assert!(min.allocation().rates().iter().all(|&r| r == 10.0));
-        let max = LrgpEngine::new(p.clone(), LrgpConfig::default());
+        let max = Engine::new(p.clone(), LrgpConfig::default());
         assert!(max.allocation().rates().iter().all(|&r| r == 1000.0));
-        let fixed = LrgpEngine::new(
+        let fixed = Engine::new(
             p,
             LrgpConfig { initial_rate: InitialRate::Value(5000.0), ..Default::default() },
         );
@@ -776,7 +685,7 @@ mod tests {
 
     #[test]
     fn node_gamma_visible_and_clamped() {
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         e.run(50);
         for n in e.problem().node_ids() {
             let g = e.node_gamma(n);
@@ -787,7 +696,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "flow count must not change")]
     fn replace_problem_rejects_dimension_change() {
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         e.replace_problem(workloads::paper_workload(
             lrgp_model::UtilityShape::Log,
             2,
@@ -797,7 +706,7 @@ mod tests {
 
     #[test]
     fn high_rank_classes_admitted_first() {
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         e.run_until_converged(250);
         let a = e.allocation();
         // The rank-100 class pair (18, 19) should reach a substantial
@@ -810,11 +719,113 @@ mod tests {
 
     #[test]
     fn prices_remain_nonnegative_throughout() {
-        let mut e = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
         for _ in 0..100 {
             e.step();
             assert!(e.prices().node_prices().iter().all(|&p| p >= 0.0));
         }
         let _ = e.node_gamma(NodeId::new(0));
+    }
+
+    #[test]
+    fn unstepped_delta_matches_fresh_engine_bitwise() {
+        let p = base_workload();
+        let delta = ProblemDelta::new()
+            .set_node_capacity(NodeId::new(6), 5e5)
+            .resize_class(ClassId::new(0), 17)
+            .set_rate_bounds(FlowId::new(1), RateBounds::new(5.0, 250.0).unwrap());
+        let mut delta_first = Engine::new(p.clone(), LrgpConfig::default());
+        delta_first.apply_delta(&delta).unwrap();
+        let final_problem = delta.apply(&p).unwrap();
+        let mut fresh = Engine::new(final_problem, LrgpConfig::default());
+        for k in 0..120 {
+            let a = delta_first.step();
+            let b = fresh.step();
+            assert_eq!(a.to_bits(), b.to_bits(), "diverged at iteration {k}");
+        }
+        assert_eq!(delta_first.allocation(), fresh.allocation());
+    }
+
+    #[test]
+    fn targeted_delta_matches_replace_problem_bitwise() {
+        let delta = ProblemDelta::new()
+            .set_node_capacity(NodeId::new(7), 1.2e5)
+            .resize_class(ClassId::new(4), 3)
+            .set_rate_bounds(FlowId::new(0), RateBounds::new(10.0, 400.0).unwrap());
+        let configs = [
+            LrgpConfig::default(),
+            LrgpConfig { incremental: IncrementalMode::On, ..LrgpConfig::default() },
+        ];
+        for config in configs {
+            let mut via_delta = Engine::new(base_workload(), config);
+            let mut via_replace = Engine::new(base_workload(), config);
+            for _ in 0..90 {
+                via_delta.step();
+                via_replace.step();
+            }
+            via_delta.apply_delta(&delta).unwrap();
+            via_replace.replace_problem(delta.apply(via_replace.problem()).unwrap());
+            for k in 0..150 {
+                let a = via_delta.step();
+                let b = via_replace.step();
+                assert_eq!(a.to_bits(), b.to_bits(), "diverged at iteration {k}");
+            }
+            assert_eq!(via_delta.allocation(), via_replace.allocation());
+            assert_eq!(via_delta.prices(), via_replace.prices());
+        }
+    }
+
+    #[test]
+    fn add_flow_mid_run_grows_the_engine() {
+        let p = base_workload();
+        let source = p.flow(FlowId::new(0)).source;
+        let sink = p.class(ClassId::new(0)).node;
+        let spec = lrgp_model::FlowSpec {
+            source,
+            bounds: RateBounds::new(5.0, 500.0).unwrap(),
+            link_costs: vec![],
+            node_costs: vec![(sink, 1.0)],
+        };
+        let class = lrgp_model::ClassSpec {
+            flow: FlowId::new(0),
+            node: sink,
+            max_population: 40,
+            utility: lrgp_model::Utility::log(50.0),
+            consumer_cost: 2.0,
+        };
+        let mut e = Engine::new(p.clone(), quick_config());
+        e.run(150);
+        let flows_before = e.problem().num_flows();
+        e.apply_delta(&ProblemDelta::new().add_flow(spec, vec![class])).unwrap();
+        assert_eq!(e.problem().num_flows(), flows_before + 1);
+        e.run(150);
+        let new_flow = FlowId::new(flows_before as u32);
+        assert!(e.allocation().rate(new_flow) > 0.0);
+        assert!(e.allocation().is_feasible(e.problem(), 1e-6));
+        // The grown trace channel recorded only the post-delta iterations.
+        assert_eq!(e.trace().rates.as_ref().unwrap()[flows_before].len(), 150);
+    }
+
+    #[test]
+    fn failed_delta_leaves_engine_unchanged() {
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
+        e.run(40);
+        let before = e.allocation();
+        let bad = ProblemDelta::new()
+            .resize_class(ClassId::new(2), 1)
+            .set_node_capacity(NodeId::new(999), 1.0);
+        assert!(e.apply_delta(&bad).is_err());
+        assert_eq!(e.allocation(), before);
+        let next = e.step();
+        assert!(next > 0.0);
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let mut e = Engine::new(base_workload(), LrgpConfig::default());
+        e.run(10);
+        let before = e.allocation();
+        e.apply_delta(&ProblemDelta::new()).unwrap();
+        assert_eq!(e.allocation(), before);
     }
 }

@@ -1,0 +1,761 @@
+//! The dirty-set step executor shared by every execution plan.
+//!
+//! [`StepState`] runs one LRGP iteration over the engine's state. It is the
+//! **only** solve loop in the crate: a full recompute is simply the
+//! all-dirty special case (the plan layer marks everything dirty first),
+//! and the parallel paths shard the dirty lists (see [`crate::plan`]).
+//!
+//! Near convergence almost every per-iteration quantity is recomputed to the
+//! very same bits it already had: prices stop moving (the γ step underflows
+//! against the price magnitude), so aggregated prices stop moving, so rates
+//! stop moving, so admissions stop moving. The incremental plan exploits
+//! that with **exact, bitwise dirty tracking** — work is proportional to
+//! what changed, and the result is bit-identical (`f64::to_bits`) to the
+//! full recompute, enforced by `tests/differential.rs`.
+//!
+//! # Why skipping is exact
+//!
+//! Every LRGP kernel is a pure function of the previous iteration's
+//! published state. If a kernel's inputs are bitwise unchanged since the
+//! last time it ran, its output is bitwise unchanged too, so writing it
+//! again is a no-op — the stored value *is* the output. The only subtlety is
+//! the rate solver's `fallback` argument (the previous rate, used when the
+//! flow has no admitted consumers and zero price): the solver is idempotent
+//! in it (`clamp(clamp(r)) = clamp(r)`), so a skipped flow's stored rate
+//! still equals what a fresh solve would return.
+//!
+//! # Dirty-set invariants
+//!
+//! | recompute          | iff one of its inputs changed bitwise            |
+//! |--------------------|--------------------------------------------------|
+//! | rate of flow `i`   | price of a node in `B_i` / link in `L_i`, or the population of a class in `C_i`, changed last iteration |
+//! | admission at `b`   | the rate of a flow in `nodeMap(b)` changed this iteration |
+//! | usage of link `l`  | the rate of a flow in `linkMap(l)` changed this iteration |
+//! | total utility      | any rate or population changed this iteration    |
+//!
+//! The price updates themselves (Eqs. 12–13) and the γ controllers are O(1)
+//! per element and **always** run — their state must advance every iteration
+//! exactly as in the baseline — but they read the *cached* admission outcome
+//! (`BC`, `used`) and link usage, which is only recomputed when dirty.
+//!
+//! # External dirt
+//!
+//! Problem deltas ([`crate::engine::Engine::apply_delta`]) inject dirt from
+//! *outside* the iteration loop through the `note_*` methods: a capacity
+//! change dirties that node's admission, a population bound change dirties
+//! the class's node and (if the published population moved) the class's
+//! flow, a rate-bound change dirties the flow and (if the clamp moved the
+//! stored rate) everything downstream of it. The next step unions this
+//! external dirt into its derived dirty sets, so a delta costs work
+//! proportional to what it touched. Cost-coefficient changes (flow
+//! add/remove, path cost edits) invalidate the state wholesale instead —
+//! the term tables are rebuilt and the next step treats everything as
+//! dirty.
+//!
+//! # Scratch-buffer ownership
+//!
+//! All per-iteration buffers live in [`StepState`] and are reused across
+//! steps: the dirty/changed id lists, the per-node admission caches
+//! (including each node's previously *sorted* BC order, re-sorted in place
+//! only when its feeding rates changed), and the per-worker rate scratch
+//! (an [`AggregateUtility`] term buffer plus an output vector). On the
+//! sequential path a steady-state step performs **no heap allocation**; the
+//! threaded path allocates only O(workers) thread-management bookkeeping per
+//! step, never O(problem).
+
+use crate::engine::LrgpConfig;
+use crate::gamma::GammaController;
+use crate::kernel::admission::allocate_consumers_into;
+use crate::kernel::price::{update_link_price, update_node_price_with_rule, PriceVector};
+use crate::kernel::rate::{solve_rate, AggregateUtility};
+use crate::plan::ExecutionPlan;
+use lrgp_model::{ClassId, FlowId, LinkId, NodeId, PriceTermTable, Problem};
+
+/// Adds `id` to `list` unless its flag is already set.
+#[inline]
+fn mark(flags: &mut [bool], list: &mut Vec<u32>, id: u32) {
+    let slot = &mut flags[id as usize];
+    if !*slot {
+        *slot = true;
+        list.push(id);
+    }
+}
+
+/// Clears the flags of every id in `list`, then the list itself.
+fn clear_marks(flags: &mut [bool], list: &mut Vec<u32>) {
+    for &id in list.iter() {
+        flags[id as usize] = false;
+    }
+    list.clear();
+}
+
+/// Cached admission outcome of one node.
+#[derive(Debug, Clone)]
+struct NodeCache {
+    /// The classes of the node with their BC ratios, in the sorted order of
+    /// the last recompute (seeded from `classes_at_node` order). Kept as the
+    /// next recompute's starting permutation: the admission comparator is a
+    /// strict total order, so re-sorting from here is bit-identical to a
+    /// from-scratch sort, and near-sorted input re-sorts in linear time.
+    order: Vec<(ClassId, f64)>,
+    /// The populations decided by the last recompute (admission order).
+    populations: Vec<(ClassId, f64)>,
+    /// `used_b` of the last recompute.
+    used: f64,
+    /// `BC(b)` (Eq. 11) of the last recompute.
+    bc: f64,
+}
+
+/// Reusable per-worker scratch for the rate phase.
+#[derive(Debug, Clone, Default)]
+struct RateScratch {
+    agg: AggregateUtility,
+    out: Vec<(u32, f64)>,
+}
+
+/// The executor's persistent state: term tables, caches, dirty sets, and
+/// scratch buffers. Dropped (and lazily rebuilt) whenever the problem's
+/// cost structure changes.
+#[derive(Debug, Clone)]
+pub(crate) struct StepState {
+    terms: PriceTermTable,
+    node_caches: Vec<NodeCache>,
+    link_usage: Vec<f64>,
+    cached_utility: f64,
+    /// Everything dirty on the first step after (re)construction.
+    first: bool,
+    /// Forces the next step to republish the utility even if no rate or
+    /// population changes *within* it (a delta changed them between steps).
+    force_utility: bool,
+
+    // Changes published by the previous iteration (inputs to this one).
+    node_price_changed: Vec<bool>,
+    changed_nodes: Vec<u32>,
+    link_price_changed: Vec<bool>,
+    changed_links: Vec<u32>,
+    pop_changed: Vec<bool>,
+    changed_classes: Vec<u32>,
+
+    // Changes produced within the current iteration.
+    rate_changed: Vec<bool>,
+    changed_rates: Vec<u32>,
+
+    // External dirt injected between steps by problem deltas.
+    ext_flow_dirty: Vec<bool>,
+    ext_dirty_flows: Vec<u32>,
+    ext_node_dirty: Vec<bool>,
+    ext_dirty_nodes: Vec<u32>,
+    ext_link_dirty: Vec<bool>,
+    ext_dirty_links: Vec<u32>,
+
+    // Dirty work lists (sorted ascending before use).
+    flow_dirty: Vec<bool>,
+    dirty_flows: Vec<u32>,
+    node_dirty: Vec<bool>,
+    dirty_nodes: Vec<u32>,
+    link_dirty: Vec<bool>,
+    dirty_links: Vec<u32>,
+
+    rate_scratch: Vec<RateScratch>,
+}
+
+impl StepState {
+    /// Builds fresh tables and empty caches for `problem`; the first step
+    /// marks everything dirty and fills the caches.
+    pub(crate) fn new(problem: &Problem) -> Self {
+        let node_caches = problem
+            .node_ids()
+            .map(|node| {
+                let classes = problem.classes_at_node(node);
+                NodeCache {
+                    order: classes.iter().map(|&c| (c, 0.0)).collect(),
+                    populations: Vec::with_capacity(classes.len()),
+                    used: 0.0,
+                    bc: 0.0,
+                }
+            })
+            .collect();
+        Self {
+            terms: PriceTermTable::new(problem),
+            node_caches,
+            link_usage: vec![0.0; problem.num_links()],
+            cached_utility: 0.0,
+            first: true,
+            force_utility: false,
+            node_price_changed: vec![false; problem.num_nodes()],
+            changed_nodes: Vec::with_capacity(problem.num_nodes()),
+            link_price_changed: vec![false; problem.num_links()],
+            changed_links: Vec::with_capacity(problem.num_links()),
+            pop_changed: vec![false; problem.num_classes()],
+            changed_classes: Vec::with_capacity(problem.num_classes()),
+            rate_changed: vec![false; problem.num_flows()],
+            changed_rates: Vec::with_capacity(problem.num_flows()),
+            ext_flow_dirty: vec![false; problem.num_flows()],
+            ext_dirty_flows: Vec::new(),
+            ext_node_dirty: vec![false; problem.num_nodes()],
+            ext_dirty_nodes: Vec::new(),
+            ext_link_dirty: vec![false; problem.num_links()],
+            ext_dirty_links: Vec::new(),
+            flow_dirty: vec![false; problem.num_flows()],
+            dirty_flows: Vec::with_capacity(problem.num_flows()),
+            node_dirty: vec![false; problem.num_nodes()],
+            dirty_nodes: Vec::with_capacity(problem.num_nodes()),
+            link_dirty: vec![false; problem.num_links()],
+            dirty_links: Vec::with_capacity(problem.num_links()),
+            rate_scratch: vec![RateScratch::default()],
+        }
+    }
+
+    /// Marks everything dirty for the next step, turning it into an exact
+    /// full recompute (the non-incremental plans call this every step).
+    pub(crate) fn mark_all_dirty(&mut self) {
+        self.first = true;
+    }
+
+    /// Records that `node`'s capacity changed: its admission outcome must be
+    /// recomputed (the price update always runs and reads the capacity
+    /// directly).
+    pub(crate) fn note_capacity_change(&mut self, node: NodeId) {
+        mark(&mut self.ext_node_dirty, &mut self.ext_dirty_nodes, node.index() as u32);
+    }
+
+    /// Records that `class`'s population bound changed, and whether the
+    /// published population itself was clamped to new bits. The class's
+    /// node must re-admit; a moved population additionally dirties the
+    /// class's flow (rate solves read populations) and staleness the cached
+    /// utility.
+    pub(crate) fn note_population_change(
+        &mut self,
+        problem: &Problem,
+        class: ClassId,
+        pop_bits_changed: bool,
+    ) {
+        let node = problem.class(class).node;
+        mark(&mut self.ext_node_dirty, &mut self.ext_dirty_nodes, node.index() as u32);
+        if pop_bits_changed {
+            mark(&mut self.pop_changed, &mut self.changed_classes, class.index() as u32);
+            self.force_utility = true;
+        }
+    }
+
+    /// Records that `flow`'s rate bounds changed, and whether the stored
+    /// rate itself was clamped to new bits. The flow must re-solve; a moved
+    /// rate additionally dirties every node and link it feeds (their cached
+    /// admissions / usages were built against the old rate) and stalenesses
+    /// the cached utility.
+    pub(crate) fn note_bounds_change(
+        &mut self,
+        problem: &Problem,
+        flow: FlowId,
+        rate_bits_changed: bool,
+    ) {
+        mark(&mut self.ext_flow_dirty, &mut self.ext_dirty_flows, flow.index() as u32);
+        if rate_bits_changed {
+            for &(node, _) in problem.nodes_of_flow(flow) {
+                mark(&mut self.ext_node_dirty, &mut self.ext_dirty_nodes, node.index() as u32);
+            }
+            for &(link, _) in problem.links_of_flow(flow) {
+                mark(&mut self.ext_link_dirty, &mut self.ext_dirty_links, link.index() as u32);
+            }
+            self.force_utility = true;
+        }
+    }
+
+    /// The current dirty/changed set sizes, for tests:
+    /// `(changed_rates, changed_nodes, changed_links)` as published by the
+    /// last completed step.
+    #[cfg(test)]
+    pub(crate) fn changed_counts(&self) -> (usize, usize, usize) {
+        (self.changed_rates.len(), self.changed_nodes.len(), self.changed_links.len())
+    }
+
+    /// The node ids whose prices changed in the last completed step.
+    #[cfg(test)]
+    pub(crate) fn changed_node_ids(&self) -> &[u32] {
+        &self.changed_nodes
+    }
+
+    /// One LRGP iteration over the engine's state under `plan`. Returns the
+    /// total utility (recomputed only when a rate or population changed).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step(
+        &mut self,
+        problem: &Problem,
+        config: &LrgpConfig,
+        plan: &ExecutionPlan,
+        rates: &mut [f64],
+        populations: &mut [f64],
+        prices: &mut PriceVector,
+        gammas: &mut [GammaController],
+    ) -> f64 {
+        self.derive_dirty_flows(problem);
+        self.solve_dirty_rates(problem, plan, rates, populations, prices);
+        self.derive_dirty_nodes(problem);
+        self.run_dirty_admissions(problem, config, plan, rates);
+        self.apply_populations(populations);
+        self.update_node_prices(problem, config, prices, gammas);
+        self.derive_dirty_links(problem);
+        self.update_link_usage_and_prices(problem, config, rates, prices);
+        if self.first
+            || self.force_utility
+            || !self.changed_rates.is_empty()
+            || !self.changed_classes.is_empty()
+        {
+            self.cached_utility = total_utility(problem, rates, populations);
+        }
+        self.first = false;
+        self.force_utility = false;
+        self.cached_utility
+    }
+
+    /// Phase 0: a flow's rate inputs are the prices along its path and the
+    /// populations of its classes; it is dirty iff one of them changed last
+    /// iteration (or a delta dirtied it externally). Consumes (and clears)
+    /// the previous iteration's change sets and the external dirt.
+    fn derive_dirty_flows(&mut self, problem: &Problem) {
+        let Self {
+            flow_dirty,
+            dirty_flows,
+            node_price_changed,
+            changed_nodes,
+            link_price_changed,
+            changed_links,
+            pop_changed,
+            changed_classes,
+            ext_flow_dirty,
+            ext_dirty_flows,
+            first,
+            ..
+        } = self;
+        clear_marks(flow_dirty, dirty_flows);
+        if *first {
+            for f in 0..problem.num_flows() as u32 {
+                flow_dirty[f as usize] = true;
+                dirty_flows.push(f);
+            }
+        } else {
+            for &b in changed_nodes.iter() {
+                for &f in problem.flows_at_node(NodeId::new(b)) {
+                    mark(flow_dirty, dirty_flows, f.index() as u32);
+                }
+            }
+            for &l in changed_links.iter() {
+                for &f in problem.flows_on_link(LinkId::new(l)) {
+                    mark(flow_dirty, dirty_flows, f.index() as u32);
+                }
+            }
+            for &c in changed_classes.iter() {
+                let flow = problem.class(ClassId::new(c)).flow;
+                mark(flow_dirty, dirty_flows, flow.index() as u32);
+            }
+            for &f in ext_dirty_flows.iter() {
+                mark(flow_dirty, dirty_flows, f);
+            }
+            dirty_flows.sort_unstable();
+        }
+        clear_marks(node_price_changed, changed_nodes);
+        clear_marks(link_price_changed, changed_links);
+        clear_marks(pop_changed, changed_classes);
+        clear_marks(ext_flow_dirty, ext_dirty_flows);
+    }
+
+    /// Phase 1: re-solve the dirty flows' rates (Algorithm 1) against the
+    /// term tables, recording bitwise rate changes.
+    fn solve_dirty_rates(
+        &mut self,
+        problem: &Problem,
+        plan: &ExecutionPlan,
+        rates: &mut [f64],
+        populations: &[f64],
+        prices: &PriceVector,
+    ) {
+        clear_marks(&mut self.rate_changed, &mut self.changed_rates);
+        if self.dirty_flows.is_empty() {
+            return;
+        }
+        let workers = plan.workers_for(self.dirty_flows.len());
+        if workers <= 1 {
+            let Self { terms, dirty_flows, rate_changed, changed_rates, rate_scratch, .. } =
+                self;
+            let agg = &mut rate_scratch[0].agg;
+            for &f in dirty_flows.iter() {
+                let flow = FlowId::new(f);
+                agg.refill_for_flow(problem, flow, populations);
+                let price = prices.aggregate_price_from_table(terms, flow, populations);
+                let next = solve_rate(agg, price, problem.flow(flow).bounds, rates[f as usize]);
+                if next.to_bits() != rates[f as usize].to_bits() {
+                    rates[f as usize] = next;
+                    mark(rate_changed, changed_rates, f);
+                }
+            }
+            return;
+        }
+        while self.rate_scratch.len() < workers {
+            self.rate_scratch.push(RateScratch::default());
+        }
+        let chunk = self.dirty_flows.len().div_ceil(workers).max(1);
+        let used_chunks = self.dirty_flows.len().div_ceil(chunk);
+        {
+            let Self { terms, dirty_flows, rate_scratch, .. } = &mut *self;
+            let terms = &*terms;
+            let rates_read = &*rates;
+            let solve_chunk = |scratch: &mut RateScratch, ids: &[u32]| {
+                scratch.out.clear();
+                for &f in ids {
+                    let flow = FlowId::new(f);
+                    scratch.agg.refill_for_flow(problem, flow, populations);
+                    let price = prices.aggregate_price_from_table(terms, flow, populations);
+                    let next = solve_rate(
+                        &scratch.agg,
+                        price,
+                        problem.flow(flow).bounds,
+                        rates_read[f as usize],
+                    );
+                    scratch.out.push((f, next));
+                }
+            };
+            std::thread::scope(|scope| {
+                let (head, rest) = rate_scratch.split_at_mut(1);
+                let mut chunks = dirty_flows.chunks(chunk);
+                let inline = chunks.next().unwrap_or(&[]);
+                let handles: Vec<_> = rest
+                    .iter_mut()
+                    .zip(chunks)
+                    .map(|(scratch, ids)| scope.spawn(move || solve_chunk(scratch, ids)))
+                    .collect();
+                solve_chunk(&mut head[0], inline);
+                for handle in handles {
+                    crate::plan::join_worker(handle);
+                }
+            });
+        }
+        for scratch in &self.rate_scratch[..used_chunks] {
+            for &(f, next) in &scratch.out {
+                if next.to_bits() != rates[f as usize].to_bits() {
+                    rates[f as usize] = next;
+                    mark(&mut self.rate_changed, &mut self.changed_rates, f);
+                }
+            }
+        }
+    }
+
+    /// A node's admission inputs are the rates of the flows reaching it; it
+    /// is dirty iff one of them changed in this iteration's phase 1 (or a
+    /// delta dirtied it externally).
+    fn derive_dirty_nodes(&mut self, problem: &Problem) {
+        let Self {
+            node_dirty,
+            dirty_nodes,
+            changed_rates,
+            ext_node_dirty,
+            ext_dirty_nodes,
+            first,
+            ..
+        } = self;
+        clear_marks(node_dirty, dirty_nodes);
+        if *first {
+            for b in 0..problem.num_nodes() as u32 {
+                node_dirty[b as usize] = true;
+                dirty_nodes.push(b);
+            }
+        } else {
+            for &f in changed_rates.iter() {
+                for &(node, _) in problem.nodes_of_flow(FlowId::new(f)) {
+                    mark(node_dirty, dirty_nodes, node.index() as u32);
+                }
+            }
+            for &b in ext_dirty_nodes.iter() {
+                mark(node_dirty, dirty_nodes, b);
+            }
+            dirty_nodes.sort_unstable();
+        }
+        clear_marks(ext_node_dirty, ext_dirty_nodes);
+    }
+
+    /// Phase 2a: re-run greedy admission (Algorithm 2) on the dirty nodes,
+    /// writing into each node's cache. Sharded over the sorted dirty list
+    /// when the plan asks for it; caches are handed to workers as disjoint
+    /// `split_at_mut` slices at chunk boundaries.
+    fn run_dirty_admissions(
+        &mut self,
+        problem: &Problem,
+        config: &LrgpConfig,
+        plan: &ExecutionPlan,
+        rates: &[f64],
+    ) {
+        if self.dirty_nodes.is_empty() {
+            return;
+        }
+        let workers = plan.workers_for(self.dirty_nodes.len());
+        let run_node = |cache: &mut NodeCache, node: NodeId| {
+            let (used, bc) = allocate_consumers_into(
+                problem,
+                node,
+                rates,
+                config.population_mode,
+                config.admission_policy,
+                &mut cache.order,
+                &mut cache.populations,
+            );
+            cache.used = used;
+            cache.bc = bc;
+        };
+        if workers <= 1 {
+            for &b in &self.dirty_nodes {
+                run_node(&mut self.node_caches[b as usize], NodeId::new(b));
+            }
+            return;
+        }
+        let chunk = self.dirty_nodes.len().div_ceil(workers).max(1);
+        // Carve the cache array into one disjoint slice per chunk of the
+        // sorted dirty list (chunk id ranges are strictly increasing).
+        let mut jobs: Vec<(&[u32], &mut [NodeCache], usize)> = Vec::with_capacity(workers);
+        let mut caches: &mut [NodeCache] = &mut self.node_caches;
+        let mut base = 0usize;
+        for ids in self.dirty_nodes.chunks(chunk) {
+            let lo = ids[0] as usize;
+            // `chunks()` never yields an empty slice, so indexing is safe.
+            let hi = ids[ids.len() - 1] as usize + 1;
+            let tail = std::mem::take(&mut caches);
+            let (_, tail) = tail.split_at_mut(lo - base);
+            let (mine, tail) = tail.split_at_mut(hi - lo);
+            caches = tail;
+            base = hi;
+            jobs.push((ids, mine, lo));
+        }
+        let run_job = |(ids, slice, lo): (&[u32], &mut [NodeCache], usize)| {
+            for &b in ids {
+                run_node(&mut slice[b as usize - lo], NodeId::new(b));
+            }
+        };
+        std::thread::scope(|scope| {
+            let mut jobs = jobs.into_iter();
+            let inline = jobs.next();
+            let handles: Vec<_> =
+                jobs.map(|job| scope.spawn(move || run_job(job))).collect();
+            if let Some(job) = inline {
+                run_job(job);
+            }
+            for handle in handles {
+                crate::plan::join_worker(handle);
+            }
+        });
+    }
+
+    /// Phase 2b: publish the dirty nodes' population decisions into the
+    /// global array, recording bitwise changes (each class belongs to
+    /// exactly one node, so writes never collide).
+    fn apply_populations(&mut self, populations: &mut [f64]) {
+        let Self { dirty_nodes, node_caches, pop_changed, changed_classes, .. } = self;
+        for &b in dirty_nodes.iter() {
+            for &(class, n) in &node_caches[b as usize].populations {
+                let slot = &mut populations[class.index()];
+                if n.to_bits() != slot.to_bits() {
+                    *slot = n;
+                    mark(pop_changed, changed_classes, class.index() as u32);
+                }
+            }
+        }
+        changed_classes.sort_unstable();
+    }
+
+    /// Phase 2c: the O(1) node price update (Eq. 12) plus γ observation runs
+    /// for **every** node each iteration — controller state must advance
+    /// exactly as in the baseline — reading the cached admission outcome.
+    fn update_node_prices(
+        &mut self,
+        problem: &Problem,
+        config: &LrgpConfig,
+        prices: &mut PriceVector,
+        gammas: &mut [GammaController],
+    ) {
+        for (b, ctl) in gammas.iter_mut().enumerate() {
+            let node = NodeId::new(b as u32);
+            let cache = &self.node_caches[b];
+            let gamma = ctl.gamma();
+            let next = update_node_price_with_rule(
+                config.node_price_rule,
+                prices.node(node),
+                cache.bc,
+                cache.used,
+                problem.node(node).capacity,
+                gamma,
+                gamma,
+            );
+            ctl.observe_price(next);
+            let before = prices.node(node);
+            prices.set_node(node, next);
+            if prices.node(node).to_bits() != before.to_bits() {
+                mark(&mut self.node_price_changed, &mut self.changed_nodes, b as u32);
+            }
+        }
+    }
+
+    /// A link's usage inputs are the rates of the flows on it; it is dirty
+    /// iff one of them changed in this iteration's phase 1 (or a delta
+    /// dirtied it externally).
+    fn derive_dirty_links(&mut self, problem: &Problem) {
+        let Self {
+            link_dirty,
+            dirty_links,
+            changed_rates,
+            ext_link_dirty,
+            ext_dirty_links,
+            first,
+            ..
+        } = self;
+        clear_marks(link_dirty, dirty_links);
+        if *first {
+            for l in 0..problem.num_links() as u32 {
+                link_dirty[l as usize] = true;
+                dirty_links.push(l);
+            }
+        } else {
+            for &f in changed_rates.iter() {
+                for &(link, _) in problem.links_of_flow(FlowId::new(f)) {
+                    mark(link_dirty, dirty_links, link.index() as u32);
+                }
+            }
+            for &l in ext_dirty_links.iter() {
+                mark(link_dirty, dirty_links, l);
+            }
+            dirty_links.sort_unstable();
+        }
+        clear_marks(ext_link_dirty, ext_dirty_links);
+    }
+
+    /// Phase 3: recompute the dirty links' usage from the term tables, then
+    /// run the O(1) Eq. 13 update for every link against the cached usage.
+    fn update_link_usage_and_prices(
+        &mut self,
+        problem: &Problem,
+        config: &LrgpConfig,
+        rates: &[f64],
+        prices: &mut PriceVector,
+    ) {
+        for &l in &self.dirty_links {
+            let link = LinkId::new(l);
+            // Same additions in the same `flows_on_link` order as
+            // `Allocation::link_usage`, so the sum is bit-identical.
+            let mut usage = 0.0;
+            for &(f, cost) in self.terms.link_usage_terms(link) {
+                usage += cost * rates[f as usize];
+            }
+            self.link_usage[l as usize] = usage;
+        }
+        for l in 0..problem.num_links() {
+            let link = LinkId::new(l as u32);
+            let next = update_link_price(
+                prices.link(link),
+                self.link_usage[l],
+                problem.link(link).capacity,
+                config.link_gamma,
+            );
+            let before = prices.link(link);
+            prices.set_link(link, next);
+            if prices.link(link).to_bits() != before.to_bits() {
+                mark(&mut self.link_price_changed, &mut self.changed_links, l as u32);
+            }
+        }
+    }
+}
+
+/// Total utility in exactly `Allocation::total_utility`'s order (ascending
+/// class ids, zero-population classes skipped) — same additions, same bits.
+fn total_utility(problem: &Problem, rates: &[f64], populations: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for class in problem.class_ids() {
+        let spec = problem.class(class);
+        let n = populations[class.index()];
+        if n > 0.0 {
+            total += n * spec.utility.value(rates[spec.flow.index()]);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{Engine, LrgpConfig};
+    use crate::plan::{IncrementalMode, Parallelism};
+    use lrgp_model::workloads::base_workload;
+    use lrgp_model::{FlowId, ProblemDelta};
+
+    fn incremental_config() -> LrgpConfig {
+        LrgpConfig { incremental: IncrementalMode::On, ..LrgpConfig::default() }
+    }
+
+    #[test]
+    fn incremental_matches_baseline_on_base_workload() {
+        let problem = base_workload();
+        let mut baseline = Engine::new(problem.clone(), LrgpConfig::default());
+        let mut incremental = Engine::new(problem, incremental_config());
+        for k in 0..200 {
+            let a = baseline.step();
+            let b = incremental.step();
+            assert_eq!(a.to_bits(), b.to_bits(), "diverged at iteration {k}");
+        }
+        assert_eq!(baseline.allocation(), incremental.allocation());
+        assert_eq!(baseline.prices(), incremental.prices());
+    }
+
+    #[test]
+    fn incremental_threads_match_baseline() {
+        let problem = base_workload();
+        let mut baseline = Engine::new(problem.clone(), LrgpConfig::default());
+        let config = LrgpConfig {
+            parallelism: Parallelism::Threads(3),
+            ..incremental_config()
+        };
+        let mut incremental = Engine::new(problem, config);
+        for k in 0..120 {
+            let a = baseline.step();
+            let b = incremental.step();
+            assert_eq!(a.to_bits(), b.to_bits(), "diverged at iteration {k}");
+        }
+    }
+
+    #[test]
+    fn dirty_sets_shrink_as_the_system_settles() {
+        // The base workload settles into a small limit cycle (adaptive γ
+        // keeps a couple of consumer-node prices moving by tiny steps), so
+        // the dirty sets never fully drain — but they must shrink to the
+        // churning core: the 6 source nodes carry no load, so their prices
+        // pin at 0.0 bitwise and drop out, and at least some flows' rates
+        // stop changing.
+        let mut engine = Engine::new(base_workload(), incremental_config());
+        engine.run(400);
+        let problem_nodes = engine.problem().num_nodes();
+        let problem_flows = engine.problem().num_flows();
+        let state = engine.step_state().expect("state built after stepping");
+        let (changed_rates, changed_nodes, changed_links) = state.changed_counts();
+        assert!(
+            changed_nodes <= 3,
+            "only the 3 consumer nodes may keep changing, got {:?}",
+            state.changed_node_ids()
+        );
+        assert!(changed_nodes < problem_nodes);
+        assert!(changed_rates < problem_flows, "some rates must have pinned down");
+        assert_eq!(changed_links, 0, "base workload has no links");
+    }
+
+    #[test]
+    fn flow_removal_invalidates_and_stays_identical() {
+        let problem = base_workload();
+        let mut baseline = Engine::new(problem.clone(), LrgpConfig::default());
+        let mut incremental = Engine::new(problem, incremental_config());
+        for _ in 0..80 {
+            baseline.step();
+            incremental.step();
+        }
+        let removal = ProblemDelta::new().remove_flow(FlowId::new(5));
+        baseline.apply_delta(&removal).unwrap();
+        incremental.apply_delta(&removal).unwrap();
+        for k in 0..120 {
+            let a = baseline.step();
+            let b = incremental.step();
+            assert_eq!(a.to_bits(), b.to_bits(), "diverged at post-removal iteration {k}");
+        }
+        assert_eq!(baseline.allocation(), incremental.allocation());
+    }
+}

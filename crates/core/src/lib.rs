@@ -11,28 +11,64 @@
 //! concave rate utilities — subject to capacity constraints that are
 //! *nonconvex* because populations multiply rates.
 //!
-//! LRGP splits the problem into two coupled subproblems, iterated forever:
+//! # Architecture
 //!
-//! * [`rate`] — **Lagrangian rate allocation** at each flow source, against
-//!   aggregated link/node prices ([`prices`]).
-//! * [`admission`] — **greedy consumer admission** at each node, by
-//!   benefit–cost ratio, which also yields the node's price target.
-//! * [`price`] — the node (Eq. 12) and link (Eq. 13) price updates, with
-//!   per-node adaptive step-size control ([`gamma`]).
+//! The crate is layered so that *what* an iteration computes, *how* it is
+//! executed, and *when* the problem changes are independent concerns:
 //!
-//! The synchronous driver lives in [`engine`]; iteration traces in
-//! [`trace`]; deployment-facing enactment policies in [`enactment`];
-//! workload-churn scenarios in [`dynamics`]; the §2.4 two-stage pruning
-//! driver in [`two_stage`].
+//! ```text
+//!        lrgp_model::Problem ── lrgp_model::ProblemDelta
+//!                 │                      │ Engine::apply_delta
+//!                 ▼                      ▼
+//!  ┌───────────────────────────────────────────────────────────┐
+//!  │ engine     Engine: owns problem + optimizer state, trace, │
+//!  │            snapshots, delta application                   │
+//!  └───────────────────────────┬───────────────────────────────┘
+//!                              │ one ExecutionPlan, every step
+//!  ┌───────────────────────────▼───────────────────────────────┐
+//!  │ plan       ExecutionPlan = Parallelism × IncrementalMode  │
+//!  │            (pure strategy: bit-identical by construction) │
+//!  └───────────────────────────┬───────────────────────────────┘
+//!                              │ drives the single solve loop
+//!  ┌───────────────────────────▼───────────────────────────────┐
+//!  │ exec       StepState: dirty-set executor, caches, scratch │
+//!  │            (full recompute = the all-dirty special case)  │
+//!  └──────┬──────────────────┬──────────────────┬──────────────┘
+//!         │                  │                  │  pure kernels
+//!  ┌──────▼──────┐   ┌───────▼──────┐   ┌───────▼──────┐
+//!  │ kernel::rate│   │ kernel::     │   │ kernel::price│
+//!  │ Algorithm 1 │   │ admission    │   │ Eq. 12 / 13, │
+//!  │ (per flow)  │   │ Algorithm 2  │   │ aggregation  │
+//!  └─────────────┘   │ (per node)   │   │ (per node /  │
+//!                    └──────────────┘   │  per link)   │
+//!                                       └──────────────┘
+//! ```
+//!
+//! * [`kernel`] — the allocation-free per-element LRGP math: Lagrangian
+//!   rate allocation at each flow source ([`kernel::rate`], Algorithm 1),
+//!   greedy consumer admission by benefit–cost ratio
+//!   ([`kernel::admission`], Algorithm 2), and the node/link price updates
+//!   with their flow-path aggregation ([`kernel::price`], Eqs. 8–13).
+//! * [`exec`] — the one solve loop: a dirty-set executor whose work is
+//!   proportional to what changed, bit-identical to a full recompute.
+//! * [`plan`] — the execution strategy ([`ExecutionPlan`]): sequential or
+//!   sharded over scoped threads, full-recompute or incremental. Plans
+//!   change wall-clock time, never bits.
+//! * [`engine`] — the synchronous driver ([`Engine`]), iteration traces
+//!   ([`trace`]), snapshots ([`snapshot`]), and first-class problem deltas
+//!   ([`Engine::apply_delta`]); per-node adaptive step-size control in
+//!   [`gamma`]. Deployment-facing enactment policies live in
+//!   [`enactment`], workload-churn scenarios in [`dynamics`], the §2.4
+//!   two-stage pruning driver in [`two_stage`].
 //!
 //! # Quickstart
 //!
 //! ```
-//! use lrgp::{LrgpConfig, LrgpEngine};
+//! use lrgp::{Engine, LrgpConfig};
 //! use lrgp_model::workloads;
 //!
 //! let problem = workloads::base_workload(); // Table 1 of the paper
-//! let mut engine = LrgpEngine::new(problem, LrgpConfig::default());
+//! let mut engine = Engine::new(problem, LrgpConfig::default());
 //! let outcome = engine.run_until_converged(250);
 //! println!(
 //!     "utility {:.0} after {} iterations",
@@ -45,28 +81,43 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod admission;
 pub mod dynamics;
 pub mod enactment;
 pub mod engine;
+pub mod exec;
 pub mod gamma;
-pub mod incremental;
-pub mod parallel;
-pub mod price;
-pub mod prices;
-pub mod rate;
+pub mod kernel;
+pub mod plan;
 pub mod snapshot;
 pub mod trace;
 pub mod two_stage;
 
-pub use admission::{AdmissionPolicy, PopulationMode};
+#[deprecated(since = "0.2.0", note = "moved to `lrgp::kernel::admission`")]
+pub mod admission;
+#[deprecated(since = "0.2.0", note = "moved to `lrgp::plan`")]
+pub mod incremental;
+#[deprecated(since = "0.2.0", note = "`Parallelism` moved to `lrgp::plan`")]
+pub mod parallel;
+#[deprecated(since = "0.2.0", note = "merged into `lrgp::kernel::price`")]
+pub mod price;
+#[deprecated(since = "0.2.0", note = "merged into `lrgp::kernel::price`")]
+pub mod prices;
+#[deprecated(since = "0.2.0", note = "moved to `lrgp::kernel::rate`")]
+pub mod rate;
+
 pub use dynamics::{run_scenario, ProblemChange, RandomChurn, Scenario, ScenarioOutcome};
 pub use enactment::{EnactmentPolicy, Enactor};
-pub use engine::{InitialRate, LrgpConfig, LrgpEngine, RunOutcome};
+pub use engine::{Engine, InitialRate, LrgpConfig, RunOutcome};
 pub use gamma::{AdaptiveGammaConfig, GammaController, GammaMode};
-pub use incremental::IncrementalMode;
-pub use parallel::{ParallelLrgpEngine, Parallelism};
-pub use prices::PriceVector;
+pub use kernel::admission::{AdmissionPolicy, PopulationMode};
+pub use kernel::price::PriceVector;
+pub use plan::{ExecutionPlan, IncrementalMode, Parallelism};
 pub use snapshot::EngineSnapshot;
 pub use trace::{Trace, TraceConfig};
 pub use two_stage::{two_stage_solve, TwoStageOutcome};
+
+// Deprecated names kept importable at the crate root for one release.
+#[allow(deprecated)]
+pub use engine::LrgpEngine;
+#[allow(deprecated)]
+pub use parallel::ParallelLrgpEngine;

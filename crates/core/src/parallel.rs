@@ -1,139 +1,32 @@
-//! Sharded parallel execution of the LRGP step.
+//! Deprecated location of [`Parallelism`] and the parallel engine wrapper.
 //!
-//! One LRGP iteration is embarrassingly parallel *within* each of its three
-//! phases: rate allocation is independent per flow source (Algorithm 1),
-//! greedy admission and the node price update are independent per node
-//! (Algorithm 2 + Eq. 12; every class is attached to exactly one node, so
-//! population writes never conflict), and the link price update is
-//! independent per link (Eq. 13). The engine shards each phase over
-//! [`std::thread::scope`] workers in contiguous id-order chunks and applies
-//! the per-element results in id order.
-//!
-//! # Determinism guarantee
-//!
-//! For a fixed problem and configuration the parallel engine's trace is
-//! **bit-identical** to the sequential engine's, regardless of worker count
-//! or scheduling. This holds by construction rather than by tolerance:
-//!
-//! * every per-element kernel (`rate::allocate_rate_for_flow`,
-//!   `admission::allocate_consumers`, `price::update_node_price_with_rule`,
-//!   `price::update_link_price`) is a pure function of the *previous*
-//!   iteration's published state, so workers read frozen inputs;
-//! * elements are partitioned by id, writes target disjoint slots, and the
-//!   chunk results are reduced back in id order;
-//! * every floating-point *summation* (per-flow aggregate prices, per-link
-//!   usage, total utility) runs inside one kernel in the same element order
-//!   as the sequential engine — the sharding never reassociates a sum.
-//!
-//! The differential harness in `tests/differential.rs` enforces this with
-//! `f64::to_bits` equality at every iteration over randomized problems.
-//!
-//! # Composition with incremental evaluation
-//!
-//! The dirty-set step ([`crate::incremental`]) shards the *dirty* element
-//! lists instead of the full id ranges, resolving its worker count with
-//! [`Parallelism::workers_for`] on the dirty count — a step with ten dirty
-//! flows stays sequential under [`Parallelism::Auto`] even on a
-//! thousand-flow problem. The same determinism argument applies unchanged:
-//! the dirty lists are sorted ascending, chunks are contiguous sublists,
-//! and skipped elements keep their previous-iteration bits, so the parallel
-//! incremental trace is bit-identical to the sequential baseline too (same
-//! harness, same `to_bits` check).
+//! Sharded execution is now an [`crate::plan::ExecutionPlan`] axis rather
+//! than a separate engine: construct an [`Engine`](crate::Engine) with
+//! [`LrgpConfig::parallelism`] set and every step shards automatically (see
+//! [`crate::plan`] for the determinism argument). This module keeps the old
+//! wrapper compiling for one release.
 
-use crate::engine::{LrgpConfig, LrgpEngine, RunOutcome};
-use crate::prices::PriceVector;
+pub use crate::plan::Parallelism;
+
+use crate::engine::{Engine, LrgpConfig, RunOutcome};
+use crate::kernel::price::PriceVector;
 use crate::trace::Trace;
 use lrgp_model::{Allocation, Problem};
-use serde::{Deserialize, Serialize};
 
-/// Minimum number of per-phase work units before [`Parallelism::Auto`]
-/// bothers spawning workers; below this the per-step thread-spawn cost
-/// dominates the kernel work.
-const AUTO_MIN_UNITS: usize = 192;
-
-/// Worker-count ceiling for [`Parallelism::Auto`] (spawn cost grows linearly
-/// with workers while per-step work is fixed).
-const AUTO_MAX_WORKERS: usize = 8;
-
-/// Joins a scoped worker, re-raising its panic payload unchanged.
+/// An [`Engine`] pinned to a parallel execution plan.
 ///
-/// Equivalent to `handle.join().expect(...)` but preserves the worker's
-/// original panic payload instead of replacing it with a new message, and
-/// keeps panicking escape hatches out of library code (the
-/// `library-unwrap` lint invariant).
-pub(crate) fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
-    match handle.join() {
-        Ok(value) => value,
-        Err(payload) => std::panic::resume_unwind(payload),
-    }
-}
-
-/// How the engine executes the three phases of a step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum Parallelism {
-    /// Single-threaded reference execution (the default).
-    #[default]
-    Sequential,
-    /// Shard each phase over exactly this many scoped worker threads
-    /// (values are clamped to at least 1 and at most one worker per
-    /// element).
-    Threads(usize),
-    /// Pick a worker count from [`std::thread::available_parallelism`], or
-    /// stay sequential when the problem is too small to amortize the
-    /// per-step spawn cost.
-    Auto,
-}
-
-impl Parallelism {
-    /// Resolves the worker count for a phase of `units` independent
-    /// elements. A result of 1 means the sequential path.
-    pub fn workers_for(self, units: usize) -> usize {
-        match self {
-            Parallelism::Sequential => 1,
-            Parallelism::Threads(n) => n.clamp(1, units.max(1)),
-            Parallelism::Auto => {
-                if units < AUTO_MIN_UNITS {
-                    1
-                } else {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
-                        .min(AUTO_MAX_WORKERS)
-                        .min(units)
-                }
-            }
-        }
-    }
-}
-
-/// An [`LrgpEngine`] that always runs the sharded parallel step.
-///
-/// This is a thin, deliberately transparent wrapper: the parallel path lives
-/// inside [`LrgpEngine::step`] (selected by [`LrgpConfig::parallelism`]) so
-/// both engines share every line of kernel code, and this type only pins the
-/// configuration to a parallel mode. Construction promotes
-/// [`Parallelism::Sequential`] to [`Parallelism::Auto`]; use
-/// [`ParallelLrgpEngine::with_threads`] for an explicit worker count.
-///
-/// # Examples
-///
-/// ```
-/// use lrgp::{LrgpConfig, LrgpEngine, ParallelLrgpEngine};
-/// use lrgp_model::workloads;
-///
-/// let problem = workloads::base_workload();
-/// let mut sequential = LrgpEngine::new(problem.clone(), LrgpConfig::default());
-/// let mut parallel = ParallelLrgpEngine::with_threads(problem, LrgpConfig::default(), 4);
-/// for _ in 0..10 {
-///     // Bit-identical, not merely approximately equal.
-///     assert_eq!(sequential.step().to_bits(), parallel.step().to_bits());
-/// }
-/// ```
+/// Deprecated: the wrapper only rewrites [`LrgpConfig::parallelism`] before
+/// construction. Set the field directly and use [`Engine`].
+#[deprecated(
+    since = "0.2.0",
+    note = "set `LrgpConfig::parallelism` and use `Engine` directly"
+)]
 #[derive(Debug, Clone)]
 pub struct ParallelLrgpEngine {
-    inner: LrgpEngine,
+    inner: Engine,
 }
 
+#[allow(deprecated)]
 impl ParallelLrgpEngine {
     /// Creates a parallel engine. A `config` requesting
     /// [`Parallelism::Sequential`] is promoted to [`Parallelism::Auto`];
@@ -142,13 +35,13 @@ impl ParallelLrgpEngine {
         if config.parallelism == Parallelism::Sequential {
             config.parallelism = Parallelism::Auto;
         }
-        Self { inner: LrgpEngine::new(problem, config) }
+        Self { inner: Engine::new(problem, config) }
     }
 
     /// Creates a parallel engine sharding over exactly `threads` workers.
     pub fn with_threads(problem: Problem, mut config: LrgpConfig, threads: usize) -> Self {
         config.parallelism = Parallelism::Threads(threads);
-        Self { inner: LrgpEngine::new(problem, config) }
+        Self { inner: Engine::new(problem, config) }
     }
 
     /// Executes one sharded LRGP iteration; returns the total utility.
@@ -202,51 +95,17 @@ impl ParallelLrgpEngine {
     }
 
     /// Borrows the underlying engine.
-    pub fn engine(&self) -> &LrgpEngine {
+    pub fn engine(&self) -> &Engine {
         &self.inner
     }
 
-    /// Mutably borrows the underlying engine (for dynamics scenarios such
-    /// as [`LrgpEngine::remove_flow`]).
-    pub fn engine_mut(&mut self) -> &mut LrgpEngine {
+    /// Mutably borrows the underlying engine.
+    pub fn engine_mut(&mut self) -> &mut Engine {
         &mut self.inner
     }
 
     /// Unwraps into the underlying engine.
-    pub fn into_inner(self) -> LrgpEngine {
+    pub fn into_inner(self) -> Engine {
         self.inner
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn sequential_is_one_worker() {
-        assert_eq!(Parallelism::Sequential.workers_for(10_000), 1);
-    }
-
-    #[test]
-    fn threads_clamp_to_units_and_one() {
-        assert_eq!(Parallelism::Threads(0).workers_for(100), 1);
-        assert_eq!(Parallelism::Threads(4).workers_for(100), 4);
-        assert_eq!(Parallelism::Threads(64).workers_for(3), 3);
-        assert_eq!(Parallelism::Threads(4).workers_for(0), 1);
-    }
-
-    #[test]
-    fn auto_stays_sequential_on_small_problems() {
-        assert_eq!(Parallelism::Auto.workers_for(8), 1);
-        assert!(Parallelism::Auto.workers_for(100_000) >= 1);
-    }
-
-    #[test]
-    fn parallelism_serde_round_trip() {
-        for p in [Parallelism::Sequential, Parallelism::Threads(6), Parallelism::Auto] {
-            let json = serde_json::to_string(&p).unwrap();
-            let back: Parallelism = serde_json::from_str(&json).unwrap();
-            assert_eq!(p, back);
-        }
     }
 }

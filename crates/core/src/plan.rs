@@ -1,0 +1,268 @@
+//! Execution planning: how a step runs, separated from what it computes.
+//!
+//! The kernel layer ([`crate::kernel`]) defines *what* one LRGP iteration
+//! computes. This module defines *how* the engine executes it: an
+//! [`ExecutionPlan`] is the product of two independent axes —
+//!
+//! * [`Parallelism`] — whether each phase shards its work over scoped
+//!   worker threads, and over how many;
+//! * [`IncrementalMode`] — whether the step recomputes everything or only
+//!   the dirty subset tracked by [`crate::exec::StepState`].
+//!
+//! Both axes preserve bit-identical results, so a plan is purely a
+//! performance choice: all four combinations produce the same
+//! `f64::to_bits` trace as the sequential full-recompute reference
+//! (enforced by `tests/differential.rs`).
+//!
+//! # Determinism guarantee
+//!
+//! One LRGP iteration is embarrassingly parallel *within* each of its three
+//! phases: rate allocation is independent per flow source (Algorithm 1),
+//! greedy admission and the node price update are independent per node
+//! (Algorithm 2 + Eq. 12; every class is attached to exactly one node, so
+//! population writes never conflict), and the link price update is
+//! independent per link (Eq. 13). The executor shards each phase over
+//! [`std::thread::scope`] workers in contiguous id-order chunks and applies
+//! the per-element results in id order. The parallel trace is
+//! **bit-identical** to the sequential trace, regardless of worker count or
+//! scheduling, by construction rather than by tolerance:
+//!
+//! * every per-element kernel ([`crate::kernel::rate::allocate_rate_for_flow`],
+//!   [`crate::kernel::admission::allocate_consumers`],
+//!   [`crate::kernel::price::update_node_price_with_rule`],
+//!   [`crate::kernel::price::update_link_price`]) is a pure function of the
+//!   *previous* iteration's published state, so workers read frozen inputs;
+//! * elements are partitioned by id, writes target disjoint slots, and the
+//!   chunk results are reduced back in id order;
+//! * every floating-point *summation* (per-flow aggregate prices, per-link
+//!   usage, total utility) runs inside one kernel in the same element order
+//!   as the sequential reference — the sharding never reassociates a sum.
+//!
+//! # Composition of the two axes
+//!
+//! The executor shards the *dirty* element lists instead of the full id
+//! ranges, resolving its worker count with [`Parallelism::workers_for`] on
+//! the dirty count — a step with ten dirty flows stays sequential under
+//! [`Parallelism::Auto`] even on a thousand-flow problem. A
+//! non-incremental plan simply marks everything dirty before each step
+//! (recomputing a bitwise-unchanged input yields the bitwise-same output,
+//! so full recompute is the `all-dirty` special case of the same executor).
+
+use crate::engine::LrgpConfig;
+use crate::exec::StepState;
+use crate::gamma::GammaController;
+use crate::kernel::price::PriceVector;
+use lrgp_model::Problem;
+use serde::{Deserialize, Serialize};
+
+/// Minimum number of per-phase work units before [`Parallelism::Auto`]
+/// bothers spawning workers; below this the per-step thread-spawn cost
+/// dominates the kernel work.
+const AUTO_MIN_UNITS: usize = 192;
+
+/// Worker-count ceiling for [`Parallelism::Auto`] (spawn cost grows linearly
+/// with workers while per-step work is fixed).
+const AUTO_MAX_WORKERS: usize = 8;
+
+/// Joins a scoped worker, re-raising its panic payload unchanged.
+///
+/// Equivalent to `handle.join().expect(...)` but preserves the worker's
+/// original panic payload instead of replacing it with a new message, and
+/// keeps panicking escape hatches out of library code (the
+/// `library-unwrap` lint invariant).
+pub(crate) fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// How the engine executes the three phases of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Single-threaded reference execution (the default).
+    #[default]
+    Sequential,
+    /// Shard each phase over exactly this many scoped worker threads
+    /// (values are clamped to at least 1 and at most one worker per
+    /// element).
+    Threads(usize),
+    /// Pick a worker count from [`std::thread::available_parallelism`], or
+    /// stay sequential when the problem is too small to amortize the
+    /// per-step spawn cost.
+    Auto,
+}
+
+impl Parallelism {
+    /// Resolves the worker count for a phase of `units` independent
+    /// elements. A result of 1 means the sequential path.
+    pub fn workers_for(self, units: usize) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.clamp(1, units.max(1)),
+            Parallelism::Auto => {
+                if units < AUTO_MIN_UNITS {
+                    1
+                } else {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                        .min(AUTO_MAX_WORKERS)
+                        .min(units)
+                }
+            }
+        }
+    }
+}
+
+/// Whether the step recomputes everything or only the dirty subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum IncrementalMode {
+    /// Recompute everything each step (the reference behaviour; the
+    /// executor marks all elements dirty before stepping).
+    #[default]
+    Off,
+    /// Track dirty sets across steps and recompute only what changed.
+    On,
+    /// Let the engine decide. Currently resolves to [`IncrementalMode::On`]:
+    /// the incremental step is bit-identical and its bookkeeping overhead is
+    /// linear with small constants, so it pays for itself on every workload
+    /// once iterations settle. The variant exists so deployments can pin the
+    /// choice explicitly while the heuristic is free to evolve.
+    Auto,
+}
+
+impl IncrementalMode {
+    /// `true` when dirty sets are carried across steps.
+    pub fn enabled(self) -> bool {
+        !matches!(self, IncrementalMode::Off)
+    }
+}
+
+/// The resolved execution strategy of an engine: one choice per axis.
+///
+/// Derived from [`LrgpConfig`] at construction via
+/// [`ExecutionPlan::from_config`]; the engine consults it on every step.
+/// Plans affect wall-clock time only — never results (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// How each phase shards its work over threads.
+    pub parallelism: Parallelism,
+    /// Whether dirty sets persist across steps.
+    pub incrementality: IncrementalMode,
+}
+
+impl ExecutionPlan {
+    /// Reads the plan out of an engine configuration.
+    pub fn from_config(config: &LrgpConfig) -> Self {
+        Self { parallelism: config.parallelism, incrementality: config.incremental }
+    }
+
+    /// `true` when dirty sets persist across steps.
+    pub fn incremental(&self) -> bool {
+        self.incrementality.enabled()
+    }
+
+    /// Resolves the worker count for a phase of `units` independent
+    /// elements (see [`Parallelism::workers_for`]).
+    pub fn workers_for(&self, units: usize) -> usize {
+        self.parallelism.workers_for(units)
+    }
+
+    /// A short human-readable rendering, e.g. `"threads(4), incremental"`.
+    pub fn describe(&self) -> String {
+        let par = match self.parallelism {
+            Parallelism::Sequential => "sequential".to_string(),
+            Parallelism::Threads(n) => format!("threads({n})"),
+            Parallelism::Auto => "auto-parallel".to_string(),
+        };
+        let inc = if self.incremental() { "incremental" } else { "full recompute" };
+        format!("{par}, {inc}")
+    }
+
+    /// Executes one LRGP iteration under this plan. For non-incremental
+    /// plans every element is marked dirty first, which makes the step an
+    /// exact full recompute through the same executor.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute(
+        &self,
+        state: &mut StepState,
+        problem: &Problem,
+        config: &LrgpConfig,
+        rates: &mut [f64],
+        populations: &mut [f64],
+        prices: &mut PriceVector,
+        gammas: &mut [GammaController],
+    ) -> f64 {
+        if !self.incremental() {
+            state.mark_all_dirty();
+        }
+        state.step(problem, config, self, rates, populations, prices, gammas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_one_worker() {
+        assert_eq!(Parallelism::Sequential.workers_for(10_000), 1);
+    }
+
+    #[test]
+    fn threads_clamp_to_units_and_one() {
+        assert_eq!(Parallelism::Threads(0).workers_for(100), 1);
+        assert_eq!(Parallelism::Threads(4).workers_for(100), 4);
+        assert_eq!(Parallelism::Threads(64).workers_for(3), 3);
+        assert_eq!(Parallelism::Threads(4).workers_for(0), 1);
+    }
+
+    #[test]
+    fn auto_stays_sequential_on_small_problems() {
+        assert_eq!(Parallelism::Auto.workers_for(8), 1);
+        assert!(Parallelism::Auto.workers_for(100_000) >= 1);
+    }
+
+    #[test]
+    fn parallelism_serde_round_trip() {
+        for p in [Parallelism::Sequential, Parallelism::Threads(6), Parallelism::Auto] {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: Parallelism = serde_json::from_str(&json).unwrap();
+            assert_eq!(p, back);
+        }
+    }
+
+    #[test]
+    fn incremental_mode_enabled_flags() {
+        assert!(!IncrementalMode::Off.enabled());
+        assert!(IncrementalMode::On.enabled());
+        assert!(IncrementalMode::Auto.enabled());
+        assert_eq!(IncrementalMode::default(), IncrementalMode::Off);
+    }
+
+    #[test]
+    fn plan_from_config_copies_both_axes() {
+        let config = LrgpConfig {
+            parallelism: Parallelism::Threads(4),
+            incremental: IncrementalMode::On,
+            ..LrgpConfig::default()
+        };
+        let plan = ExecutionPlan::from_config(&config);
+        assert_eq!(plan.parallelism, Parallelism::Threads(4));
+        assert!(plan.incremental());
+        assert_eq!(plan.describe(), "threads(4), incremental");
+        assert_eq!(ExecutionPlan::default().describe(), "sequential, full recompute");
+    }
+
+    #[test]
+    fn plan_serde_round_trip() {
+        let plan = ExecutionPlan {
+            parallelism: Parallelism::Auto,
+            incrementality: IncrementalMode::Auto,
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -1,176 +1,9 @@
-//! Price update rules (§3.3 Eq. 12 and §3.4 Eq. 13).
+//! Deprecated location of the price update rules.
 //!
-//! Node prices chase the node's benefit–cost ratio while the node is within
-//! capacity — pricing the flow against the *unadmitted* consumer demand —
-//! and grow proportionally to the overload otherwise. Link prices follow
-//! the Low–Lapsley gradient-projection rule. Both are projected onto
-//! `[0, ∞)`.
+//! The update rules (Eq. 12/13) merged with the former `lrgp::prices`
+//! aggregation module into [`crate::kernel::price`]; these re-exports keep
+//! the old paths compiling for one release.
 
-use serde::{Deserialize, Serialize};
-
-/// Which node-price law the engine applies — the paper's benefit–cost rule
-/// or a pure gradient rule, kept as an ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum NodePriceRule {
-    /// Eq. 12: chase the benefit–cost ratio under capacity, grow with the
-    /// overload above it. This is LRGP's contribution — the price encodes
-    /// the value of *unadmitted consumers*, coupling admission to rates.
-    #[default]
-    BenefitCost,
-    /// Low–Lapsley-style gradient on the node constraint only:
-    /// `p ← [p + γ·(used − capacity)]⁺`. Ignores unadmitted demand; under
-    /// capacity the price decays to zero, so rates inflate until consumers
-    /// are evicted — the oscillation the benefit–cost rule exists to
-    /// prevent. Used by the `node_price_ablation` bench.
-    PureGradient,
-}
-
-/// Node price update under the chosen rule; see [`update_node_price`] for
-/// the benefit–cost law and [`NodePriceRule::PureGradient`] for the
-/// ablation.
-pub fn update_node_price_with_rule(
-    rule: NodePriceRule,
-    current: f64,
-    benefit_cost: f64,
-    used: f64,
-    capacity: f64,
-    gamma1: f64,
-    gamma2: f64,
-) -> f64 {
-    match rule {
-        NodePriceRule::BenefitCost => {
-            update_node_price(current, benefit_cost, used, capacity, gamma1, gamma2)
-        }
-        NodePriceRule::PureGradient => update_link_price(current, used, capacity, gamma2),
-    }
-}
-
-/// Node price update (Eq. 12):
-///
-/// ```text
-/// p(t+1) = p(t) + γ₁ · (BC(b,t) − p(t))     if used ≤ capacity
-/// p(t+1) = p(t) + γ₂ · (used − capacity)    if used > capacity
-/// ```
-///
-/// The result is projected onto `[0, ∞)`.
-pub fn update_node_price(
-    current: f64,
-    benefit_cost: f64,
-    used: f64,
-    capacity: f64,
-    gamma1: f64,
-    gamma2: f64,
-) -> f64 {
-    let next = if used <= capacity {
-        current + gamma1 * (benefit_cost - current)
-    } else {
-        current + gamma2 * (used - capacity)
-    };
-    next.max(0.0)
-}
-
-/// Link price update (Eq. 13, gradient projection):
-///
-/// ```text
-/// p(t+1) = [p(t) + γ_l · (usage − capacity)]⁺
-/// ```
-pub fn update_link_price(current: f64, usage: f64, capacity: f64, gamma: f64) -> f64 {
-    (current + gamma * (usage - capacity)).max(0.0)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn node_price_moves_toward_bc_under_capacity() {
-        let p = update_node_price(1.0, 2.0, 50.0, 100.0, 0.1, 0.1);
-        assert!((p - 1.1).abs() < 1e-12);
-        let p = update_node_price(1.0, 0.5, 50.0, 100.0, 0.1, 0.1);
-        assert!((p - 0.95).abs() < 1e-12);
-    }
-
-    #[test]
-    fn node_price_reaches_bc_with_unit_gamma() {
-        let p = update_node_price(7.0, 2.0, 50.0, 100.0, 1.0, 1.0);
-        assert_eq!(p, 2.0);
-    }
-
-    #[test]
-    fn node_price_grows_with_overload() {
-        let p = update_node_price(1.0, 0.0, 150.0, 100.0, 0.1, 0.01);
-        assert!((p - 1.5).abs() < 1e-12);
-    }
-
-    #[test]
-    fn node_price_boundary_uses_bc_branch() {
-        // used == capacity takes the first branch.
-        let p = update_node_price(1.0, 3.0, 100.0, 100.0, 0.5, 100.0);
-        assert!((p - 2.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn node_price_projected_nonnegative() {
-        // γ > 1 can overshoot below zero; projection clips.
-        let p = update_node_price(1.0, 0.0, 50.0, 100.0, 2.0, 2.0);
-        assert_eq!(p, 0.0);
-    }
-
-    #[test]
-    fn link_price_gradient_step() {
-        assert!((update_link_price(1.0, 120.0, 100.0, 0.01) - 1.2).abs() < 1e-12);
-        assert!((update_link_price(1.0, 80.0, 100.0, 0.01) - 0.8).abs() < 1e-12);
-    }
-
-    #[test]
-    fn link_price_projected_nonnegative() {
-        assert_eq!(update_link_price(0.1, 0.0, 100.0, 0.01), 0.0);
-    }
-
-    #[test]
-    fn zero_gamma_freezes_prices() {
-        assert_eq!(update_node_price(1.5, 9.0, 50.0, 100.0, 0.0, 0.0), 1.5);
-        assert_eq!(update_link_price(1.5, 500.0, 100.0, 0.0), 1.5);
-    }
-
-    #[test]
-    fn rule_dispatch_matches_underlying_laws() {
-        let bc = update_node_price_with_rule(
-            NodePriceRule::BenefitCost,
-            1.0,
-            2.0,
-            50.0,
-            100.0,
-            0.1,
-            0.1,
-        );
-        assert_eq!(bc, update_node_price(1.0, 2.0, 50.0, 100.0, 0.1, 0.1));
-        let grad = update_node_price_with_rule(
-            NodePriceRule::PureGradient,
-            1.0,
-            2.0,
-            50.0,
-            100.0,
-            0.1,
-            0.1,
-        );
-        assert_eq!(grad, update_link_price(1.0, 50.0, 100.0, 0.1));
-        assert_eq!(NodePriceRule::default(), NodePriceRule::BenefitCost);
-    }
-
-    #[test]
-    fn pure_gradient_decays_under_capacity_regardless_of_demand() {
-        // Huge unadmitted demand (BC = 100) is invisible to the gradient
-        // rule; the price still falls.
-        let p = update_node_price_with_rule(
-            NodePriceRule::PureGradient,
-            1.0,
-            100.0,
-            50.0,
-            100.0,
-            0.1,
-            0.01,
-        );
-        assert!(p < 1.0);
-    }
-}
+pub use crate::kernel::price::{
+    update_link_price, update_node_price, update_node_price_with_rule, NodePriceRule,
+};

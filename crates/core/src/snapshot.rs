@@ -7,9 +7,9 @@
 //! engine that continues *exactly* where the original left off (traces are
 //! not part of the snapshot; a restored engine starts a fresh trace).
 
-use crate::engine::{LrgpConfig, LrgpEngine};
+use crate::engine::{LrgpConfig, Engine};
 use crate::gamma::GammaController;
-use crate::prices::PriceVector;
+use crate::kernel::price::PriceVector;
 use lrgp_model::Problem;
 use serde::{Deserialize, Serialize};
 
@@ -30,7 +30,7 @@ pub struct EngineSnapshot {
     pub iteration: usize,
 }
 
-impl LrgpEngine {
+impl Engine {
     /// Captures the optimizer state (not the trace).
     pub fn snapshot(&self) -> EngineSnapshot {
         EngineSnapshot {
@@ -51,7 +51,7 @@ impl LrgpEngine {
     /// # Panics
     ///
     /// Panics on any dimension mismatch.
-    pub fn restore(problem: Problem, snapshot: EngineSnapshot) -> LrgpEngine {
+    pub fn restore(problem: Problem, snapshot: EngineSnapshot) -> Engine {
         assert_eq!(snapshot.rates.len(), problem.num_flows(), "flow count mismatch");
         assert_eq!(snapshot.populations.len(), problem.num_classes(), "class count mismatch");
         assert_eq!(
@@ -69,7 +69,7 @@ impl LrgpEngine {
             problem.num_nodes(),
             "controller count mismatch"
         );
-        let mut engine = LrgpEngine::new(problem, snapshot.config);
+        let mut engine = Engine::new(problem, snapshot.config);
         engine.load_state(
             snapshot.rates,
             snapshot.populations,
@@ -88,12 +88,12 @@ mod tests {
 
     #[test]
     fn snapshot_restore_resumes_bit_identically() {
-        let mut original = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut original = Engine::new(base_workload(), LrgpConfig::default());
         original.run(37);
         let snap = original.snapshot();
         assert_eq!(snap.iteration, 37);
 
-        let mut restored = LrgpEngine::restore(base_workload(), snap);
+        let mut restored = Engine::restore(base_workload(), snap);
         assert_eq!(restored.iteration(), 37);
         assert_eq!(restored.allocation(), original.allocation());
 
@@ -109,24 +109,24 @@ mod tests {
 
     #[test]
     fn snapshot_round_trips_through_json() {
-        let mut engine = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut engine = Engine::new(base_workload(), LrgpConfig::default());
         engine.run(20);
         let snap = engine.snapshot();
         let json = serde_json::to_string(&snap).expect("snapshot serializes");
         let back: EngineSnapshot = serde_json::from_str(&json).expect("snapshot deserializes");
         assert_eq!(back, snap);
-        let mut a = LrgpEngine::restore(base_workload(), snap);
-        let mut b = LrgpEngine::restore(base_workload(), back);
+        let mut a = Engine::restore(base_workload(), snap);
+        let mut b = Engine::restore(base_workload(), back);
         assert_eq!(a.step(), b.step());
     }
 
     #[test]
     #[should_panic(expected = "flow count mismatch")]
     fn restore_rejects_wrong_problem() {
-        let mut engine = LrgpEngine::new(base_workload(), LrgpConfig::default());
+        let mut engine = Engine::new(base_workload(), LrgpConfig::default());
         engine.run(5);
         let snap = engine.snapshot();
         let bigger = lrgp_model::workloads::paper_workload(lrgp_model::UtilityShape::Log, 2, 1);
-        let _ = LrgpEngine::restore(bigger, snap);
+        let _ = Engine::restore(bigger, snap);
     }
 }

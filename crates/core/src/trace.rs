@@ -63,6 +63,23 @@ impl Trace {
         }
     }
 
+    /// Extends the per-flow and per-class channels to the given counts
+    /// (problem deltas can append flows and classes mid-run; nodes and
+    /// links are fixed). New series start empty, so after a growth the
+    /// per-element series lengths differ: an appended flow's series covers
+    /// only the iterations since it joined.
+    pub fn grow(&mut self, flows: usize, classes: usize) {
+        let extend = |series: &mut Option<Vec<TimeSeries>>, n: usize, tag: &str| {
+            if let Some(series) = series.as_mut() {
+                for i in series.len()..n {
+                    series.push(TimeSeries::new(format!("{tag}{i}")));
+                }
+            }
+        };
+        extend(&mut self.rates, flows, "rate/flow");
+        extend(&mut self.populations, classes, "population/class");
+    }
+
     /// Number of recorded iterations.
     pub fn len(&self) -> usize {
         self.utility.len()

@@ -9,8 +9,8 @@
 //! two can only free resources, so its utility is at least stage one's (up
 //! to heuristic noise).
 
-use crate::engine::{LrgpConfig, LrgpEngine, RunOutcome};
-use lrgp_model::{Allocation, Problem};
+use crate::engine::{Engine, LrgpConfig, RunOutcome};
+use lrgp_model::{Allocation, Problem, ProblemDelta};
 use serde::{Deserialize, Serialize};
 
 /// The result of both stages.
@@ -38,38 +38,57 @@ impl TwoStageOutcome {
     }
 }
 
-/// Counts the (flow, node) pairs carrying a positive `F` cost in `a` but
-/// not in `b` — the branches pruning removed.
-fn count_pruned(a: &Problem, b: &Problem) -> usize {
-    let mut count = 0;
-    for flow in a.flow_ids() {
-        for &(node, cost) in a.nodes_of_flow(flow) {
-            if cost > 0.0 && b.flow_node_cost(node, flow) == 0.0 {
-                count += 1;
+/// Builds the stage-two pruning delta: one zero-cost op per (flow, node)
+/// branch that carries a positive `F` cost but admitted no consumers in
+/// stage one (the flow's source always carries it). Applying the delta is
+/// bit-identical to [`Problem::prune_unused_paths`] on the same
+/// populations, and its length is the pruned-branch count.
+fn pruning_delta(problem: &Problem, populations: &[f64]) -> ProblemDelta {
+    let mut delta = ProblemDelta::new();
+    for flow in problem.flow_ids() {
+        let source = problem.flow(flow).source;
+        for &(node, cost) in problem.nodes_of_flow(flow) {
+            if node == source || cost == 0.0 {
+                continue;
+            }
+            let any_live = problem
+                .classes_of_flow(flow)
+                .iter()
+                .any(|&c| problem.class(c).node == node && populations[c.index()] > 0.0);
+            if !any_live {
+                delta = delta.set_flow_node_cost(flow, node, 0.0);
             }
         }
     }
-    count
+    delta
 }
 
 /// Runs the two-stage solve: converge, prune empty branches, re-converge.
 ///
-/// Each stage gets its own fresh engine (prices restart; the pruned problem
-/// has a different cost structure, so stale prices would mislead more than
-/// help).
+/// The pruning is expressed as a [`ProblemDelta`] of zero-cost ops (see
+/// [`pruning_delta`]). Each stage gets its own fresh engine (prices
+/// restart; the pruned problem has a different cost structure, so stale
+/// prices would mislead more than help).
 pub fn two_stage_solve(
     problem: &Problem,
     config: LrgpConfig,
     max_iterations: usize,
 ) -> TwoStageOutcome {
-    let mut stage1_engine = LrgpEngine::new(problem.clone(), config);
+    let mut stage1_engine = Engine::new(problem.clone(), config);
     let stage1 = stage1_engine.run_until_converged(max_iterations);
     let stage1_allocation = stage1_engine.allocation();
 
-    let pruned = problem.prune_unused_paths(stage1_allocation.populations());
-    let pruned_branches = count_pruned(problem, &pruned);
+    let delta = pruning_delta(problem, stage1_allocation.populations());
+    let pruned_branches = delta.len();
+    let pruned = match delta.apply(problem) {
+        Ok(p) => p,
+        // Unreachable — every op targets an existing cost entry with a
+        // valid cost — but fall back to the equivalent transform rather
+        // than panic in library code.
+        Err(_) => problem.prune_unused_paths(stage1_allocation.populations()),
+    };
 
-    let mut stage2_engine = LrgpEngine::new(pruned.clone(), config);
+    let mut stage2_engine = Engine::new(pruned, config);
     let stage2 = stage2_engine.run_until_converged(max_iterations);
     let stage2_allocation = stage2_engine.allocation();
 
@@ -132,14 +151,40 @@ mod tests {
     }
 
     #[test]
-    fn count_pruned_counts_only_zeroed_branches() {
+    fn pruning_delta_counts_only_costly_dead_branches() {
         let p = base_workload();
-        let same = count_pruned(&p, &p);
-        assert_eq!(same, 0);
         // Zero populations everywhere → every non-source branch pruned.
-        let pruned = p.prune_unused_paths(&vec![0.0; p.num_classes()]);
-        let n = count_pruned(&p, &pruned);
+        let delta = pruning_delta(&p, &vec![0.0; p.num_classes()]);
         // 6 flows × 2 c-nodes each.
-        assert_eq!(n, 12);
+        assert_eq!(delta.len(), 12);
+        // Applying the delta matches the wholesale transform bitwise.
+        let via_delta = delta.apply(&p).unwrap();
+        let via_transform = p.prune_unused_paths(&vec![0.0; p.num_classes()]);
+        assert_eq!(via_delta, via_transform);
+        // Re-pruning the already-pruned problem finds nothing.
+        assert!(pruning_delta(&via_delta, &vec![0.0; p.num_classes()]).is_empty());
+    }
+
+    #[test]
+    fn delta_pruning_reproduces_the_legacy_outcome_bitwise() {
+        // Regression pin: stage two built from the pruning delta must be
+        // indistinguishable from the original construction (stage-one
+        // engine, `prune_unused_paths`, fresh stage-two engine).
+        let p = base_workload();
+        let config = LrgpConfig::default();
+        let out = two_stage_solve(&p, config, 400);
+
+        let mut s1 = Engine::new(p.clone(), config);
+        let stage1 = s1.run_until_converged(400);
+        let alloc = s1.allocation();
+        let pruned = p.prune_unused_paths(alloc.populations());
+        let mut s2 = Engine::new(pruned, config);
+        let stage2 = s2.run_until_converged(400);
+
+        assert_eq!(out.stage1, stage1);
+        assert_eq!(out.stage1_allocation, alloc);
+        assert_eq!(out.stage2.utility.to_bits(), stage2.utility.to_bits());
+        assert_eq!(out.stage2, stage2);
+        assert_eq!(out.stage2_allocation, s2.allocation());
     }
 }

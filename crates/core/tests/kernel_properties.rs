@@ -3,10 +3,10 @@
 //! the §4.2 γ controller — plus hand-computed golden values for the rate
 //! solver's closed forms (Eqs. 7–9).
 
-use lrgp::admission::{allocate_consumers, benefit_cost, AdmissionPolicy, PopulationMode};
+use lrgp::kernel::admission::{allocate_consumers, benefit_cost, AdmissionPolicy, PopulationMode};
 use lrgp::gamma::{AdaptiveGammaConfig, GammaController, GammaMode};
-use lrgp::price::{update_link_price, update_node_price_with_rule, NodePriceRule};
-use lrgp::rate::{solve_rate, AggregateUtility};
+use lrgp::kernel::price::{update_link_price, update_node_price_with_rule, NodePriceRule};
+use lrgp::kernel::rate::{solve_rate, AggregateUtility};
 use lrgp_model::{ClassId, NodeId, ProblemBuilder, RateBounds, Utility};
 use proptest::prelude::*;
 

@@ -181,7 +181,7 @@ fn test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
             }
             j += 1;
         }
-        if !(saw_test && !saw_not) {
+        if !saw_test || saw_not {
             i = j + 1;
             continue;
         }

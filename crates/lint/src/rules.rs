@@ -325,13 +325,11 @@ fn unordered_float_iteration(ctx: &FileContext) -> Vec<Finding> {
                 braces += 1;
             } else if tm.is_punct("}") {
                 braces -= 1;
-            } else if matches!(tm.text.as_str(), "+=" | "-=" | "*=" | "/=")
-                && tm.kind == TokenKind::Punct
-            {
-                accumulates = true;
-            } else if (tm.is_ident("sum") || tm.is_ident("product"))
-                && m >= 1
-                && toks[m - 1].is_punct(".")
+            } else if (matches!(tm.text.as_str(), "+=" | "-=" | "*=" | "/=")
+                && tm.kind == TokenKind::Punct)
+                || ((tm.is_ident("sum") || tm.is_ident("product"))
+                    && m >= 1
+                    && toks[m - 1].is_punct("."))
             {
                 accumulates = true;
             }

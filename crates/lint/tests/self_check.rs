@@ -62,7 +62,7 @@ fn fix_plans_nothing_on_the_clean_workspace() {
 #[test]
 fn json_report_is_stable_and_sorted() {
     let root = repo_root();
-    let a = lrgp_lint::lint_paths(&[root.clone()]).expect("scan");
+    let a = lrgp_lint::lint_paths(std::slice::from_ref(&root)).expect("scan");
     let b = lrgp_lint::lint_paths(&[root]).expect("scan");
     assert_eq!(a.to_json(), b.to_json(), "repeated scans must serialize identically");
     let sups = &a.suppressions;

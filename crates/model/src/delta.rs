@@ -1,0 +1,449 @@
+//! First-class, batched problem changes.
+//!
+//! Heavy-churn deployments (the ROADMAP's north star) change the problem
+//! constantly: consumers arrive and depart, producers join and leave, and
+//! operators resize brokers. A [`ProblemDelta`] describes such a change as
+//! data — an ordered batch of [`DeltaOp`]s — so it can be validated, logged,
+//! shipped across a control plane, and applied atomically, instead of being
+//! scattered across ad-hoc `Problem::without_flow`-style call sites.
+//!
+//! Applying a delta never renumbers ids: removals keep their slots (rate
+//! bounds collapse to `[0, 0]`, costs and populations to zero, exactly as
+//! [`Problem::without_flow`] does) and additions append at the end of the id
+//! space. That id stability is what lets an engine carry optimizer state
+//! (prices, rates, γ controllers) *across* a delta and what lets the
+//! incremental dirty-set machinery re-evaluate only what the delta touched.
+//!
+//! # Examples
+//!
+//! ```
+//! use lrgp_model::{workloads, ProblemDelta, ClassId, NodeId, RateBounds};
+//!
+//! # fn main() -> Result<(), lrgp_model::ValidationError> {
+//! let problem = workloads::base_workload();
+//! let delta = ProblemDelta::new()
+//!     .set_node_capacity(NodeId::new(6), 5e5)
+//!     .resize_class(ClassId::new(0), 150);
+//! let changed = delta.apply(&problem)?;
+//! assert_eq!(changed.num_flows(), problem.num_flows());
+//! assert_eq!(changed.class(ClassId::new(0)).max_population, 150);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::ids::{ClassId, FlowId, LinkId, NodeId};
+use crate::problem::{ClassSpec, FlowSpec, Problem, RateBounds, ValidationError};
+use serde::{Deserialize, Serialize};
+
+/// One elementary change to a [`Problem`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeltaOp {
+    /// Append a new flow and its consumer classes (a producer joins). The
+    /// `flow` field of each class spec is overwritten with the new flow's
+    /// id; node/link costs must reference existing ids.
+    AddFlow {
+        /// The new flow's specification (source, bounds, path costs).
+        flow: FlowSpec,
+        /// The new flow's consumer classes, appended in order.
+        classes: Vec<ClassSpec>,
+    },
+    /// Remove a flow (a producer leaves, §4.2 Fig. 3): its rate bounds
+    /// collapse to `[0, 0]`, its costs and its classes' populations to zero.
+    /// The id stays valid.
+    RemoveFlow {
+        /// The flow to remove.
+        flow: FlowId,
+    },
+    /// Replace a node's capacity (a broker is resized).
+    SetNodeCapacity {
+        /// The node to resize.
+        node: NodeId,
+        /// The new capacity; must be finite and strictly positive.
+        capacity: f64,
+    },
+    /// Replace a link's capacity.
+    SetLinkCapacity {
+        /// The link to resize.
+        link: LinkId,
+        /// The new capacity; must be finite and strictly positive.
+        capacity: f64,
+    },
+    /// Replace a class's maximum population (consumers arriving or
+    /// departing).
+    SetMaxPopulation {
+        /// The class to resize.
+        class: ClassId,
+        /// The new `n_j^max`.
+        max_population: u32,
+    },
+    /// Replace a flow's rate bounds.
+    SetRateBounds {
+        /// The flow to re-bound.
+        flow: FlowId,
+        /// The new bounds; must satisfy `0 ≤ min ≤ max`.
+        bounds: RateBounds,
+    },
+    /// Replace the `F_{b,i}` cost of an existing (flow, node) path entry —
+    /// `0.0` models a pruned branch (§2.4) without touching path structure.
+    SetFlowNodeCost {
+        /// The flow whose cost entry changes.
+        flow: FlowId,
+        /// The node of the entry.
+        node: NodeId,
+        /// The new cost; must be finite and nonnegative.
+        cost: f64,
+    },
+}
+
+impl DeltaOp {
+    /// Applies this single op, returning the changed problem.
+    ///
+    /// # Errors
+    ///
+    /// `Unknown*` on out-of-range ids, plus whatever the underlying
+    /// transform validates (capacities, bounds, costs; for
+    /// [`DeltaOp::AddFlow`], anything a `ProblemBuilder` would reject).
+    #[must_use = "this Result reports a failure the caller must handle"]
+    pub fn apply(&self, problem: &Problem) -> Result<Problem, ValidationError> {
+        match self {
+            DeltaOp::AddFlow { flow, classes } => {
+                problem.with_added_flow(flow.clone(), classes.clone())
+            }
+            DeltaOp::RemoveFlow { flow } => {
+                check_flow(problem, *flow)?;
+                Ok(problem.without_flow(*flow))
+            }
+            DeltaOp::SetNodeCapacity { node, capacity } => {
+                check_node(problem, *node)?;
+                problem.with_node_capacity(*node, *capacity)
+            }
+            DeltaOp::SetLinkCapacity { link, capacity } => {
+                problem.with_link_capacity(*link, *capacity)
+            }
+            DeltaOp::SetMaxPopulation { class, max_population } => {
+                check_class(problem, *class)?;
+                Ok(problem.with_max_population(*class, *max_population))
+            }
+            DeltaOp::SetRateBounds { flow, bounds } => {
+                check_flow(problem, *flow)?;
+                problem.with_rate_bounds(*flow, *bounds)
+            }
+            DeltaOp::SetFlowNodeCost { flow, node, cost } => {
+                problem.with_flow_node_cost(*flow, *node, *cost)
+            }
+        }
+    }
+
+    /// `true` if applying this op grows the id space (appends flows or
+    /// classes).
+    pub fn grows_problem(&self) -> bool {
+        matches!(self, DeltaOp::AddFlow { .. })
+    }
+
+    /// `true` if this op changes resource-cost coefficients (so price term
+    /// tables built from the problem must be rebuilt).
+    pub fn changes_costs(&self) -> bool {
+        matches!(
+            self,
+            DeltaOp::AddFlow { .. } | DeltaOp::RemoveFlow { .. } | DeltaOp::SetFlowNodeCost { .. }
+        )
+    }
+}
+
+fn check_flow(problem: &Problem, flow: FlowId) -> Result<(), ValidationError> {
+    if flow.index() >= problem.num_flows() {
+        return Err(ValidationError::UnknownFlow { flow });
+    }
+    Ok(())
+}
+
+fn check_node(problem: &Problem, node: NodeId) -> Result<(), ValidationError> {
+    if node.index() >= problem.num_nodes() {
+        return Err(ValidationError::UnknownNode { node });
+    }
+    Ok(())
+}
+
+fn check_class(problem: &Problem, class: ClassId) -> Result<(), ValidationError> {
+    if class.index() >= problem.num_classes() {
+        return Err(ValidationError::UnknownClass { class });
+    }
+    Ok(())
+}
+
+/// An ordered batch of [`DeltaOp`]s, applied atomically front to back.
+///
+/// Construct with the chainable builder methods; apply with
+/// [`ProblemDelta::apply`] (pure) or hand it to an engine, which applies it
+/// to its own problem while carrying optimizer state across the change.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProblemDelta {
+    ops: Vec<DeltaOp>,
+}
+
+impl ProblemDelta {
+    /// An empty delta (applying it is a no-op).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an [`DeltaOp::AddFlow`] op.
+    pub fn add_flow(mut self, flow: FlowSpec, classes: Vec<ClassSpec>) -> Self {
+        self.ops.push(DeltaOp::AddFlow { flow, classes });
+        self
+    }
+
+    /// Appends a [`DeltaOp::RemoveFlow`] op.
+    pub fn remove_flow(mut self, flow: FlowId) -> Self {
+        self.ops.push(DeltaOp::RemoveFlow { flow });
+        self
+    }
+
+    /// Appends a [`DeltaOp::SetNodeCapacity`] op.
+    pub fn set_node_capacity(mut self, node: NodeId, capacity: f64) -> Self {
+        self.ops.push(DeltaOp::SetNodeCapacity { node, capacity });
+        self
+    }
+
+    /// Appends a [`DeltaOp::SetLinkCapacity`] op.
+    pub fn set_link_capacity(mut self, link: LinkId, capacity: f64) -> Self {
+        self.ops.push(DeltaOp::SetLinkCapacity { link, capacity });
+        self
+    }
+
+    /// Appends a [`DeltaOp::SetMaxPopulation`] op.
+    pub fn resize_class(mut self, class: ClassId, max_population: u32) -> Self {
+        self.ops.push(DeltaOp::SetMaxPopulation { class, max_population });
+        self
+    }
+
+    /// Appends a [`DeltaOp::SetRateBounds`] op.
+    pub fn set_rate_bounds(mut self, flow: FlowId, bounds: RateBounds) -> Self {
+        self.ops.push(DeltaOp::SetRateBounds { flow, bounds });
+        self
+    }
+
+    /// Appends a [`DeltaOp::SetFlowNodeCost`] op.
+    pub fn set_flow_node_cost(mut self, flow: FlowId, node: NodeId, cost: f64) -> Self {
+        self.ops.push(DeltaOp::SetFlowNodeCost { flow, node, cost });
+        self
+    }
+
+    /// Appends an arbitrary op (non-chaining form).
+    pub fn push(&mut self, op: DeltaOp) {
+        self.ops.push(op);
+    }
+
+    /// Appends every op of `other`, preserving order.
+    pub fn merge(mut self, other: ProblemDelta) -> Self {
+        self.ops.extend(other.ops);
+        self
+    }
+
+    /// The ops in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the batch holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// `true` if any op grows the id space.
+    pub fn grows_problem(&self) -> bool {
+        self.ops.iter().any(DeltaOp::grows_problem)
+    }
+
+    /// `true` if any op changes resource-cost coefficients.
+    pub fn changes_costs(&self) -> bool {
+        self.ops.iter().any(DeltaOp::changes_costs)
+    }
+
+    /// Applies the ops front to back, returning the final problem. The input
+    /// problem is untouched; a failing op leaves nothing half-applied.
+    ///
+    /// # Errors
+    ///
+    /// The first error any op reports (see [`DeltaOp::apply`]).
+    #[must_use = "this Result reports a failure the caller must handle"]
+    pub fn apply(&self, problem: &Problem) -> Result<Problem, ValidationError> {
+        let mut next = problem.clone();
+        for op in &self.ops {
+            next = op.apply(&next)?;
+        }
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::Utility;
+    use crate::workloads::base_workload;
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let p = base_workload();
+        let q = ProblemDelta::new().apply(&p).unwrap();
+        assert_eq!(p, q);
+        assert!(ProblemDelta::new().is_empty());
+    }
+
+    #[test]
+    fn batched_ops_apply_in_order() {
+        let p = base_workload();
+        let delta = ProblemDelta::new()
+            .resize_class(ClassId::new(0), 7)
+            .resize_class(ClassId::new(0), 9);
+        let q = delta.apply(&p).unwrap();
+        assert_eq!(q.class(ClassId::new(0)).max_population, 9);
+        assert_eq!(delta.len(), 2);
+    }
+
+    #[test]
+    fn remove_flow_matches_without_flow() {
+        let p = base_workload();
+        let flow = FlowId::new(2);
+        let via_delta = ProblemDelta::new().remove_flow(flow).apply(&p).unwrap();
+        assert_eq!(via_delta, p.without_flow(flow));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected() {
+        let p = base_workload();
+        let n = p.num_flows() as u32;
+        assert!(matches!(
+            ProblemDelta::new().remove_flow(FlowId::new(n)).apply(&p),
+            Err(ValidationError::UnknownFlow { .. })
+        ));
+        assert!(matches!(
+            ProblemDelta::new().resize_class(ClassId::new(999), 1).apply(&p),
+            Err(ValidationError::UnknownClass { .. })
+        ));
+        assert!(matches!(
+            ProblemDelta::new().set_node_capacity(NodeId::new(999), 1.0).apply(&p),
+            Err(ValidationError::UnknownNode { .. })
+        ));
+        assert!(matches!(
+            ProblemDelta::new().set_link_capacity(LinkId::new(0), 1.0).apply(&p),
+            Err(ValidationError::UnknownLink { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_values_are_rejected_atomically() {
+        let p = base_workload();
+        // Second op fails; the caller's problem is untouched and nothing
+        // half-applied escapes.
+        let delta = ProblemDelta::new()
+            .resize_class(ClassId::new(0), 5)
+            .set_node_capacity(NodeId::new(0), -3.0);
+        assert!(matches!(
+            delta.apply(&p),
+            Err(ValidationError::NonPositiveCapacity { .. })
+        ));
+        assert_eq!(p.class(ClassId::new(0)).max_population, 400);
+    }
+
+    #[test]
+    fn add_flow_appends_ids_and_revalidates() {
+        let p = base_workload();
+        let flows_before = p.num_flows();
+        let classes_before = p.num_classes();
+        let source = p.flow(FlowId::new(0)).source;
+        let sink = p.class(ClassId::new(0)).node;
+        let spec = FlowSpec {
+            source,
+            bounds: RateBounds::new(5.0, 500.0).unwrap(),
+            link_costs: vec![],
+            node_costs: vec![(sink, 1.0)],
+        };
+        let class = ClassSpec {
+            flow: FlowId::new(0), // overwritten by the delta
+            node: sink,
+            max_population: 40,
+            utility: Utility::log(10.0),
+            consumer_cost: 2.0,
+        };
+        let q = ProblemDelta::new().add_flow(spec, vec![class]).apply(&p).unwrap();
+        assert_eq!(q.num_flows(), flows_before + 1);
+        assert_eq!(q.num_classes(), classes_before + 1);
+        let new_flow = FlowId::new(flows_before as u32);
+        let new_class = ClassId::new(classes_before as u32);
+        assert_eq!(q.class(new_class).flow, new_flow);
+        assert_eq!(q.classes_of_flow(new_flow), &[new_class]);
+        assert!(q.flows_at_node(sink).contains(&new_flow));
+        // Existing ids untouched.
+        for f in p.flow_ids() {
+            assert_eq!(q.flow(f), p.flow(f));
+        }
+    }
+
+    #[test]
+    fn add_flow_rejects_unreached_class_node() {
+        let p = base_workload();
+        let source = p.flow(FlowId::new(0)).source;
+        let spec = FlowSpec {
+            source,
+            bounds: RateBounds::new(5.0, 500.0).unwrap(),
+            link_costs: vec![],
+            node_costs: vec![],
+        };
+        let class = ClassSpec {
+            flow: FlowId::new(0),
+            node: NodeId::new(0),
+            max_population: 40,
+            utility: Utility::log(10.0),
+            consumer_cost: 2.0,
+        };
+        assert!(matches!(
+            ProblemDelta::new().add_flow(spec, vec![class]).apply(&p),
+            Err(ValidationError::ClassNodeNotReached { .. })
+        ));
+    }
+
+    #[test]
+    fn cost_edit_requires_existing_entry() {
+        let p = base_workload();
+        let flow = FlowId::new(0);
+        let reached = p.nodes_of_flow(flow)[0].0;
+        let q = ProblemDelta::new().set_flow_node_cost(flow, reached, 0.0).apply(&p).unwrap();
+        assert_eq!(q.flow_node_cost(reached, flow), 0.0);
+        // The source of another flow is not on this flow's path.
+        let unreached = (0..p.num_nodes() as u32)
+            .map(NodeId::new)
+            .find(|&n| !p.nodes_of_flow(flow).iter().any(|&(m, _)| m == n))
+            .unwrap();
+        assert!(matches!(
+            ProblemDelta::new().set_flow_node_cost(flow, unreached, 0.0).apply(&p),
+            Err(ValidationError::NoSuchCostEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn classification_flags() {
+        let capacity_only = ProblemDelta::new().set_node_capacity(NodeId::new(0), 1e6);
+        assert!(!capacity_only.grows_problem());
+        assert!(!capacity_only.changes_costs());
+        let removal = ProblemDelta::new().remove_flow(FlowId::new(0));
+        assert!(!removal.grows_problem());
+        assert!(removal.changes_costs());
+    }
+
+    #[test]
+    fn delta_serde_round_trip() {
+        let delta = ProblemDelta::new()
+            .remove_flow(FlowId::new(1))
+            .set_node_capacity(NodeId::new(2), 1e5)
+            .set_rate_bounds(FlowId::new(0), RateBounds::new(1.0, 10.0).unwrap());
+        let json = serde_json::to_string(&delta).unwrap();
+        let back: ProblemDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(delta, back);
+    }
+}

@@ -20,6 +20,7 @@
 //! * [`workloads`] — Table 1's base workload, the §4.3 scaling transforms,
 //!   §4.5 utility variants, a random generator, and a link-bottleneck
 //!   workload.
+//! * [`delta`] — [`ProblemDelta`], batched first-class problem changes.
 //! * [`analysis`] — utility/utilization breakdowns and fairness metrics.
 //! * [`io`] — versioned JSON save/load for problems and allocations.
 //!
@@ -39,6 +40,7 @@
 
 pub mod allocation;
 pub mod analysis;
+pub mod delta;
 pub mod ids;
 pub mod io;
 pub mod problem;
@@ -48,6 +50,7 @@ pub mod workloads;
 
 pub use allocation::{Allocation, FeasibilityReport, Violation};
 pub use analysis::AllocationReport;
+pub use delta::{DeltaOp, ProblemDelta};
 pub use ids::{ClassId, FlowId, LinkId, NodeId};
 pub use problem::{
     ClassSpec, FlowSpec, LinkSpec, NodeSpec, Problem, ProblemBuilder, RateBounds, ValidationError,

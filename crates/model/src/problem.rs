@@ -166,6 +166,18 @@ pub enum ValidationError {
         /// Description of the duplicated coefficient.
         coefficient: String,
     },
+    /// A referenced class id does not exist.
+    UnknownClass {
+        /// The offending id.
+        class: ClassId,
+    },
+    /// A cost edit referenced a (flow, node) pair with no existing `F_{b,i}`
+    /// entry. Cost edits never add or remove path entries — that would
+    /// invalidate the derived index maps — so the entry must already exist.
+    NoSuchCostEntry {
+        /// Description of the missing coefficient (`"F[node2, flow1]"`).
+        coefficient: String,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -191,6 +203,10 @@ impl fmt::Display for ValidationError {
             }
             ValidationError::DuplicateCost { coefficient } => {
                 write!(f, "duplicate cost entry for {coefficient}")
+            }
+            ValidationError::UnknownClass { class } => write!(f, "unknown class {class}"),
+            ValidationError::NoSuchCostEntry { coefficient } => {
+                write!(f, "no cost entry for {coefficient}")
             }
         }
     }
@@ -456,6 +472,108 @@ impl Problem {
         let mut p = self.clone();
         p.flows[flow.index()].bounds = bounds;
         Ok(p)
+    }
+
+    /// Returns a copy with `link`'s capacity replaced.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::NonPositiveCapacity`] unless the new capacity is
+    /// finite and strictly positive, [`ValidationError::UnknownLink`] if the
+    /// id is out of range.
+    #[must_use = "this Result reports a failure the caller must handle"]
+    pub fn with_link_capacity(
+        &self,
+        link: LinkId,
+        capacity: f64,
+    ) -> Result<Problem, ValidationError> {
+        if link.index() >= self.links.len() {
+            return Err(ValidationError::UnknownLink { link });
+        }
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(ValidationError::NonPositiveCapacity {
+                resource: link.to_string(),
+                capacity,
+            });
+        }
+        let mut p = self.clone();
+        p.links[link.index()].capacity = capacity;
+        Ok(p)
+    }
+
+    /// Returns a copy with the `F_{b,i}` coefficient of an *existing*
+    /// (flow, node) path entry replaced. Setting a cost to `0.0` models a
+    /// pruned branch (as [`Self::prune_unused_paths`] does) without touching
+    /// the path structure, so ids and the derived index maps stay stable.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::UnknownFlow`] / [`ValidationError::UnknownNode`]
+    /// on out-of-range ids, [`ValidationError::NoSuchCostEntry`] if the flow
+    /// has no entry for the node, [`ValidationError::InvalidCost`] unless
+    /// the cost is finite and nonnegative.
+    #[must_use = "this Result reports a failure the caller must handle"]
+    pub fn with_flow_node_cost(
+        &self,
+        flow: FlowId,
+        node: NodeId,
+        cost: f64,
+    ) -> Result<Problem, ValidationError> {
+        if flow.index() >= self.flows.len() {
+            return Err(ValidationError::UnknownFlow { flow });
+        }
+        if node.index() >= self.nodes.len() {
+            return Err(ValidationError::UnknownNode { node });
+        }
+        if !(cost.is_finite() && cost >= 0.0) {
+            return Err(ValidationError::InvalidCost {
+                coefficient: format!("F[{node}, {flow}]"),
+                value: cost,
+            });
+        }
+        let mut p = self.clone();
+        let entry = p.flows[flow.index()]
+            .node_costs
+            .iter_mut()
+            .find(|(n, _)| *n == node)
+            .ok_or(ValidationError::NoSuchCostEntry {
+                coefficient: format!("F[{node}, {flow}]"),
+            })?;
+        entry.1 = cost;
+        Ok(p)
+    }
+
+    /// Returns a copy with a new flow (and its consumer classes) appended.
+    /// Existing ids are untouched; the new flow takes the next flow id and
+    /// the classes take the next class ids, in the given order. The `flow`
+    /// field of each [`ClassSpec`] is overwritten with the new flow's id.
+    ///
+    /// The whole problem is re-validated, so the returned instance upholds
+    /// every builder invariant (costs reference existing nodes/links, each
+    /// class attaches to a node the flow reaches, …).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ValidationError`] a [`ProblemBuilder`] would report.
+    #[must_use = "this Result reports a failure the caller must handle"]
+    pub fn with_added_flow(
+        &self,
+        flow: FlowSpec,
+        classes: Vec<ClassSpec>,
+    ) -> Result<Problem, ValidationError> {
+        let mut b = ProblemBuilder {
+            nodes: self.nodes.clone(),
+            links: self.links.clone(),
+            flows: self.flows.clone(),
+            classes: self.classes.clone(),
+        };
+        let fid = FlowId::new(b.flows.len() as u32);
+        b.flows.push(flow);
+        for mut class in classes {
+            class.flow = fid;
+            b.classes.push(class);
+        }
+        b.build()
     }
 
     /// Stage-two path pruning (§2.4): zero the `F_{b,i}` coefficient for

@@ -187,7 +187,7 @@ pub fn simulate_message_plane(
 mod tests {
     use super::*;
     use crate::topology::LatencyModel;
-    use lrgp::{LrgpConfig, LrgpEngine};
+    use lrgp::{Engine, LrgpConfig};
     use lrgp_model::workloads::base_workload;
 
     fn topo(p: &Problem) -> Topology {
@@ -199,7 +199,7 @@ mod tests {
     }
 
     fn optimized_allocation(p: &Problem) -> Allocation {
-        let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+        let mut e = Engine::new(p.clone(), LrgpConfig::default());
         e.run_until_converged(250);
         e.allocation()
     }
@@ -311,9 +311,9 @@ mod tests {
     #[test]
     fn zero_rate_flow_sends_nothing() {
         let p = base_workload();
-        let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+        let mut e = Engine::new(p.clone(), LrgpConfig::default());
         e.run(100);
-        e.remove_flow(FlowId::new(5));
+        e.apply_delta(&lrgp_model::ProblemDelta::new().remove_flow(FlowId::new(5))).unwrap();
         e.run(50);
         let a = e.allocation();
         let report = simulate_message_plane(e.problem(), &topo(&p), &a, PlaneConfig::default());

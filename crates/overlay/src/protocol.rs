@@ -9,7 +9,7 @@
 //!   round-trip time (§4.3: "the time to complete an iteration equals
 //!   approximately the maximum round trip time between any two nodes").
 //!   Produces *bit-identical* traces to the centralized
-//!   [`lrgp::LrgpEngine`], messages and latencies notwithstanding — link
+//!   [`lrgp::Engine`], messages and latencies notwithstanding — link
 //!   prices included: each link's Algorithm 3 runs at an owning endpoint
 //!   node and rides back to the sources inside that node's feedback.
 //! * [`run_asynchronous`] — every actor ticks on its own (jittered) timer
@@ -19,10 +19,10 @@
 
 use crate::sim::{EventQueue, SimTime};
 use crate::topology::Topology;
-use lrgp::admission::allocate_consumers;
+use lrgp::kernel::admission::allocate_consumers;
 use lrgp::gamma::GammaController;
-use lrgp::price::{update_link_price, update_node_price_with_rule};
-use lrgp::rate::{solve_rate, AggregateUtility};
+use lrgp::kernel::price::{update_link_price, update_node_price_with_rule};
+use lrgp::kernel::rate::{solve_rate, AggregateUtility};
 use lrgp::{InitialRate, LrgpConfig};
 use lrgp_model::{Allocation, ClassId, FlowId, LinkId, NodeId, Problem};
 use lrgp_num::series::TimeSeries;
@@ -651,7 +651,7 @@ pub fn run_asynchronous(
 mod tests {
     use super::*;
     use crate::topology::LatencyModel;
-    use lrgp::{LrgpConfig, LrgpEngine};
+    use lrgp::{Engine, LrgpConfig};
     use lrgp_model::workloads::base_workload;
 
     fn topo(problem: &Problem) -> Topology {
@@ -667,7 +667,7 @@ mod tests {
         let p = base_workload();
         let cfg = LrgpConfig::default();
         let sync = run_synchronous(&p, &topo(&p), cfg, 60);
-        let mut engine = LrgpEngine::new(p.clone(), cfg);
+        let mut engine = Engine::new(p.clone(), cfg);
         engine.run(60);
         assert_eq!(sync.utility.len(), 60);
         for (k, (a, b)) in sync
@@ -712,7 +712,7 @@ mod tests {
         let cfg = LrgpConfig { link_gamma: 2e-3, ..LrgpConfig::default() };
         let t = topo(&p);
         let sync = run_synchronous(&p, &t, cfg, 300);
-        let mut engine = LrgpEngine::new(p.clone(), cfg);
+        let mut engine = Engine::new(p.clone(), cfg);
         engine.run(300);
         for (k, (a, b)) in sync
             .utility
@@ -745,7 +745,7 @@ mod tests {
         let cfg = LrgpConfig { link_gamma: 2e-3, ..LrgpConfig::default() };
         let t = spec.topology(&inst);
         let sync = run_synchronous(&inst.problem, &t, cfg, 150);
-        let mut engine = LrgpEngine::new(inst.problem.clone(), cfg);
+        let mut engine = Engine::new(inst.problem.clone(), cfg);
         engine.run(150);
         for (a, b) in sync.utility.values().iter().zip(engine.trace().utility.values()) {
             assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
@@ -822,7 +822,7 @@ mod tests {
             AsyncConfig { duration: SimTime::from_secs(20), ..AsyncConfig::default() },
         );
         // Compare against the centralized optimizer's converged value.
-        let mut engine = LrgpEngine::new(p.clone(), LrgpConfig::default());
+        let mut engine = Engine::new(p.clone(), LrgpConfig::default());
         let reference = engine.run_until_converged(250).utility;
         let rel = (out.final_utility - reference).abs() / reference;
         assert!(rel < 0.05, "async {} vs reference {reference}", out.final_utility);
@@ -833,7 +833,7 @@ mod tests {
         let p = base_workload();
         let t = topo(&p);
         let reference = {
-            let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+            let mut e = Engine::new(p.clone(), LrgpConfig::default());
             e.run_until_converged(300).utility
         };
         for loss in [0.1, 0.25] {

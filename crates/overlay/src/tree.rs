@@ -226,7 +226,7 @@ pub fn is_spanning_tree(instance: &TreeInstance) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lrgp::{LrgpConfig, LrgpEngine};
+    use lrgp::{Engine, LrgpConfig};
     use lrgp_model::FlowId;
 
     #[test]
@@ -269,7 +269,7 @@ mod tests {
         };
         let inst = spec.build();
         let cfg = LrgpConfig { link_gamma: 2e-3, ..LrgpConfig::default() };
-        let mut e = LrgpEngine::new(inst.problem.clone(), cfg);
+        let mut e = Engine::new(inst.problem.clone(), cfg);
         e.run(4_000);
         let a = e.allocation();
         let report = a.check_feasibility(&inst.problem, 0.5); // tolerate residual ripple
@@ -290,7 +290,7 @@ mod tests {
             ..TreeWorkload::default()
         };
         let inst = spec.build();
-        let mut e = LrgpEngine::new(inst.problem.clone(), LrgpConfig::default());
+        let mut e = Engine::new(inst.problem.clone(), LrgpConfig::default());
         let out = e.run_until_converged(400);
         assert!(out.utility > 0.0);
         assert!(e.allocation().is_feasible(&inst.problem, 1e-6));

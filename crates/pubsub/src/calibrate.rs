@@ -223,7 +223,7 @@ mod tests {
         assert_eq!(p.num_flows(), 3);
         assert_eq!(p.num_classes(), 6);
         // And LRGP can run on it.
-        let mut e = lrgp::LrgpEngine::new(p.clone(), lrgp::LrgpConfig::default());
+        let mut e = lrgp::Engine::new(p.clone(), lrgp::LrgpConfig::default());
         let out = e.run_until_converged(400);
         assert!(out.utility > 0.0);
         assert!(e.allocation().is_feasible(&p, 1e-6));

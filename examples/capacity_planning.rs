@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run --example capacity_planning`.
 
-use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp::{Engine, LrgpConfig};
 use lrgp_model::io::ProblemFile;
 use lrgp_model::workloads::base_workload;
 use lrgp_model::AllocationReport;
@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for node in base.node_ids() {
             problem = problem.with_node_capacity(node, base.node(node).capacity * scale)?;
         }
-        let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+        let mut engine = Engine::new(problem.clone(), LrgpConfig::default());
         engine.run_until_converged(400);
         let report = AllocationReport::new(engine.problem(), &engine.allocation());
         println!(

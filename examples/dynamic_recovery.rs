@@ -3,12 +3,12 @@
 //!
 //! Run with `cargo run --example dynamic_recovery`.
 
-use lrgp::{EnactmentPolicy, Enactor, LrgpConfig, LrgpEngine};
+use lrgp::{EnactmentPolicy, Enactor, Engine, LrgpConfig};
 use lrgp_model::workloads::base_workload;
-use lrgp_model::FlowId;
+use lrgp_model::{FlowId, ProblemDelta};
 
 fn main() {
-    let mut engine = LrgpEngine::new(base_workload(), LrgpConfig::default());
+    let mut engine = Engine::new(base_workload(), LrgpConfig::default());
     // Enact at most when allocations move by ≥ 5 % / ≥ 10 consumers, so
     // consumers aren't churned every iteration (§2.1).
     let mut enactor = Enactor::new(EnactmentPolicy::OnSignificantChange {
@@ -27,7 +27,9 @@ fn main() {
     println!("steady state: utility {before:.0} ({enactments_before} enactments in 150 iterations)");
 
     // The rank-100 flow's source leaves.
-    engine.remove_flow(FlowId::new(5));
+    engine
+        .apply_delta(&ProblemDelta::new().remove_flow(FlowId::new(5)))
+        .expect("flow 5 exists");
     println!("flow 5 (rank-100 consumers) removed...");
 
     let mut recovered_at = None;

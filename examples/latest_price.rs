@@ -10,7 +10,7 @@
 //!
 //! Run with `cargo run --example latest_price`.
 
-use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp::{Engine, LrgpConfig};
 use lrgp_model::{ClassId, FlowId, ProblemBuilder, RateBounds, Utility, ValidationError};
 
 fn main() -> Result<(), ValidationError> {
@@ -30,7 +30,7 @@ fn main() -> Result<(), ValidationError> {
     let heavy = b.add_class(prices, edge, 200, Utility::log(20.0), 60.0); // regex-ish
 
     let problem = b.build()?;
-    let mut engine = LrgpEngine::new(problem, LrgpConfig::default());
+    let mut engine = Engine::new(problem, LrgpConfig::default());
     let outcome = engine.run_until_converged(400);
     let a = engine.allocation();
 
@@ -56,7 +56,7 @@ fn main() -> Result<(), ValidationError> {
         b.add_class(prices, edge, 200, Utility::log(20.0), 60.0);
         b.build()?
     };
-    let mut fast_engine = LrgpEngine::new(fast, LrgpConfig::default());
+    let mut fast_engine = Engine::new(fast, LrgpConfig::default());
     let fast_outcome = fast_engine.run_until_converged(400);
     let fa = fast_engine.allocation();
     let admitted: f64 = (0..3).map(|k| fa.population(ClassId::new(k))).sum();

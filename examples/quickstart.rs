@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp::{Engine, LrgpConfig};
 use lrgp_model::{ProblemBuilder, RateBounds, Utility, ValidationError};
 
 fn main() -> Result<(), ValidationError> {
@@ -28,7 +28,7 @@ fn main() -> Result<(), ValidationError> {
     let problem = builder.build()?;
 
     // Run LRGP until the utility trace stabilizes (amplitude < 0.1 %).
-    let mut engine = LrgpEngine::new(problem, LrgpConfig::default());
+    let mut engine = Engine::new(problem, LrgpConfig::default());
     let outcome = engine.run_until_converged(250);
 
     let allocation = engine.allocation();

@@ -13,7 +13,7 @@
 //!
 //! Run with `cargo run --example trade_data`.
 
-use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp::{Engine, LrgpConfig};
 use lrgp_model::{Problem, ProblemBuilder, RateBounds, Utility, ValidationError};
 
 fn build_market(node_capacity: f64) -> Result<Problem, ValidationError> {
@@ -43,7 +43,7 @@ fn main() -> Result<(), ValidationError> {
     println!("---------|------------|---------------|-----------------|--------");
     for capacity in [4e6, 2e6, 1e6, 5e5, 2e5] {
         let problem = build_market(capacity)?;
-        let mut engine = LrgpEngine::new(problem, LrgpConfig::default());
+        let mut engine = Engine::new(problem, LrgpConfig::default());
         let outcome = engine.run_until_converged(400);
         let a = engine.allocation();
         let gold = lrgp_model::ClassId::new(0);

@@ -1,0 +1,139 @@
+//! Public-API snapshot: the `pub` surface of `lrgp` and `lrgp-model` is
+//! pinned in `tests/api_surface.txt`. An unreviewed rename, removal, or
+//! addition fails this test (and CI's lint job) with a diff; intentional
+//! changes regenerate the snapshot with
+//! `UPDATE_API_SURFACE=1 cargo test -p lrgp-repro --test api_surface`.
+//!
+//! The scan is deliberately textual (first line of every `pub` item,
+//! whitespace-normalized, sorted) — it needs no nightly rustdoc JSON and is
+//! stable under reformatting, while still catching every signature-shaping
+//! edit on the line that declares the item.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const SNAPSHOT: &str = "tests/api_surface.txt";
+const ROOTS: [&str; 2] = ["crates/core/src", "crates/model/src"];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = fs::read_dir(dir).expect("readable source dir");
+    for entry in entries {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `true` for lines that declare part of the public API.
+fn is_public_item(line: &str) -> bool {
+    const KINDS: [&str; 9] = [
+        "pub fn ", "pub struct ", "pub enum ", "pub trait ", "pub type ", "pub const ",
+        "pub static ", "pub mod ", "pub use ",
+    ];
+    KINDS.iter().any(|k| line.starts_with(k))
+}
+
+/// Normalizes a declaration line: collapse whitespace, drop the trailing
+/// body/terminator so brace style does not matter.
+fn normalize(line: &str) -> String {
+    let collapsed = line.split_whitespace().collect::<Vec<_>>().join(" ");
+    collapsed
+        .trim_end_matches(['{', ';', ' '])
+        .trim_end_matches("where")
+        .trim_end()
+        .to_string()
+}
+
+fn scan() -> String {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for r in ROOTS {
+        rust_files(&root.join(r), &mut files);
+    }
+    files.sort();
+    let mut lines = Vec::new();
+    for file in &files {
+        let label = file.strip_prefix(&root).expect("file under root").display().to_string();
+        let src = fs::read_to_string(file).expect("readable source file");
+        let mut depth = 0usize;
+        let mut test_mod_at = usize::MAX;
+        for raw in src.lines() {
+            let line = raw.trim_start();
+            // Track brace depth so `pub` items inside `#[cfg(test)] mod`
+            // bodies (test helpers) are excluded from the surface.
+            if depth < test_mod_at && line.starts_with("#[cfg(test)]") {
+                test_mod_at = depth;
+            }
+            let in_tests = test_mod_at != usize::MAX && depth > test_mod_at;
+            let opens = raw.matches('{').count();
+            let closes = raw.matches('}').count();
+            if !in_tests
+                && test_mod_at != usize::MAX
+                && depth == test_mod_at
+                && opens == 0
+                && line.starts_with("mod ")
+            {
+                // `#[cfg(test)]` on `mod tests;` (out-of-line) — rare; the
+                // marker resets once the declaration passes.
+                test_mod_at = usize::MAX;
+            }
+            if !in_tests && depth == 0 && is_public_item(line) {
+                lines.push(format!("{label}: {}", normalize(line)));
+            } else if !in_tests && is_public_item(line) && !line.starts_with("pub use ") {
+                // Nested public items (methods in inherent impls, enum
+                // variants are not `pub`-prefixed so only methods land
+                // here).
+                lines.push(format!("{label}: {}", normalize(line)));
+            }
+            depth += opens;
+            depth = depth.saturating_sub(closes);
+            if test_mod_at != usize::MAX && depth <= test_mod_at && closes > opens {
+                test_mod_at = usize::MAX;
+            }
+        }
+    }
+    lines.sort();
+    lines.dedup();
+    let mut out = String::with_capacity(lines.len() * 64);
+    for l in &lines {
+        writeln!(out, "{l}").expect("write to string");
+    }
+    out
+}
+
+#[test]
+fn public_api_matches_snapshot() {
+    let actual = scan();
+    let snapshot_path = repo_root().join(SNAPSHOT);
+    if std::env::var_os("UPDATE_API_SURFACE").is_some() {
+        fs::write(&snapshot_path, &actual).expect("write snapshot");
+        eprintln!("api_surface: snapshot regenerated ({} lines)", actual.lines().count());
+        return;
+    }
+    let expected = fs::read_to_string(&snapshot_path)
+        .expect("tests/api_surface.txt exists; regenerate with UPDATE_API_SURFACE=1");
+    if expected == actual {
+        return;
+    }
+    let expected_set: std::collections::BTreeSet<&str> = expected.lines().collect();
+    let actual_set: std::collections::BTreeSet<&str> = actual.lines().collect();
+    let removed: Vec<&&str> = expected_set.difference(&actual_set).collect();
+    let added: Vec<&&str> = actual_set.difference(&expected_set).collect();
+    panic!(
+        "public API surface changed.\n\nremoved ({}):\n{}\n\nadded ({}):\n{}\n\n\
+         If intentional, regenerate: UPDATE_API_SURFACE=1 cargo test -p lrgp-repro \
+         --test api_surface",
+        removed.len(),
+        removed.iter().map(|s| format!("  - {s}")).collect::<Vec<_>>().join("\n"),
+        added.len(),
+        added.iter().map(|s| format!("  + {s}")).collect::<Vec<_>>().join("\n"),
+    );
+}

@@ -3,7 +3,7 @@
 //! resulting allocation's predicted broker load agrees with the load
 //! measured by actually matching messages.
 
-use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp::{Engine, LrgpConfig};
 use lrgp_pubsub::calibrate::{calibrate, problem_from_calibration, CalibrationConfig};
 use lrgp_pubsub::filter::FilterGen;
 use lrgp_pubsub::matcher::{Matcher, NaiveMatcher};
@@ -34,7 +34,7 @@ fn calibrated_model_predicts_measured_broker_load() {
     let capacity = 2e5;
     let problem = problem_from_calibration(&estimate, 1, 1, 20_000, capacity, (10.0, 500.0))
         .expect("calibrated problem");
-    let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+    let mut engine = Engine::new(problem.clone(), LrgpConfig::default());
     engine.run_until_converged(400);
     let allocation = engine.allocation();
     let class = lrgp_model::ClassId::new(0);
@@ -83,7 +83,7 @@ fn faster_matcher_admits_no_fewer_consumers() {
     );
     let admitted = |est: &lrgp_pubsub::CostEstimate| {
         let p = problem_from_calibration(est, 2, 2, 3_000, 3e5, (10.0, 500.0)).unwrap();
-        let mut e = LrgpEngine::new(p, LrgpConfig::default());
+        let mut e = Engine::new(p, LrgpConfig::default());
         e.run_until_converged(400);
         e.allocation().populations().iter().sum::<f64>()
     };

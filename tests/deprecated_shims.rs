@@ -1,0 +1,68 @@
+//! The deprecated pre-0.2 names must keep compiling and keep producing the
+//! same answers as the unified engine for one release. This file is the
+//! only place allowed to use them.
+
+#![allow(deprecated)]
+
+use lrgp::{Engine, LrgpConfig, LrgpEngine, ParallelLrgpEngine};
+use lrgp_model::workloads::base_workload;
+use lrgp_model::FlowId;
+
+#[test]
+fn lrgp_engine_alias_is_the_engine() {
+    let mut old = LrgpEngine::new(base_workload(), LrgpConfig::default());
+    let mut new = Engine::new(base_workload(), LrgpConfig::default());
+    old.run(120);
+    new.run(120);
+    assert_eq!(old.total_utility().to_bits(), new.total_utility().to_bits());
+}
+
+#[test]
+fn parallel_wrapper_matches_engine_with_threads_config() {
+    let config = LrgpConfig::default();
+    let mut wrapper = ParallelLrgpEngine::with_threads(base_workload(), config, 3);
+    let mut direct = Engine::new(
+        base_workload(),
+        LrgpConfig { parallelism: lrgp::Parallelism::Threads(3), ..config },
+    );
+    wrapper.run(80);
+    direct.run(80);
+    assert_eq!(wrapper.total_utility().to_bits(), direct.total_utility().to_bits());
+    assert_eq!(wrapper.engine().iteration(), direct.iteration());
+    // The wrapper unwraps to a plain engine mid-flight.
+    let inner: Engine = wrapper.into_inner();
+    assert_eq!(inner.total_utility().to_bits(), direct.total_utility().to_bits());
+}
+
+#[test]
+fn old_module_paths_still_resolve() {
+    // Re-exports under the pre-kernel module layout.
+    use lrgp::admission::{AdmissionPolicy, PopulationMode};
+    use lrgp::incremental::IncrementalMode;
+    use lrgp::parallel::Parallelism;
+    use lrgp::prices::PriceVector;
+    use lrgp::rate::{solve_rate, AggregateUtility};
+    use lrgp_model::{RateBounds, Utility};
+
+    let _ = (AdmissionPolicy::StopAtFirstBlock, PopulationMode::Integral);
+    let _ = (IncrementalMode::Off, Parallelism::Sequential);
+    let _ = PriceVector::zeros(&base_workload());
+    let agg = AggregateUtility::from_terms([(100.0, Utility::log(10.0))]);
+    let r = solve_rate(&agg, 0.5, RateBounds::new(10.0, 1000.0).unwrap(), 10.0);
+    assert!(r >= 10.0);
+}
+
+#[test]
+fn deprecated_remove_flow_matches_apply_delta() {
+    let mut via_deprecated = Engine::new(base_workload(), LrgpConfig::default());
+    let mut via_delta = Engine::new(base_workload(), LrgpConfig::default());
+    via_deprecated.run(60);
+    via_delta.run(60);
+    via_deprecated.remove_flow(FlowId::new(5));
+    via_delta
+        .apply_delta(&lrgp_model::ProblemDelta::new().remove_flow(FlowId::new(5)))
+        .unwrap();
+    via_deprecated.run(60);
+    via_delta.run(60);
+    assert_eq!(via_deprecated.total_utility().to_bits(), via_delta.total_utility().to_bits());
+}

@@ -1,19 +1,29 @@
-//! Differential-testing harness: the sharded parallel engine must be
-//! **bit-identical** to the sequential reference engine.
+//! Differential-testing harness: every execution plan and every delta
+//! path must be **bit-identical** to the sequential full-recompute
+//! reference.
 //!
-//! Both engines run step-by-step over randomized problems; after every
-//! single iteration the harness compares rates, populations (admissions),
-//! node prices, link prices, γ values, and the total-utility trace with
+//! Engines run step-by-step over randomized problems; after every single
+//! iteration the harness compares rates, populations (admissions), node
+//! prices, link prices, γ values, and the total-utility trace with
 //! `f64::to_bits` equality — no tolerances anywhere. Any reassociated sum,
-//! racy write, or out-of-order reduction in the parallel path shows up as a
-//! hard failure with the iteration and element index.
+//! racy write, out-of-order reduction, or stale dirty-set entry shows up
+//! as a hard failure with the iteration and element index.
+//!
+//! Four axes are covered, alone and combined:
+//!
+//! * **parallelism** — sharded over scoped threads vs sequential;
+//! * **incrementality** — dirty-set skipping vs full recompute;
+//! * **deltas** — [`Engine::apply_delta`] vs the wholesale
+//!   `replace_problem` oracle, mid-run;
+//! * **churn scenarios** — capacity/population/bounds edits, flow removal,
+//!   and flow addition while converging.
 
-use lrgp::{
-    IncrementalMode, LrgpConfig, LrgpEngine, ParallelLrgpEngine, Parallelism, ProblemChange,
-    TraceConfig,
-};
+use lrgp::{Engine, IncrementalMode, LrgpConfig, Parallelism, ProblemChange, TraceConfig};
 use lrgp_model::workloads::{link_bottleneck_workload, paper_workload, RandomWorkload};
-use lrgp_model::{FlowId, Problem, UtilityShape};
+use lrgp_model::{
+    ClassId, ClassSpec, FlowId, FlowSpec, NodeId, Problem, ProblemDelta, RateBounds, Utility,
+    UtilityShape,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,8 +34,8 @@ fn assert_bits_eq(label: &str, iteration: usize, seq: &[f64], par: &[f64]) {
     for (i, (s, p)) in seq.iter().zip(par).enumerate() {
         assert!(
             s.to_bits() == p.to_bits(),
-            "{label}[{i}] diverged at iteration {iteration}: sequential {s:?} ({:#x}) vs \
-             parallel {p:?} ({:#x})",
+            "{label}[{i}] diverged at iteration {iteration}: reference {s:?} ({:#x}) vs \
+             candidate {p:?} ({:#x})",
             s.to_bits(),
             p.to_bits(),
         );
@@ -42,10 +52,9 @@ fn assert_engines_identical(
 ) {
     let sequential_config =
         LrgpConfig { parallelism: Parallelism::Sequential, trace: TraceConfig::full(), ..config };
-    let parallel_config =
-        LrgpConfig { parallelism, trace: TraceConfig::full(), ..config };
-    let mut sequential = LrgpEngine::new(problem.clone(), sequential_config);
-    let mut parallel = ParallelLrgpEngine::new(problem, parallel_config);
+    let parallel_config = LrgpConfig { parallelism, trace: TraceConfig::full(), ..config };
+    let mut sequential = Engine::new(problem.clone(), sequential_config);
+    let mut parallel = Engine::new(problem, parallel_config);
     for k in 1..=iterations {
         let u_seq = sequential.step();
         let u_par = parallel.step();
@@ -53,27 +62,7 @@ fn assert_engines_identical(
             u_seq.to_bits() == u_par.to_bits(),
             "utility diverged at iteration {k}: {u_seq:?} vs {u_par:?}"
         );
-        let a_seq = sequential.allocation();
-        let a_par = parallel.allocation();
-        assert_bits_eq("rates", k, a_seq.rates(), a_par.rates());
-        assert_bits_eq("populations", k, a_seq.populations(), a_par.populations());
-        assert_bits_eq(
-            "node_prices",
-            k,
-            sequential.prices().node_prices(),
-            parallel.prices().node_prices(),
-        );
-        assert_bits_eq(
-            "link_prices",
-            k,
-            sequential.prices().link_prices(),
-            parallel.prices().link_prices(),
-        );
-        let gammas_seq: Vec<f64> =
-            sequential.problem().node_ids().map(|n| sequential.node_gamma(n)).collect();
-        let gammas_par: Vec<f64> =
-            parallel.problem().node_ids().map(|n| parallel.engine().node_gamma(n)).collect();
-        assert_bits_eq("gammas", k, &gammas_seq, &gammas_par);
+        assert_same_state("parallel", k, &sequential, &parallel);
     }
     // The recorded traces, being per-iteration snapshots of the state
     // checked above, must agree wholesale.
@@ -87,7 +76,7 @@ fn assert_engines_identical(
 
 /// Compares the full optimizer state of `candidate` against `reference`
 /// with bitwise equality after iteration `k`.
-fn assert_same_state(label: &str, k: usize, reference: &LrgpEngine, candidate: &LrgpEngine) {
+fn assert_same_state(label: &str, k: usize, reference: &Engine, candidate: &Engine) {
     let a_ref = reference.allocation();
     let a_can = candidate.allocation();
     assert_bits_eq(&format!("{label} rates"), k, a_ref.rates(), a_can.rates());
@@ -115,8 +104,10 @@ fn assert_same_state(label: &str, k: usize, reference: &LrgpEngine, candidate: &
 /// (sequential and sharded with the given parallelism) in lockstep,
 /// asserting full-state bit-identity after every iteration. If `removal` is
 /// `Some((k, flow))`, the flow is removed from all three engines right
-/// before iteration `k` — the incremental engines must invalidate their
-/// dirty sets and stay identical afterwards.
+/// before iteration `k` — the baseline through the wholesale
+/// `replace_problem` oracle, the incremental engines through
+/// [`Engine::apply_delta`], which must invalidate their dirty sets and stay
+/// identical afterwards.
 fn assert_incremental_identical(
     problem: Problem,
     config: LrgpConfig,
@@ -132,15 +123,16 @@ fn assert_incremental_identical(
     };
     let inc_seq_config = LrgpConfig { incremental: IncrementalMode::On, ..baseline_config };
     let inc_par_config = LrgpConfig { parallelism, ..inc_seq_config };
-    let mut baseline = LrgpEngine::new(problem.clone(), baseline_config);
-    let mut inc_seq = LrgpEngine::new(problem.clone(), inc_seq_config);
-    let mut inc_par = LrgpEngine::new(problem, inc_par_config);
+    let mut baseline = Engine::new(problem.clone(), baseline_config);
+    let mut inc_seq = Engine::new(problem.clone(), inc_seq_config);
+    let mut inc_par = Engine::new(problem, inc_par_config);
     for k in 1..=iterations {
         if let Some((at, flow)) = removal {
             if k == at {
-                baseline.remove_flow(FlowId::new(flow));
-                inc_seq.remove_flow(FlowId::new(flow));
-                inc_par.remove_flow(FlowId::new(flow));
+                let delta = ProblemDelta::new().remove_flow(FlowId::new(flow));
+                baseline.replace_problem(delta.apply(baseline.problem()).expect("flow exists"));
+                inc_seq.apply_delta(&delta).expect("flow exists");
+                inc_par.apply_delta(&delta).expect("flow exists");
             }
         }
         let u_base = baseline.step();
@@ -197,6 +189,31 @@ fn workload_strategy() -> impl Strategy<Value = (RandomWorkload, u64, usize)> {
         })
 }
 
+/// A seed-chosen targeted delta: `(kind, element selector, magnitude)`
+/// resolved against the problem's current dimensions at application time.
+fn resolve_delta(problem: &Problem, kind: u8, sel: u64, magnitude: f64) -> ProblemDelta {
+    match kind {
+        0 => {
+            let node = NodeId::new((sel % problem.num_nodes() as u64) as u32);
+            ProblemDelta::new().set_node_capacity(node, 10_000.0 + magnitude)
+        }
+        1 => {
+            let class = ClassId::new((sel % problem.num_classes() as u64) as u32);
+            ProblemDelta::new().resize_class(class, (magnitude as u32) % 400)
+        }
+        2 => {
+            let flow = FlowId::new((sel % problem.num_flows() as u64) as u32);
+            let max = 50.0 + magnitude % 900.0;
+            let bounds = RateBounds::new(5.0, max).expect("5 < 50 ≤ max");
+            ProblemDelta::new().set_rate_bounds(flow, bounds)
+        }
+        _ => {
+            let flow = FlowId::new((sel % problem.num_flows() as u64) as u32);
+            ProblemDelta::new().remove_flow(flow)
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
 
@@ -238,6 +255,65 @@ proptest! {
             25,
             removal,
         );
+    }
+
+    /// The delta-sequence oracle: a random schedule of targeted edits and
+    /// removals applied mid-run through [`Engine::apply_delta`] (which
+    /// keeps the dirty-set caches alive where it can) must leave the
+    /// incremental engines bit-identical, at every iteration, to the
+    /// full-recompute baseline that rebuilds its problem wholesale with
+    /// `replace_problem(delta.apply(..))`.
+    #[test]
+    fn delta_sequences_bit_identical_to_from_scratch(
+        (workload, seed, threads) in workload_strategy(),
+        schedule in proptest::collection::vec(
+            (0u8..4, 0u64..1_000_000, 0.0f64..1_000_000.0),
+            1..5,
+        )
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = workload.generate(&mut rng);
+        let baseline_config = LrgpConfig {
+            parallelism: Parallelism::Sequential,
+            incremental: IncrementalMode::Off,
+            trace: TraceConfig::full(),
+            ..LrgpConfig::default()
+        };
+        let inc_seq_config =
+            LrgpConfig { incremental: IncrementalMode::On, ..baseline_config };
+        let inc_par_config =
+            LrgpConfig { parallelism: Parallelism::Threads(threads), ..inc_seq_config };
+        let mut baseline = Engine::new(problem.clone(), baseline_config);
+        let mut inc_seq = Engine::new(problem.clone(), inc_seq_config);
+        let mut inc_par = Engine::new(problem, inc_par_config);
+        // One delta every 6 iterations, starting at iteration 7 so the
+        // first edits land on a warm dirty-set state.
+        for k in 1..=30usize {
+            if k >= 7 && (k - 7) % 6 == 0 {
+                if let Some(&(kind, sel, magnitude)) = schedule.get((k - 7) / 6) {
+                    let delta = resolve_delta(baseline.problem(), kind, sel, magnitude);
+                    let edited = delta.apply(baseline.problem()).expect("delta is valid");
+                    baseline.replace_problem(edited);
+                    inc_seq.apply_delta(&delta).expect("delta is valid");
+                    inc_par.apply_delta(&delta).expect("delta is valid");
+                }
+            }
+            let u_base = baseline.step();
+            let u_seq = inc_seq.step();
+            let u_par = inc_par.step();
+            prop_assert!(
+                u_base.to_bits() == u_seq.to_bits(),
+                "delta-sequential utility diverged at iteration {}: {:?} vs {:?}",
+                k, u_base, u_seq
+            );
+            prop_assert!(
+                u_base.to_bits() == u_par.to_bits(),
+                "delta-threads utility diverged at iteration {}: {:?} vs {:?}",
+                k, u_base, u_par
+            );
+            assert_same_state("delta-sequential", k, &baseline, &inc_seq);
+            assert_same_state("delta-threads", k, &baseline, &inc_par);
+        }
     }
 }
 
@@ -293,13 +369,14 @@ fn parallel_engine_matches_through_flow_removal() {
     // lockstep afterwards too.
     let problem = paper_workload(UtilityShape::Log, 1, 1);
     let config = LrgpConfig { trace: TraceConfig::full(), ..LrgpConfig::default() };
-    let mut sequential = LrgpEngine::new(problem.clone(), config);
-    let mut parallel = ParallelLrgpEngine::with_threads(problem, config, 4);
+    let threads_config = LrgpConfig { parallelism: Parallelism::Threads(4), ..config };
+    let mut sequential = Engine::new(problem.clone(), config);
+    let mut parallel = Engine::new(problem, threads_config);
     sequential.run(50);
     parallel.run(50);
-    let flow = lrgp_model::FlowId::new(5);
-    sequential.remove_flow(flow);
-    parallel.engine_mut().remove_flow(flow);
+    let delta = ProblemDelta::new().remove_flow(FlowId::new(5));
+    sequential.apply_delta(&delta).unwrap();
+    parallel.apply_delta(&delta).unwrap();
     for k in 1..=50 {
         let u_seq = sequential.step();
         let u_par = parallel.step();
@@ -350,14 +427,16 @@ fn incremental_engine_bit_identical_under_auto() {
 
 #[test]
 fn incremental_engine_matches_through_capacity_and_population_churn() {
-    // Dynamics beyond flow removal: capacity and max-population edits go
-    // through `replace_problem`, which must drop the incremental state so
-    // the next step re-derives everything against the edited problem.
+    // Dynamics beyond flow removal: capacity and max-population edits reach
+    // the candidate through `apply_delta` (via `ProblemChange::to_delta_op`,
+    // the same route `run_scenario` takes), which keeps the dirty-set
+    // caches alive; the baseline rebuilds wholesale through
+    // `replace_problem`. Both must stay in bitwise lockstep.
     let problem = paper_workload(UtilityShape::Log, 1, 1);
     let config = LrgpConfig { trace: TraceConfig::full(), ..LrgpConfig::default() };
     let inc_config = LrgpConfig { incremental: IncrementalMode::On, ..config };
-    let mut baseline = LrgpEngine::new(problem.clone(), config);
-    let mut incremental = LrgpEngine::new(problem, inc_config);
+    let mut baseline = Engine::new(problem.clone(), config);
+    let mut incremental = Engine::new(problem, inc_config);
     let node = baseline.problem().node_ids().next().expect("workload has nodes");
     let class = baseline.problem().class_ids().next().expect("workload has classes");
     let changes: [(usize, ProblemChange); 3] = [
@@ -369,8 +448,10 @@ fn incremental_engine_matches_through_capacity_and_population_churn() {
         for (at, change) in &changes {
             if k == *at {
                 let edited = change.apply(baseline.problem()).expect("change is valid");
-                baseline.replace_problem(edited.clone());
-                incremental.replace_problem(edited);
+                baseline.replace_problem(edited);
+                let mut delta = ProblemDelta::new();
+                delta.push(change.to_delta_op());
+                incremental.apply_delta(&delta).expect("change is valid");
             }
         }
         let u_base = baseline.step();
@@ -380,5 +461,92 @@ fn incremental_engine_matches_through_capacity_and_population_churn() {
             "utility diverged at churn iteration {k}: {u_base:?} vs {u_inc:?}"
         );
         assert_same_state("churn", k, &baseline, &incremental);
+    }
+}
+
+#[test]
+fn adding_a_flow_mid_run_stays_bit_identical() {
+    // The growing delta: `AddFlow` resizes every engine-side vector.
+    // (`replace_problem` rejects dimension changes, so growth has no
+    // wholesale oracle; the check here is that all three execution plans
+    // re-derive against the grown problem in bitwise lockstep.)
+    let problem = paper_workload(UtilityShape::Log, 1, 1);
+    let source = problem.flow(FlowId::new(0)).source;
+    let consumer = problem.class(ClassId::new(0)).node;
+    let grow = ProblemDelta::new().add_flow(
+        FlowSpec {
+            source,
+            bounds: RateBounds::new(10.0, 1000.0).unwrap(),
+            link_costs: vec![],
+            node_costs: vec![(source, 1.0), (consumer, 2.0)],
+        },
+        vec![ClassSpec {
+            flow: FlowId::new(0), // overwritten with the appended flow's id
+            node: consumer,
+            max_population: 150,
+            utility: Utility::log(40.0),
+            consumer_cost: 3.0,
+        }],
+    );
+    let baseline_config = LrgpConfig {
+        parallelism: Parallelism::Sequential,
+        incremental: IncrementalMode::Off,
+        trace: TraceConfig::full(),
+        ..LrgpConfig::default()
+    };
+    let inc_config = LrgpConfig { incremental: IncrementalMode::On, ..baseline_config };
+    let par_config =
+        LrgpConfig { parallelism: Parallelism::Threads(3), ..baseline_config };
+    let mut baseline = Engine::new(problem.clone(), baseline_config);
+    let mut incremental = Engine::new(problem.clone(), inc_config);
+    let mut parallel = Engine::new(problem, par_config);
+    baseline.run(60);
+    incremental.run(60);
+    parallel.run(60);
+    baseline.apply_delta(&grow).expect("delta is valid");
+    incremental.apply_delta(&grow).expect("delta is valid");
+    parallel.apply_delta(&grow).expect("delta is valid");
+    for k in 1..=80 {
+        let u_base = baseline.step();
+        let u_inc = incremental.step();
+        let u_par = parallel.step();
+        assert!(
+            u_base.to_bits() == u_inc.to_bits(),
+            "post-growth incremental utility diverged at iteration {k}: {u_base:?} vs {u_inc:?}"
+        );
+        assert!(
+            u_base.to_bits() == u_par.to_bits(),
+            "post-growth threads utility diverged at iteration {k}: {u_base:?} vs {u_par:?}"
+        );
+        assert_same_state("post-growth incremental", k, &baseline, &incremental);
+        assert_same_state("post-growth threads", k, &baseline, &parallel);
+    }
+    let new_flow = FlowId::new(baseline.problem().num_flows() as u32 - 1);
+    assert!(baseline.allocation().rate(new_flow) > 0.0, "appended flow never got a rate");
+}
+
+#[test]
+fn delta_ops_list_matches_scenario_change_kinds() {
+    // `DeltaOp` must stay expressive enough for every scenario change kind;
+    // a new `ProblemChange` variant without a delta mapping would silently
+    // fall back to wholesale rebuilds in `run_scenario`.
+    let p = paper_workload(UtilityShape::Log, 1, 1);
+    let node = p.node_ids().next().unwrap();
+    let class = p.class_ids().next().unwrap();
+    let changes = [
+        ProblemChange::RemoveFlow(FlowId::new(0)),
+        ProblemChange::SetNodeCapacity { node, capacity: 1e5 },
+        ProblemChange::SetMaxPopulation { class, max_population: 5 },
+        ProblemChange::SetRateBounds {
+            flow: FlowId::new(1),
+            bounds: RateBounds::new(1.0, 10.0).unwrap(),
+        },
+    ];
+    for change in changes {
+        let mut delta = ProblemDelta::new();
+        delta.push(change.to_delta_op());
+        let via_delta = delta.apply(&p).unwrap();
+        let via_change = change.apply(&p).unwrap();
+        assert_eq!(via_delta, via_change, "{change:?}");
     }
 }

@@ -1,7 +1,7 @@
 //! Integration tests of the distributed protocol against the centralized
 //! engine, over randomized workloads and topologies.
 
-use lrgp::{LrgpConfig, LrgpEngine};
+use lrgp::{Engine, LrgpConfig};
 use lrgp_model::workloads::{base_workload, RandomWorkload};
 use lrgp_overlay::{
     run_asynchronous, run_synchronous, simulate_message_plane, AsyncConfig, LatencyModel,
@@ -40,7 +40,7 @@ proptest! {
         let problem = cfg.generate(&mut StdRng::seed_from_u64(seed));
         let topology = uniform_topology(&problem);
         let sync = run_synchronous(&problem, &topology, LrgpConfig::default(), 40);
-        let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+        let mut engine = Engine::new(problem.clone(), LrgpConfig::default());
         engine.run(40);
         prop_assert_eq!(sync.utility.len(), engine.trace().utility.len());
         for (a, b) in sync.utility.values().iter().zip(engine.trace().utility.values()) {
@@ -58,7 +58,7 @@ proptest! {
         let cfg = RandomWorkload::default();
         let problem = cfg.generate(&mut StdRng::seed_from_u64(seed));
         let topology = uniform_topology(&problem);
-        let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+        let mut engine = Engine::new(problem.clone(), LrgpConfig::default());
         engine.run(iters);
         let allocation = engine.allocation();
         prop_assert!(allocation.is_feasible(&problem, 1e-6));
@@ -81,7 +81,7 @@ proptest! {
 fn async_tracks_sync_across_latency_regimes() {
     let problem = base_workload();
     let reference = {
-        let mut e = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+        let mut e = Engine::new(problem.clone(), LrgpConfig::default());
         e.run_until_converged(300).utility
     };
     for (min_ms, max_ms) in [(1, 5), (5, 40), (20, 80)] {

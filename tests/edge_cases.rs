@@ -1,7 +1,7 @@
 //! Edge-case integration tests: degenerate problems the optimizer must
 //! handle gracefully.
 
-use lrgp::{GammaMode, LrgpConfig, LrgpEngine};
+use lrgp::{Engine, GammaMode, LrgpConfig};
 use lrgp_anneal::{anneal, AnnealConfig};
 use lrgp_model::{Problem, ProblemBuilder, RateBounds, Utility};
 
@@ -18,7 +18,7 @@ fn single(class_max: u32, bounds: RateBounds, capacity: f64) -> Problem {
 #[test]
 fn zero_demand_everywhere_is_stable_at_zero_utility() {
     let p = single(0, RateBounds::new(10.0, 1000.0).unwrap(), 9e5);
-    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let mut e = Engine::new(p.clone(), LrgpConfig::default());
     let out = e.run_until_converged(100);
     assert_eq!(out.utility, 0.0);
     assert!(e.allocation().is_feasible(&p, 1e-9));
@@ -31,7 +31,7 @@ fn zero_demand_everywhere_is_stable_at_zero_utility() {
 fn pinned_rate_bounds_still_admit() {
     // r_min == r_max: no rate freedom, pure admission control.
     let p = single(100, RateBounds::new(50.0, 50.0).unwrap(), 9e5);
-    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let mut e = Engine::new(p.clone(), LrgpConfig::default());
     let out = e.run_until_converged(200);
     let a = e.allocation();
     assert_eq!(a.rate(lrgp_model::FlowId::new(0)), 50.0);
@@ -46,7 +46,7 @@ fn capacity_too_small_for_even_one_consumer() {
     // budget: everyone must stay unadmitted, with no panic or violation.
     let p = single(10, RateBounds::new(10.0, 10.0).unwrap(), 40.0);
     // flow cost = 3·10 = 30 ≤ 40; consumer cost 19·10 = 190 > 10 remaining.
-    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let mut e = Engine::new(p.clone(), LrgpConfig::default());
     e.run(50);
     let a = e.allocation();
     assert_eq!(a.population(lrgp_model::ClassId::new(0)), 0.0);
@@ -60,7 +60,7 @@ fn flow_costs_exceeding_capacity_drive_price_up_not_panic() {
     // allocation is structurally infeasible, the price grows, and the
     // engine keeps running without panicking.
     let p = single(10, RateBounds::new(100.0, 1000.0).unwrap(), 100.0);
-    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let mut e = Engine::new(p.clone(), LrgpConfig::default());
     e.run(100);
     // Rate pinned at minimum by the huge price.
     assert_eq!(e.allocation().rate(lrgp_model::FlowId::new(0)), 100.0);
@@ -70,7 +70,7 @@ fn flow_costs_exceeding_capacity_drive_price_up_not_panic() {
 #[test]
 fn single_consumer_single_message() {
     let p = single(1, RateBounds::new(1.0, 1.0).unwrap(), 1e3);
-    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let mut e = Engine::new(p.clone(), LrgpConfig::default());
     let out = e.run_until_converged(100);
     assert!((out.utility - 10.0 * 2.0f64.ln()).abs() < 1e-9);
 }
@@ -89,7 +89,7 @@ fn many_identical_classes_tie_break_deterministically() {
     }
     let p = b.build().unwrap();
     let run = || {
-        let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+        let mut e = Engine::new(p.clone(), LrgpConfig::default());
         e.run(100);
         e.allocation()
     };
@@ -110,7 +110,7 @@ fn saturating_utility_flows_back_off_naturally() {
     b.set_node_cost(f, sink, 3.0);
     b.add_class(f, sink, 100, Utility::saturating(50.0, 20.0), 19.0);
     let p = b.build().unwrap();
-    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let mut e = Engine::new(p.clone(), LrgpConfig::default());
     e.run_until_converged(500);
     let r = e.allocation().rate(lrgp_model::FlowId::new(0));
     assert!(r < 500.0, "saturating utility should not chase r_max, got {r}");
@@ -121,7 +121,7 @@ fn saturating_utility_flows_back_off_naturally() {
 fn undamped_gamma_on_degenerate_problem_stays_finite() {
     let p = single(100, RateBounds::new(10.0, 1000.0).unwrap(), 9e5);
     let cfg = LrgpConfig { gamma: GammaMode::fixed(1.0), ..LrgpConfig::default() };
-    let mut e = LrgpEngine::new(p, cfg);
+    let mut e = Engine::new(p, cfg);
     for _ in 0..500 {
         let u = e.step();
         assert!(u.is_finite());
@@ -132,10 +132,11 @@ fn undamped_gamma_on_degenerate_problem_stays_finite() {
 #[test]
 fn removing_every_flow_leaves_an_empty_but_valid_system() {
     let p = lrgp_model::workloads::base_workload();
-    let mut e = LrgpEngine::new(p, LrgpConfig::default());
+    let mut e = Engine::new(p, LrgpConfig::default());
     e.run(50);
     for f in 0..6 {
-        e.remove_flow(lrgp_model::FlowId::new(f));
+        e.apply_delta(&lrgp_model::ProblemDelta::new().remove_flow(lrgp_model::FlowId::new(f)))
+            .unwrap();
     }
     e.run(50);
     assert_eq!(e.total_utility(), 0.0);

@@ -1,7 +1,7 @@
 //! End-to-end integration tests spanning model → optimizer → baselines →
 //! overlay, asserting the *shapes* the paper reports.
 
-use lrgp::{GammaMode, LrgpConfig, LrgpEngine};
+use lrgp::{Engine, GammaMode, LrgpConfig};
 use lrgp_anneal::{anneal, AnnealConfig};
 use lrgp_model::workloads::{self, Table2Workload};
 use lrgp_model::UtilityShape;
@@ -13,7 +13,7 @@ use lrgp_model::UtilityShape;
 fn lrgp_beats_simulated_annealing_on_all_table2_workloads() {
     for workload in Table2Workload::ALL {
         let problem = workload.build();
-        let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig::default());
+        let mut engine = Engine::new(problem.clone(), LrgpConfig::default());
         let lrgp = engine.run_until_converged(400);
         let sa = anneal(&problem, &AnnealConfig::paper(50.0, 2_000_000, 42));
         assert!(
@@ -31,7 +31,7 @@ fn lrgp_beats_simulated_annealing_on_all_table2_workloads() {
 #[test]
 fn utility_scales_linearly_with_size() {
     let run = |w: Table2Workload| {
-        let mut e = LrgpEngine::new(w.build(), LrgpConfig::default());
+        let mut e = Engine::new(w.build(), LrgpConfig::default());
         e.run_until_converged(400).utility
     };
     let base = run(Table2Workload::Base);
@@ -60,7 +60,7 @@ fn convergence_iterations_flat_across_scaling() {
     let iters: Vec<usize> = Table2Workload::ALL
         .iter()
         .map(|w| {
-            let mut e = LrgpEngine::new(w.build(), LrgpConfig::default());
+            let mut e = Engine::new(w.build(), LrgpConfig::default());
             e.run_until_converged(400).converged_at.expect("must converge")
         })
         .collect();
@@ -77,7 +77,7 @@ fn convergence_iterations_flat_across_scaling() {
 #[test]
 fn steeper_power_utilities_converge_slower() {
     let converge = |shape: UtilityShape| {
-        let mut e = LrgpEngine::new(
+        let mut e = Engine::new(
             workloads::base_workload_with_shape(shape),
             LrgpConfig::default(),
         );
@@ -93,7 +93,7 @@ fn steeper_power_utilities_converge_slower() {
 #[test]
 fn damping_controls_oscillation_amplitude() {
     let tail_amplitude = |gamma: GammaMode| {
-        let mut e = LrgpEngine::new(workloads::base_workload(), LrgpConfig {
+        let mut e = Engine::new(workloads::base_workload(), LrgpConfig {
             gamma,
             ..LrgpConfig::default()
         });
@@ -110,10 +110,11 @@ fn damping_controls_oscillation_amplitude() {
 /// utility by roughly its classes' contribution, and the system re-settles.
 #[test]
 fn flow_removal_recovers_to_a_stable_feasible_state() {
-    let mut e = LrgpEngine::new(workloads::base_workload(), LrgpConfig::default());
+    let mut e = Engine::new(workloads::base_workload(), LrgpConfig::default());
     e.run(150);
     let before = e.total_utility();
-    e.remove_flow(lrgp_model::FlowId::new(5));
+    e.apply_delta(&lrgp_model::ProblemDelta::new().remove_flow(lrgp_model::FlowId::new(5)))
+        .unwrap();
     e.run(100);
     let after = e.total_utility();
     assert!(after > 0.3 * before && after < 0.7 * before, "{before} -> {after}");

@@ -2,7 +2,7 @@
 //! the ground truth — the oracle the paper could not run on its full
 //! workloads (§4.4).
 
-use lrgp::{LrgpConfig, LrgpEngine, PopulationMode};
+use lrgp::{Engine, LrgpConfig, PopulationMode};
 use lrgp_anneal::{anneal, exhaustive_search, exhaustive_search_exact_rates, AnnealConfig};
 use lrgp_model::{Problem, ProblemBuilder, RateBounds, Utility};
 
@@ -43,7 +43,7 @@ fn exhaustive_optimum(p: &Problem) -> f64 {
 fn lrgp_within_a_few_percent_of_exhaustive_on_tiny_two_class() {
     let p = tiny_two_class();
     let optimum = exhaustive_optimum(&p);
-    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let mut e = Engine::new(p.clone(), LrgpConfig::default());
     let out = e.run_until_converged(2_000);
     assert!(out.utility <= optimum * (1.0 + 1e-9), "LRGP cannot exceed the optimum");
     assert!(
@@ -58,7 +58,7 @@ fn lrgp_within_a_few_percent_of_exhaustive_on_tiny_two_class() {
 fn lrgp_within_a_few_percent_of_exhaustive_on_tiny_two_flow() {
     let p = tiny_two_flow();
     let optimum = exhaustive_optimum(&p);
-    let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+    let mut e = Engine::new(p.clone(), LrgpConfig::default());
     let out = e.run_until_converged(2_000);
     assert!(out.utility <= optimum * (1.0 + 1e-9));
     assert!(
@@ -89,7 +89,7 @@ fn fractional_relaxation_dominates_integral_greedy() {
     // lower.
     let p = tiny_two_class();
     let integral = {
-        let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+        let mut e = Engine::new(p.clone(), LrgpConfig::default());
         e.run_until_converged(2_000).utility
     };
     let fractional = {
@@ -97,7 +97,7 @@ fn fractional_relaxation_dominates_integral_greedy() {
             population_mode: PopulationMode::Fractional,
             ..LrgpConfig::default()
         };
-        let mut e = LrgpEngine::new(p.clone(), cfg);
+        let mut e = Engine::new(p.clone(), cfg);
         e.run_until_converged(2_000).utility
     };
     assert!(

@@ -2,7 +2,7 @@
 //! uphold its invariants on *any* structurally valid problem, not just the
 //! paper's.
 
-use lrgp::{GammaMode, LrgpConfig, LrgpEngine};
+use lrgp::{Engine, GammaMode, LrgpConfig};
 use lrgp_anneal::{anneal, AnnealConfig, Move, SearchState};
 use lrgp_model::workloads::RandomWorkload;
 use lrgp_model::{Allocation, ClassId, FlowId, UtilityShape};
@@ -48,7 +48,7 @@ proptest! {
     fn lrgp_iterations_always_feasible((cfg, seed) in workload_strategy(), fixed in proptest::bool::ANY) {
         let problem = cfg.generate(&mut StdRng::seed_from_u64(seed));
         let gamma = if fixed { GammaMode::fixed(0.1) } else { GammaMode::adaptive() };
-        let mut engine = LrgpEngine::new(problem.clone(), LrgpConfig { gamma, ..LrgpConfig::default() });
+        let mut engine = Engine::new(problem.clone(), LrgpConfig { gamma, ..LrgpConfig::default() });
         for _ in 0..40 {
             engine.step();
             let a = engine.allocation();
@@ -74,7 +74,7 @@ proptest! {
         let big_cfg = RandomWorkload { node_capacity: cfg.node_capacity * 2.0, ..cfg };
         let big = big_cfg.generate(&mut StdRng::seed_from_u64(seed));
         let run = |p: &lrgp_model::Problem| {
-            let mut e = LrgpEngine::new(p.clone(), LrgpConfig::default());
+            let mut e = Engine::new(p.clone(), LrgpConfig::default());
             e.run_until_converged(300).utility
         };
         let u_small = run(&small);
