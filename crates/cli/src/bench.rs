@@ -7,6 +7,11 @@
 //! * **large** — a synthetic workload sized so the per-iteration kernel
 //!   work dominates; this is where the incremental path's skipping pays.
 //!
+//! A third, crossover-scale workload (**huge_10k**: 10,000 flows, 100,000
+//! classes) runs only a sequential-vs-pooled comparison — the
+//! `--min-thread-ratio` floor asserts the persistent worker pool is no
+//! slower than the sequential path at the scale where it must pay.
+//!
 //! **What "baseline" means.** Since the engines were unified behind one
 //! dirty-set executor, `IncrementalMode::Off` runs as the all-dirty
 //! special case of the same executor — it recomputes every quantity each
@@ -85,6 +90,36 @@ pub struct WorkloadBench {
     pub threads_sweep: Vec<ThreadsEntry>,
 }
 
+/// Sequential-vs-pooled comparison at the crossover scale.
+///
+/// The per-workload [`WorkloadBench::threads_sweep`] shows *where* the
+/// pooled path starts paying; this entry asserts *that* it pays: on a
+/// workload big enough that a near-converged step still carries thousands
+/// of dirty flows, the pooled `Threads` engine must not be slower than the
+/// sequential reference (`thread_ratio ≥ 1.0`). CI enforces the floor via
+/// `--min-thread-ratio`. On a single-CPU host the pool declines to
+/// dispatch and runs shards inline, so the ratio degenerates to ~1.0 by
+/// construction; the floor only bites where hardware parallelism exists.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThreadRatioBench {
+    /// Workload label.
+    pub name: String,
+    /// Problem dimensions, for context.
+    pub flows: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of consumer classes.
+    pub classes: usize,
+    /// Worker threads of the pooled engine (caller + pooled workers).
+    pub workers: usize,
+    /// Median near-converged incremental step, sequential engine.
+    pub sequential_ns: u64,
+    /// Median near-converged incremental step, pooled `Threads` engine.
+    pub pooled_ns: u64,
+    /// `sequential / pooled` (≥ 1.0 means the pool is no slower).
+    pub thread_ratio: f64,
+}
+
 /// The whole report, serialized to `BENCH_lrgp.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -96,6 +131,8 @@ pub struct BenchReport {
     pub sample_iterations: usize,
     /// Per-workload results.
     pub workloads: Vec<WorkloadBench>,
+    /// Pooled-threads floors at the crossover scale.
+    pub thread_ratio: Vec<ThreadRatioBench>,
 }
 
 struct BenchParams {
@@ -236,6 +273,50 @@ fn bench_workload(name: &str, problem: &Problem, params: &BenchParams) -> Worklo
     }
 }
 
+/// Interleaved near-converged comparison of the sequential engine against
+/// the pooled `Threads` engine on one workload.
+///
+/// Both engines warm up independently, then the timed steps alternate
+/// between the two so scheduler drift and frequency scaling land on both
+/// sides of the ratio equally. The pooled side uses the machine's
+/// available parallelism capped at four workers — the same cap the
+/// committed `threads_sweep` tops out at.
+fn thread_ratio_bench(name: &str, problem: &Problem, params: &BenchParams) -> ThreadRatioBench {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(4);
+    let sequential_config = config(IncrementalMode::On, Parallelism::Sequential);
+    let pooled_config = if workers > 1 {
+        config(IncrementalMode::On, Parallelism::Threads(workers))
+    } else {
+        sequential_config
+    };
+    let mut sequential = Engine::new(problem.clone(), sequential_config);
+    let mut pooled = Engine::new(problem.clone(), pooled_config);
+    sequential.run(params.warmup);
+    pooled.run(params.warmup);
+    let mut sequential_samples = Vec::with_capacity(params.samples);
+    let mut pooled_samples = Vec::with_capacity(params.samples);
+    for _ in 0..params.samples {
+        let start = Instant::now();
+        sequential.step();
+        sequential_samples.push(start.elapsed().as_nanos() as u64);
+        let start = Instant::now();
+        pooled.step();
+        pooled_samples.push(start.elapsed().as_nanos() as u64);
+    }
+    let sequential_ns = median(sequential_samples);
+    let pooled_ns = median(pooled_samples);
+    ThreadRatioBench {
+        name: name.to_string(),
+        flows: problem.num_flows(),
+        nodes: problem.num_nodes(),
+        classes: problem.num_classes(),
+        workers,
+        sequential_ns,
+        pooled_ns,
+        thread_ratio: sequential_ns as f64 / pooled_ns.max(1) as f64,
+    }
+}
+
 /// The large synthetic workload: enough flows, nodes, and classes that the
 /// per-iteration kernel work dominates the step.
 fn large_workload(_quick: bool) -> Problem {
@@ -255,6 +336,23 @@ fn large_workload(_quick: bool) -> Problem {
     workload.generate(&mut rng)
 }
 
+/// The crossover-scale workload: 10,000 flows × 10 classes each (100,000
+/// classes) over 64 consumer nodes. A near-converged step still carries
+/// thousands of dirty flows at this size, so the pooled `Threads` path is
+/// past the Auto cost model's crossover on any multi-core machine — this
+/// is the workload the `--min-thread-ratio` floor is asserted against.
+fn huge_workload() -> Problem {
+    let workload = RandomWorkload {
+        flows: 10_000,
+        consumer_nodes: 64,
+        classes_per_flow: 10,
+        mixed_shapes: true,
+        ..RandomWorkload::default()
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    workload.generate(&mut rng)
+}
+
 /// Runs the full benchmark suite.
 pub fn run_bench(quick: bool) -> BenchReport {
     let params = if quick {
@@ -266,11 +364,22 @@ pub fn run_bench(quick: bool) -> BenchReport {
         bench_workload("paper_base", &paper_workload(UtilityShape::Log, 1, 1), &params),
         bench_workload("large_synthetic", &large_workload(quick), &params),
     ];
+    // The 10k-flow workload runs only the sequential-vs-pooled comparison:
+    // its per-step cost is three orders of magnitude above paper scale, so
+    // the full baseline/incremental matrix would dominate the suite's
+    // runtime without informing the floor the workload exists to assert.
+    let ratio_params = if quick {
+        BenchParams { warmup: 40, samples: 30, first_repeats: 1 }
+    } else {
+        BenchParams { warmup: 100, samples: 80, first_repeats: 1 }
+    };
+    let thread_ratio = vec![thread_ratio_bench("huge_10k", &huge_workload(), &ratio_params)];
     BenchReport {
         quick,
         warmup_iterations: params.warmup,
         sample_iterations: params.samples,
         workloads,
+        thread_ratio,
     }
 }
 
@@ -299,5 +408,15 @@ pub fn print_report(report: &BenchReport) {
                 t.threads, t.near_converged_ns
             );
         }
+    }
+    for r in &report.thread_ratio {
+        println!(
+            "{} ({} flows, {} nodes, {} classes):",
+            r.name, r.flows, r.nodes, r.classes
+        );
+        println!(
+            "  near converged  : sequential {:>10} ns, pooled({}) {:>10} ns (ratio {:.2}x)",
+            r.sequential_ns, r.workers, r.pooled_ns, r.thread_ratio
+        );
     }
 }

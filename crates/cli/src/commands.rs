@@ -114,6 +114,9 @@ pub struct BenchCmd {
     /// Fail (exit non-zero) when the large workload's near-converged
     /// incremental speedup falls below this factor.
     pub min_speedup: Option<f64>,
+    /// Fail (exit non-zero) when the crossover workload's pooled-threads
+    /// ratio (sequential / pooled near-converged) falls below this factor.
+    pub min_thread_ratio: Option<f64>,
 }
 
 /// `lrgp anneal` — run the simulated-annealing baseline.
@@ -221,7 +224,7 @@ lrgp — utility optimization for event-driven distributed infrastructures
 USAGE:
   lrgp workload [--shape log|pow25|pow50|pow75] [--systems N] [--cnodes N] -o FILE
   lrgp solve    <base|FILE> [--iters N] [--gamma adaptive|FLOAT] [--threads auto|N] [--incremental on|off|auto] [--trace CSV] [--save JSON]
-  lrgp bench    [--json] [--quick] [--out FILE] [--min-speedup X]
+  lrgp bench    [--json] [--quick] [--out FILE] [--min-speedup X] [--min-thread-ratio X]
   lrgp anneal   <base|FILE> [--steps N] [--temp T] [--seed N]
   lrgp compare  <base|FILE> [--steps N] [--seed N]
   lrgp simulate <base|FILE> [--async] [--latency MS] [--amount N]
@@ -333,6 +336,7 @@ where
                 quick: false,
                 output: PathBuf::from("BENCH_lrgp.json"),
                 min_speedup: None,
+                min_thread_ratio: None,
             };
             while let Some(flag) = it.next() {
                 match flag {
@@ -343,6 +347,9 @@ where
                     }
                     "--min-speedup" => {
                         cmd.min_speedup = Some(parse_num(flag, take_value(flag, &mut it)?)?);
+                    }
+                    "--min-thread-ratio" => {
+                        cmd.min_thread_ratio = Some(parse_num(flag, take_value(flag, &mut it)?)?);
                     }
                     other => return Err(ParseError(format!("bench: unknown flag {other}"))),
                 }
@@ -554,21 +561,35 @@ mod tests {
                 quick: false,
                 output: PathBuf::from("BENCH_lrgp.json"),
                 min_speedup: None,
+                min_thread_ratio: None,
             })
         );
         assert_eq!(
-            p(&["bench", "--json", "--quick", "--out", "b.json", "--min-speedup", "3.5"])
-                .unwrap(),
+            p(&[
+                "bench",
+                "--json",
+                "--quick",
+                "--out",
+                "b.json",
+                "--min-speedup",
+                "3.5",
+                "--min-thread-ratio",
+                "1.0",
+            ])
+            .unwrap(),
             Command::Bench(BenchCmd {
                 json: true,
                 quick: true,
                 output: PathBuf::from("b.json"),
                 min_speedup: Some(3.5),
+                min_thread_ratio: Some(1.0),
             })
         );
         assert!(p(&["bench", "--bogus"]).unwrap_err().0.contains("unknown flag"));
         assert!(p(&["bench", "--min-speedup"]).unwrap_err().0.contains("requires a value"));
         assert!(p(&["bench", "--min-speedup", "fast"]).unwrap_err().0.contains("cannot parse"));
+        assert!(p(&["bench", "--min-thread-ratio"]).unwrap_err().0.contains("requires a value"));
+        assert!(p(&["bench", "--min-thread-ratio", "x"]).unwrap_err().0.contains("cannot parse"));
     }
 
     #[test]

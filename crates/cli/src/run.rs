@@ -208,6 +208,33 @@ fn bench(cmd: BenchCmd) -> CliResult {
             None => return Err("bench: no large workload to check --min-speedup against".into()),
         }
     }
+    if let Some(min) = cmd.min_thread_ratio {
+        // The crossover-scale workload is where the pooled Threads path
+        // must not lose to the sequential reference.
+        let worst = report
+            .thread_ratio
+            .iter()
+            .min_by(|a, b| a.thread_ratio.total_cmp(&b.thread_ratio));
+        match worst {
+            Some(r) if r.thread_ratio < min => {
+                return Err(format!(
+                    "bench: {} pooled-threads ratio {:.2}x ({} workers) is below the \
+                     --min-thread-ratio floor {min}x",
+                    r.name, r.thread_ratio, r.workers
+                )
+                .into());
+            }
+            Some(r) => println!(
+                "thread-ratio floor met: {} at {:.2}x with {} worker(s) (≥ {min}x)",
+                r.name, r.thread_ratio, r.workers
+            ),
+            None => {
+                return Err(
+                    "bench: no crossover workload to check --min-thread-ratio against".into()
+                )
+            }
+        }
+    }
     Ok(())
 }
 

@@ -24,11 +24,13 @@ use crate::exec::StepState;
 use crate::gamma::{GammaController, GammaMode};
 use crate::kernel::admission::{AdmissionPolicy, PopulationMode};
 use crate::kernel::price::{NodePriceRule, PriceVector};
-use crate::plan::{ExecutionPlan, IncrementalMode, Parallelism};
+use crate::plan::{AutoModel, ExecutionPlan, IncrementalMode, Parallelism};
+use crate::pool::PoolHandle;
 use crate::trace::{Trace, TraceConfig};
 use lrgp_model::{Allocation, DeltaOp, FlowId, Problem, ProblemDelta, ValidationError};
 use lrgp_num::series::ConvergenceCriterion;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Starting point for the flow rates.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -137,9 +139,16 @@ pub struct RunOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Engine {
-    problem: Problem,
+    /// Shared with pooled jobs (pointer-swap handoff, see [`crate::pool`]);
+    /// the engine holds the only long-lived reference, so problem edits
+    /// simply install a new `Arc`.
+    problem: Arc<Problem>,
     config: LrgpConfig,
     plan: ExecutionPlan,
+    /// The persistent worker pool (empty handle under a sequential plan).
+    /// Workers are spawned once here and parked between steps; cloning the
+    /// engine respawns a same-sized pool.
+    pool: PoolHandle,
     rates: Vec<f64>,
     populations: Vec<f64>,
     prices: PriceVector,
@@ -175,10 +184,16 @@ impl Engine {
             problem.num_classes(),
         );
         let state = Some(StepState::new(&problem));
+        let mut plan = ExecutionPlan::from_config(&config);
+        // Calibrate Auto's cost model once, from the problem's dimensions
+        // (deterministic — no wall-clock measurement).
+        plan.auto = AutoModel::calibrated_for(&problem);
+        let pool = PoolHandle::for_concurrency(plan.max_concurrency());
         Self {
             populations: vec![0.0; problem.num_classes()],
-            plan: ExecutionPlan::from_config(&config),
-            problem,
+            plan,
+            pool,
+            problem: Arc::new(problem),
             config,
             rates,
             prices,
@@ -200,11 +215,12 @@ impl Engine {
     /// same previous-iteration inputs, so the results (and the recorded
     /// trace) are bit-identical (see [`crate::plan`]).
     pub fn step(&mut self) -> f64 {
-        let Self { problem, config, plan, rates, populations, prices, gamma_controllers, state, .. } =
-            self;
+        let Self {
+            problem, config, plan, pool, rates, populations, prices, gamma_controllers, state, ..
+        } = self;
         let state = state.get_or_insert_with(|| StepState::new(problem));
-        let utility =
-            plan.execute(state, problem, config, rates, populations, prices, gamma_controllers);
+        let utility = plan
+            .execute(state, problem, config, pool, rates, populations, prices, gamma_controllers);
         self.record_step(utility);
         utility
     }
@@ -230,6 +246,49 @@ impl Engine {
             .max(self.problem.num_nodes())
             .max(self.problem.num_links());
         self.plan.workers_for(units)
+    }
+
+    /// Forces (or un-forces) the worker pool to dispatch shards even on a
+    /// single-CPU host, where it would otherwise run them inline on the
+    /// caller. Test diagnostic — lets the concurrency suites exercise the
+    /// real cross-thread handoff regardless of the machine they run on.
+    #[doc(hidden)]
+    pub fn force_pool_dispatch(&self, force: bool) {
+        if let Some(pool) = self.pool.get() {
+            pool.set_force_dispatch(force);
+        }
+    }
+
+    /// The OS thread ids of the pool's workers (empty under a sequential
+    /// plan). Test diagnostic — stress tests assert the same threads are
+    /// reused across steps rather than respawned.
+    #[doc(hidden)]
+    pub fn pool_worker_ids(&self) -> Vec<std::thread::ThreadId> {
+        self.pool.get().map(|p| p.worker_thread_ids()).unwrap_or_default()
+    }
+
+    /// Per-worker counts of pooled jobs completed since construction (empty
+    /// under a sequential plan). Test diagnostic.
+    #[doc(hidden)]
+    pub fn pool_jobs_completed(&self) -> Vec<u64> {
+        self.pool.get().map(|p| p.jobs_completed()).unwrap_or_default()
+    }
+
+    /// Overrides the calibrated [`AutoModel`] driving
+    /// [`Parallelism::Auto`]'s sequential/threads crossover. Test hook —
+    /// lets suites pin the crossover at a known size.
+    #[doc(hidden)]
+    pub fn set_auto_model(&mut self, model: AutoModel) {
+        self.plan.auto = model;
+    }
+
+    /// Arms the pooled rate kernel to panic at `flow` (test hook for the
+    /// panic-propagation regression suite).
+    #[cfg(test)]
+    pub(crate) fn arm_rate_panic(&mut self, flow: Option<u32>) {
+        if let Some(state) = self.state.as_mut() {
+            state.set_panic_on_flow(flow);
+        }
     }
 
     /// Advances the iteration counter and records the enabled trace
@@ -396,7 +455,8 @@ impl Engine {
                 next.num_links(),
                 next.num_classes(),
             );
-            self.problem = next;
+            self.problem = Arc::new(next);
+            self.plan.auto = AutoModel::calibrated_for(&self.problem);
             self.state = Some(StepState::new(&self.problem));
             return Ok(());
         }
@@ -411,7 +471,11 @@ impl Engine {
             }
             self.populations.resize(next.num_classes(), 0.0);
             self.trace.grow(next.num_flows(), next.num_classes());
-            self.problem = next;
+            self.problem = Arc::new(next);
+            // Dimensions changed, so the Auto crossover may have moved; the
+            // pool itself is sized by `max_concurrency`, which is
+            // hardware-capped and does not depend on the problem.
+            self.plan.auto = AutoModel::calibrated_for(&self.problem);
             self.clamp_state_into_problem();
             self.state = None;
             return Ok(());
@@ -420,7 +484,7 @@ impl Engine {
         // reconcile only the touched state and hand the executor precise
         // dirty marks. Clamps run against the *final* problem so a batched
         // delta matches a wholesale replacement bitwise.
-        self.problem = next;
+        self.problem = Arc::new(next);
         for op in delta.ops() {
             match op {
                 DeltaOp::SetNodeCapacity { node, .. } => {
@@ -494,7 +558,7 @@ impl Engine {
             self.problem.num_classes(),
             "class count must not change"
         );
-        self.problem = problem;
+        self.problem = Arc::new(problem);
         // Clamp state into the new problem's bounds so the next iteration
         // starts feasible.
         self.clamp_state_into_problem();

@@ -3,7 +3,8 @@
 //! [`StepState`] runs one LRGP iteration over the engine's state. It is the
 //! **only** solve loop in the crate: a full recompute is simply the
 //! all-dirty special case (the plan layer marks everything dirty first),
-//! and the parallel paths shard the dirty lists (see [`crate::plan`]).
+//! and the parallel paths shard the dirty lists over the engine's
+//! persistent worker pool (see [`crate::plan`] and [`crate::pool`]).
 //!
 //! Near convergence almost every per-iteration quantity is recomputed to the
 //! very same bits it already had: prices stop moving (the γ step underflows
@@ -52,16 +53,27 @@
 //! the term tables are rebuilt and the next step treats everything as
 //! dirty.
 //!
-//! # Scratch-buffer ownership
+//! # State layout and the pooled handoff
 //!
-//! All per-iteration buffers live in [`StepState`] and are reused across
-//! steps: the dirty/changed id lists, the per-node admission caches
-//! (including each node's previously *sorted* BC order, re-sorted in place
-//! only when its feeding rates changed), and the per-worker rate scratch
-//! (an [`AggregateUtility`] term buffer plus an output vector). On the
-//! sequential path a steady-state step performs **no heap allocation**; the
-//! threaded path allocates only O(workers) thread-management bookkeeping per
-//! step, never O(problem).
+//! The hot per-node admission state is stored **struct-of-arrays**
+//! ([`NodeTable`]): the Eq. 12 inputs `used` and `BC` live in two dense
+//! `Vec<f64>`s read linearly by the always-runs price loop, while the
+//! bulky per-node scratch (the sorted BC order and population decisions)
+//! lives in a parallel vector of [`AdmissionOrder`] slots, each behind a
+//! `Mutex` so pooled workers can re-admit disjoint shards concurrently
+//! (each node belongs to exactly one shard, so the locks are uncontended;
+//! the sequential path bypasses them with `Mutex::get_mut`).
+//!
+//! A pooled phase *moves* its inputs into the pool's job slot (pointer
+//! swaps via `mem::take` / `mem::replace`, never `O(problem)` copies), the
+//! caller runs shard 0 inline while workers run shards `1..`, and the
+//! inputs move back out afterwards — so a steady-state step performs **no
+//! heap allocation and no thread spawning** on either path. Results are
+//! applied in shard order, which keeps the pooled schedule bit-identical
+//! to the sequential one (see [`crate::plan`]). A panicking kernel
+//! resumes its unwind on the caller *after* the inputs are restored and
+//! all pending outputs are discarded, leaving the engine and the pool
+//! reusable.
 
 use crate::engine::LrgpConfig;
 use crate::gamma::GammaController;
@@ -69,7 +81,12 @@ use crate::kernel::admission::allocate_consumers_into;
 use crate::kernel::price::{update_link_price, update_node_price_with_rule, PriceVector};
 use crate::kernel::rate::{solve_rate, AggregateUtility};
 use crate::plan::ExecutionPlan;
+use crate::pool::{
+    lock_unpoisoned, shard_chunk, shard_count, AdmissionJob, AdmissionOrder, Job, PoolHandle,
+    RateJob,
+};
 use lrgp_model::{ClassId, FlowId, LinkId, NodeId, PriceTermTable, Problem};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Adds `id` to `list` unless its flag is already set.
 #[inline]
@@ -89,24 +106,53 @@ fn clear_marks(flags: &mut [bool], list: &mut Vec<u32>) {
     list.clear();
 }
 
-/// Cached admission outcome of one node.
-#[derive(Debug, Clone)]
-struct NodeCache {
-    /// The classes of the node with their BC ratios, in the sorted order of
-    /// the last recompute (seeded from `classes_at_node` order). Kept as the
-    /// next recompute's starting permutation: the admission comparator is a
-    /// strict total order, so re-sorting from here is bit-identical to a
-    /// from-scratch sort, and near-sorted input re-sorts in linear time.
-    order: Vec<(ClassId, f64)>,
-    /// The populations decided by the last recompute (admission order).
-    populations: Vec<(ClassId, f64)>,
-    /// `used_b` of the last recompute.
-    used: f64,
-    /// `BC(b)` (Eq. 11) of the last recompute.
-    bc: f64,
+/// The per-node admission state, struct-of-arrays (see the module docs):
+/// dense `used`/`bc` columns for the price loop's linear read, and the
+/// per-node [`AdmissionOrder`] scratch behind shard-concurrency mutexes.
+#[derive(Debug)]
+struct NodeTable {
+    /// Each node's admission scratch (sorted BC order + populations).
+    orders: Vec<Mutex<AdmissionOrder>>,
+    /// `used_b` of the last recompute, indexed by node id.
+    used: Vec<f64>,
+    /// `BC(b)` (Eq. 11) of the last recompute, indexed by node id.
+    bc: Vec<f64>,
 }
 
-/// Reusable per-worker scratch for the rate phase.
+impl NodeTable {
+    fn new(problem: &Problem) -> Self {
+        Self {
+            orders: problem
+                .node_ids()
+                .map(|node| {
+                    let classes = problem.classes_at_node(node);
+                    Mutex::new(AdmissionOrder {
+                        order: classes.iter().map(|&c| (c, 0.0)).collect(),
+                        populations: Vec::with_capacity(classes.len()),
+                    })
+                })
+                .collect(),
+            used: vec![0.0; problem.num_nodes()],
+            bc: vec![0.0; problem.num_nodes()],
+        }
+    }
+}
+
+impl Clone for NodeTable {
+    fn clone(&self) -> Self {
+        Self {
+            orders: self
+                .orders
+                .iter()
+                .map(|slot| Mutex::new(lock_unpoisoned(slot).clone()))
+                .collect(),
+            used: self.used.clone(),
+            bc: self.bc.clone(),
+        }
+    }
+}
+
+/// The caller's reusable shard-0 scratch for the rate phase.
 #[derive(Debug, Clone, Default)]
 struct RateScratch {
     agg: AggregateUtility,
@@ -118,8 +164,8 @@ struct RateScratch {
 /// cost structure changes.
 #[derive(Debug, Clone)]
 pub(crate) struct StepState {
-    terms: PriceTermTable,
-    node_caches: Vec<NodeCache>,
+    terms: Arc<PriceTermTable>,
+    nodes: NodeTable,
     link_usage: Vec<f64>,
     cached_utility: f64,
     /// Everything dirty on the first step after (re)construction.
@@ -156,28 +202,21 @@ pub(crate) struct StepState {
     link_dirty: Vec<bool>,
     dirty_links: Vec<u32>,
 
-    rate_scratch: Vec<RateScratch>,
+    rate_scratch: RateScratch,
+    /// The caller's shard-0 admission output, `(node, used, bc)`.
+    admission_scratch: Vec<(u32, f64, f64)>,
+    /// Panic-injection test hook, threaded into pooled rate jobs.
+    #[cfg(test)]
+    panic_on_flow: Option<u32>,
 }
 
 impl StepState {
     /// Builds fresh tables and empty caches for `problem`; the first step
     /// marks everything dirty and fills the caches.
     pub(crate) fn new(problem: &Problem) -> Self {
-        let node_caches = problem
-            .node_ids()
-            .map(|node| {
-                let classes = problem.classes_at_node(node);
-                NodeCache {
-                    order: classes.iter().map(|&c| (c, 0.0)).collect(),
-                    populations: Vec::with_capacity(classes.len()),
-                    used: 0.0,
-                    bc: 0.0,
-                }
-            })
-            .collect();
         Self {
-            terms: PriceTermTable::new(problem),
-            node_caches,
+            terms: Arc::new(PriceTermTable::new(problem)),
+            nodes: NodeTable::new(problem),
             link_usage: vec![0.0; problem.num_links()],
             cached_utility: 0.0,
             first: true,
@@ -202,7 +241,10 @@ impl StepState {
             dirty_nodes: Vec::with_capacity(problem.num_nodes()),
             link_dirty: vec![false; problem.num_links()],
             dirty_links: Vec::with_capacity(problem.num_links()),
-            rate_scratch: vec![RateScratch::default()],
+            rate_scratch: RateScratch::default(),
+            admission_scratch: Vec::new(),
+            #[cfg(test)]
+            panic_on_flow: None,
         }
     }
 
@@ -275,23 +317,32 @@ impl StepState {
         &self.changed_nodes
     }
 
-    /// One LRGP iteration over the engine's state under `plan`. Returns the
-    /// total utility (recomputed only when a rate or population changed).
+    /// Arms the panic-injection hook: the next pooled rate job panics when
+    /// it reaches this flow id.
+    #[cfg(test)]
+    pub(crate) fn set_panic_on_flow(&mut self, flow: Option<u32>) {
+        self.panic_on_flow = flow;
+    }
+
+    /// One LRGP iteration over the engine's state under `plan`, sharding
+    /// over `pool` where the plan asks for it. Returns the total utility
+    /// (recomputed only when a rate or population changed).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn step(
         &mut self,
-        problem: &Problem,
+        problem: &Arc<Problem>,
         config: &LrgpConfig,
         plan: &ExecutionPlan,
-        rates: &mut [f64],
-        populations: &mut [f64],
+        pool: &PoolHandle,
+        rates: &mut Vec<f64>,
+        populations: &mut Vec<f64>,
         prices: &mut PriceVector,
         gammas: &mut [GammaController],
     ) -> f64 {
         self.derive_dirty_flows(problem);
-        self.solve_dirty_rates(problem, plan, rates, populations, prices);
+        self.solve_dirty_rates(problem, plan, pool, rates, populations, prices);
         self.derive_dirty_nodes(problem);
-        self.run_dirty_admissions(problem, config, plan, rates);
+        self.run_dirty_admissions(problem, config, plan, pool, rates);
         self.apply_populations(populations);
         self.update_node_prices(problem, config, prices, gammas);
         self.derive_dirty_links(problem);
@@ -360,24 +411,37 @@ impl StepState {
     }
 
     /// Phase 1: re-solve the dirty flows' rates (Algorithm 1) against the
-    /// term tables, recording bitwise rate changes.
+    /// term tables, recording bitwise rate changes. When the plan resolves
+    /// to more than one context and the pool dispatches, the inputs move
+    /// into a [`RateJob`], shards `1..` run on parked workers while the
+    /// caller runs shard 0, and the results are applied in shard order.
     fn solve_dirty_rates(
         &mut self,
-        problem: &Problem,
+        problem: &Arc<Problem>,
         plan: &ExecutionPlan,
-        rates: &mut [f64],
-        populations: &[f64],
-        prices: &PriceVector,
+        pool: &PoolHandle,
+        rates: &mut Vec<f64>,
+        populations: &mut Vec<f64>,
+        prices: &mut PriceVector,
     ) {
         clear_marks(&mut self.rate_changed, &mut self.changed_rates);
         if self.dirty_flows.is_empty() {
             return;
         }
         let workers = plan.workers_for(self.dirty_flows.len());
-        if workers <= 1 {
+        let pooled = pool
+            .get()
+            .filter(|p| workers > 1 && p.dispatches())
+            .map(|p| (p, workers.min(p.workers() + 1)))
+            .filter(|&(_, w)| w > 1);
+        let Some((pool, workers)) = pooled else {
+            // The sequential schedule is bit-identical to shard-and-apply:
+            // a flow's solve reads `rates` only at its own index (the
+            // solver's fallback), so in-place iteration sees the same
+            // inputs a frozen pre-phase copy would.
             let Self { terms, dirty_flows, rate_changed, changed_rates, rate_scratch, .. } =
                 self;
-            let agg = &mut rate_scratch[0].agg;
+            let agg = &mut rate_scratch.agg;
             for &f in dirty_flows.iter() {
                 let flow = FlowId::new(f);
                 agg.refill_for_flow(problem, flow, populations);
@@ -389,54 +453,53 @@ impl StepState {
                 }
             }
             return;
-        }
-        while self.rate_scratch.len() < workers {
-            self.rate_scratch.push(RateScratch::default());
-        }
-        let chunk = self.dirty_flows.len().div_ceil(workers).max(1);
-        let used_chunks = self.dirty_flows.len().div_ceil(chunk);
-        {
-            let Self { terms, dirty_flows, rate_scratch, .. } = &mut *self;
-            let terms = &*terms;
-            let rates_read = &*rates;
-            let solve_chunk = |scratch: &mut RateScratch, ids: &[u32]| {
-                scratch.out.clear();
-                for &f in ids {
-                    let flow = FlowId::new(f);
-                    scratch.agg.refill_for_flow(problem, flow, populations);
-                    let price = prices.aggregate_price_from_table(terms, flow, populations);
-                    let next = solve_rate(
-                        &scratch.agg,
-                        price,
-                        problem.flow(flow).bounds,
-                        rates_read[f as usize],
-                    );
-                    scratch.out.push((f, next));
-                }
-            };
-            std::thread::scope(|scope| {
-                let (head, rest) = rate_scratch.split_at_mut(1);
-                let mut chunks = dirty_flows.chunks(chunk);
-                let inline = chunks.next().unwrap_or(&[]);
-                let handles: Vec<_> = rest
-                    .iter_mut()
-                    .zip(chunks)
-                    .map(|(scratch, ids)| scope.spawn(move || solve_chunk(scratch, ids)))
-                    .collect();
-                solve_chunk(&mut head[0], inline);
-                for handle in handles {
-                    crate::plan::join_worker(handle);
-                }
-            });
-        }
-        for scratch in &self.rate_scratch[..used_chunks] {
-            for &(f, next) in &scratch.out {
-                if next.to_bits() != rates[f as usize].to_bits() {
-                    rates[f as usize] = next;
-                    mark(&mut self.rate_changed, &mut self.changed_rates, f);
-                }
+        };
+        let chunk = shard_chunk(self.dirty_flows.len(), workers);
+        let shards = shard_count(self.dirty_flows.len(), workers);
+        let job = Job::Rates(RateJob {
+            problem: Arc::clone(problem),
+            terms: Arc::clone(&self.terms),
+            dirty: std::mem::take(&mut self.dirty_flows),
+            rates: std::mem::take(rates),
+            populations: std::mem::take(populations),
+            prices: std::mem::replace(prices, PriceVector::detached()),
+            chunk,
+            #[cfg(test)]
+            panic_on_flow: self.panic_on_flow,
+        });
+        let scratch = &mut self.rate_scratch;
+        let (job, panic) = pool.run(job, shards, |job| {
+            if let Job::Rates(job) = job {
+                job.run_shard(0, &mut scratch.out, &mut scratch.agg);
             }
+        });
+        // Move the inputs back out before anything can unwind, so a
+        // panicking kernel leaves the engine's state intact.
+        if let Job::Rates(job) = job {
+            self.dirty_flows = job.dirty;
+            *rates = job.rates;
+            *populations = job.populations;
+            *prices = job.prices;
         }
+        if let Some(payload) = panic {
+            self.rate_scratch.out.clear();
+            pool.discard_outputs();
+            std::panic::resume_unwind(payload);
+        }
+        let Self { rate_changed, changed_rates, rate_scratch, .. } = self;
+        let mut apply = |f: u32, next: f64| {
+            if next.to_bits() != rates[f as usize].to_bits() {
+                rates[f as usize] = next;
+                mark(rate_changed, changed_rates, f);
+            }
+        };
+        for &(f, next) in &rate_scratch.out {
+            apply(f, next);
+        }
+        for w in 0..shards - 1 {
+            pool.drain_rates(w, &mut apply);
+        }
+        rate_scratch.out.clear();
     }
 
     /// A node's admission inputs are the rates of the flows reaching it; it
@@ -473,85 +536,100 @@ impl StepState {
     }
 
     /// Phase 2a: re-run greedy admission (Algorithm 2) on the dirty nodes,
-    /// writing into each node's cache. Sharded over the sorted dirty list
-    /// when the plan asks for it; caches are handed to workers as disjoint
-    /// `split_at_mut` slices at chunk boundaries.
+    /// writing each node's scratch in place and the `used`/`BC` outcomes
+    /// into the dense columns. Pooled execution moves the node scratch
+    /// (with the rates) into an [`AdmissionJob`]; workers lock only their
+    /// own shard's [`AdmissionOrder`]s.
     fn run_dirty_admissions(
         &mut self,
-        problem: &Problem,
+        problem: &Arc<Problem>,
         config: &LrgpConfig,
         plan: &ExecutionPlan,
-        rates: &[f64],
+        pool: &PoolHandle,
+        rates: &mut Vec<f64>,
     ) {
         if self.dirty_nodes.is_empty() {
             return;
         }
         let workers = plan.workers_for(self.dirty_nodes.len());
-        let run_node = |cache: &mut NodeCache, node: NodeId| {
-            let (used, bc) = allocate_consumers_into(
-                problem,
-                node,
-                rates,
-                config.population_mode,
-                config.admission_policy,
-                &mut cache.order,
-                &mut cache.populations,
-            );
-            cache.used = used;
-            cache.bc = bc;
-        };
-        if workers <= 1 {
-            for &b in &self.dirty_nodes {
-                run_node(&mut self.node_caches[b as usize], NodeId::new(b));
+        let pooled = pool
+            .get()
+            .filter(|p| workers > 1 && p.dispatches())
+            .map(|p| (p, workers.min(p.workers() + 1)))
+            .filter(|&(_, w)| w > 1);
+        let Some((pool, workers)) = pooled else {
+            let Self { nodes, dirty_nodes, .. } = self;
+            for &b in dirty_nodes.iter() {
+                let slot = nodes.orders[b as usize]
+                    .get_mut()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let (used, bc) = allocate_consumers_into(
+                    problem,
+                    NodeId::new(b),
+                    rates,
+                    config.population_mode,
+                    config.admission_policy,
+                    &mut slot.order,
+                    &mut slot.populations,
+                );
+                nodes.used[b as usize] = used;
+                nodes.bc[b as usize] = bc;
             }
             return;
-        }
-        let chunk = self.dirty_nodes.len().div_ceil(workers).max(1);
-        // Carve the cache array into one disjoint slice per chunk of the
-        // sorted dirty list (chunk id ranges are strictly increasing).
-        let mut jobs: Vec<(&[u32], &mut [NodeCache], usize)> = Vec::with_capacity(workers);
-        let mut caches: &mut [NodeCache] = &mut self.node_caches;
-        let mut base = 0usize;
-        for ids in self.dirty_nodes.chunks(chunk) {
-            let lo = ids[0] as usize;
-            // `chunks()` never yields an empty slice, so indexing is safe.
-            let hi = ids[ids.len() - 1] as usize + 1;
-            let tail = std::mem::take(&mut caches);
-            let (_, tail) = tail.split_at_mut(lo - base);
-            let (mine, tail) = tail.split_at_mut(hi - lo);
-            caches = tail;
-            base = hi;
-            jobs.push((ids, mine, lo));
-        }
-        let run_job = |(ids, slice, lo): (&[u32], &mut [NodeCache], usize)| {
-            for &b in ids {
-                run_node(&mut slice[b as usize - lo], NodeId::new(b));
-            }
         };
-        std::thread::scope(|scope| {
-            let mut jobs = jobs.into_iter();
-            let inline = jobs.next();
-            let handles: Vec<_> =
-                jobs.map(|job| scope.spawn(move || run_job(job))).collect();
-            if let Some(job) = inline {
-                run_job(job);
-            }
-            for handle in handles {
-                crate::plan::join_worker(handle);
+        let chunk = shard_chunk(self.dirty_nodes.len(), workers);
+        let shards = shard_count(self.dirty_nodes.len(), workers);
+        let job = Job::Admissions(AdmissionJob {
+            problem: Arc::clone(problem),
+            dirty: std::mem::take(&mut self.dirty_nodes),
+            rates: std::mem::take(rates),
+            orders: std::mem::take(&mut self.nodes.orders),
+            mode: config.population_mode,
+            policy: config.admission_policy,
+            chunk,
+        });
+        let out = &mut self.admission_scratch;
+        let (job, panic) = pool.run(job, shards, |job| {
+            if let Job::Admissions(job) = job {
+                job.run_shard(0, out);
             }
         });
+        if let Job::Admissions(job) = job {
+            self.dirty_nodes = job.dirty;
+            *rates = job.rates;
+            self.nodes.orders = job.orders;
+        }
+        if let Some(payload) = panic {
+            self.admission_scratch.clear();
+            pool.discard_outputs();
+            std::panic::resume_unwind(payload);
+        }
+        let Self { nodes, admission_scratch, .. } = self;
+        let mut apply = |b: u32, used: f64, bc: f64| {
+            nodes.used[b as usize] = used;
+            nodes.bc[b as usize] = bc;
+        };
+        for &(b, used, bc) in admission_scratch.iter() {
+            apply(b, used, bc);
+        }
+        for w in 0..shards - 1 {
+            pool.drain_admissions(w, &mut apply);
+        }
+        admission_scratch.clear();
     }
 
     /// Phase 2b: publish the dirty nodes' population decisions into the
     /// global array, recording bitwise changes (each class belongs to
     /// exactly one node, so writes never collide).
     fn apply_populations(&mut self, populations: &mut [f64]) {
-        let Self { dirty_nodes, node_caches, pop_changed, changed_classes, .. } = self;
+        let Self { dirty_nodes, nodes, pop_changed, changed_classes, .. } = self;
         for &b in dirty_nodes.iter() {
-            for &(class, n) in &node_caches[b as usize].populations {
-                let slot = &mut populations[class.index()];
-                if n.to_bits() != slot.to_bits() {
-                    *slot = n;
+            let slot =
+                nodes.orders[b as usize].get_mut().unwrap_or_else(PoisonError::into_inner);
+            for &(class, n) in &slot.populations {
+                let target = &mut populations[class.index()];
+                if n.to_bits() != target.to_bits() {
+                    *target = n;
                     mark(pop_changed, changed_classes, class.index() as u32);
                 }
             }
@@ -561,7 +639,8 @@ impl StepState {
 
     /// Phase 2c: the O(1) node price update (Eq. 12) plus γ observation runs
     /// for **every** node each iteration — controller state must advance
-    /// exactly as in the baseline — reading the cached admission outcome.
+    /// exactly as in the baseline — reading the cached admission outcome
+    /// from the dense `used`/`bc` columns.
     fn update_node_prices(
         &mut self,
         problem: &Problem,
@@ -571,13 +650,12 @@ impl StepState {
     ) {
         for (b, ctl) in gammas.iter_mut().enumerate() {
             let node = NodeId::new(b as u32);
-            let cache = &self.node_caches[b];
             let gamma = ctl.gamma();
             let next = update_node_price_with_rule(
                 config.node_price_rule,
                 prices.node(node),
-                cache.bc,
-                cache.used,
+                self.nodes.bc[b],
+                self.nodes.used[b],
                 problem.node(node).capacity,
                 gamma,
                 gamma,
@@ -708,6 +786,7 @@ mod tests {
             ..incremental_config()
         };
         let mut incremental = Engine::new(problem, config);
+        incremental.force_pool_dispatch(true);
         for k in 0..120 {
             let a = baseline.step();
             let b = incremental.step();
@@ -757,5 +836,40 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits(), "diverged at post-removal iteration {k}");
         }
         assert_eq!(baseline.allocation(), incremental.allocation());
+    }
+
+    #[test]
+    fn pooled_worker_panic_resumes_on_caller_and_pool_stays_usable() {
+        // The regression fixture for panic propagation: arm the injection
+        // hook so a pooled rate kernel panics, assert the unwind reaches
+        // the caller with the original payload, then assert the very same
+        // engine (and its pool) steps normally afterwards — and still
+        // matches a clean reference bitwise.
+        let config = LrgpConfig {
+            parallelism: Parallelism::Threads(3),
+            ..LrgpConfig::default()
+        };
+        let mut engine = Engine::new(base_workload(), config);
+        engine.force_pool_dispatch(true);
+        let mut reference = Engine::new(base_workload(), LrgpConfig::default());
+        for _ in 0..5 {
+            engine.step();
+            reference.step();
+        }
+        engine.arm_rate_panic(Some(0));
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.step()));
+        let payload = boom.expect_err("injected panic must unwind out of step()");
+        let message = payload.downcast_ref::<String>().expect("payload preserved");
+        assert!(message.contains("injected rate-kernel panic"), "{message}");
+        // The engine's buffers were restored, the pool is reusable, and the
+        // interrupted step left no partial results behind: disarm and
+        // continue in lockstep with the reference (which never panicked and
+        // never ran the interrupted iteration's writes).
+        engine.arm_rate_panic(None);
+        for k in 0..40 {
+            let a = reference.step();
+            let b = engine.step();
+            assert_eq!(a.to_bits(), b.to_bits(), "diverged at post-panic iteration {k}");
+        }
     }
 }

@@ -115,6 +115,12 @@ impl PriceVector {
         Self::uniform(problem, 0.0, 0.0)
     }
 
+    /// An empty, zero-length placeholder left behind while the real vector
+    /// is moved into a pooled job (see [`crate::pool`]); never read.
+    pub(crate) fn detached() -> Self {
+        Self { node_prices: Vec::new(), link_prices: Vec::new() }
+    }
+
     /// Price of `node`.
     ///
     /// # Panics

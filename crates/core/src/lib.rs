@@ -52,8 +52,10 @@
 //! * [`exec`] — the one solve loop: a dirty-set executor whose work is
 //!   proportional to what changed, bit-identical to a full recompute.
 //! * [`plan`] — the execution strategy ([`ExecutionPlan`]): sequential or
-//!   sharded over scoped threads, full-recompute or incremental. Plans
-//!   change wall-clock time, never bits.
+//!   sharded over the persistent worker pool ([`pool`]), full-recompute or
+//!   incremental, with [`Parallelism::Auto`] picking the crossover from a
+//!   calibrated cost model ([`AutoModel`]). Plans change wall-clock time,
+//!   never bits.
 //! * [`engine`] — the synchronous driver ([`Engine`]), iteration traces
 //!   ([`trace`]), snapshots ([`snapshot`]), and first-class problem deltas
 //!   ([`Engine::apply_delta`]); per-node adaptive step-size control in
@@ -88,6 +90,7 @@ pub mod exec;
 pub mod gamma;
 pub mod kernel;
 pub mod plan;
+pub mod pool;
 pub mod snapshot;
 pub mod trace;
 pub mod two_stage;
@@ -111,7 +114,7 @@ pub use engine::{Engine, InitialRate, LrgpConfig, RunOutcome};
 pub use gamma::{AdaptiveGammaConfig, GammaController, GammaMode};
 pub use kernel::admission::{AdmissionPolicy, PopulationMode};
 pub use kernel::price::PriceVector;
-pub use plan::{ExecutionPlan, IncrementalMode, Parallelism};
+pub use plan::{AutoModel, ExecutionPlan, IncrementalMode, Parallelism};
 pub use snapshot::EngineSnapshot;
 pub use trace::{Trace, TraceConfig};
 pub use two_stage::{two_stage_solve, TwoStageOutcome};

@@ -4,8 +4,8 @@
 //! computes. This module defines *how* the engine executes it: an
 //! [`ExecutionPlan`] is the product of two independent axes —
 //!
-//! * [`Parallelism`] — whether each phase shards its work over scoped
-//!   worker threads, and over how many;
+//! * [`Parallelism`] — whether each phase shards its work over the engine's
+//!   persistent worker pool ([`crate::pool`]), and over how many workers;
 //! * [`IncrementalMode`] — whether the step recomputes everything or only
 //!   the dirty subset tracked by [`crate::exec::StepState`].
 //!
@@ -21,28 +21,42 @@
 //! greedy admission and the node price update are independent per node
 //! (Algorithm 2 + Eq. 12; every class is attached to exactly one node, so
 //! population writes never conflict), and the link price update is
-//! independent per link (Eq. 13). The executor shards each phase over
-//! [`std::thread::scope`] workers in contiguous id-order chunks and applies
-//! the per-element results in id order. The parallel trace is
-//! **bit-identical** to the sequential trace, regardless of worker count or
-//! scheduling, by construction rather than by tolerance:
+//! independent per link (Eq. 13). The executor shards each phase over the
+//! pool's parked workers in contiguous id-order chunks
+//! ([`crate::pool::shard_spans`]) and applies the per-element results in
+//! shard order. The parallel trace is **bit-identical** to the sequential
+//! trace, regardless of worker count or scheduling, by construction rather
+//! than by tolerance:
 //!
-//! * every per-element kernel ([`crate::kernel::rate::allocate_rate_for_flow`],
+//! * every per-element kernel ([`crate::kernel::rate::solve_rate`],
 //!   [`crate::kernel::admission::allocate_consumers`],
 //!   [`crate::kernel::price::update_node_price_with_rule`],
 //!   [`crate::kernel::price::update_link_price`]) is a pure function of the
 //!   *previous* iteration's published state, so workers read frozen inputs;
 //! * elements are partitioned by id, writes target disjoint slots, and the
-//!   chunk results are reduced back in id order;
+//!   shard results are reduced back in id order;
 //! * every floating-point *summation* (per-flow aggregate prices, per-link
 //!   usage, total utility) runs inside one kernel in the same element order
 //!   as the sequential reference — the sharding never reassociates a sum.
 //!
+//! # The Auto cost model
+//!
+//! [`Parallelism::Auto`] resolves its worker count per phase through an
+//! [`AutoModel`]: a tiny analytic cost model calibrated **once at engine
+//! construction** from the problem's dimensions (average classes per flow
+//! sets the per-unit kernel cost; [`std::thread::available_parallelism`]
+//! caps the worker count). For a phase of `units` dirty elements the model
+//! picks the largest worker count whose wake/sync overhead is still covered
+//! by the kernel work it takes off the calling thread — and stays
+//! sequential below the crossover. The model is deterministic (pure integer
+//! arithmetic, no clocks) and monotone (more units never picks fewer
+//! workers), properties pinned by tests.
+//!
 //! # Composition of the two axes
 //!
 //! The executor shards the *dirty* element lists instead of the full id
-//! ranges, resolving its worker count with [`Parallelism::workers_for`] on
-//! the dirty count — a step with ten dirty flows stays sequential under
+//! ranges, resolving its worker count with [`ExecutionPlan::workers_for`]
+//! on the dirty count — a step with ten dirty flows stays sequential under
 //! [`Parallelism::Auto`] even on a thousand-flow problem. A
 //! non-incremental plan simply marks everything dirty before each step
 //! (recomputing a bitwise-unchanged input yields the bitwise-same output,
@@ -52,30 +66,14 @@ use crate::engine::LrgpConfig;
 use crate::exec::StepState;
 use crate::gamma::GammaController;
 use crate::kernel::price::PriceVector;
+use crate::pool::PoolHandle;
 use lrgp_model::Problem;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// Minimum number of per-phase work units before [`Parallelism::Auto`]
-/// bothers spawning workers; below this the per-step thread-spawn cost
-/// dominates the kernel work.
-const AUTO_MIN_UNITS: usize = 192;
-
-/// Worker-count ceiling for [`Parallelism::Auto`] (spawn cost grows linearly
-/// with workers while per-step work is fixed).
+/// Worker-count ceiling for [`Parallelism::Auto`] (sync cost grows linearly
+/// with participating workers while per-step work is fixed).
 const AUTO_MAX_WORKERS: usize = 8;
-
-/// Joins a scoped worker, re-raising its panic payload unchanged.
-///
-/// Equivalent to `handle.join().expect(...)` but preserves the worker's
-/// original panic payload instead of replacing it with a new message, and
-/// keeps panicking escape hatches out of library code (the
-/// `library-unwrap` lint invariant).
-pub(crate) fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
-    match handle.join() {
-        Ok(value) => value,
-        Err(payload) => std::panic::resume_unwind(payload),
-    }
-}
 
 /// How the engine executes the three phases of a step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -83,35 +81,119 @@ pub enum Parallelism {
     /// Single-threaded reference execution (the default).
     #[default]
     Sequential,
-    /// Shard each phase over exactly this many scoped worker threads
-    /// (values are clamped to at least 1 and at most one worker per
-    /// element).
+    /// Shard each phase over exactly this many execution contexts — the
+    /// calling thread plus `n − 1` pooled workers (values are clamped to at
+    /// least 1 and at most one context per element).
     Threads(usize),
-    /// Pick a worker count from [`std::thread::available_parallelism`], or
-    /// stay sequential when the problem is too small to amortize the
-    /// per-step spawn cost.
+    /// Pick a worker count per phase from the engine's calibrated
+    /// [`AutoModel`], staying sequential when the dirty set is too small to
+    /// amortize the pool wake-up.
     Auto,
 }
 
 impl Parallelism {
     /// Resolves the worker count for a phase of `units` independent
-    /// elements. A result of 1 means the sequential path.
+    /// elements, using the *default* (uncalibrated) Auto model. A result of
+    /// 1 means the sequential path. Prefer [`ExecutionPlan::workers_for`],
+    /// which consults the engine's calibrated model.
     pub fn workers_for(self, units: usize) -> usize {
         match self {
             Parallelism::Sequential => 1,
             Parallelism::Threads(n) => n.clamp(1, units.max(1)),
-            Parallelism::Auto => {
-                if units < AUTO_MIN_UNITS {
-                    1
-                } else {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
-                        .min(AUTO_MAX_WORKERS)
-                        .min(units)
-                }
+            Parallelism::Auto => AutoModel::default().workers_for(units),
+        }
+    }
+}
+
+/// The analytic cost model behind [`Parallelism::Auto`].
+///
+/// All costs are unitless integers on a common scale (think "nanoseconds,
+/// roughly"): what matters is their ratios, which decide the
+/// sequential/parallel crossover. The model is calibrated once per engine
+/// from the problem's dimensions ([`AutoModel::calibrated_for`]) — never
+/// from wall-clock measurements, which would make plans nondeterministic.
+///
+/// For `units` dirty elements sharded over `w` contexts, dispatching is
+/// worth it when the work taken off the calling thread exceeds the
+/// overhead of waking and syncing the pool:
+///
+/// ```text
+/// (units − ceil(units / w)) · unit_cost ≥ dispatch_cost + per_worker_cost · (w − 1)
+/// ```
+///
+/// [`AutoModel::workers_for`] picks the largest `w ≤ max_workers`
+/// satisfying this, or 1 when none does. Because the left side is
+/// non-decreasing in `units` for every fixed `w`, the chosen worker count
+/// is monotone in `units`; because everything is integer arithmetic on
+/// fixed fields, it is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AutoModel {
+    /// Cost of one unit of phase work (one dirty flow's rate solve, one
+    /// dirty node's re-admission).
+    pub unit_cost: u64,
+    /// Fixed cost of waking the pool for one phase (condvar broadcast +
+    /// caller's final wait).
+    pub dispatch_cost: u64,
+    /// Marginal sync cost per participating worker beyond the caller.
+    pub per_worker_cost: u64,
+    /// Hard ceiling on the total execution contexts (caller + workers).
+    pub max_workers: u32,
+}
+
+impl Default for AutoModel {
+    fn default() -> Self {
+        // Uncalibrated fallback: a mid-weight kernel on a pool sized to the
+        // Auto ceiling. `calibrated_for` replaces this at engine
+        // construction.
+        Self {
+            unit_cost: 150,
+            dispatch_cost: 12_000,
+            per_worker_cost: 4_000,
+            max_workers: AUTO_MAX_WORKERS as u32,
+        }
+    }
+}
+
+impl AutoModel {
+    /// Calibrates the model for `problem` from its dimensions alone: the
+    /// per-unit kernel cost scales with the average class count per flow
+    /// (both the rate solve's term refill and the admission sort are linear
+    /// in it), and the worker ceiling is capped by the host's hardware
+    /// parallelism, resolved once here so repeated derivations agree.
+    pub fn calibrated_for(problem: &Problem) -> Self {
+        let flows = (problem.num_flows() as u64).max(1);
+        let classes_per_flow = (problem.num_classes() as u64).div_ceil(flows).max(1);
+        let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self {
+            // ~40 for the bounds/price plumbing plus ~25 per class term.
+            unit_cost: 40 + 25 * classes_per_flow,
+            max_workers: (AUTO_MAX_WORKERS as u32).min(hardware as u32).max(1),
+            ..Self::default()
+        }
+    }
+
+    /// The largest context count (caller + workers) whose pool overhead the
+    /// saved kernel work still covers, for a phase of `units` elements;
+    /// 1 means stay sequential. Deterministic and monotone in `units` (see
+    /// the type docs).
+    pub fn workers_for(&self, units: usize) -> usize {
+        let ceiling = (self.max_workers as usize).max(1).min(units.max(1));
+        let mut best = 1;
+        for w in 2..=ceiling {
+            let saved = (units - units.div_ceil(w)) as u64 * self.unit_cost;
+            let overhead = self.dispatch_cost + self.per_worker_cost * (w as u64 - 1);
+            if saved >= overhead {
+                best = w;
             }
         }
+        best
+    }
+
+    /// The smallest unit count at which [`Self::workers_for`] first leaves
+    /// the sequential path (`None` if no count up to `limit` does): the
+    /// calibrated crossover, exposed for tests and diagnostics.
+    pub fn crossover(&self, limit: usize) -> Option<usize> {
+        (2..=limit).find(|&units| self.workers_for(units) > 1)
     }
 }
 
@@ -139,23 +221,35 @@ impl IncrementalMode {
     }
 }
 
-/// The resolved execution strategy of an engine: one choice per axis.
+/// The resolved execution strategy of an engine: one choice per axis, plus
+/// the calibrated [`AutoModel`].
 ///
 /// Derived from [`LrgpConfig`] at construction via
-/// [`ExecutionPlan::from_config`]; the engine consults it on every step.
-/// Plans affect wall-clock time only — never results (see the module docs).
+/// [`ExecutionPlan::from_config`] (the engine then calibrates `auto` for
+/// its problem); the engine consults it on every step. Plans affect
+/// wall-clock time only — never results (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ExecutionPlan {
-    /// How each phase shards its work over threads.
+    /// How each phase shards its work over the pool.
     pub parallelism: Parallelism,
     /// Whether dirty sets persist across steps.
     pub incrementality: IncrementalMode,
+    /// The Auto crossover model (only consulted under
+    /// [`Parallelism::Auto`]).
+    #[serde(default)]
+    pub auto: AutoModel,
 }
 
 impl ExecutionPlan {
-    /// Reads the plan out of an engine configuration.
+    /// Reads the plan out of an engine configuration. The `auto` model
+    /// starts at its defaults; the engine calibrates it against the problem
+    /// via [`AutoModel::calibrated_for`].
     pub fn from_config(config: &LrgpConfig) -> Self {
-        Self { parallelism: config.parallelism, incrementality: config.incremental }
+        Self {
+            parallelism: config.parallelism,
+            incrementality: config.incremental,
+            auto: AutoModel::default(),
+        }
     }
 
     /// `true` when dirty sets persist across steps.
@@ -163,10 +257,26 @@ impl ExecutionPlan {
         self.incrementality.enabled()
     }
 
-    /// Resolves the worker count for a phase of `units` independent
-    /// elements (see [`Parallelism::workers_for`]).
+    /// Resolves the execution-context count (caller + pooled workers) for a
+    /// phase of `units` independent elements. A result of 1 means the
+    /// sequential path.
     pub fn workers_for(&self, units: usize) -> usize {
-        self.parallelism.workers_for(units)
+        match self.parallelism {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.clamp(1, units.max(1)),
+            Parallelism::Auto => self.auto.workers_for(units),
+        }
+    }
+
+    /// The most execution contexts any phase can ever use under this plan —
+    /// what sizes the engine's persistent pool (caller + `max_concurrency
+    /// − 1` workers).
+    pub fn max_concurrency(&self) -> usize {
+        match self.parallelism {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => (self.auto.max_workers as usize).max(1),
+        }
     }
 
     /// A short human-readable rendering, e.g. `"threads(4), incremental"`.
@@ -182,22 +292,24 @@ impl ExecutionPlan {
 
     /// Executes one LRGP iteration under this plan. For non-incremental
     /// plans every element is marked dirty first, which makes the step an
-    /// exact full recompute through the same executor.
+    /// exact full recompute through the same executor. Sharded phases run
+    /// on `pool`'s parked workers.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn execute(
         &self,
         state: &mut StepState,
-        problem: &Problem,
+        problem: &Arc<Problem>,
         config: &LrgpConfig,
-        rates: &mut [f64],
-        populations: &mut [f64],
+        pool: &PoolHandle,
+        rates: &mut Vec<f64>,
+        populations: &mut Vec<f64>,
         prices: &mut PriceVector,
         gammas: &mut [GammaController],
     ) -> f64 {
         if !self.incremental() {
             state.mark_all_dirty();
         }
-        state.step(problem, config, self, rates, populations, prices, gammas)
+        state.step(problem, config, self, pool, rates, populations, prices, gammas)
     }
 }
 
@@ -222,6 +334,69 @@ mod tests {
     fn auto_stays_sequential_on_small_problems() {
         assert_eq!(Parallelism::Auto.workers_for(8), 1);
         assert!(Parallelism::Auto.workers_for(100_000) >= 1);
+    }
+
+    #[test]
+    fn auto_model_is_deterministic() {
+        let model = AutoModel::default();
+        for units in [0, 1, 10, 100, 1_000, 100_000] {
+            let first = model.workers_for(units);
+            for _ in 0..5 {
+                assert_eq!(model.workers_for(units), first, "units {units}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_model_is_monotone_in_units() {
+        let models = [
+            AutoModel::default(),
+            AutoModel { unit_cost: 1, dispatch_cost: 100, per_worker_cost: 7, max_workers: 6 },
+            AutoModel { unit_cost: 900, dispatch_cost: 50_000, per_worker_cost: 1, max_workers: 3 },
+        ];
+        for model in models {
+            let mut prev = 0usize;
+            for units in 0..5_000 {
+                let w = model.workers_for(units);
+                assert!(
+                    w >= prev,
+                    "workers_for must be monotone: units {units} gave {w} after {prev}"
+                );
+                prev = w;
+            }
+        }
+    }
+
+    #[test]
+    fn auto_model_crossover_matches_analytic_threshold() {
+        // With w = 2: saved = (units − ceil(units/2)) · unit_cost =
+        // floor(units/2) · unit_cost; the crossover is the first units with
+        // floor(units/2) · 10 ≥ 100 + 5 ⇒ floor(units/2) ≥ 11 ⇒ units = 22.
+        let model =
+            AutoModel { unit_cost: 10, dispatch_cost: 100, per_worker_cost: 5, max_workers: 2 };
+        assert_eq!(model.crossover(1_000), Some(22));
+        assert_eq!(model.workers_for(21), 1);
+        assert_eq!(model.workers_for(22), 2);
+    }
+
+    #[test]
+    fn auto_model_respects_the_worker_ceiling() {
+        let model = AutoModel { max_workers: 3, ..AutoModel::default() };
+        for units in [10usize, 1_000, 1_000_000] {
+            assert!(model.workers_for(units) <= 3);
+        }
+        let solo = AutoModel { max_workers: 1, ..AutoModel::default() };
+        assert_eq!(solo.workers_for(1_000_000), 1);
+    }
+
+    #[test]
+    fn calibration_is_deterministic_and_scales_with_classes() {
+        let problem = lrgp_model::workloads::base_workload();
+        let a = AutoModel::calibrated_for(&problem);
+        let b = AutoModel::calibrated_for(&problem);
+        assert_eq!(a, b, "repeated calibration must agree");
+        assert!(a.unit_cost > AutoModel::default().dispatch_cost / 1_000);
+        assert!(a.max_workers >= 1 && a.max_workers <= AUTO_MAX_WORKERS as u32);
     }
 
     #[test]
@@ -256,13 +431,28 @@ mod tests {
     }
 
     #[test]
+    fn plan_max_concurrency_by_mode() {
+        let plan = |parallelism| ExecutionPlan { parallelism, ..ExecutionPlan::default() };
+        assert_eq!(plan(Parallelism::Sequential).max_concurrency(), 1);
+        assert_eq!(plan(Parallelism::Threads(4)).max_concurrency(), 4);
+        assert_eq!(plan(Parallelism::Threads(0)).max_concurrency(), 1);
+        let auto = plan(Parallelism::Auto);
+        assert_eq!(auto.max_concurrency(), auto.auto.max_workers as usize);
+    }
+
+    #[test]
     fn plan_serde_round_trip() {
         let plan = ExecutionPlan {
             parallelism: Parallelism::Auto,
             incrementality: IncrementalMode::Auto,
+            ..ExecutionPlan::default()
         };
         let json = serde_json::to_string(&plan).unwrap();
         let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
+        // Pre-AutoModel plan JSON (no `auto` field) still deserializes.
+        let legacy = r#"{"parallelism":"Sequential","incrementality":"On"}"#;
+        let back: ExecutionPlan = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.auto, AutoModel::default());
     }
 }

@@ -1,0 +1,58 @@
+//! Engine-level behavior of `Parallelism::Auto` and its calibrated cost
+//! model: derivations are deterministic, and the `set_auto_model` hook
+//! flips Auto from sequential to pooled threads at exactly the crossover
+//! the model predicts — without disturbing bit-identity.
+
+use lrgp::{AutoModel, Engine, LrgpConfig, Parallelism};
+use lrgp_model::workloads::base_workload;
+
+fn auto_config() -> LrgpConfig {
+    LrgpConfig { parallelism: Parallelism::Auto, ..LrgpConfig::default() }
+}
+
+#[test]
+fn repeated_plan_derivations_pick_the_same_mode() {
+    // Calibration draws only on problem dimensions and the (fixed) hardware
+    // parallelism, so two engines over the same problem must agree exactly.
+    let a = Engine::new(base_workload(), auto_config());
+    let b = Engine::new(base_workload(), auto_config());
+    assert_eq!(a.plan(), b.plan());
+    assert_eq!(a.effective_workers(), b.effective_workers());
+}
+
+#[test]
+fn auto_model_hook_flips_sequential_to_threads_at_the_expected_size() {
+    let mut engine = Engine::new(base_workload(), auto_config());
+    // The base workload (6 flows, 9 nodes) sits far below the default
+    // crossover, so Auto resolves to the sequential path.
+    assert_eq!(engine.effective_workers(), 1, "base workload should stay sequential");
+
+    // Pin a model whose analytic crossover lands just under the workload's
+    // 9 price units: 2 contexts save floor(units/2)·unit_cost, which first
+    // covers dispatch_cost + per_worker_cost at units = 8.
+    let model = AutoModel {
+        unit_cost: 10_000,
+        dispatch_cost: 30_000,
+        per_worker_cost: 1_000,
+        max_workers: 2,
+    };
+    assert_eq!(model.crossover(64), Some(8));
+    assert_eq!(model.workers_for(7), 1);
+    assert_eq!(model.workers_for(8), 2);
+
+    engine.set_auto_model(model);
+    assert_eq!(
+        engine.effective_workers(),
+        2,
+        "9 units sit past the pinned crossover, so Auto must flip to threads"
+    );
+
+    // The flipped mode still matches the sequential reference bitwise.
+    engine.force_pool_dispatch(true);
+    let mut reference = Engine::new(base_workload(), LrgpConfig::default());
+    for k in 0..60 {
+        let expected = reference.step();
+        let got = engine.step();
+        assert_eq!(expected.to_bits(), got.to_bits(), "diverged at iteration {k}");
+    }
+}

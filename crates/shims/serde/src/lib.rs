@@ -122,6 +122,19 @@ pub fn get_field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T
     }
 }
 
+/// Fetches and deserializes a struct field marked `#[serde(default)]`:
+/// an absent key falls back to `T::default()` instead of erroring, so new
+/// fields can be added to persisted formats backward-compatibly.
+pub fn get_field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    key: &str,
+) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("field `{key}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 /// Fetches and deserializes a positional element of a tuple struct/variant.
 pub fn get_elem<T: Deserialize>(arr: &[Value], idx: usize) -> Result<T, DeError> {
     let v = arr

@@ -10,24 +10,31 @@
 //! `serde::Deserialize` impl per field.
 //!
 //! Supported shapes (everything this workspace derives):
-//! * structs with named fields,
+//! * structs with named fields, honoring `#[serde(default)]` on a field
+//!   (an absent key deserializes to `Default::default()`),
 //! * tuple structs (single-field ones delegate to the inner value, matching
 //!   both real serde's newtype behavior and `#[serde(transparent)]`),
 //! * unit structs,
 //! * enums with unit, newtype, tuple, and struct variants, encoded with
 //!   real serde's external tagging.
 //!
-//! Generic types and non-`transparent` serde attributes are rejected with a
-//! compile error naming the construct.
+//! Generic types and other serde attributes are rejected with a compile
+//! error naming the construct.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// What the item parser extracts.
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
+    NamedStruct { name: String, fields: Vec<Field> },
     TupleStruct { name: String, arity: usize },
     UnitStruct { name: String },
     Enum { name: String, variants: Vec<Variant> },
+}
+
+/// A named field and whether it carried `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -38,7 +45,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 /// Entry point for `#[derive(Serialize)]`.
@@ -110,12 +117,38 @@ fn parse_item(input: TokenStream) -> Result<Shape, String> {
 
 /// Skips `#[...]` outer attributes (doc comments arrive in this form too).
 fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    consume_attributes(tokens, pos);
+}
+
+/// Skips `#[...]` outer attributes, reporting whether any of them was
+/// `#[serde(default)]` (possibly alongside other idents in the list).
+fn consume_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut default = false;
     while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         *pos += 1; // '#'
-        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
-        {
-            *pos += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+            if g.delimiter() == Delimiter::Bracket {
+                default |= is_serde_default(g.stream());
+                *pos += 1;
+            }
         }
+    }
+    default
+}
+
+/// Whether an attribute body (the tokens inside `#[...]`) is
+/// `serde(... default ...)`.
+fn is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref i) if i.to_string() == "default"))
+        }
+        _ => false,
     }
 }
 
@@ -148,12 +181,12 @@ fn skip_to_top_level_comma(tokens: &[TokenTree], pos: &mut usize) {
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        skip_attributes(&tokens, &mut pos);
+        let default = consume_attributes(&tokens, &mut pos);
         skip_visibility(&tokens, &mut pos);
         let name = match tokens.get(pos) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -167,7 +200,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
         }
         skip_to_top_level_comma(&tokens, &mut pos);
         pos += 1; // consume the comma (or step past end)
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
@@ -230,6 +263,7 @@ fn gen_serialize(shape: &Shape) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
                     )
@@ -296,10 +330,12 @@ fn gen_serialize(shape: &Shape) -> String {
                             )
                         }
                         VariantKind::Struct(fields) => {
-                            let binds = fields.join(", ");
+                            let binds =
+                                fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
                                     )
@@ -327,13 +363,21 @@ fn gen_serialize(shape: &Shape) -> String {
     }
 }
 
+/// The initializer expression for one named field: `#[serde(default)]`
+/// fields tolerate an absent key by falling back to `Default::default()`.
+fn field_init(f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!("{name}: ::serde::get_field_or_default(__obj, {name:?})?")
+    } else {
+        format!("{name}: ::serde::get_field(__obj, {name:?})?")
+    }
+}
+
 fn gen_deserialize(shape: &Shape) -> String {
     match shape {
         Shape::NamedStruct { name, fields } => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::get_field(__obj, {f:?})?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(field_init).collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
@@ -406,10 +450,7 @@ fn gen_deserialize(shape: &Shape) -> String {
                             ))
                         }
                         VariantKind::Struct(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| format!("{f}: ::serde::get_field(__obj, {f:?})?"))
-                                .collect();
+                            let inits: Vec<String> = fields.iter().map(field_init).collect();
                             Some(format!(
                                 "{vn:?} => {{\n\
                                      let __obj = _inner.as_object().ok_or_else(|| ::serde::DeError::custom(\

@@ -11,7 +11,9 @@
 //!
 //! Four axes are covered, alone and combined:
 //!
-//! * **parallelism** — sharded over scoped threads vs sequential;
+//! * **parallelism** — sharded over the persistent worker pool vs
+//!   sequential, with dispatch forced so the cross-thread handoff runs
+//!   even on single-CPU hosts;
 //! * **incrementality** — dirty-set skipping vs full recompute;
 //! * **deltas** — [`Engine::apply_delta`] vs the wholesale
 //!   `replace_problem` oracle, mid-run;
@@ -55,6 +57,9 @@ fn assert_engines_identical(
     let parallel_config = LrgpConfig { parallelism, trace: TraceConfig::full(), ..config };
     let mut sequential = Engine::new(problem.clone(), sequential_config);
     let mut parallel = Engine::new(problem, parallel_config);
+    // Dispatch through the worker pool even on single-CPU hosts, so the
+    // cross-thread handoff is exercised wherever the suite runs.
+    parallel.force_pool_dispatch(true);
     for k in 1..=iterations {
         let u_seq = sequential.step();
         let u_par = parallel.step();
@@ -126,6 +131,7 @@ fn assert_incremental_identical(
     let mut baseline = Engine::new(problem.clone(), baseline_config);
     let mut inc_seq = Engine::new(problem.clone(), inc_seq_config);
     let mut inc_par = Engine::new(problem, inc_par_config);
+    inc_par.force_pool_dispatch(true);
     for k in 1..=iterations {
         if let Some((at, flow)) = removal {
             if k == at {
@@ -262,15 +268,19 @@ proptest! {
     /// keeps the dirty-set caches alive where it can) must leave the
     /// incremental engines bit-identical, at every iteration, to the
     /// full-recompute baseline that rebuilds its problem wholesale with
-    /// `replace_problem(delta.apply(..))`.
+    /// `replace_problem(delta.apply(..))`. The pooled candidates run the
+    /// same schedule at 2, 3, and 4 contexts with dispatch forced, covering
+    /// non-divisible shard splits and dirty sets smaller than the worker
+    /// count (the workload floor is 2 flows / 1 node).
     #[test]
     fn delta_sequences_bit_identical_to_from_scratch(
-        (workload, seed, threads) in workload_strategy(),
+        (workload, seed, _threads) in workload_strategy(),
         schedule in proptest::collection::vec(
             (0u8..4, 0u64..1_000_000, 0.0f64..1_000_000.0),
             1..5,
         )
     ) {
+        const POOLED_WORKERS: [usize; 3] = [2, 3, 4];
         let mut rng = StdRng::seed_from_u64(seed);
         let problem = workload.generate(&mut rng);
         let baseline_config = LrgpConfig {
@@ -281,11 +291,18 @@ proptest! {
         };
         let inc_seq_config =
             LrgpConfig { incremental: IncrementalMode::On, ..baseline_config };
-        let inc_par_config =
-            LrgpConfig { parallelism: Parallelism::Threads(threads), ..inc_seq_config };
         let mut baseline = Engine::new(problem.clone(), baseline_config);
         let mut inc_seq = Engine::new(problem.clone(), inc_seq_config);
-        let mut inc_par = Engine::new(problem, inc_par_config);
+        let mut pooled: Vec<Engine> = POOLED_WORKERS
+            .iter()
+            .map(|&w| {
+                let config =
+                    LrgpConfig { parallelism: Parallelism::Threads(w), ..inc_seq_config };
+                let engine = Engine::new(problem.clone(), config);
+                engine.force_pool_dispatch(true);
+                engine
+            })
+            .collect();
         // One delta every 6 iterations, starting at iteration 7 so the
         // first edits land on a warm dirty-set state.
         for k in 1..=30usize {
@@ -295,24 +312,30 @@ proptest! {
                     let edited = delta.apply(baseline.problem()).expect("delta is valid");
                     baseline.replace_problem(edited);
                     inc_seq.apply_delta(&delta).expect("delta is valid");
-                    inc_par.apply_delta(&delta).expect("delta is valid");
+                    for engine in &mut pooled {
+                        engine.apply_delta(&delta).expect("delta is valid");
+                    }
                 }
             }
             let u_base = baseline.step();
             let u_seq = inc_seq.step();
-            let u_par = inc_par.step();
             prop_assert!(
                 u_base.to_bits() == u_seq.to_bits(),
                 "delta-sequential utility diverged at iteration {}: {:?} vs {:?}",
                 k, u_base, u_seq
             );
-            prop_assert!(
-                u_base.to_bits() == u_par.to_bits(),
-                "delta-threads utility diverged at iteration {}: {:?} vs {:?}",
-                k, u_base, u_par
-            );
             assert_same_state("delta-sequential", k, &baseline, &inc_seq);
-            assert_same_state("delta-threads", k, &baseline, &inc_par);
+            for (engine, w) in pooled.iter_mut().zip(POOLED_WORKERS) {
+                let u_par = engine.step();
+                prop_assert!(
+                    u_base.to_bits() == u_par.to_bits(),
+                    "delta-threads({}) utility diverged at iteration {}: {:?} vs {:?}",
+                    w, k, u_base, u_par
+                );
+            }
+            for (engine, w) in pooled.iter().zip(POOLED_WORKERS) {
+                assert_same_state(&format!("delta-threads-{w}"), k, &baseline, engine);
+            }
         }
     }
 }
