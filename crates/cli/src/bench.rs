@@ -31,7 +31,7 @@
 //! `BENCH_lrgp.json`), which is committed to the repository as the
 //! tracked baseline.
 
-use lrgp::{Engine, IncrementalMode, LrgpConfig, Parallelism};
+use lrgp::{Engine, IncrementalMode, LrgpConfig, Numerics, Parallelism};
 use lrgp_model::workloads::{paper_workload, RandomWorkload};
 use lrgp_model::{Problem, UtilityShape};
 use rand::rngs::StdRng;
@@ -120,6 +120,33 @@ pub struct ThreadRatioBench {
     pub thread_ratio: f64,
 }
 
+/// Strict-vs-vectorized numerics comparison on one workload.
+///
+/// Both engines run the sequential incremental path; the only difference
+/// is the [`lrgp::Numerics`] axis. `vector_ratio` is `strict / vectorized`
+/// on the near-converged median, so ≥ 1.0 means the lane-batched kernels
+/// and cohort fast paths pay for their dispatch. CI enforces the floor on
+/// the crossover-scale workload via `--min-vector-ratio`; the paper-scale
+/// entry is context only (it is bookkeeping-bound and its flows sit below
+/// one lane, where Vectorized degenerates to the strict code).
+#[derive(Debug, Clone, Serialize)]
+pub struct NumericsBench {
+    /// Workload label.
+    pub name: String,
+    /// Problem dimensions, for context.
+    pub flows: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of consumer classes.
+    pub classes: usize,
+    /// Median near-converged incremental step, `Numerics::Strict`.
+    pub strict_ns: u64,
+    /// Median near-converged incremental step, `Numerics::Vectorized`.
+    pub vectorized_ns: u64,
+    /// `strict / vectorized` (≥ 1.0 means vectorization is no slower).
+    pub vector_ratio: f64,
+}
+
 /// The whole report, serialized to `BENCH_lrgp.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -133,6 +160,8 @@ pub struct BenchReport {
     pub workloads: Vec<WorkloadBench>,
     /// Pooled-threads floors at the crossover scale.
     pub thread_ratio: Vec<ThreadRatioBench>,
+    /// Strict-vs-vectorized numerics comparison per workload.
+    pub numerics: Vec<NumericsBench>,
 }
 
 struct BenchParams {
@@ -317,6 +346,44 @@ fn thread_ratio_bench(name: &str, problem: &Problem, params: &BenchParams) -> Th
     }
 }
 
+/// Interleaved near-converged comparison of `Numerics::Strict` against
+/// `Numerics::Vectorized` on one workload.
+///
+/// Mirrors [`thread_ratio_bench`]: both engines warm up independently, then
+/// the timed steps alternate so scheduler drift and frequency scaling land
+/// on both sides of the ratio equally. Both engines run the sequential
+/// incremental path, so the ratio isolates the numerics axis.
+fn numerics_bench(name: &str, problem: &Problem, params: &BenchParams) -> NumericsBench {
+    let base = config(IncrementalMode::On, Parallelism::Sequential);
+    let strict_config = LrgpConfig { numerics: Numerics::Strict, ..base };
+    let vectorized_config = LrgpConfig { numerics: Numerics::Vectorized, ..base };
+    let mut strict = Engine::new(problem.clone(), strict_config);
+    let mut vectorized = Engine::new(problem.clone(), vectorized_config);
+    strict.run(params.warmup);
+    vectorized.run(params.warmup);
+    let mut strict_samples = Vec::with_capacity(params.samples);
+    let mut vectorized_samples = Vec::with_capacity(params.samples);
+    for _ in 0..params.samples {
+        let start = Instant::now();
+        strict.step();
+        strict_samples.push(start.elapsed().as_nanos() as u64);
+        let start = Instant::now();
+        vectorized.step();
+        vectorized_samples.push(start.elapsed().as_nanos() as u64);
+    }
+    let strict_ns = median(strict_samples);
+    let vectorized_ns = median(vectorized_samples);
+    NumericsBench {
+        name: name.to_string(),
+        flows: problem.num_flows(),
+        nodes: problem.num_nodes(),
+        classes: problem.num_classes(),
+        strict_ns,
+        vectorized_ns,
+        vector_ratio: strict_ns as f64 / vectorized_ns.max(1) as f64,
+    }
+}
+
 /// The large synthetic workload: enough flows, nodes, and classes that the
 /// per-iteration kernel work dominates the step.
 fn large_workload(_quick: bool) -> Problem {
@@ -373,13 +440,24 @@ pub fn run_bench(quick: bool) -> BenchReport {
     } else {
         BenchParams { warmup: 100, samples: 80, first_repeats: 1 }
     };
-    let thread_ratio = vec![thread_ratio_bench("huge_10k", &huge_workload(), &ratio_params)];
+    let huge = huge_workload();
+    let thread_ratio = vec![thread_ratio_bench("huge_10k", &huge, &ratio_params)];
+    // The numerics axis is compared on every workload, but the
+    // `--min-vector-ratio` floor is asserted only against the
+    // crossover-scale entry (see `NumericsBench`): at paper scale the
+    // vectorized path degenerates to the strict code by design.
+    let numerics = vec![
+        numerics_bench("paper_base", &paper_workload(UtilityShape::Log, 1, 1), &params),
+        numerics_bench("large_synthetic", &large_workload(quick), &params),
+        numerics_bench("huge_10k", &huge, &ratio_params),
+    ];
     BenchReport {
         quick,
         warmup_iterations: params.warmup,
         sample_iterations: params.samples,
         workloads,
         thread_ratio,
+        numerics,
     }
 }
 
@@ -417,6 +495,16 @@ pub fn print_report(report: &BenchReport) {
         println!(
             "  near converged  : sequential {:>10} ns, pooled({}) {:>10} ns (ratio {:.2}x)",
             r.sequential_ns, r.workers, r.pooled_ns, r.thread_ratio
+        );
+    }
+    for n in &report.numerics {
+        println!(
+            "{} numerics ({} flows, {} nodes, {} classes):",
+            n.name, n.flows, n.nodes, n.classes
+        );
+        println!(
+            "  near converged  : strict {:>10} ns, vectorized {:>10} ns (ratio {:.2}x)",
+            n.strict_ns, n.vectorized_ns, n.vector_ratio
         );
     }
 }

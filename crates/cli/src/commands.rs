@@ -70,6 +70,27 @@ impl IncrementalArg {
     }
 }
 
+/// Numerics selection for `solve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericsArg {
+    /// The bitwise-reproducible scalar kernels (the default).
+    Strict,
+    /// The lane-batched kernels with closed-form cohort solves.
+    Vectorized,
+}
+
+impl NumericsArg {
+    fn parse(raw: &str) -> Result<NumericsArg, ParseError> {
+        match raw {
+            "strict" => Ok(NumericsArg::Strict),
+            "vectorized" => Ok(NumericsArg::Vectorized),
+            other => {
+                Err(ParseError(format!("--numerics: expected strict|vectorized, got {other:?}")))
+            }
+        }
+    }
+}
+
 /// `lrgp workload` — generate a workload JSON file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadCmd {
@@ -96,6 +117,8 @@ pub struct SolveCmd {
     pub threads: ThreadsArg,
     /// Incremental dirty-set evaluation.
     pub incremental: IncrementalArg,
+    /// Numerics axis: strict scalar kernels or vectorized ones.
+    pub numerics: NumericsArg,
     /// Optional CSV path for the utility trace.
     pub trace: Option<PathBuf>,
     /// Optional JSON path for the solved problem + allocation.
@@ -117,6 +140,9 @@ pub struct BenchCmd {
     /// Fail (exit non-zero) when the crossover workload's pooled-threads
     /// ratio (sequential / pooled near-converged) falls below this factor.
     pub min_thread_ratio: Option<f64>,
+    /// Fail (exit non-zero) when the large workload's vectorized-numerics
+    /// ratio (strict / vectorized near-converged) falls below this factor.
+    pub min_vector_ratio: Option<f64>,
 }
 
 /// `lrgp anneal` — run the simulated-annealing baseline.
@@ -223,8 +249,8 @@ lrgp — utility optimization for event-driven distributed infrastructures
 
 USAGE:
   lrgp workload [--shape log|pow25|pow50|pow75] [--systems N] [--cnodes N] -o FILE
-  lrgp solve    <base|FILE> [--iters N] [--gamma adaptive|FLOAT] [--threads auto|N] [--incremental on|off|auto] [--trace CSV] [--save JSON]
-  lrgp bench    [--json] [--quick] [--out FILE] [--min-speedup X] [--min-thread-ratio X]
+  lrgp solve    <base|FILE> [--iters N] [--gamma adaptive|FLOAT] [--threads auto|N] [--incremental on|off|auto] [--numerics strict|vectorized] [--trace CSV] [--save JSON]
+  lrgp bench    [--json] [--quick] [--out FILE] [--min-speedup X] [--min-thread-ratio X] [--min-vector-ratio X]
   lrgp anneal   <base|FILE> [--steps N] [--temp T] [--seed N]
   lrgp compare  <base|FILE> [--steps N] [--seed N]
   lrgp simulate <base|FILE> [--async] [--latency MS] [--amount N]
@@ -290,6 +316,7 @@ where
                 gamma: GammaArg::Adaptive,
                 threads: ThreadsArg::Sequential,
                 incremental: IncrementalArg::Auto,
+                numerics: NumericsArg::Strict,
                 trace: None,
                 save: None,
             };
@@ -323,6 +350,9 @@ where
                     "--incremental" => {
                         cmd.incremental = IncrementalArg::parse(take_value(flag, &mut it)?)?;
                     }
+                    "--numerics" => {
+                        cmd.numerics = NumericsArg::parse(take_value(flag, &mut it)?)?;
+                    }
                     "--trace" => cmd.trace = Some(PathBuf::from(take_value(flag, &mut it)?)),
                     "--save" => cmd.save = Some(PathBuf::from(take_value(flag, &mut it)?)),
                     other => return Err(ParseError(format!("solve: unknown flag {other}"))),
@@ -337,6 +367,7 @@ where
                 output: PathBuf::from("BENCH_lrgp.json"),
                 min_speedup: None,
                 min_thread_ratio: None,
+                min_vector_ratio: None,
             };
             while let Some(flag) = it.next() {
                 match flag {
@@ -350,6 +381,9 @@ where
                     }
                     "--min-thread-ratio" => {
                         cmd.min_thread_ratio = Some(parse_num(flag, take_value(flag, &mut it)?)?);
+                    }
+                    "--min-vector-ratio" => {
+                        cmd.min_vector_ratio = Some(parse_num(flag, take_value(flag, &mut it)?)?);
                     }
                     other => return Err(ParseError(format!("bench: unknown flag {other}"))),
                 }
@@ -511,6 +545,7 @@ mod tests {
                 gamma: GammaArg::Adaptive,
                 threads: ThreadsArg::Sequential,
                 incremental: IncrementalArg::Auto,
+                numerics: NumericsArg::Strict,
                 trace: None,
                 save: None,
             })
@@ -531,6 +566,25 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn solve_numerics_variants() {
+        let numerics = |args: &[&str]| match p(args).unwrap() {
+            Command::Solve(s) => s.numerics,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(numerics(&["solve", "base"]), NumericsArg::Strict);
+        assert_eq!(numerics(&["solve", "base", "--numerics", "strict"]), NumericsArg::Strict);
+        assert_eq!(
+            numerics(&["solve", "base", "--numerics", "vectorized"]),
+            NumericsArg::Vectorized
+        );
+        assert!(p(&["solve", "base", "--numerics", "fast"])
+            .unwrap_err()
+            .0
+            .contains("strict|vectorized"));
+        assert!(p(&["solve", "base", "--numerics"]).unwrap_err().0.contains("requires a value"));
     }
 
     #[test]
@@ -562,6 +616,7 @@ mod tests {
                 output: PathBuf::from("BENCH_lrgp.json"),
                 min_speedup: None,
                 min_thread_ratio: None,
+                min_vector_ratio: None,
             })
         );
         assert_eq!(
@@ -575,6 +630,8 @@ mod tests {
                 "3.5",
                 "--min-thread-ratio",
                 "1.0",
+                "--min-vector-ratio",
+                "1.15",
             ])
             .unwrap(),
             Command::Bench(BenchCmd {
@@ -583,6 +640,7 @@ mod tests {
                 output: PathBuf::from("b.json"),
                 min_speedup: Some(3.5),
                 min_thread_ratio: Some(1.0),
+                min_vector_ratio: Some(1.15),
             })
         );
         assert!(p(&["bench", "--bogus"]).unwrap_err().0.contains("unknown flag"));
@@ -590,6 +648,8 @@ mod tests {
         assert!(p(&["bench", "--min-speedup", "fast"]).unwrap_err().0.contains("cannot parse"));
         assert!(p(&["bench", "--min-thread-ratio"]).unwrap_err().0.contains("requires a value"));
         assert!(p(&["bench", "--min-thread-ratio", "x"]).unwrap_err().0.contains("cannot parse"));
+        assert!(p(&["bench", "--min-vector-ratio"]).unwrap_err().0.contains("requires a value"));
+        assert!(p(&["bench", "--min-vector-ratio", "x"]).unwrap_err().0.contains("cannot parse"));
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use crate::commands::{
     AnnealCmd, BenchCmd, Command, CompareCmd, GammaArg, IncrementalArg, InfoCmd, LintCmd,
-    SimulateCmd, SolveCmd, ThreadsArg, WorkloadCmd, WorkloadRef,
+    NumericsArg, SimulateCmd, SolveCmd, ThreadsArg, WorkloadCmd, WorkloadRef,
 };
-use lrgp::{Engine, GammaMode, IncrementalMode, LrgpConfig, Parallelism, TraceConfig};
+use lrgp::{Engine, GammaMode, IncrementalMode, LrgpConfig, Numerics, Parallelism, TraceConfig};
 use lrgp_anneal::{sweep, AnnealConfig};
 use lrgp_model::io::ProblemFile;
 use lrgp_model::workloads::{self, paper_workload};
@@ -130,10 +130,15 @@ fn solve(cmd: SolveCmd) -> CliResult {
         IncrementalArg::On => IncrementalMode::On,
         IncrementalArg::Auto => IncrementalMode::Auto,
     };
+    let numerics = match cmd.numerics {
+        NumericsArg::Strict => Numerics::Strict,
+        NumericsArg::Vectorized => Numerics::Vectorized,
+    };
     let config = LrgpConfig {
         gamma,
         parallelism,
         incremental,
+        numerics,
         trace: TraceConfig::default(),
         ..LrgpConfig::default()
     };
@@ -231,6 +236,36 @@ fn bench(cmd: BenchCmd) -> CliResult {
             None => {
                 return Err(
                     "bench: no crossover workload to check --min-thread-ratio against".into()
+                )
+            }
+        }
+    }
+    if let Some(min) = cmd.min_vector_ratio {
+        // The crossover-scale workload is where the lane-batched kernels
+        // and cohort fast paths must pay; paper-scale entries are context
+        // only (their flows sit below one lane, where Vectorized
+        // degenerates to the strict code) and are exempt.
+        let worst = report
+            .numerics
+            .iter()
+            .filter(|n| n.name.starts_with("huge"))
+            .min_by(|a, b| a.vector_ratio.total_cmp(&b.vector_ratio));
+        match worst {
+            Some(n) if n.vector_ratio < min => {
+                return Err(format!(
+                    "bench: {} vectorized-numerics ratio {:.2}x is below the \
+                     --min-vector-ratio floor {min}x",
+                    n.name, n.vector_ratio
+                )
+                .into());
+            }
+            Some(n) => println!(
+                "vector-ratio floor met: {} at {:.2}x (≥ {min}x)",
+                n.name, n.vector_ratio
+            ),
+            None => {
+                return Err(
+                    "bench: no crossover workload to check --min-vector-ratio against".into()
                 )
             }
         }

@@ -24,7 +24,7 @@ use crate::exec::StepState;
 use crate::gamma::{GammaController, GammaMode};
 use crate::kernel::admission::{AdmissionPolicy, PopulationMode};
 use crate::kernel::price::{NodePriceRule, PriceVector};
-use crate::plan::{AutoModel, ExecutionPlan, IncrementalMode, Parallelism};
+use crate::plan::{AutoModel, ExecutionPlan, IncrementalMode, Numerics, Parallelism};
 use crate::pool::PoolHandle;
 use crate::trace::{Trace, TraceConfig};
 use lrgp_model::{Allocation, DeltaOp, FlowId, Problem, ProblemDelta, ValidationError};
@@ -87,6 +87,11 @@ pub struct LrgpConfig {
     /// (off by default — the full recompute is the reference; the
     /// incremental path is bit-identical, see [`crate::exec`]).
     pub incremental: IncrementalMode,
+    /// Which numeric kernels the step dispatches to (Strict by default —
+    /// bitwise-reproducible scalar code; the vectorized path trades the
+    /// bitwise guarantee for bounded drift, see [`crate::plan::Numerics`]).
+    #[serde(default)]
+    pub numerics: Numerics,
 }
 
 impl Default for LrgpConfig {
@@ -104,6 +109,7 @@ impl Default for LrgpConfig {
             trace: TraceConfig::default(),
             parallelism: Parallelism::default(),
             incremental: IncrementalMode::default(),
+            numerics: Numerics::default(),
         }
     }
 }

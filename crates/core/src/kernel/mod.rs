@@ -17,6 +17,11 @@
 //!   [`price::PriceVector`] state and its `PL_i`/`PB_i` aggregation (Eq.
 //!   8/9), in both direct and precomputed term-table forms that are
 //!   documented and tested bit-identical.
+//! * [`vector`] — lane-batched variants of the above for the
+//!   [`crate::plan::Numerics::Vectorized`] axis: unrolled gather-dot
+//!   aggregation, cohort-dispatched closed-form rate solves, a
+//!   shape-grouped bisection derivative, and dense Eq. 12/13 batches.
+//!   Strictly opt-in; reassociates sums within a documented drift bound.
 //!
 //! Because kernels are pure and every reduction runs in a fixed element
 //! order, recomputing an element whose inputs are bitwise-unchanged returns
@@ -26,3 +31,4 @@
 pub mod admission;
 pub mod price;
 pub mod rate;
+pub mod vector;

@@ -16,10 +16,12 @@
 use lrgp_model::{FlowId, Problem, RateBounds, Utility};
 use lrgp_num::roots::bisect_decreasing;
 
-/// Absolute tolerance on the rate produced by the numeric fallback.
-const RATE_TOL: f64 = 1e-9;
-/// Iteration cap for the numeric fallback.
-const MAX_ITER: usize = 200;
+/// Absolute tolerance on the rate produced by the numeric fallback (shared
+/// with the vectorized solver so both bisections stop at the same width).
+pub(crate) const RATE_TOL: f64 = 1e-9;
+/// Iteration cap for the numeric fallback (shared with the vectorized
+/// solver).
+pub(crate) const MAX_ITER: usize = 200;
 
 /// The weighted utility terms `Σ_j n_j U_j(r)` of one flow's rate
 /// subproblem.

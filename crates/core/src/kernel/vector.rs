@@ -1,0 +1,710 @@
+//! Lane-batched kernel variants — the [`Numerics::Vectorized`] plan axis.
+//!
+//! Every function here computes the same quantity as its scalar sibling in
+//! [`crate::kernel::rate`] / [`crate::kernel::price`], but structured for
+//! the machine rather than for bitwise reproducibility:
+//!
+//! * **Aggregation** ([`dot_gather`], [`aggregate_price_from_table`]) runs
+//!   in fixed-width unrolled chunks of [`LANES`] elements with one
+//!   independent partial accumulator per lane and a scalar tail, then folds
+//!   the partials in a fixed reduction tree. The partial sums break the
+//!   scalar left-to-right dependence chain, so the compiler can keep
+//!   [`LANES`] fused multiply-adds in flight (and auto-vectorize them on a
+//!   stable toolchain — no `std::simd`), at the price of *reassociating*
+//!   the floating-point sum.
+//! * **Rate solving** ([`solve_flow_rate_from_table`]) dispatches on the
+//!   flow's [`FlowCohort`], classified once at term-table build time:
+//!   all-log and uniform-power flows solve in closed form from a single
+//!   lane-summed weighted-population mass (no bisection at all), and the
+//!   generic residue bisects a [`GroupedAggregate`] derivative whose cost
+//!   is the number of distinct utility *shapes* (≤ 4 groups) instead of
+//!   the number of class terms.
+//! * **Price updates** ([`node_price_batch`], [`link_price_batch`]) apply
+//!   Eq. 12/13 over dense parallel slices. The per-element math is
+//!   identical to the scalar kernels — these batches exist so the always-
+//!   runs price loop reads its inputs as contiguous columns — and their
+//!   results are bitwise equal to the scalar loop by construction.
+//!
+//! # Drift contract
+//!
+//! Reassociated sums and closed-form-instead-of-bisection solves perturb
+//! results in the low-order bits only; each perturbation is bounded by a
+//! few ULPs per reduction. The differential harness
+//! (`tests/differential.rs`) pins the end-to-end effect: a `Vectorized`
+//! engine's total utility tracks the `Strict` engine within `1e-12`
+//! relative drift at convergence, across the full random delta schedule.
+//!
+//! [`Numerics::Vectorized`]: crate::plan::Numerics::Vectorized
+
+use crate::kernel::price::{update_link_price, update_node_price_with_rule, NodePriceRule};
+use crate::kernel::rate::{MAX_ITER, RATE_TOL};
+use lrgp_model::{FlowCohort, FlowId, PriceTermTable, Problem, RateBounds, Utility};
+use lrgp_num::roots::bisect_decreasing;
+
+use crate::kernel::price::PriceVector;
+
+/// Fixed lane width of the unrolled aggregation loops. Eight independent
+/// f64 accumulators fill one AVX-512 register or two AVX2 registers and
+/// cover the FMA latency×throughput product of current x86/ARM cores.
+pub const LANES: usize = 8;
+
+/// `Σ cost · values[idx]` over `(idx, cost)` terms — the gather-dot-product
+/// shared by every CSR aggregation — computed in [`LANES`]-wide unrolled
+/// chunks with independent partial accumulators, a fixed-tree reduction,
+/// and a scalar tail.
+///
+/// The result is the same sum as the scalar left fold up to reassociation:
+/// term `t` lands in partial accumulator `t mod LANES`, so the additions
+/// happen in a different order and the low-order bits may differ.
+///
+/// # Panics
+///
+/// Panics if an index is out of range for `values`.
+pub fn dot_gather(terms: &[(u32, f64)], values: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let mut chunks = terms.chunks_exact(LANES);
+    for c in &mut chunks {
+        // Hand-unrolled: eight independent multiply-adds per iteration,
+        // no cross-lane dependence until the final reduction.
+        acc[0] += c[0].1 * values[c[0].0 as usize];
+        acc[1] += c[1].1 * values[c[1].0 as usize];
+        acc[2] += c[2].1 * values[c[2].0 as usize];
+        acc[3] += c[3].1 * values[c[3].0 as usize];
+        acc[4] += c[4].1 * values[c[4].0 as usize];
+        acc[5] += c[5].1 * values[c[5].0 as usize];
+        acc[6] += c[6].1 * values[c[6].0 as usize];
+        acc[7] += c[7].1 * values[c[7].0 as usize];
+    }
+    let mut tail = 0.0;
+    for &(idx, cost) in chunks.remainder() {
+        tail += cost * values[idx as usize];
+    }
+    // Fixed reduction tree: pairwise, independent of the term count.
+    (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
+}
+
+/// `PL_i` (Eq. 8) over the flow's CSR link terms, lane-batched. Same terms
+/// as [`PriceVector::aggregate_link_price_from_table`], reassociated.
+pub fn aggregate_link_price_from_table(
+    table: &PriceTermTable,
+    flow: FlowId,
+    link_prices: &[f64],
+) -> f64 {
+    dot_gather(table.link_terms(flow), link_prices)
+}
+
+/// `PB_i` (Eq. 9) over the flow's CSR node terms, with each node's
+/// per-rate consumer cost lane-batched over its class terms. Same terms as
+/// [`PriceVector::aggregate_node_price_from_table`], reassociated.
+pub fn aggregate_node_price_from_table(
+    table: &PriceTermTable,
+    flow: FlowId,
+    node_prices: &[f64],
+    populations: &[f64],
+) -> f64 {
+    let mut total = 0.0;
+    for term in table.node_terms(flow) {
+        let per_rate_cost = term.flow_cost + dot_gather(table.class_terms(term), populations);
+        total += per_rate_cost * node_prices[term.node as usize];
+    }
+    total
+}
+
+/// `PL_i + PB_i` from the term table, lane-batched.
+pub fn aggregate_price_from_table(
+    table: &PriceTermTable,
+    flow: FlowId,
+    prices: &PriceVector,
+    populations: &[f64],
+) -> f64 {
+    aggregate_link_price_from_table(table, flow, prices.link_prices())
+        + aggregate_node_price_from_table(table, flow, prices.node_prices(), populations)
+}
+
+/// Whether the flow's aggregate price `PL_i + PB_i` is strictly positive,
+/// without computing its value.
+///
+/// Every term of Eqs. 8–9 is a product of non-negative factors — costs are
+/// validated non-negative at problem build, node and link prices are
+/// projected onto `[0, ∞)`, and populations are counts — so the sum is
+/// positive iff *some* term is. The scan early-exits on the first positive
+/// contribution, which on a near-converged system is almost always the
+/// first node term. This is what makes the inactive-flow fast path in
+/// [`solve_flow_rate_from_table`] cheap: a flow with no admitted consumers
+/// needs only the price's sign, not its value.
+pub fn price_is_positive(
+    table: &PriceTermTable,
+    flow: FlowId,
+    prices: &PriceVector,
+    populations: &[f64],
+) -> bool {
+    let link_prices = prices.link_prices();
+    for &(l, cost) in table.link_terms(flow) {
+        if cost * link_prices[l as usize] > 0.0 {
+            return true;
+        }
+    }
+    let node_prices = prices.node_prices();
+    for term in table.node_terms(flow) {
+        if node_prices[term.node as usize] > 0.0 {
+            if term.flow_cost > 0.0 {
+                return true;
+            }
+            for &(c, cost) in table.class_terms(term) {
+                if cost * populations[c as usize] > 0.0 {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The weighted-population mass `S = Σ_j n_j w_j` of a flow's utility
+/// terms (lane-batched), plus whether *any* class has positive population —
+/// the emptiness test the scalar solver performs on its term list.
+pub fn weighted_population_mass(terms: &[(u32, f64)], populations: &[f64]) -> (f64, bool) {
+    let active = terms.iter().any(|&(class, _)| populations[class as usize] > 0.0);
+    (dot_gather(terms, populations), active)
+}
+
+/// Closed-form Eq. 7 solve for an all-logarithmic flow:
+/// `r* = S/P − 1` with `S = Σ n_j w_j`, clamped into `bounds`.
+///
+/// Branch-for-branch this mirrors [`crate::kernel::rate::solve_rate`]:
+/// no admitted consumers (`!active`) keeps the previous rate under a zero
+/// price and pins to `bounds.min` otherwise, and a zero price with
+/// consumers saturates at `bounds.max`.
+pub fn solve_log_rate(
+    mass: f64,
+    active: bool,
+    price: f64,
+    bounds: RateBounds,
+    fallback: f64,
+) -> f64 {
+    debug_assert!(price >= 0.0, "prices are projected onto [0, ∞)");
+    if !active {
+        return if price > 0.0 { bounds.min } else { bounds.clamp(fallback) };
+    }
+    if price == 0.0 {
+        return bounds.max;
+    }
+    bounds.clamp(mass / price - 1.0)
+}
+
+/// Closed-form Eq. 7 solve for a uniform-exponent power flow:
+/// `r* = (kS/P)^(1/(1−k))`, clamped into `bounds`. Same branch structure
+/// as [`solve_log_rate`].
+pub fn solve_power_rate(
+    mass: f64,
+    exponent: f64,
+    active: bool,
+    price: f64,
+    bounds: RateBounds,
+    fallback: f64,
+) -> f64 {
+    debug_assert!(price >= 0.0, "prices are projected onto [0, ∞)");
+    if !active {
+        return if price > 0.0 { bounds.min } else { bounds.clamp(fallback) };
+    }
+    if price == 0.0 {
+        return bounds.max;
+    }
+    bounds.clamp((exponent * mass / price).powf(1.0 / (1.0 - exponent)))
+}
+
+/// A flow's admitted utility terms grouped by *shape* instead of listed per
+/// class: `Σ_j n_j U_j` collapses to at most one mass per utility family
+/// (plus one entry per distinct power exponent / saturation scale).
+///
+/// The grouped derivative
+///
+/// ```text
+/// Φ'(r) = L + S_log/(1+r) + Σ_k m_k · k · r^(k−1) + Σ_s (m_s/s) · e^(−r/s)
+/// ```
+///
+/// costs O(groups) per evaluation instead of O(class terms), which is what
+/// makes the generic bisection residue cheap: a 10-class mixed-shape flow
+/// evaluates 4 grouped terms per bisection step instead of 10 enum-matched
+/// ones. Grouping reassociates the per-term sums, so results track the
+/// scalar [`crate::kernel::rate::AggregateUtility`] within ULPs rather
+/// than bitwise.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupedAggregate {
+    /// `Σ n_j w_j` over logarithmic terms.
+    log_mass: f64,
+    /// `Σ n_j w_j` over linear terms.
+    linear_mass: f64,
+    /// `(exponent, Σ n_j w_j)` per distinct power exponent.
+    powers: Vec<(f64, f64)>,
+    /// `(scale, Σ n_j w_j)` per distinct saturation scale.
+    saturatings: Vec<(f64, f64)>,
+    /// Whether any term with positive population was pushed.
+    active: bool,
+}
+
+impl GroupedAggregate {
+    /// Resets to the empty aggregate, keeping group-buffer capacity.
+    pub fn clear(&mut self) {
+        self.log_mass = 0.0;
+        self.linear_mass = 0.0;
+        self.powers.clear();
+        self.saturatings.clear();
+        self.active = false;
+    }
+
+    /// Clears and re-collects the active terms (`n_j > 0`) of `flow`, like
+    /// [`crate::kernel::rate::AggregateUtility::refill_for_flow`] but into
+    /// shape groups. Allocation-free once the group buffers have grown.
+    pub fn refill_for_flow(&mut self, problem: &Problem, flow: FlowId, populations: &[f64]) {
+        self.clear();
+        for &c in problem.classes_of_flow(flow) {
+            let n = populations[c.index()];
+            if n > 0.0 {
+                self.push(n, problem.class(c).utility);
+            }
+        }
+    }
+
+    /// Folds one weighted term into its shape group. Terms with
+    /// non-positive population are ignored (they contribute nothing, and
+    /// the scalar aggregate drops them too).
+    pub fn push(&mut self, n: f64, utility: Utility) {
+        if n <= 0.0 {
+            return;
+        }
+        self.active = true;
+        match utility {
+            Utility::Log { weight } => self.log_mass += n * weight,
+            Utility::Linear { weight } => self.linear_mass += n * weight,
+            Utility::Power { weight, exponent } => {
+                // lrgp-lint: allow(float-eq, reason = "shape classification, not a numeric comparison: an exponent stored as exactly 1.0 makes w·r^k linear by identity, and routing it to the linear mass keeps the grouped derivative finite; inexact near-1 exponents must NOT take this branch")
+                if exponent == 1.0 {
+                    self.linear_mass += n * weight;
+                } else {
+                    accumulate_group(&mut self.powers, exponent, n * weight);
+                }
+            }
+            Utility::Saturating { weight, scale } => {
+                accumulate_group(&mut self.saturatings, scale, n * weight);
+            }
+        }
+    }
+
+    /// `true` when no pushed term had positive population — the same
+    /// emptiness the scalar aggregate reports.
+    pub fn is_empty(&self) -> bool {
+        !self.active
+    }
+
+    /// `Σ_j n_j U_j'(r)` from the shape groups (see the type docs for the
+    /// closed form). Matches the scalar
+    /// [`crate::kernel::rate::AggregateUtility::derivative`] up to
+    /// reassociation for `r > 0`.
+    pub fn derivative(&self, rate: f64) -> f64 {
+        let r = rate.max(0.0);
+        let mut d = self.linear_mass + self.log_mass / (1.0 + r);
+        for &(k, m) in &self.powers {
+            d += m * k * r.powf(k - 1.0);
+        }
+        for &(s, m) in &self.saturatings {
+            d += m / s * (-r / s).exp();
+        }
+        d
+    }
+
+    /// The log mass if the aggregate is purely logarithmic (no other group
+    /// carries mass), mirroring the scalar solver's all-log fast path.
+    fn pure_log_mass(&self) -> Option<f64> {
+        (self.linear_mass == 0.0 && self.powers.is_empty() && self.saturatings.is_empty())
+            .then_some(self.log_mass)
+    }
+
+    /// `(mass, exponent)` if the aggregate is a single power group,
+    /// mirroring the scalar solver's uniform-exponent fast path.
+    fn pure_power_mass(&self) -> Option<(f64, f64)> {
+        if self.log_mass == 0.0
+            && self.linear_mass == 0.0
+            && self.saturatings.is_empty()
+            && self.powers.len() == 1
+        {
+            let (k, m) = self.powers[0];
+            Some((m, k))
+        } else {
+            None
+        }
+    }
+}
+
+/// Adds `mass` to the group keyed (bitwise) by `key`, appending a new group
+/// for an unseen key. Bitwise key matching keeps the grouping deterministic
+/// and never merges keys that merely round-trip close to each other.
+fn accumulate_group(groups: &mut Vec<(f64, f64)>, key: f64, mass: f64) {
+    for group in groups.iter_mut() {
+        if group.0.to_bits() == key.to_bits() {
+            group.1 += mass;
+            return;
+        }
+    }
+    groups.push((key, mass));
+}
+
+/// Solves the flow's Eq. 7 rate subproblem from a [`GroupedAggregate`] —
+/// the generic-cohort path. Branch structure mirrors
+/// [`crate::kernel::rate::solve_rate`] exactly: empty → min/fallback, zero
+/// price → max, pure-log / pure-power closed forms, then bisection on the
+/// grouped derivative with the scalar solver's tolerance and iteration cap.
+pub fn solve_grouped_rate(
+    aggregate: &GroupedAggregate,
+    price: f64,
+    bounds: RateBounds,
+    fallback: f64,
+) -> f64 {
+    debug_assert!(price >= 0.0, "prices are projected onto [0, ∞)");
+    if aggregate.is_empty() {
+        return if price > 0.0 { bounds.min } else { bounds.clamp(fallback) };
+    }
+    if price == 0.0 {
+        return bounds.max;
+    }
+    if let Some(s) = aggregate.pure_log_mass() {
+        return bounds.clamp(s / price - 1.0);
+    }
+    if let Some((s, k)) = aggregate.pure_power_mass() {
+        return bounds.clamp((k * s / price).powf(1.0 / (1.0 - k)));
+    }
+    let phi_prime = |r: f64| {
+        let d = aggregate.derivative(r);
+        // A power group evaluated at r = 0 yields an infinite slope where
+        // the scalar kernel substitutes f64::MAX per term; clamp so the
+        // bracket check stays finite instead of aborting the bisection.
+        // lrgp-lint: allow(float-eq, reason = "exact-infinity sentinel produced by powf(negative) at r == 0; no rounding can get near it, and the clamp mirrors the scalar kernel's finite f64::MAX substitution")
+        let d = if d == f64::INFINITY { f64::MAX } else { d };
+        d - price
+    };
+    match bisect_decreasing(phi_prime, bounds.min, bounds.max, RATE_TOL, MAX_ITER) {
+        Ok(r) => r,
+        Err(_) => bounds.clamp(fallback),
+    }
+}
+
+/// One flow's complete vectorized rate solve: inactive-flow sign
+/// short-circuit, lane-batched price aggregation, then cohort dispatch —
+/// closed forms for [`FlowCohort::Log`] / [`FlowCohort::Power`] flows (no
+/// per-term walk at all beyond the mass dot product),
+/// [`solve_grouped_rate`] for the generic residue. `grouped` is
+/// caller-owned scratch, refilled only on the generic path.
+///
+/// A flow with no admitted consumers (every class population zero) reduces
+/// Eq. 7 to `max −r·price`, which depends only on the price's *sign*; the
+/// fast path answers it with [`price_is_positive`]'s early-exit scan
+/// instead of the full aggregation, producing the exact branch results of
+/// [`crate::kernel::rate::solve_rate`]'s empty case. On large systems most
+/// flows sit in this state near convergence (their nodes are
+/// capacity-saturated by better-ranked classes), so this is the dominant
+/// per-flow cost.
+pub fn solve_flow_rate_from_table(
+    problem: &Problem,
+    table: &PriceTermTable,
+    prices: &PriceVector,
+    populations: &[f64],
+    flow: FlowId,
+    previous_rate: f64,
+    grouped: &mut GroupedAggregate,
+) -> f64 {
+    let bounds = problem.flow(flow).bounds;
+    let active =
+        table.utility_terms(flow).iter().any(|&(c, _)| populations[c as usize] > 0.0);
+    if !active {
+        return if price_is_positive(table, flow, prices, populations) {
+            bounds.min
+        } else {
+            bounds.clamp(previous_rate)
+        };
+    }
+    let price = aggregate_price_from_table(table, flow, prices, populations);
+    match table.cohort(flow) {
+        FlowCohort::Log => {
+            let (mass, active) = weighted_population_mass(table.utility_terms(flow), populations);
+            solve_log_rate(mass, active, price, bounds, previous_rate)
+        }
+        FlowCohort::Power { exponent } => {
+            let (mass, active) = weighted_population_mass(table.utility_terms(flow), populations);
+            solve_power_rate(mass, exponent, active, price, bounds, previous_rate)
+        }
+        FlowCohort::Generic => {
+            grouped.refill_for_flow(problem, flow, populations);
+            solve_grouped_rate(grouped, price, bounds, previous_rate)
+        }
+    }
+}
+
+/// Batched Eq. 12 over dense parallel columns: `out[b]` receives the
+/// updated price of node `b`. Per-element math is identical to the scalar
+/// [`update_node_price_with_rule`] loop (γ₁ = γ₂ = `gammas[b]`, projection
+/// onto `[0, ∞)` included), so the batch is bitwise equal to it.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn node_price_batch(
+    rule: NodePriceRule,
+    current: &[f64],
+    bc: &[f64],
+    used: &[f64],
+    capacities: &[f64],
+    gammas: &[f64],
+    out: &mut [f64],
+) {
+    assert!(
+        current.len() == bc.len()
+            && current.len() == used.len()
+            && current.len() == capacities.len()
+            && current.len() == gammas.len()
+            && current.len() == out.len(),
+        "node price batch columns must agree in length"
+    );
+    for b in 0..current.len() {
+        out[b] = update_node_price_with_rule(
+            rule,
+            current[b],
+            bc[b],
+            used[b],
+            capacities[b],
+            gammas[b],
+            gammas[b],
+        );
+    }
+}
+
+/// Batched Eq. 13 over dense parallel columns: `out[l]` receives the
+/// updated price of link `l`. Bitwise equal to the scalar
+/// [`update_link_price`] loop.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn link_price_batch(
+    current: &[f64],
+    usage: &[f64],
+    capacities: &[f64],
+    gamma: f64,
+    out: &mut [f64],
+) {
+    assert!(
+        current.len() == usage.len()
+            && current.len() == capacities.len()
+            && current.len() == out.len(),
+        "link price batch columns must agree in length"
+    );
+    for l in 0..current.len() {
+        out[l] = update_link_price(current[l], usage[l], capacities[l], gamma);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::rate::{solve_rate, AggregateUtility};
+    use lrgp_model::{NodeId, ProblemBuilder};
+
+    fn bounds() -> RateBounds {
+        RateBounds::new(10.0, 1000.0).unwrap()
+    }
+
+    #[test]
+    fn dot_gather_matches_scalar_on_small_and_ragged_lengths() {
+        let values: Vec<f64> = (0..40).map(|i| 1.0 + i as f64 * 0.37).collect();
+        for len in [0usize, 1, 7, 8, 9, 16, 17, 23] {
+            let terms: Vec<(u32, f64)> =
+                (0..len).map(|i| ((i * 7 % 40) as u32, 0.5 + i as f64)).collect();
+            let scalar: f64 = terms.iter().map(|&(i, c)| c * values[i as usize]).sum();
+            let vec = dot_gather(&terms, &values);
+            assert!(
+                (vec - scalar).abs() <= 1e-12 * scalar.abs().max(1.0),
+                "len {len}: {vec} vs {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_closed_form_matches_scalar_solver() {
+        let agg = AggregateUtility::from_terms([(2.0, Utility::log(30.0)), (1.0, Utility::log(40.0))]);
+        let scalar = solve_rate(&agg, 0.5, bounds(), 10.0);
+        // mass = 2·30 + 1·40 = 100, same S as the scalar path.
+        let vec = solve_log_rate(100.0, true, 0.5, bounds(), 10.0);
+        assert_eq!(vec.to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    fn log_branches_mirror_scalar_on_empty_and_zero_price() {
+        // Empty: positive price pins min, zero price keeps (clamped) fallback.
+        assert_eq!(solve_log_rate(0.0, false, 2.0, bounds(), 500.0), 10.0);
+        assert_eq!(solve_log_rate(0.0, false, 0.0, bounds(), 500.0), 500.0);
+        assert_eq!(solve_log_rate(0.0, false, 0.0, bounds(), 5000.0), 1000.0);
+        // Active with zero price saturates.
+        assert_eq!(solve_log_rate(50.0, true, 0.0, bounds(), 10.0), 1000.0);
+    }
+
+    #[test]
+    fn power_closed_form_matches_scalar_solver() {
+        let agg = AggregateUtility::from_terms([(3.0, Utility::power(10.0, 0.5))]);
+        let scalar = solve_rate(&agg, 0.75, bounds(), 10.0);
+        let vec = solve_power_rate(30.0, 0.5, true, 0.75, bounds(), 10.0);
+        assert_eq!(vec.to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    fn grouped_derivative_matches_scalar_aggregate() {
+        let terms = [
+            (2.0, Utility::log(30.0)),
+            (1.5, Utility::power(10.0, 0.5)),
+            (3.0, Utility::linear(2.0)),
+            (0.5, Utility::saturating(8.0, 40.0)),
+            (1.0, Utility::power(4.0, 0.5)), // merges with the first power
+        ];
+        let scalar = AggregateUtility::from_terms(terms);
+        let mut grouped = GroupedAggregate::default();
+        for (n, u) in terms {
+            grouped.push(n, u);
+        }
+        for r in [0.5, 10.0, 99.0, 1000.0] {
+            let a = scalar.derivative(r);
+            let b = grouped.derivative(r);
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "r {r}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn grouped_solve_tracks_scalar_bisection() {
+        let terms = [(2.0, Utility::log(30.0)), (1.0, Utility::power(10.0, 0.5))];
+        let scalar_agg = AggregateUtility::from_terms(terms);
+        let mut grouped = GroupedAggregate::default();
+        for (n, u) in terms {
+            grouped.push(n, u);
+        }
+        for price in [0.1, 1.2, 4.0] {
+            let a = solve_rate(&scalar_agg, price, bounds(), 10.0);
+            let b = solve_grouped_rate(&grouped, price, bounds(), 10.0);
+            // Both bisect to RATE_TOL; the roots agree to that width.
+            assert!((a - b).abs() <= 1e-6, "price {price}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn grouped_exponent_one_routes_to_linear_mass() {
+        let mut grouped = GroupedAggregate::default();
+        grouped.push(2.0, Utility::Power { weight: 3.0, exponent: 1.0 });
+        // w·r^1 is linear: constant derivative 6, no power group.
+        assert!(grouped.powers.is_empty());
+        assert_eq!(grouped.derivative(5.0), 6.0);
+        assert_eq!(grouped.derivative(50.0), 6.0);
+    }
+
+    #[test]
+    fn grouped_zero_population_terms_are_ignored() {
+        let mut grouped = GroupedAggregate::default();
+        grouped.push(0.0, Utility::log(1e9));
+        assert!(grouped.is_empty());
+        assert_eq!(solve_grouped_rate(&grouped, 2.0, bounds(), 500.0), 10.0);
+        assert_eq!(solve_grouped_rate(&grouped, 0.0, bounds(), 500.0), 500.0);
+    }
+
+    #[test]
+    fn grouped_bisection_survives_zero_rate_bracket() {
+        // bounds.min = 0 evaluates the power derivative at r = 0, where the
+        // grouped closed form is +∞; the sentinel clamp keeps the bracket
+        // finite so bisection proceeds (scalar substitutes f64::MAX there).
+        let zero_bounds = RateBounds::new(0.0, 1000.0).unwrap();
+        let mut grouped = GroupedAggregate::default();
+        grouped.push(1.0, Utility::power(10.0, 0.5));
+        grouped.push(1.0, Utility::log(5.0));
+        let r = solve_grouped_rate(&grouped, 1.0, zero_bounds, 1.0);
+        assert!(r.is_finite());
+        assert!((grouped.derivative(r) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn price_batches_are_bitwise_equal_to_scalar_loops() {
+        let current = [0.0, 1.0, 2.5, 0.3];
+        let bc = [1.0, 2.0, 0.5, 4.0];
+        let used = [10.0, 200.0, 50.0, 99.0];
+        let caps = [100.0, 100.0, 100.0, 100.0];
+        let gammas = [0.1, 0.2, 0.05, 1.5];
+        let mut out = [0.0; 4];
+        for rule in [NodePriceRule::BenefitCost, NodePriceRule::PureGradient] {
+            node_price_batch(rule, &current, &bc, &used, &caps, &gammas, &mut out);
+            for b in 0..4 {
+                let scalar = update_node_price_with_rule(
+                    rule, current[b], bc[b], used[b], caps[b], gammas[b], gammas[b],
+                );
+                assert_eq!(out[b].to_bits(), scalar.to_bits());
+            }
+        }
+        let usage = [120.0, 80.0, 0.0, 100.0];
+        link_price_batch(&current, &usage, &caps, 0.01, &mut out);
+        for l in 0..4 {
+            let scalar = update_link_price(current[l], usage[l], caps[l], 0.01);
+            assert_eq!(out[l].to_bits(), scalar.to_bits());
+        }
+    }
+
+    #[test]
+    fn vectorized_aggregation_tracks_the_table_aggregation() {
+        let mut b = ProblemBuilder::new();
+        let src = b.add_node(1e6);
+        let sink = b.add_node(9e5);
+        let l = b.add_link_between(1e4, src, sink);
+        let f = b.add_flow(src, bounds());
+        b.set_link_cost(f, l, 2.0);
+        b.set_node_cost(f, sink, 3.0);
+        for i in 0..11 {
+            b.add_class(f, sink, 100, Utility::log(5.0 + i as f64), 1.0 + i as f64 * 0.5);
+        }
+        let p = b.build().unwrap();
+        let table = PriceTermTable::new(&p);
+        let mut v = PriceVector::zeros(&p);
+        v.set_link(lrgp_model::LinkId::new(0), 0.371);
+        v.set_node(NodeId::new(1), 2.043);
+        let pops: Vec<f64> = (0..11).map(|i| i as f64 * 1.7).collect();
+        let flow = FlowId::new(0);
+        let scalar = v.aggregate_price_from_table(&table, flow, &pops);
+        let vec = aggregate_price_from_table(&table, flow, &v, &pops);
+        assert!((scalar - vec).abs() <= 1e-12 * scalar.abs().max(1.0));
+    }
+
+    #[test]
+    fn cohort_dispatch_solves_each_family() {
+        let mut b = ProblemBuilder::new();
+        let src = b.add_node(1e9);
+        let sink = b.add_node(1e9);
+        let log_flow = b.add_flow(src, bounds());
+        let pow_flow = b.add_flow(src, bounds());
+        let mix_flow = b.add_flow(src, bounds());
+        for f in [log_flow, pow_flow, mix_flow] {
+            b.set_node_cost(f, sink, 1.0);
+        }
+        b.add_class(log_flow, sink, 100, Utility::log(20.0), 1.0);
+        b.add_class(pow_flow, sink, 100, Utility::power(10.0, 0.5), 1.0);
+        b.add_class(mix_flow, sink, 100, Utility::log(20.0), 1.0);
+        b.add_class(mix_flow, sink, 100, Utility::power(10.0, 0.5), 1.0);
+        let p = b.build().unwrap();
+        let table = PriceTermTable::new(&p);
+        let mut prices = PriceVector::zeros(&p);
+        prices.set_node(NodeId::new(1), 1.0);
+        let pops = vec![5.0; p.num_classes()];
+        let mut grouped = GroupedAggregate::default();
+        for flow in p.flow_ids() {
+            let scalar = {
+                let agg = AggregateUtility::for_flow(&p, flow, &pops);
+                let price = prices.aggregate_price_from_table(&table, flow, &pops);
+                solve_rate(&agg, price, p.flow(flow).bounds, 10.0)
+            };
+            let vec = solve_flow_rate_from_table(&p, &table, &prices, &pops, flow, 10.0, &mut grouped);
+            assert!(
+                (scalar - vec).abs() <= 1e-9 * scalar.abs().max(1.0),
+                "flow {flow:?}: {scalar} vs {vec}"
+            );
+        }
+    }
+}

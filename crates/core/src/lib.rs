@@ -114,7 +114,7 @@ pub use engine::{Engine, InitialRate, LrgpConfig, RunOutcome};
 pub use gamma::{AdaptiveGammaConfig, GammaController, GammaMode};
 pub use kernel::admission::{AdmissionPolicy, PopulationMode};
 pub use kernel::price::PriceVector;
-pub use plan::{AutoModel, ExecutionPlan, IncrementalMode, Parallelism};
+pub use plan::{AutoModel, ExecutionPlan, IncrementalMode, Numerics, Parallelism};
 pub use snapshot::EngineSnapshot;
 pub use trace::{Trace, TraceConfig};
 pub use two_stage::{two_stage_solve, TwoStageOutcome};

@@ -7,12 +7,21 @@
 //! * [`Parallelism`] — whether each phase shards its work over the engine's
 //!   persistent worker pool ([`crate::pool`]), and over how many workers;
 //! * [`IncrementalMode`] — whether the step recomputes everything or only
-//!   the dirty subset tracked by [`crate::exec::StepState`].
+//!   the dirty subset tracked by [`crate::exec::StepState`];
+//! * [`Numerics`] — whether the per-element kernels run the scalar
+//!   reference code or the lane-batched variants in
+//!   [`crate::kernel::vector`].
 //!
-//! Both axes preserve bit-identical results, so a plan is purely a
-//! performance choice: all four combinations produce the same
+//! The first two axes preserve bit-identical results, so within
+//! [`Numerics::Strict`] a plan is purely a performance choice: every
+//! parallelism × incrementality combination produces the same
 //! `f64::to_bits` trace as the sequential full-recompute reference
-//! (enforced by `tests/differential.rs`).
+//! (enforced by `tests/differential.rs`). [`Numerics::Vectorized`]
+//! deliberately reassociates floating-point sums and replaces bisection
+//! with closed forms where possible, so it trades the bitwise guarantee
+//! for a bounded one: total utility at convergence stays within `1e-12`
+//! relative drift of the Strict trace (also enforced by the differential
+//! harness).
 //!
 //! # Determinism guarantee
 //!
@@ -197,6 +206,36 @@ impl AutoModel {
     }
 }
 
+/// Which numeric kernel implementations the executor dispatches to.
+///
+/// [`Numerics::Strict`] is the default and keeps the engine's original
+/// guarantee: every plan produces the same `f64::to_bits` trace as the
+/// sequential reference. [`Numerics::Vectorized`] opts into the
+/// lane-batched kernels in [`crate::kernel::vector`]: price aggregation
+/// over the CSR term table runs in fixed-width unrolled chunks with
+/// independent partial accumulators (reassociating the sums), and the
+/// per-flow rate solve dispatches on the flow's pre-classified utility
+/// cohort — closed forms for all-log and uniform-power flows, a
+/// shape-grouped derivative for the generic bisection residue. The
+/// results differ from Strict only in low-order bits; the differential
+/// harness bounds the drift at `< 1e-12` relative total utility at
+/// convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Numerics {
+    /// Bitwise-reproducible scalar kernels (the default).
+    #[default]
+    Strict,
+    /// Lane-batched kernels with bounded (non-bitwise) drift.
+    Vectorized,
+}
+
+impl Numerics {
+    /// `true` when the plan dispatches to the lane-batched kernels.
+    pub fn vectorized(self) -> bool {
+        matches!(self, Numerics::Vectorized)
+    }
+}
+
 /// Whether the step recomputes everything or only the dirty subset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum IncrementalMode {
@@ -238,6 +277,9 @@ pub struct ExecutionPlan {
     /// [`Parallelism::Auto`]).
     #[serde(default)]
     pub auto: AutoModel,
+    /// Which numeric kernel implementations the executor dispatches to.
+    #[serde(default)]
+    pub numerics: Numerics,
 }
 
 impl ExecutionPlan {
@@ -249,6 +291,7 @@ impl ExecutionPlan {
             parallelism: config.parallelism,
             incrementality: config.incremental,
             auto: AutoModel::default(),
+            numerics: config.numerics,
         }
     }
 
@@ -287,7 +330,12 @@ impl ExecutionPlan {
             Parallelism::Auto => "auto-parallel".to_string(),
         };
         let inc = if self.incremental() { "incremental" } else { "full recompute" };
-        format!("{par}, {inc}")
+        // Strict is the invariant default and stays out of the string so
+        // pre-existing renderings are unchanged.
+        match self.numerics {
+            Numerics::Strict => format!("{par}, {inc}"),
+            Numerics::Vectorized => format!("{par}, {inc}, vectorized"),
+        }
     }
 
     /// Executes one LRGP iteration under this plan. For non-incremental
@@ -445,14 +493,29 @@ mod tests {
         let plan = ExecutionPlan {
             parallelism: Parallelism::Auto,
             incrementality: IncrementalMode::Auto,
+            numerics: Numerics::Vectorized,
             ..ExecutionPlan::default()
         };
         let json = serde_json::to_string(&plan).unwrap();
         let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
-        // Pre-AutoModel plan JSON (no `auto` field) still deserializes.
+        // Pre-AutoModel plan JSON (no `auto`/`numerics` fields) still
+        // deserializes, defaulting to Strict.
         let legacy = r#"{"parallelism":"Sequential","incrementality":"On"}"#;
         let back: ExecutionPlan = serde_json::from_str(legacy).unwrap();
         assert_eq!(back.auto, AutoModel::default());
+        assert_eq!(back.numerics, Numerics::Strict);
+    }
+
+    #[test]
+    fn numerics_axis_defaults_to_strict_and_renders_only_when_vectorized() {
+        assert_eq!(Numerics::default(), Numerics::Strict);
+        assert!(!Numerics::Strict.vectorized());
+        assert!(Numerics::Vectorized.vectorized());
+        let plan = ExecutionPlan { numerics: Numerics::Vectorized, ..ExecutionPlan::default() };
+        assert_eq!(plan.describe(), "sequential, full recompute, vectorized");
+        // The config axis flows into the plan like the other two.
+        let config = LrgpConfig { numerics: Numerics::Vectorized, ..LrgpConfig::default() };
+        assert_eq!(ExecutionPlan::from_config(&config).numerics, Numerics::Vectorized);
     }
 }

@@ -4,10 +4,43 @@
 //! the model predicts — without disturbing bit-identity.
 
 use lrgp::{AutoModel, Engine, LrgpConfig, Parallelism};
-use lrgp_model::workloads::base_workload;
+use lrgp_model::workloads::{base_workload, paper_workload};
+use lrgp_model::UtilityShape;
 
 fn auto_config() -> LrgpConfig {
     LrgpConfig { parallelism: Parallelism::Auto, ..LrgpConfig::default() }
+}
+
+#[test]
+fn auto_stays_sequential_at_paper_scale() {
+    // The tracked benchmarks (BENCH_lrgp.json, paper_base threads_sweep)
+    // show explicit Threads(2)/Threads(4) losing to sequential at the
+    // paper's dimensions — pool handoff costs more than the ~9 price
+    // units' worth of kernel work it shards. `Auto` must therefore never
+    // resolve to threads there: not under the engine's calibrated model,
+    // and not under the uncalibrated default either. A failure here means
+    // the crossover constants regressed and small workloads silently pay
+    // the benchmark regression by default.
+    for problem in [base_workload(), paper_workload(UtilityShape::Log, 1, 1)] {
+        let units = problem.num_nodes().max(problem.num_flows());
+        let calibrated = AutoModel::calibrated_for(&problem);
+        assert_eq!(
+            calibrated.workers_for(units),
+            1,
+            "calibrated Auto must stay sequential at {units} paper-scale units"
+        );
+        assert_eq!(
+            AutoModel::default().workers_for(units),
+            1,
+            "default Auto must stay sequential at {units} paper-scale units"
+        );
+        let engine = Engine::new(problem, auto_config());
+        assert_eq!(
+            engine.effective_workers(),
+            1,
+            "Auto engine must run the sequential path at paper scale"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,171 @@
+//! Property tests for the vectorized kernel layer's lane/tail boundaries.
+//!
+//! [`dot_gather`] splits a term list into unrolled chunks of [`LANES`]
+//! elements plus a scalar tail, so every off-by-one in the chunking shows
+//! up at term counts near lane multiples. The strategies here sweep counts
+//! in `0..=3·LANES` — empty, sub-lane, exact one/two/three lanes, and
+//! every ragged tail in between — and pin two contracts:
+//!
+//! * **Vectorized tracks scalar within 4 ULPs.** The lane partials
+//!   reassociate the sum; with same-sign terms of comparable magnitude the
+//!   reordering perturbs only the last couple of bits.
+//! * **Strict is exact.** Below one full lane the vectorized sum degrades
+//!   to the scalar tail loop plus a tree of zeros, so it is bitwise equal
+//!   to the strict fold — and the strict engine itself must stay bitwise
+//!   equal to the default engine, which is the `Numerics::Strict = default`
+//!   guarantee the plan axis advertises.
+
+use lrgp::kernel::rate::AggregateUtility;
+use lrgp::kernel::vector::{dot_gather, GroupedAggregate, LANES};
+use lrgp::{Engine, LrgpConfig, Numerics};
+use lrgp_model::workloads::RandomWorkload;
+use lrgp_model::{Utility, UtilityShape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// ULP distance between two finite f64s of the same sign.
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    assert!(
+        a.is_finite() && b.is_finite() && (a >= 0.0) == (b >= 0.0),
+        "ulp distance needs finite same-sign inputs: {a} vs {b}"
+    );
+    a.to_bits().abs_diff(b.to_bits())
+}
+
+/// Term lists of every length in `0..=3·LANES`, with same-sign costs and
+/// values a few binades wide (no catastrophic cancellation, which neither
+/// the CSR tables nor the price vectors can produce: costs and prices are
+/// non-negative by construction).
+fn terms_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<(usize, f64)>)> {
+    let values = proptest::collection::vec(0.125f64..8.0, 1..64);
+    values.prop_flat_map(|values| {
+        let len = values.len();
+        let terms = proptest::collection::vec((0..len, 0.125f64..8.0), 0..=3 * LANES);
+        (Just(values), terms)
+    })
+}
+
+fn utility_strategy() -> impl Strategy<Value = Utility> {
+    prop_oneof![
+        (0.1f64..200.0).prop_map(Utility::log),
+        (0.1f64..200.0, 0.05f64..0.95).prop_map(|(w, k)| Utility::power(w, k)),
+        (0.1f64..200.0, 1.0f64..500.0).prop_map(|(w, s)| Utility::saturating(w, s)),
+        (0.1f64..200.0).prop_map(Utility::linear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Across every lane/tail split in `0..=3·LANES`, the lane-batched
+    /// gather dot product stays within 4 ULPs of the strict left-to-right
+    /// fold.
+    #[test]
+    fn dot_gather_within_4_ulps_of_the_scalar_fold(
+        (values, terms) in terms_strategy(),
+    ) {
+        let terms: Vec<(u32, f64)> =
+            terms.into_iter().map(|(i, c)| (i as u32, c)).collect();
+        let mut scalar = 0.0;
+        for &(i, c) in &terms {
+            scalar += c * values[i as usize];
+        }
+        let vectorized = dot_gather(&terms, &values);
+        let ulps = ulp_distance(scalar, vectorized);
+        prop_assert!(
+            ulps <= 4,
+            "dot_gather drifted {ulps} ULPs at {} terms: {scalar:?} vs {vectorized:?}",
+            terms.len()
+        );
+    }
+
+    /// Below one full lane the chunked loop never runs: the vectorized sum
+    /// IS the scalar tail fold (plus an exactly-zero reduction tree), so
+    /// it must be bit-identical, not merely close.
+    #[test]
+    fn dot_gather_is_bitwise_scalar_below_one_lane(
+        (values, terms) in terms_strategy(),
+    ) {
+        let terms: Vec<(u32, f64)> = terms
+            .into_iter()
+            .take(LANES - 1)
+            .map(|(i, c)| (i as u32, c))
+            .collect();
+        let mut scalar = 0.0;
+        for &(i, c) in &terms {
+            scalar += c * values[i as usize];
+        }
+        let vectorized = dot_gather(&terms, &values);
+        prop_assert!(
+            scalar.to_bits() == vectorized.to_bits(),
+            "sub-lane gather must be exact: {scalar:?} vs {vectorized:?}"
+        );
+    }
+
+    /// The shape-grouped derivative tracks the scalar per-term aggregate
+    /// across term counts up to 3·LANES (grouping reassociates each
+    /// family's mass sum, nothing more).
+    #[test]
+    fn grouped_derivative_tracks_scalar_aggregate(
+        terms in proptest::collection::vec(
+            (1.0f64..1000.0, utility_strategy()),
+            0..=3 * LANES,
+        ),
+        rate in 0.5f64..2000.0,
+    ) {
+        let scalar = AggregateUtility::from_terms(terms.iter().cloned());
+        let mut grouped = GroupedAggregate::default();
+        for &(n, u) in &terms {
+            grouped.push(n, u);
+        }
+        prop_assert_eq!(scalar.is_empty(), grouped.is_empty());
+        let a = scalar.derivative(rate);
+        let b = grouped.derivative(rate);
+        prop_assert!(
+            (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+            "grouped derivative drifted at {} terms, rate {rate}: {a:?} vs {b:?}",
+            terms.len()
+        );
+    }
+}
+
+proptest! {
+    // Engine pairs are costlier than kernel calls; fewer cases suffice.
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// `Numerics::Strict` — the default — runs the exact scalar code the
+    /// engine always ran: an explicitly-strict engine must stay
+    /// `to_bits`-identical to a default-config engine, step by step.
+    #[test]
+    fn strict_engine_is_bitwise_the_default_engine(
+        flows in 2usize..16,
+        cnodes in 1usize..6,
+        classes in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let workload = RandomWorkload {
+            flows,
+            consumer_nodes: cnodes,
+            classes_per_flow: classes,
+            shape: UtilityShape::Log,
+            mixed_shapes: true,
+            ..RandomWorkload::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = workload.generate(&mut rng);
+        let strict_config =
+            LrgpConfig { numerics: Numerics::Strict, ..LrgpConfig::default() };
+        let mut default_engine = Engine::new(problem.clone(), LrgpConfig::default());
+        let mut strict_engine = Engine::new(problem, strict_config);
+        for k in 1..=25 {
+            let u_default = default_engine.step();
+            let u_strict = strict_engine.step();
+            prop_assert!(
+                u_default.to_bits() == u_strict.to_bits(),
+                "explicit Strict diverged from the default at iteration {}: {:?} vs {:?}",
+                k, u_default, u_strict
+            );
+        }
+    }
+}

@@ -55,5 +55,5 @@ pub use ids::{ClassId, FlowId, LinkId, NodeId};
 pub use problem::{
     ClassSpec, FlowSpec, LinkSpec, NodeSpec, Problem, ProblemBuilder, RateBounds, ValidationError,
 };
-pub use terms::{NodePriceTerm, PriceTermTable};
+pub use terms::{FlowCohort, NodePriceTerm, PriceTermTable};
 pub use utility::{Utility, UtilityShape};
