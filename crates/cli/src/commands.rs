@@ -206,6 +206,8 @@ pub struct LintCmd {
     pub changed: Option<String>,
     /// Print the rule table and exit.
     pub list_rules: bool,
+    /// Print one rule's rationale, example, and remediation, then exit.
+    pub explain: Option<String>,
 }
 
 /// A parsed invocation.
@@ -255,7 +257,7 @@ USAGE:
   lrgp compare  <base|FILE> [--steps N] [--seed N]
   lrgp simulate <base|FILE> [--async] [--latency MS] [--amount N]
   lrgp info     <FILE>
-  lrgp lint     [PATH ...] [--deny] [--json] [--out FILE] [--fix] [--changed REF] [--list-rules]
+  lrgp lint     [PATH ...] [--deny] [--json] [--out FILE] [--fix] [--changed REF] [--list-rules] [--explain RULE]
   lrgp help";
 
 fn take_value<'a, I: Iterator<Item = &'a str>>(
@@ -461,6 +463,7 @@ where
                 fix: false,
                 changed: None,
                 list_rules: false,
+                explain: None,
             };
             while let Some(arg) = it.next() {
                 match arg {
@@ -474,6 +477,9 @@ where
                         cmd.changed = Some(take_value(arg, &mut it)?.to_string());
                     }
                     "--list-rules" => cmd.list_rules = true,
+                    "--explain" => {
+                        cmd.explain = Some(take_value(arg, &mut it)?.to_string());
+                    }
                     other if other.starts_with('-') => {
                         return Err(ParseError(format!("lint: unknown flag {other}")))
                     }
@@ -713,6 +719,7 @@ mod tests {
             fix: false,
             changed: None,
             list_rules: false,
+            explain: None,
         };
         assert_eq!(p(&["lint"]).unwrap(), Command::Lint(defaults.clone()));
         assert_eq!(
@@ -730,8 +737,16 @@ mod tests {
             p(&["lint", "--list-rules"]).unwrap(),
             Command::Lint(LintCmd { list_rules: true, ..defaults.clone() })
         );
+        assert_eq!(
+            p(&["lint", "--explain", "kernel-impure"]).unwrap(),
+            Command::Lint(LintCmd {
+                explain: Some("kernel-impure".to_string()),
+                ..defaults.clone()
+            })
+        );
         assert!(p(&["lint", "--bogus"]).unwrap_err().0.contains("unknown flag"));
         assert!(p(&["lint", "--out"]).unwrap_err().0.contains("requires a value"));
+        assert!(p(&["lint", "--explain"]).unwrap_err().0.contains("requires a value"));
     }
 
     #[test]
@@ -744,6 +759,7 @@ mod tests {
             fix: false,
             changed: None,
             list_rules: false,
+            explain: None,
         };
         assert_eq!(
             p(&["lint", "--fix"]).unwrap(),

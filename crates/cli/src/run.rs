@@ -44,6 +44,17 @@ fn lint(cmd: LintCmd) -> CliResult {
         );
         return Ok(());
     }
+    if let Some(id) = &cmd.explain {
+        let rule = lrgp_lint::RULES
+            .iter()
+            .find(|r| r.id == id.as_str())
+            .ok_or_else(|| format!("lint: unknown rule '{id}' (see --list-rules)"))?;
+        println!("{}", rule.id);
+        println!("  flags:     {}", rule.summary);
+        println!("  protects:  {}\n", rule.invariant);
+        println!("{}", rule.explain);
+        return Ok(());
+    }
     let roots = if cmd.paths.is_empty() {
         vec![std::path::PathBuf::from(".")]
     } else {

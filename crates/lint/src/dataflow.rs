@@ -1,0 +1,528 @@
+//! Interprocedural purity/effect analysis: a forward dataflow fixpoint
+//! over the workspace call graph.
+//!
+//! Each function gets an [`EffectSet`] — does it do IO, spawn threads,
+//! touch sync primitives, read statics, take `&mut`, call into the
+//! executor's dirty-set API? Local effects are recovered token-
+//! structurally from the body; the fixpoint then unions callee effects
+//! into callers until stable. The lattice is a finite powerset and every
+//! transfer is monotone (callee sets only grow, and ambiguous names
+//! resolve to the *intersection* of their candidates, which also only
+//! grows), so termination is structural, and cycles in the call graph —
+//! recursion, mutual recursion — converge instead of looping.
+//!
+//! The rules built on top treat the result asymmetrically: `kernel-impure`
+//! wants "no effect" to be trustworthy, so detection errs toward flagging
+//! (any sync-primitive method name counts as LOCK); `unmarked-dirty-write`
+//! wants "touches the dirty API" to be easy to earn, so the DIRTY_API bit
+//! matches generously (any dirty/changed bookkeeping name).
+
+use crate::callgraph::CallGraph;
+use crate::lexer::{Token, TokenKind};
+use crate::symbols::Symbols;
+use std::collections::BTreeMap;
+
+/// A set of effects, as a bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, PartialOrd, Ord)]
+pub struct EffectSet(pub u16);
+
+impl EffectSet {
+    /// No effects: pure per-element math.
+    pub const EMPTY: EffectSet = EffectSet(0);
+    /// Writes to stdout/stderr/files, or process interaction.
+    pub const IO: EffectSet = EffectSet(1);
+    /// Spawns a thread.
+    pub const SPAWN: EffectSet = EffectSet(2);
+    /// Acquires a lock or touches a sync primitive (Mutex/RwLock/Condvar).
+    pub const LOCK: EffectSet = EffectSet(4);
+    /// Reads or writes a `static mut`.
+    pub const STATIC_MUT: EffectSet = EffectSet(8);
+    /// Mentions a crate `static` (read access, possibly interior).
+    pub const STATIC_READ: EffectSet = EffectSet(16);
+    /// Reads the wall clock.
+    pub const TIME: EffectSet = EffectSet(32);
+    /// Ambient randomness.
+    pub const RNG: EffectSet = EffectSet(64);
+    /// Takes a `&mut` parameter (out-parameters; a signature property,
+    /// not propagated to callers).
+    pub const MUT_PARAM: EffectSet = EffectSet(128);
+    /// Touches the executor's dirty-set bookkeeping (`mark`, `note_*`,
+    /// `dirty_*`/`changed_*` state).
+    pub const DIRTY_API: EffectSet = EffectSet(256);
+
+    /// Effects a kernel function must not acquire, directly or through
+    /// any callee. `STATIC_READ` (constant tables) and `MUT_PARAM`
+    /// (caller-provided scratch) are part of the kernel contract and
+    /// stay allowed.
+    pub const KERNEL_DENIED: EffectSet = EffectSet(
+        Self::IO.0 | Self::SPAWN.0 | Self::LOCK.0 | Self::STATIC_MUT.0 | Self::TIME.0
+            | Self::RNG.0,
+    );
+
+    /// Set union.
+    #[must_use = "union returns the combined set"]
+    pub fn union(self, other: EffectSet) -> EffectSet {
+        EffectSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use = "intersect returns the common subset"]
+    pub fn intersect(self, other: EffectSet) -> EffectSet {
+        EffectSet(self.0 & other.0)
+    }
+
+    /// True if every bit of `other` is present.
+    pub fn contains(self, other: EffectSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if no effect is present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Human names of the set bits, stable order.
+    pub fn names(self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        for (bit, name) in [
+            (Self::IO, "io"),
+            (Self::SPAWN, "spawn"),
+            (Self::LOCK, "lock"),
+            (Self::STATIC_MUT, "static-mut"),
+            (Self::STATIC_READ, "static-read"),
+            (Self::TIME, "time"),
+            (Self::RNG, "rng"),
+            (Self::MUT_PARAM, "mut-param"),
+            (Self::DIRTY_API, "dirty-api"),
+        ] {
+            if self.contains(bit) {
+                out.push(name);
+            }
+        }
+        out
+    }
+
+    fn bits(self) -> impl Iterator<Item = EffectSet> {
+        (0..16).map(|i| EffectSet(1 << i)).filter(move |b| self.contains(*b))
+    }
+}
+
+/// Effects that flow from callee to caller. `MUT_PARAM` describes a
+/// signature, not a behavior: calling a fn that takes `&mut` does not
+/// make the caller take `&mut`.
+const PROPAGATED: EffectSet = EffectSet(!EffectSet::MUT_PARAM.0);
+
+/// The dirty-set bookkeeping entry points in `crates/core` (see
+/// `StepState` in `crates/core/src/exec.rs`): calling one of these, or
+/// touching the `dirty_*`/`changed_*` lists directly, is what pairs a
+/// cached-state write with its invalidation.
+const DIRTY_API_FNS: &[&str] = &[
+    "mark",
+    "clear_marks",
+    "mark_all_dirty",
+    "note_capacity_change",
+    "note_population_change",
+    "note_bounds_change",
+];
+
+/// Per-function analysis results, aligned with [`CallGraph::fns`].
+#[derive(Debug, Default)]
+pub struct EffectTable {
+    /// Fixpoint effect set per fn.
+    pub effects: Vec<EffectSet>,
+    /// For each fn, the first-seen origin of each effect bit — a token
+    /// spelling for local effects, `call to \`f\`` for inherited ones.
+    pub origins: Vec<BTreeMap<u16, String>>,
+}
+
+impl EffectTable {
+    /// A short provenance string for the given bits of fn `i`, e.g.
+    /// ``lock (via `lock_unpoisoned`), io (via call to `trace`)``.
+    pub fn describe(&self, i: usize, bits: EffectSet) -> String {
+        let mut parts = Vec::new();
+        for bit in bits.bits() {
+            let name = bit.names().first().copied().unwrap_or("?");
+            match self.origins.get(i).and_then(|m| m.get(&bit.0)) {
+                Some(origin) => parts.push(format!("{name} (via {origin})")),
+                None => parts.push(name.to_string()),
+            }
+        }
+        parts.join(", ")
+    }
+}
+
+/// The complete layer-3 workspace analysis handed to rules.
+#[derive(Debug, Default)]
+pub struct FlowInfo {
+    /// The workspace call graph.
+    pub graph: CallGraph,
+    /// Effect fixpoint over it.
+    pub table: EffectTable,
+}
+
+impl FlowInfo {
+    /// Builds the call graph and runs the fixpoint in one step. `files`
+    /// entries mirror [`CallGraph::build`].
+    pub fn build<'a>(
+        files: impl IntoIterator<
+            Item = (&'a str, Option<&'a str>, &'a ParsedForFlow<'a>),
+        >,
+        symbols: &Symbols,
+    ) -> FlowInfo {
+        let files: Vec<_> = files.into_iter().collect();
+        let graph = CallGraph::build(files.iter().map(|(label, krate, f)| {
+            (*label, *krate, f.parsed, f.tokens, f.test_ranges)
+        }));
+        let tokens_of: BTreeMap<&str, &[Token]> =
+            files.iter().map(|(label, _, f)| (*label, f.tokens)).collect();
+        let locals: Vec<(EffectSet, BTreeMap<u16, String>)> = graph
+            .fns
+            .iter()
+            .map(|node| match tokens_of.get(node.file.as_str()) {
+                Some(toks) => local_effects(toks, node.kw, node.body, &node.krate, symbols),
+                None => (EffectSet::EMPTY, BTreeMap::new()),
+            })
+            .collect();
+        let table = fixpoint(&graph, locals);
+        FlowInfo { graph, table }
+    }
+
+    /// The fixpoint effects of the fn declared at `(file, kw)`, if known.
+    pub fn effects_at(&self, file: &str, kw: usize) -> Option<EffectSet> {
+        self.graph.fn_at(file, kw).map(|i| self.table.effects[i])
+    }
+}
+
+/// What [`FlowInfo::build`] needs per file; a borrow bundle so the engine
+/// can pass its prepared files without cloning.
+#[derive(Debug)]
+pub struct ParsedForFlow<'a> {
+    /// Parsed structural view.
+    pub parsed: &'a ParsedFile,
+    /// Full token stream.
+    pub tokens: &'a [Token],
+    /// `#[cfg(test)]` regions as token ranges.
+    pub test_ranges: &'a [(usize, usize)],
+}
+
+use crate::parser::ParsedFile;
+
+/// Recovers the local (intraprocedural) effects of the fn whose keyword
+/// sits at `kw`, with body `body`. The signature span (`kw` → body open)
+/// contributes `MUT_PARAM`; the body contributes everything else.
+pub fn local_effects(
+    tokens: &[Token],
+    kw: usize,
+    body: Option<(usize, usize)>,
+    krate: &str,
+    symbols: &Symbols,
+) -> (EffectSet, BTreeMap<u16, String>) {
+    let mut eff = EffectSet::EMPTY;
+    let mut origins: BTreeMap<u16, String> = BTreeMap::new();
+    let mut add = |eff: &mut EffectSet, bit: EffectSet, origin: String| {
+        if !eff.contains(bit) {
+            *eff = eff.union(bit);
+            origins.entry(bit.0).or_insert(origin);
+        }
+    };
+    let sig_end = body.map(|(open, _)| open).unwrap_or_else(|| tokens.len().min(kw + 64));
+    let mut k = kw;
+    while k + 1 < sig_end {
+        if tokens[k].is_punct("&") && tokens[k + 1].is_ident("mut") {
+            add(&mut eff, EffectSet::MUT_PARAM, "`&mut` parameter".to_string());
+            break;
+        }
+        k += 1;
+    }
+    let Some((open, close)) = body else { return (eff, origins) };
+    let krate_opt = if krate == crate::callgraph::ROOT_CRATE { None } else { Some(krate) };
+    for i in open + 1..close.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev_dot = i >= 1 && tokens[i - 1].is_punct(".");
+        let next = tokens.get(i + 1);
+        let next_call = next.is_some_and(|n| n.is_punct("("));
+        let next_bang = next.is_some_and(|n| n.is_punct("!"));
+        let next_path = next.is_some_and(|n| n.is_punct("::"));
+        let zero_arg =
+            next_call && tokens.get(i + 2).is_some_and(|n| n.is_punct(")"));
+        let name = t.text.as_str();
+        match name {
+            "println" | "eprintln" | "print" | "eprint" | "dbg" | "write" | "writeln"
+                if next_bang =>
+            {
+                add(&mut eff, EffectSet::IO, format!("`{name}!`"));
+            }
+            "File" | "OpenOptions" | "Command" if next_path => {
+                add(&mut eff, EffectSet::IO, format!("`{name}::`"));
+            }
+            "fs" if next_path => add(&mut eff, EffectSet::IO, "`fs::`".to_string()),
+            "stdout" | "stdin" | "stderr" if next_call => {
+                add(&mut eff, EffectSet::IO, format!("`{name}()`"));
+            }
+            "spawn" if next_call => {
+                add(&mut eff, EffectSet::SPAWN, "`spawn(`".to_string());
+            }
+            "lock_unpoisoned" if next_call => {
+                add(&mut eff, EffectSet::LOCK, "`lock_unpoisoned(`".to_string());
+            }
+            "lock" | "try_lock" | "wait" | "wait_timeout" | "wait_while" | "notify_all"
+            | "notify_one"
+                if prev_dot && next_call =>
+            {
+                add(&mut eff, EffectSet::LOCK, format!("`.{name}(`"));
+            }
+            "read" | "write" if prev_dot && zero_arg => {
+                add(&mut eff, EffectSet::LOCK, format!("`.{name}()`"));
+            }
+            "Mutex" | "RwLock" | "Condvar" if next_path => {
+                add(&mut eff, EffectSet::LOCK, format!("`{name}::`"));
+            }
+            "Instant"
+                if next_path && tokens.get(i + 2).is_some_and(|n| n.is_ident("now")) =>
+            {
+                add(&mut eff, EffectSet::TIME, "`Instant::now`".to_string());
+            }
+            "SystemTime" if next_path => {
+                add(&mut eff, EffectSet::TIME, "`SystemTime::`".to_string());
+            }
+            "thread_rng" if next_call => {
+                add(&mut eff, EffectSet::RNG, "`thread_rng()`".to_string());
+            }
+            "random" if prev_dot && zero_arg => {
+                add(&mut eff, EffectSet::RNG, "`.random()`".to_string());
+            }
+            _ => {}
+        }
+        if symbols.is_mut_static(krate_opt, name) {
+            add(&mut eff, EffectSet::STATIC_MUT, format!("`static mut {name}`"));
+        } else if symbols.is_static(krate_opt, name) {
+            add(&mut eff, EffectSet::STATIC_READ, format!("`static {name}`"));
+        }
+        if (DIRTY_API_FNS.contains(&name) && next_call)
+            || name.contains("dirty")
+            || name.contains("changed")
+        {
+            add(&mut eff, EffectSet::DIRTY_API, format!("`{name}`"));
+        }
+    }
+    (eff, origins)
+}
+
+/// Runs the interprocedural fixpoint: every fn's effects are its local
+/// effects unioned with the propagated effects of every callee, iterated
+/// to convergence. Ambiguous callee names (several definitions share it)
+/// contribute the intersection of their candidates.
+pub fn fixpoint(
+    graph: &CallGraph,
+    locals: Vec<(EffectSet, BTreeMap<u16, String>)>,
+) -> EffectTable {
+    let n = graph.fns.len();
+    let mut effects: Vec<EffectSet> = locals.iter().map(|(e, _)| *e).collect();
+    let mut origins: Vec<BTreeMap<u16, String>> =
+        locals.into_iter().map(|(_, o)| o).collect();
+    // Monotone over a finite lattice: at most bits × n rounds, in
+    // practice a handful. The cap is a safety net, not a correctness
+    // device.
+    let max_rounds = 16 * n.max(1);
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        for i in 0..n {
+            let krate = graph.fns[i].krate.clone();
+            for c in 0..graph.fns[i].callees.len() {
+                let callee = graph.fns[i].callees[c].clone();
+                let incoming = callee_effects(graph, &effects, &krate, &callee)
+                    .intersect(PROPAGATED);
+                let fresh = EffectSet(incoming.0 & !effects[i].0);
+                if !fresh.is_empty() {
+                    effects[i] = effects[i].union(fresh);
+                    for bit in fresh.bits() {
+                        origins[i].entry(bit.0).or_insert_with(|| {
+                            format!("call to `{callee}`")
+                        });
+                    }
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    EffectTable { effects, origins }
+}
+
+fn callee_effects(
+    graph: &CallGraph,
+    effects: &[EffectSet],
+    krate: &str,
+    name: &str,
+) -> EffectSet {
+    let cands = graph.candidates(krate, name);
+    match cands {
+        [] => EffectSet::EMPTY,
+        [one] => effects[*one],
+        many => many
+            .iter()
+            .map(|&i| effects[i])
+            .reduce(EffectSet::intersect)
+            .unwrap_or(EffectSet::EMPTY),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn flow_of(files: &[(&str, Option<&str>, &str)]) -> FlowInfo {
+        let lexed: Vec<_> = files.iter().map(|(_, _, src)| lex(src)).collect();
+        let parsed: Vec<_> = lexed.iter().map(|l| parse(&l.tokens)).collect();
+        let symbols = Symbols::build(
+            files.iter().enumerate().map(|(i, (_, krate, _))| (*krate, &parsed[i])),
+        );
+        let empty: Vec<(usize, usize)> = Vec::new();
+        let bundles: Vec<ParsedForFlow> = (0..files.len())
+            .map(|i| ParsedForFlow {
+                parsed: &parsed[i],
+                tokens: &lexed[i].tokens,
+                test_ranges: &empty,
+            })
+            .collect();
+        FlowInfo::build(
+            files
+                .iter()
+                .enumerate()
+                .map(|(i, (label, krate, _))| (*label, *krate, &bundles[i])),
+            &symbols,
+        )
+    }
+
+    fn effects_of(flow: &FlowInfo, name: &str) -> EffectSet {
+        let i = flow
+            .graph
+            .fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("fn {name} not in graph"));
+        flow.table.effects[i]
+    }
+
+    #[test]
+    fn purity_fixpoint_converges_over_a_cycle() {
+        // a → b → c → b is a cycle; c does IO, so the whole cycle (and a)
+        // acquires IO. The disjoint pure cycle p ⇄ q stays pure.
+        let flow = flow_of(&[(
+            "crates/core/src/x.rs",
+            Some("core"),
+            "fn a() { b(); }\n\
+             fn b() { c(); }\n\
+             fn c() { if deep() { b(); } println!(\"x\"); }\n\
+             fn deep() -> bool { true }\n\
+             fn p() { q(); }\n\
+             fn q() { p(); }\n",
+        )]);
+        for f in ["a", "b", "c"] {
+            assert!(
+                effects_of(&flow, f).contains(EffectSet::IO),
+                "{f} must inherit IO through the cycle"
+            );
+        }
+        assert!(effects_of(&flow, "deep").is_empty());
+        assert!(effects_of(&flow, "p").is_empty(), "pure cycle stays pure");
+        assert!(effects_of(&flow, "q").is_empty());
+    }
+
+    #[test]
+    fn effects_propagate_across_crates_by_unique_name() {
+        let flow = flow_of(&[
+            (
+                "crates/core/src/k.rs",
+                Some("core"),
+                "fn kernel_like() -> f64 { shape_value(2.0) }",
+            ),
+            (
+                "crates/model/src/u.rs",
+                Some("model"),
+                "fn shape_value(x: f64) -> f64 { x }\nfn loader() { fs::read(\"p\"); }",
+            ),
+        ]);
+        assert!(effects_of(&flow, "kernel_like").is_empty());
+        assert!(effects_of(&flow, "loader").contains(EffectSet::IO));
+    }
+
+    #[test]
+    fn ambiguous_names_resolve_to_the_intersection() {
+        // Two `new` constructors in the same crate: one locks, one is
+        // pure. A call to `new` must not poison the caller with LOCK.
+        let flow = flow_of(&[(
+            "crates/core/src/x.rs",
+            Some("core"),
+            "impl A { fn new() -> A { let g = m.lock(); A } }\n\
+             impl B { fn new() -> B { B } }\n\
+             fn caller() { let b = B::new(); }\n",
+        )]);
+        assert!(
+            effects_of(&flow, "caller").is_empty(),
+            "intersection of an impure and a pure `new` is pure"
+        );
+    }
+
+    #[test]
+    fn mut_param_is_local_not_propagated() {
+        let flow = flow_of(&[(
+            "crates/core/src/x.rs",
+            Some("core"),
+            "fn fill(out: &mut Vec<f64>) { out.push(1.0); }\n\
+             fn caller() { let mut v = Vec::new(); fill(&mut v); }\n",
+        )]);
+        assert!(effects_of(&flow, "fill").contains(EffectSet::MUT_PARAM));
+        assert!(
+            !effects_of(&flow, "caller").contains(EffectSet::MUT_PARAM),
+            "taking &mut is a signature property, not a callee-inherited one"
+        );
+    }
+
+    #[test]
+    fn lock_time_static_and_dirty_evidence() {
+        let flow = flow_of(&[(
+            "crates/core/src/x.rs",
+            Some("core"),
+            "static mut SCRATCH: u32 = 0;\n\
+             static TABLE: [f64; 2] = [0.0, 1.0];\n\
+             fn locks() { let g = lock_unpoisoned(&m); }\n\
+             fn timed() { let t = Instant::now(); }\n\
+             fn scratchy() { SCRATCH += 1; }\n\
+             fn tabled() -> f64 { TABLE[0] }\n\
+             fn marked(s: &mut S) { s.rates[0] = 1.0; mark(&mut s.flags, &mut s.list, 0); }\n",
+        )]);
+        assert!(effects_of(&flow, "locks").contains(EffectSet::LOCK));
+        assert!(effects_of(&flow, "timed").contains(EffectSet::TIME));
+        assert!(effects_of(&flow, "scratchy").contains(EffectSet::STATIC_MUT));
+        assert!(effects_of(&flow, "tabled").contains(EffectSet::STATIC_READ));
+        assert!(!effects_of(&flow, "tabled").contains(EffectSet::STATIC_MUT));
+        assert!(effects_of(&flow, "marked").contains(EffectSet::DIRTY_API));
+        assert!(
+            EffectSet::KERNEL_DENIED.contains(EffectSet::LOCK)
+                && !EffectSet::KERNEL_DENIED.contains(EffectSet::STATIC_READ),
+            "kernel contract allows constant tables, denies sync"
+        );
+    }
+
+    #[test]
+    fn describe_names_the_origin() {
+        let flow = flow_of(&[(
+            "crates/core/src/x.rs",
+            Some("core"),
+            "fn inner() { println!(\"x\"); }\nfn outer() { inner(); }\n",
+        )]);
+        let outer = flow.graph.fns.iter().position(|f| f.name == "outer").unwrap();
+        let desc = flow.table.describe(outer, EffectSet::IO);
+        assert!(desc.contains("call to `inner`"), "{desc}");
+        let inner = flow.graph.fns.iter().position(|f| f.name == "inner").unwrap();
+        assert!(flow.table.describe(inner, EffectSet::IO).contains("println"), "local origin");
+    }
+}

@@ -5,8 +5,9 @@
 //! matching, running every rule, and applying inline suppression
 //! directives. Rules (in [`crate::rules`]) only look at tokens.
 
+use crate::dataflow::{EffectSet, FlowInfo, ParsedForFlow};
 use crate::lexer::{lex, LexedFile, Token};
-use crate::parser::{parse, ParsedFile};
+use crate::parser::{parse, ItemKind, ParsedFile};
 use crate::rules;
 use crate::symbols::Symbols;
 
@@ -104,6 +105,8 @@ pub struct FileContext<'a> {
     pub parsed: &'a ParsedFile,
     /// Workspace-wide symbol table (field types, fn returns, statics).
     pub symbols: &'a Symbols,
+    /// Layer-3 analysis: call graph + interprocedural effect fixpoint.
+    pub flow: &'a FlowInfo,
     test_ranges: Vec<(usize, usize)>,
 }
 
@@ -142,6 +145,11 @@ pub struct FileAnalysis {
     /// Findings that were suppressed by a directive (one entry per
     /// directive that matched at least one finding).
     pub suppressions: Vec<Suppression>,
+    /// For files under `crates/core/src/kernel/` only: each fn's
+    /// interprocedural effect set from the dataflow fixpoint, so callers
+    /// (the workspace self-check) can assert kernel purity directly
+    /// rather than through the finding/suppression pipeline.
+    pub kernel_effects: Vec<(String, EffectSet)>,
 }
 
 /// Locates `#[cfg(test)]`-style regions as token-index ranges.
@@ -247,6 +255,7 @@ struct PreparedFile {
     kind: FileKind,
     lexed: LexedFile,
     parsed: ParsedFile,
+    test_ranges: Vec<(usize, usize)>,
 }
 
 /// Runs every rule on a set of files as one workspace: symbols (field
@@ -264,7 +273,14 @@ pub fn analyze_files(files: &[(String, String)]) -> Vec<FileAnalysis> {
         .map(|(path, src)| {
             let lexed = lex(src);
             let parsed = parse(&lexed.tokens);
-            PreparedFile { path: path.clone(), kind: classify(path), lexed, parsed }
+            let ranges = test_ranges(&lexed.tokens);
+            PreparedFile {
+                path: path.clone(),
+                kind: classify(path),
+                lexed,
+                parsed,
+                test_ranges: ranges,
+            }
         })
         .collect();
     let symbols = Symbols::build(
@@ -273,7 +289,25 @@ pub fn analyze_files(files: &[(String, String)]) -> Vec<FileAnalysis> {
             .filter(|p| p.kind != FileKind::Test)
             .map(|p| (crate_of(&p.path), &p.parsed)),
     );
-    prepared.iter().map(|p| analyze_prepared(p, &symbols)).collect()
+    let bundles: Vec<(&PreparedFile, ParsedForFlow)> = prepared
+        .iter()
+        .filter(|p| p.kind != FileKind::Test)
+        .map(|p| {
+            (
+                p,
+                ParsedForFlow {
+                    parsed: &p.parsed,
+                    tokens: &p.lexed.tokens,
+                    test_ranges: &p.test_ranges,
+                },
+            )
+        })
+        .collect();
+    let flow = FlowInfo::build(
+        bundles.iter().map(|(p, b)| (p.path.as_str(), crate_of(&p.path), b)),
+        &symbols,
+    );
+    prepared.iter().map(|p| analyze_prepared(p, &symbols, &flow)).collect()
 }
 
 /// Runs every rule on one file and applies suppression directives.
@@ -287,7 +321,7 @@ pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
         .unwrap_or_default()
 }
 
-fn analyze_prepared(file: &PreparedFile, symbols: &Symbols) -> FileAnalysis {
+fn analyze_prepared(file: &PreparedFile, symbols: &Symbols, flow: &FlowInfo) -> FileAnalysis {
     let lexed = &file.lexed;
     let path = file.path.as_str();
     let kind = file.kind;
@@ -326,8 +360,18 @@ fn analyze_prepared(file: &PreparedFile, symbols: &Symbols) -> FileAnalysis {
         tokens: &lexed.tokens,
         parsed: &file.parsed,
         symbols,
-        test_ranges: test_ranges(&lexed.tokens),
+        flow,
+        test_ranges: file.test_ranges.clone(),
     };
+    if kind == FileKind::Library && ctx.krate == Some("core") && path.contains("/kernel/") {
+        for item in &file.parsed.items {
+            if item.kind == ItemKind::Fn {
+                if let Some(effects) = flow.effects_at(path, item.kw) {
+                    analysis.kernel_effects.push((item.name.clone(), effects));
+                }
+            }
+        }
+    }
     let mut raw: Vec<Finding> = Vec::new();
     for rule in rules::RULES {
         raw.extend((rule.check)(&ctx));

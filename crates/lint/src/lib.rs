@@ -44,6 +44,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod engine;
 pub mod fix;
 pub mod lexer;
@@ -169,7 +172,9 @@ pub fn lint_paths_filtered(
             files.push((label_of(&file), std::fs::read_to_string(&file)?));
         }
     }
+    let started = std::time::Instant::now();
     let analyses = engine::analyze_files(&files);
+    let analysis_ms = started.elapsed().as_millis() as u64;
     let mut findings = Vec::new();
     let mut suppressions = Vec::new();
     for ((label, _), analysis) in files.iter().zip(analyses) {
@@ -179,5 +184,7 @@ pub fn lint_paths_filtered(
         findings.extend(analysis.findings);
         suppressions.extend(analysis.suppressions);
     }
-    Ok(Report::new(findings, suppressions, files.len()))
+    let mut report = Report::new(findings, suppressions, files.len());
+    report.analysis_ms = analysis_ms;
+    Ok(report)
 }

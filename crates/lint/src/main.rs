@@ -1,7 +1,8 @@
 //! The `lrgp-lint` binary: scan a tree, print diagnostics, gate CI.
 //!
 //! ```text
-//! lrgp-lint [PATH ...] [--deny] [--json] [--out FILE] [--fix] [--changed REF] [--list-rules]
+//! lrgp-lint [PATH ...] [--deny] [--json] [--out FILE] [--fix] [--changed REF]
+//!           [--list-rules] [--explain RULE]
 //! ```
 //!
 //! With no paths, scans the current directory (the workspace root in CI).
@@ -23,7 +24,8 @@ const USAGE: &str = "\
 lrgp-lint — determinism-invariant static analysis for the LRGP workspace
 
 USAGE:
-  lrgp-lint [PATH ...] [--deny] [--json] [--out FILE] [--fix] [--changed REF] [--list-rules]
+  lrgp-lint [PATH ...] [--deny] [--json] [--out FILE] [--fix] [--changed REF]
+            [--list-rules] [--explain RULE]
 
 OPTIONS:
   --deny         exit 1 if any unsuppressed finding remains (CI mode)
@@ -31,7 +33,9 @@ OPTIONS:
   --out FILE     also write the JSON report to FILE
   --fix          apply machine-applicable rewrites in place, then report
   --changed REF  report only files that differ from the given git ref
-  --list-rules   describe every rule and the invariant it protects";
+  --list-rules   describe every rule and the invariant it protects
+  --explain RULE print the rationale, an example, and the remediation
+                 for one rule";
 
 struct Options {
     roots: Vec<PathBuf>,
@@ -41,6 +45,7 @@ struct Options {
     fix: bool,
     changed: Option<String>,
     list_rules: bool,
+    explain: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -52,6 +57,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         fix: false,
         changed: None,
         list_rules: false,
+        explain: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -68,6 +74,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 Some(base) => opts.changed = Some(base.clone()),
                 None => return Err("--changed requires a git ref".to_string()),
             },
+            "--explain" => match it.next() {
+                Some(rule) => opts.explain = Some(rule.clone()),
+                None => return Err("--explain requires a rule id".to_string()),
+            },
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}"));
@@ -79,6 +89,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         opts.roots.push(PathBuf::from("."));
     }
     Ok(opts)
+}
+
+/// Renders the `--explain` card for one rule; `None` for unknown ids.
+fn explain_rule(id: &str) -> Option<String> {
+    let rule = lrgp_lint::RULES.iter().find(|r| r.id == id)?;
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", rule.id));
+    out.push_str(&format!("  flags:     {}\n", rule.summary));
+    out.push_str(&format!("  protects:  {}\n\n", rule.invariant));
+    out.push_str(rule.explain);
+    out.push('\n');
+    Some(out)
 }
 
 fn list_rules() {
@@ -109,6 +131,18 @@ fn main() -> ExitCode {
     if opts.list_rules {
         list_rules();
         return ExitCode::SUCCESS;
+    }
+    if let Some(rule) = &opts.explain {
+        return match explain_rule(rule) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("error: unknown rule '{rule}' (see --list-rules)");
+                ExitCode::from(2)
+            }
+        };
     }
     if opts.fix {
         match lrgp_lint::fix_paths(&opts.roots) {

@@ -9,8 +9,9 @@ use crate::engine::{Finding, Suppression};
 use std::fmt::Write as _;
 
 /// Version stamp for the JSON schema, bumped on breaking shape changes.
-/// Version 2 added the per-finding `fixable` key.
-pub const JSON_SCHEMA_VERSION: u32 = 2;
+/// Version 2 added the per-finding `fixable` key; version 3 added the
+/// top-level `analysis_ms` wallclock.
+pub const JSON_SCHEMA_VERSION: u32 = 3;
 
 /// The aggregated result of linting a set of files.
 #[derive(Debug, Default)]
@@ -21,6 +22,11 @@ pub struct Report {
     pub suppressions: Vec<Suppression>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Wallclock of the analysis (lex → parse → symbols → call graph →
+    /// effect fixpoint → rules) in milliseconds. The only
+    /// non-deterministic report field: consumers diffing reports should
+    /// ignore it (CI tracks it as a perf series instead).
+    pub analysis_ms: u64,
 }
 
 impl Report {
@@ -35,7 +41,7 @@ impl Report {
         });
         suppressions
             .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
-        Report { findings, suppressions, files_scanned }
+        Report { findings, suppressions, files_scanned, analysis_ms: 0 }
     }
 
     /// True if nothing unsuppressed was found.
@@ -69,6 +75,7 @@ impl Report {
         let _ = writeln!(out, "  \"tool\": \"lrgp-lint\",");
         let _ = writeln!(out, "  \"schema_version\": {JSON_SCHEMA_VERSION},");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"analysis_ms\": {},", self.analysis_ms);
         let _ = writeln!(out, "  \"total_findings\": {},", self.findings.len());
         let _ = writeln!(out, "  \"total_suppressions\": {},", self.suppressions.len());
         out.push_str("  \"findings\": [");
@@ -180,7 +187,8 @@ mod tests {
         let r = Report::new(vec![f], Vec::new(), 1);
         let json = r.to_json();
         assert_eq!(json, r.to_json(), "same input must render identically");
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"analysis_ms\": 0"));
         assert!(json.contains(r#"say \"hi\"\npath\\x"#));
         assert!(json.contains("\"total_findings\": 1"));
         assert!(json.contains("\"fixable\": false"));

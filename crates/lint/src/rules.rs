@@ -20,6 +20,9 @@ pub struct Rule {
     /// The engine invariant the rule protects (shown by `--list-rules`
     /// and quoted in DESIGN.md).
     pub invariant: &'static str,
+    /// Long-form rationale, example finding, and remediation — printed by
+    /// `--explain <rule>`.
+    pub explain: &'static str,
     /// The checker.
     pub check: fn(&FileContext) -> Vec<Finding>,
 }
@@ -32,6 +35,14 @@ pub const RULES: &[Rule] = &[
         invariant: "sorted orders (admission BC order, report orderings, threshold \
                     lists) must be total and input-permutation-stable, or the three \
                     engines stop being bit-identical",
+        explain: "`partial_cmp` returns None for NaN, so every caller must invent a \
+                  fallback — and `unwrap_or(Equal)` fallbacks are not a total order: \
+                  the result depends on which operand carried the NaN, so the same \
+                  slice sorts differently under different input permutations. The \
+                  admission comparator bug fixed in PR 2 was exactly this shape.\n\
+                  Example: v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Equal));\n\
+                  Fix: v.sort_by(|a, b| a.total_cmp(b)); add an explicit id \
+                  tiebreaker if equal keys must order stably.",
         check: float_total_order,
     },
     Rule {
@@ -40,6 +51,16 @@ pub const RULES: &[Rule] = &[
         invariant: "engine equivalence is defined via `f64::to_bits`; value-level \
                     float equality silently diverges under rounding-mode or \
                     evaluation-order changes (exact-zero sentinel checks are exempt)",
+        explain: "Two engines that are mathematically equivalent still differ in \
+                  f64 low bits when evaluation order differs, so `x == 0.25` can \
+                  hold in the sequential engine and fail in the sharded one. The \
+                  repo defines equivalence via `f64::to_bits`, and value-level \
+                  comparison against non-zero constants silently weakens that. \
+                  Exact zero is exempt because the engines use 0.0 as a sentinel \
+                  that is only ever assigned, never computed.\n\
+                  Example: if price == 1.5 { .. }\n\
+                  Fix: compare to_bits values, use an explicit tolerance, or \
+                  restructure the check around an assigned sentinel.",
         check: float_eq,
     },
     Rule {
@@ -48,6 +69,15 @@ pub const RULES: &[Rule] = &[
         invariant: "crates/{core,model,num} compute the same bits for the same \
                     problem on every run; time, ambient randomness, and env vars \
                     must be injected by callers, never read in the numeric kernel",
+        explain: "The differential harness re-runs the same problem through three \
+                  engines and asserts bit-identical output; any read of the wall \
+                  clock, ambient RNG, or process environment inside \
+                  crates/{core,model,num} makes the output depend on when and \
+                  where the solve ran instead of on the problem.\n\
+                  Example: let seed = Instant::now().elapsed().as_nanos();\n\
+                  Fix: take time, seeds, and configuration as explicit arguments \
+                  from the caller (the CLI/bench harnesses are allowed to read \
+                  them).",
         check: nondeterministic_source,
     },
     Rule {
@@ -56,6 +86,13 @@ pub const RULES: &[Rule] = &[
         invariant: "std hash iteration order is randomly seeded per process, and \
                     float addition is non-associative: accumulating in hash order \
                     changes low bits run-to-run",
+        explain: "Float addition is non-associative: (a + b) + c and a + (b + c) \
+                  differ in low bits. Std HashMap/HashSet iteration order is \
+                  randomly seeded per process, so a sum accumulated while \
+                  iterating one changes across runs even for identical input.\n\
+                  Example: for (_k, v) in rates { total += v; }\n\
+                  Fix: iterate a sorted key snapshot, or store the data in \
+                  BTreeMap/BTreeSet so the traversal order is defined by keys.",
         check: unordered_float_iteration,
     },
     Rule {
@@ -64,6 +101,14 @@ pub const RULES: &[Rule] = &[
         invariant: "library crates are driven by long-running engines and the \
                     distributed protocol; a panic in a worker poisons a whole \
                     solve instead of surfacing a recoverable error",
+        explain: "Library crates run inside long-lived engines and the worker \
+                  pool; a panic in one worker poisons shared mutexes and takes \
+                  down a whole solve that could have reported a recoverable \
+                  error. Harness crates (cli, bench) are exempt — panicking on \
+                  bad input is fine at the top level.\n\
+                  Example: let node = table.get(&id).unwrap();\n\
+                  Fix: return Result/Option to the caller; if infallibility is \
+                  provable, suppress with a reason that states the proof.",
         check: library_unwrap,
     },
     Rule {
@@ -73,6 +118,18 @@ pub const RULES: &[Rule] = &[
                     escaping iteration (loops that write outer state, unterminated \
                     iterator chains, serialized/compared hash fields) makes engine \
                     output depend on the seed instead of the problem",
+        explain: "This is the escape-analysis generalization of \
+                  unordered-float-iteration: any hash-container traversal whose \
+                  result leaves the loop (writes outer state, grows an outer \
+                  collection, returns, or flows into serialization/comparison \
+                  via a derived trait) publishes seed-dependent order. The rule \
+                  resolves hash-typed fields and fn returns through the \
+                  workspace symbol table, so the container can be declared in \
+                  another file.\n\
+                  Example: for id in dirty_set { order.push(id); }\n\
+                  Fix: use BTreeMap/BTreeSet, or collect-and-sort before the \
+                  result escapes (a later `.sort*()` on the snapshot is \
+                  recognized and exempted).",
         check: semantic::hash_order_iteration,
     },
     Rule {
@@ -81,6 +138,15 @@ pub const RULES: &[Rule] = &[
         invariant: "the sharded engine is deterministic only because workers own \
                     disjoint id-ordered chunks; mutable state shared across a spawn \
                     reintroduces scheduler-dependent results (or UB)",
+        explain: "The sharded engine is bit-identical to the sequential one only \
+                  because each worker owns a disjoint, id-ordered chunk and \
+                  results are merged deterministically after join. A `&mut` \
+                  capture, a Cell/RefCell crossing the spawn, or a `static mut` \
+                  touched in a worker reintroduces an order the scheduler \
+                  chooses.\n\
+                  Example: spawn(|| { totals[shard] += local; })\n\
+                  Fix: move owned chunks into each worker and return partial \
+                  results through the JoinHandle; merge in id order.",
         check: semantic::shared_mut_across_threads,
     },
     Rule {
@@ -89,6 +155,16 @@ pub const RULES: &[Rule] = &[
         invariant: "prices and rates are f64 end-to-end; a silent narrowing cast \
                     rounds differently than the sequential reference path and the \
                     engines stop being bit-identical",
+        explain: "Prices, rates, and utilities are f64 end-to-end; `as f32` or \
+                  `as usize` on an f64-carrying expression rounds silently, and \
+                  the rounding happens at different intermediate values in the \
+                  sequential and sharded paths. The rule walks the cast operand \
+                  for positive f64 evidence (declared types, field types, fn \
+                  returns), so integer-only casts stay clean.\n\
+                  Example: let bucket = price as usize;\n\
+                  Fix: keep the value in f64, or make the rounding explicit — \
+                  `price.floor()` plus a bounds check — and document why it is \
+                  safe there.",
         check: semantic::lossy_float_cast,
     },
     Rule {
@@ -97,7 +173,119 @@ pub const RULES: &[Rule] = &[
         invariant: "library errors surface as Result; an ignorable Result lets a \
                     failed step pass silently and later iterations run on stale \
                     state",
+        explain: "Engine steps return Result so a failed step can halt the \
+                  iteration; without #[must_use] a caller can drop the Result \
+                  and keep iterating on stale state, which the differential \
+                  harness then reports as a bit mismatch far from the cause.\n\
+                  Example: pub fn step(&mut self) -> Result<Delta, Error> \
+                  without an attribute.\n\
+                  Fix: add `#[must_use = \"..\"]` naming the consequence; \
+                  --fix inserts the attribute mechanically.",
         check: semantic::missing_must_use,
+    },
+    Rule {
+        id: "kernel-impure",
+        summary: "effectful code reachable from a `kernel::*` function",
+        invariant: "kernels are pure per-element math: the three engines call \
+                    them in different orders and counts, so any effect (IO, \
+                    locks, clocks, RNG, spawns, static muts) reachable from one \
+                    diverges the engines or races",
+        explain: "The layer-3 effect fixpoint computes, for every fn in the \
+                  workspace, which effects it can reach through any chain of \
+                  calls. A fn declared under crates/core/src/kernel/ must reach \
+                  none of {io, spawn, lock, static-mut, time, rng} — reading \
+                  `static` tables and taking `&mut` scratch are part of the \
+                  kernel contract and stay allowed. The finding names the \
+                  effect and its origin (the token or the callee that \
+                  introduced it).\n\
+                  Example: a kernel helper that calls a logging fn which does \
+                  eprintln! three calls down.\n\
+                  Fix: hoist the effect into the executor (exec.rs/pool.rs) \
+                  and pass its result into the kernel as a value.",
+        check: semantic::kernel_impure,
+    },
+    Rule {
+        id: "unmarked-dirty-write",
+        summary: "cached StepState/NodeTable field written by a fn that never \
+                  reaches the dirty-set API",
+        invariant: "incremental mode recomputes exactly the marked nodes; a \
+                    cached-state write in a fn with no path to \
+                    `mark`/`note_*` silently diverges incremental solves from \
+                    full solves",
+        explain: "The incremental engine's bitwise-equality guarantee rests on \
+                  every mutation of cached state being paired with an exact \
+                  dirty-set mark. This rule lists the cached fields of \
+                  StepState/NodeTable from the symbol table (minus the dirty \
+                  bookkeeping itself) and flags assignments to them inside \
+                  functions whose interprocedural effect set never acquires \
+                  the dirty-api effect — i.e. no call chain reaches \
+                  `mark`/`note_*` or touches a dirty/changed list.\n\
+                  Example: self.rates[i] = r; in a setter with no mark call.\n\
+                  Fix: call `mark`/the relevant `note_*` next to the write, or \
+                  route the write through an existing marking helper. \
+                  crates/core holds a zero-suppression policy for this rule.",
+        check: semantic::unmarked_dirty_write,
+    },
+    Rule {
+        id: "condvar-wait-no-predicate-loop",
+        summary: "`Condvar::wait` not re-entered by a predicate-checking loop",
+        invariant: "condvar wakeups are spurious and coalesced; a wait outside \
+                    a predicate loop hangs on a lost wakeup or continues \
+                    early, and the pool_stress watchdog can only catch that \
+                    probabilistically",
+        explain: "The CFG builder locates the innermost loop around each \
+                  `.wait(guard)`/`.wait_timeout(guard, ..)` call. `while`/\
+                  `while let`/`for` loops re-check their condition by \
+                  construction; a bare `loop` passes only if it can exit \
+                  through a conditional `break`/`return`. A wait in no loop, \
+                  or in a `loop` with no conditional exit, is the lost-wakeup \
+                  shape. Calls whose first argument is not a bare guard \
+                  binding (e.g. `Child::wait()`) are ignored.\n\
+                  Example: let g = cv.wait(g)?; outside any loop.\n\
+                  Fix: while !predicate(&g) { g = cv.wait(g)?; } or use \
+                  `wait_while`, which owns the predicate.",
+        check: semantic::condvar_wait_no_predicate_loop,
+    },
+    Rule {
+        id: "lock-held-across-park",
+        summary: "a mutex/rwlock guard alive across park/recv/join/sleep",
+        invariant: "the pool's handoff latency (and absence of deadlock) \
+                    depends on guards being dropped before any blocking call; \
+                    a guard held across one stalls every worker on that lock",
+        explain: "A `let` binding whose initializer acquires a guard \
+                  (`lock()`, `lock_unpoisoned()`, `try_lock()`, zero-arg \
+                  `.read()`/`.write()`) keeps it alive to the end of its \
+                  enclosing block. Blocking there — `park()`, `.recv()`, \
+                  `.join()`, `sleep(..)` — holds the lock for the whole wait: \
+                  every contender stalls, and if the joined thread needs the \
+                  lock, the join deadlocks. `Condvar::wait` is exempt because \
+                  it releases the guard it is given.\n\
+                  Example: let g = state.lock_unpoisoned(); handle.join();\n\
+                  Fix: drop(g) before blocking, or scope the guard in its own \
+                  `{ .. }` block as pool.rs's Drop impl does.",
+        check: semantic::lock_held_across_park,
+    },
+    Rule {
+        id: "vector-escape",
+        summary: "lane-batched f64 accumulation outside kernel/vector.rs",
+        invariant: "lane-batched (chunked / multi-accumulator) reduction \
+                    reassociates f64 adds; PR 7 confines that reassociation to \
+                    the `Numerics`-gated kernel::vector module, where the \
+                    equivalence tests and suppressions live",
+        explain: "Splitting a reduction into lanes and recombining changes the \
+                  association order of f64 adds, which changes low bits. The \
+                  workspace allows that only inside kernel/vector.rs, where \
+                  the Numerics policy gates whether the vector path may run \
+                  and the differential tests pin its behavior. This rule \
+                  flags the two shapes elsewhere in crates/core: a \
+                  `chunks_exact`/`array_chunks` call feeding an accumulation, \
+                  and a loop feeding two or more float accumulators that are \
+                  later recombined.\n\
+                  Example: let mut s0 = 0.0; let mut s1 = 0.0; for c in \
+                  xs.chunks_exact(2) { s0 += c[0]; s1 += c[1]; } s0 + s1\n\
+                  Fix: call the kernel::vector entry points (they are \
+                  calibrated and policy-gated), or accumulate sequentially.",
+        check: semantic::vector_escape,
     },
 ];
 

@@ -1,14 +1,19 @@
 //! The semantic (parser-backed) determinism rules.
 //!
-//! Unlike the token-pattern rules in [`crate::rules`], these four use the
-//! structural view from [`crate::parser`] and the workspace symbol table
-//! from [`crate::symbols`]: they resolve imports and aliases, know the
-//! types of fields declared in other files, and follow delimiter pairing
-//! instead of guessing at brace depth. Each protects the same invariant as
-//! the rest of the tool — that the sequential, parallel, and incremental
-//! engines produce bit-identical results — against a bug class that is
-//! invisible at the single-line lexical level.
+//! Unlike the token-pattern rules in [`crate::rules`], the rules here use
+//! the structural view from [`crate::parser`] and the workspace symbol
+//! table from [`crate::symbols`]: they resolve imports and aliases, know
+//! the types of fields declared in other files, and follow delimiter
+//! pairing instead of guessing at brace depth. The layer-3 rules at the
+//! bottom of the file go further and consume [`crate::cfg`] control-flow
+//! graphs and the [`crate::dataflow`] interprocedural effect fixpoint.
+//! Each protects the same invariant as the rest of the tool — that the
+//! sequential, parallel, and incremental engines produce bit-identical
+//! results — against a bug class that is invisible at the single-line
+//! lexical level.
 
+use crate::cfg::{self, LoopKind};
+use crate::dataflow::EffectSet;
 use crate::engine::{FileContext, FileKind, Finding};
 use crate::lexer::TokenKind;
 use crate::parser::{let_bindings, Container, ItemKind};
@@ -681,4 +686,452 @@ pub fn missing_must_use(ctx: &FileContext) -> Vec<Finding> {
         ));
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Layer-3 rules: CFG + call-graph + effect-fixpoint backed.
+// ---------------------------------------------------------------------------
+
+/// The body braces of the innermost fn item containing token `idx`.
+fn enclosing_fn_body(ctx: &FileContext, idx: usize) -> Option<(usize, usize)> {
+    ctx.parsed
+        .items
+        .iter()
+        .filter(|it| it.kind == ItemKind::Fn)
+        .filter_map(|it| it.body)
+        .filter(|&(open, close)| idx > open && idx < close)
+        .min_by_key(|&(open, close)| close - open)
+}
+
+/// `kernel-impure`: a fn declared under `crates/core/src/kernel/` whose
+/// interprocedural effect set contains anything in
+/// [`EffectSet::KERNEL_DENIED`] — directly or through any callee.
+pub fn kernel_impure(ctx: &FileContext) -> Vec<Finding> {
+    if ctx.kind != FileKind::Library
+        || ctx.krate != Some("core")
+        || !ctx.path.contains("/kernel/")
+    {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for item in &ctx.parsed.items {
+        if item.kind != ItemKind::Fn || ctx.in_test(item.kw) {
+            continue;
+        }
+        let Some(i) = ctx.flow.graph.fn_at(ctx.path, item.kw) else { continue };
+        let denied = ctx.flow.table.effects[i].intersect(EffectSet::KERNEL_DENIED);
+        if !denied.is_empty() {
+            out.push(ctx.finding(
+                "kernel-impure",
+                item.kw,
+                format!(
+                    "kernel fn `{}` acquires effects: {}; kernel::* is pure \
+                     per-element math — the three engines call it in different \
+                     orders and counts, so any effect diverges them; hoist the \
+                     effect into the executor and pass results in",
+                    item.name,
+                    ctx.flow.table.describe(i, denied)
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// The cached-state structs of `crates/core` whose fields must never be
+/// written without dirty-set marking. Derived-state structs, not inputs:
+/// writing one of these without an exact `mark` is what silently breaks
+/// incremental-vs-full bitwise equality.
+const DIRTY_TRACKED_STRUCTS: &[&str] = &["StepState", "NodeTable"];
+
+/// Field names inside the tracked structs that *are* the bookkeeping
+/// (dirty lists, flags, scratch): writing them is the marking, not a
+/// cached-state mutation.
+fn is_dirty_bookkeeping_field(name: &str) -> bool {
+    name.contains("dirty")
+        || name.starts_with("changed")
+        || name.ends_with("_scratch")
+        || matches!(name, "first" | "force_utility" | "panic_on_flow")
+}
+
+/// Field-chain members of the place expression ending at token `end`
+/// (inclusive): for `s.rates[i]` returns `[("rates", idx)]`. Bare roots
+/// are deliberately not collected — only `.field` accesses can denote the
+/// tracked structs' state.
+fn lhs_field_members(ctx: &FileContext, mut j: usize) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    loop {
+        let Some(t) = ctx.tokens.get(j) else { return out };
+        if t.is_punct("]") || t.is_punct(")") {
+            let Some(open) = ctx.parsed.match_of.get(j).copied().flatten() else {
+                return out;
+            };
+            let Some(prev) = open.checked_sub(1) else { return out };
+            j = prev;
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            return out;
+        }
+        let Some(prev2) = j.checked_sub(2) else { return out };
+        if ctx.tokens[j - 1].is_punct(".") {
+            out.push((t.text.clone(), j));
+            j = prev2;
+        } else if ctx.tokens[j - 1].is_punct("::") {
+            j = prev2;
+        } else {
+            return out;
+        }
+    }
+}
+
+/// `unmarked-dirty-write`: an assignment to a cached field of
+/// `StepState`/`NodeTable` inside a fn whose transitive effects never
+/// touch the dirty-set API.
+pub fn unmarked_dirty_write(ctx: &FileContext) -> Vec<Finding> {
+    if ctx.kind != FileKind::Library || ctx.krate != Some("core") {
+        return Vec::new();
+    }
+    let mut cached: BTreeSet<&str> = BTreeSet::new();
+    for s in DIRTY_TRACKED_STRUCTS {
+        if let Some(fields) = ctx.symbols.fields_of(Some("core"), s) {
+            cached.extend(
+                fields.iter().map(String::as_str).filter(|f| !is_dirty_bookkeeping_field(f)),
+            );
+        }
+    }
+    if cached.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for item in &ctx.parsed.items {
+        if item.kind != ItemKind::Fn || ctx.in_test(item.kw) {
+            continue;
+        }
+        let Some((open, close)) = item.body else { continue };
+        let marks = ctx
+            .flow
+            .effects_at(ctx.path, item.kw)
+            .is_some_and(|e| e.contains(EffectSet::DIRTY_API));
+        if marks {
+            continue;
+        }
+        for k in open + 1..close.min(ctx.tokens.len()) {
+            let tk = &ctx.tokens[k];
+            let is_assign = tk.kind == TokenKind::Punct
+                && matches!(
+                    tk.text.as_str(),
+                    "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "|=" | "&=" | "^="
+                );
+            if !is_assign || k == 0 {
+                continue;
+            }
+            let hit = lhs_field_members(ctx, k - 1)
+                .into_iter()
+                .find(|(name, _)| cached.contains(name.as_str()));
+            if let Some((name, at)) = hit {
+                out.push(ctx.finding(
+                    "unmarked-dirty-write",
+                    at,
+                    format!(
+                        "fn `{}` writes cached field `{name}` but never reaches the \
+                         dirty-set API: incremental mode recomputes only marked \
+                         nodes, so an unmarked write silently diverges it from the \
+                         full solve; pair the write with `mark`/`note_*` (directly \
+                         or via a marking helper)",
+                        item.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `condvar-wait-no-predicate-loop`: a `Condvar::wait`/`wait_timeout`
+/// call whose innermost enclosing loop does not re-check a predicate —
+/// or that sits in no loop at all. Spurious wakeups make such a wait a
+/// lost-wakeup/early-continue bug. `wait_while` is self-predicated and
+/// exempt.
+pub fn condvar_wait_no_predicate_loop(ctx: &FileContext) -> Vec<Finding> {
+    if ctx.kind != FileKind::Library {
+        return Vec::new();
+    }
+    let toks = ctx.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let is_wait = (t.is_ident("wait") || t.is_ident("wait_timeout"))
+            && i >= 1
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if !is_wait || ctx.in_test(i) {
+            continue;
+        }
+        // A condvar wait takes the guard as its first argument; a bare
+        // ident there distinguishes it from `Child::wait()` and friends.
+        if !toks.get(i + 2).is_some_and(|n| n.kind == TokenKind::Ident) {
+            continue;
+        }
+        let Some((open, close)) = enclosing_fn_body(ctx, i) else { continue };
+        let body_cfg = cfg::build(toks, &ctx.parsed.match_of, open, close);
+        let verdict = match body_cfg.innermost_loop(i) {
+            None => Some("sits in no loop"),
+            Some(lp) => match lp.kind {
+                LoopKind::While | LoopKind::WhileLet | LoopKind::For => None,
+                LoopKind::Loop => {
+                    if cfg::loop_breaks_conditionally(toks, &ctx.parsed.match_of, lp) {
+                        None
+                    } else {
+                        Some("sits in a `loop` with no conditional exit")
+                    }
+                }
+            },
+        };
+        if let Some(why) = verdict {
+            out.push(ctx.finding(
+                "condvar-wait-no-predicate-loop",
+                i,
+                format!(
+                    "`.{}()` {why}: condvar wakeups are spurious and coalesced, so \
+                     a wait that is not re-entered by a predicate check either \
+                     hangs (lost wakeup) or continues early; use \
+                     `while !predicate {{ guard = cv.wait(guard)?; }}` or \
+                     `wait_while`",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Method names that acquire a guard when they appear in a `let`
+/// initializer.
+fn is_lock_acquisition(ctx: &FileContext, k: usize) -> bool {
+    let toks = ctx.tokens;
+    let t = &toks[k];
+    if t.kind != TokenKind::Ident {
+        return false;
+    }
+    let next_call = toks.get(k + 1).is_some_and(|n| n.is_punct("("));
+    match t.text.as_str() {
+        "lock_unpoisoned" => next_call,
+        "lock" | "try_lock" => next_call && k >= 1 && toks[k - 1].is_punct("."),
+        // Zero-arg `.read()` / `.write()` (RwLock); with args they are IO.
+        "read" | "write" => {
+            next_call
+                && k >= 1
+                && toks[k - 1].is_punct(".")
+                && toks.get(k + 2).is_some_and(|n| n.is_punct(")"))
+        }
+        _ => false,
+    }
+}
+
+/// Blocking calls that must not run while a guard is live. `.wait()` is
+/// exempt: a condvar wait releases the guard it is given.
+fn is_blocking_park(ctx: &FileContext, k: usize) -> Option<&'static str> {
+    let toks = ctx.tokens;
+    let t = &toks[k];
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    let next_call = toks.get(k + 1).is_some_and(|n| n.is_punct("("));
+    let zero_arg = next_call && toks.get(k + 2).is_some_and(|n| n.is_punct(")"));
+    match t.text.as_str() {
+        "park" if zero_arg => Some("park()"),
+        "recv" if zero_arg && k >= 1 && toks[k - 1].is_punct(".") => Some(".recv()"),
+        "join" if zero_arg && k >= 1 && toks[k - 1].is_punct(".") => Some(".join()"),
+        "sleep" if next_call => Some("sleep(..)"),
+        _ => None,
+    }
+}
+
+/// `lock-held-across-park`: a guard bound by `let` is still in scope when
+/// the thread parks, blocks on a channel, joins, or sleeps.
+pub fn lock_held_across_park(ctx: &FileContext) -> Vec<Finding> {
+    if ctx.kind != FileKind::Library {
+        return Vec::new();
+    }
+    let toks = ctx.tokens;
+    let mut out = Vec::new();
+    for b in let_bindings(toks, 0, toks.len()) {
+        if ctx.in_test(b.idx) {
+            continue;
+        }
+        // Statement end: the `;` at depth 0 after the binding.
+        let mut k = b.idx + 1;
+        let mut semi = None;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                match ctx.parsed.match_of.get(k).copied().flatten() {
+                    Some(close) => k = close + 1,
+                    None => break,
+                }
+                continue;
+            }
+            if t.is_punct(";") {
+                semi = Some(k);
+                break;
+            }
+            if t.is_punct("}") {
+                break;
+            }
+            k += 1;
+        }
+        let Some(semi) = semi else { continue };
+        if !(b.idx..semi).any(|k| is_lock_acquisition(ctx, k)) {
+            continue;
+        }
+        // The guard lives from the `;` to the close of the innermost
+        // enclosing brace — or an explicit `drop(name)`.
+        let mut depth = 0i32;
+        let mut k = semi + 1;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            } else if t.is_ident("drop")
+                && toks.get(k + 1).is_some_and(|n| n.is_punct("("))
+                && toks.get(k + 2).is_some_and(|n| n.is_ident(&b.name))
+            {
+                break;
+            } else if let Some(what) = is_blocking_park(ctx, k) {
+                out.push(ctx.finding(
+                    "lock-held-across-park",
+                    k,
+                    format!(
+                        "`{what}` while guard `{}` is live: blocking with a lock \
+                         held stalls every other worker on that lock (and deadlocks \
+                         if the blocked-on thread needs it); drop the guard first \
+                         or scope it in a block",
+                        b.name
+                    ),
+                ));
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+/// `vector-escape`: lane-batched f64 accumulation shapes outside the
+/// `Numerics`-gated `kernel/vector.rs` — `chunks_exact`-style reduction
+/// loops and manual multi-accumulator unrolling. Reassociation changes
+/// f64 low bits, so these shapes are only allowed behind the calibrated
+/// vector module.
+pub fn vector_escape(ctx: &FileContext) -> Vec<Finding> {
+    if ctx.kind != FileKind::Library
+        || ctx.krate != Some("core")
+        || ctx.path.ends_with("kernel/vector.rs")
+    {
+        return Vec::new();
+    }
+    let toks = ctx.tokens;
+    let mut out = Vec::new();
+    // Shape (a): `.chunks_exact(..)` / `.array_chunks(..)` feeding an
+    // accumulation before the enclosing brace closes.
+    for (i, t) in toks.iter().enumerate() {
+        let is_chunks = (t.is_ident("chunks_exact") || t.is_ident("array_chunks"))
+            && i >= 1
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if !is_chunks || ctx.in_test(i) {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut k = i + 1;
+        let mut accumulates = false;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            } else if t.is_punct("+=")
+                || ((t.is_ident("sum") || t.is_ident("fold"))
+                    && toks.get(k.wrapping_sub(1)).is_some_and(|p| p.is_punct(".")))
+            {
+                accumulates = true;
+                break;
+            }
+            k += 1;
+        }
+        if accumulates {
+            out.push(vector_finding(ctx, i, "a `chunks_exact`-style reduction"));
+        }
+    }
+    // Shape (b): manual lane unrolling — two or more float accumulators
+    // fed by `+=` in one loop body and recombined afterwards.
+    for item in &ctx.parsed.items {
+        if item.kind != ItemKind::Fn || ctx.in_test(item.kw) {
+            continue;
+        }
+        let Some((open, close)) = item.body else { continue };
+        let mut float_accs: BTreeSet<String> = BTreeSet::new();
+        for k in open + 1..close.min(toks.len()) {
+            if toks[k].is_ident("let")
+                && toks.get(k + 1).is_some_and(|n| n.is_ident("mut"))
+                && toks.get(k + 2).is_some_and(|n| n.kind == TokenKind::Ident)
+                && toks.get(k + 3).is_some_and(|n| n.is_punct("="))
+                && toks.get(k + 4).is_some_and(|n| n.kind == TokenKind::Float)
+            {
+                float_accs.insert(toks[k + 2].text.clone());
+            }
+        }
+        if float_accs.len() < 2 {
+            continue;
+        }
+        let body_cfg = cfg::build(toks, &ctx.parsed.match_of, open, close);
+        for lp in &body_cfg.loops {
+            let fed: BTreeSet<&str> = (lp.body.0 + 1..lp.body.1)
+                .filter(|&k| {
+                    toks[k].kind == TokenKind::Ident
+                        && float_accs.contains(&toks[k].text)
+                        && toks.get(k + 1).is_some_and(|n| n.is_punct("+="))
+                })
+                .map(|k| toks[k].text.as_str())
+                .collect();
+            if fed.len() < 2 {
+                continue;
+            }
+            let recombined = (lp.body.1 + 1..close.min(toks.len())).any(|k| {
+                toks[k].kind == TokenKind::Ident
+                    && fed.contains(toks[k].text.as_str())
+                    && toks.get(k + 1).is_some_and(|n| n.is_punct("+"))
+                    && toks.get(k + 2).is_some_and(|n| {
+                        n.kind == TokenKind::Ident
+                            && fed.contains(n.text.as_str())
+                            && n.text != toks[k].text
+                    })
+            });
+            if recombined {
+                out.push(vector_finding(ctx, lp.kw, "a manual multi-accumulator reduction"));
+            }
+        }
+    }
+    out
+}
+
+fn vector_finding(ctx: &FileContext, idx: usize, what: &str) -> Finding {
+    ctx.finding(
+        "vector-escape",
+        idx,
+        format!(
+            "{what} outside kernel/vector.rs: lane-batched accumulation \
+             reassociates f64 adds, and only the `Numerics`-gated \
+             kernel::vector module is calibrated (and suppression-confined) \
+             for that; route this through kernel::vector or accumulate \
+             sequentially",
+        ),
+    )
 }

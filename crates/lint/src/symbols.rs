@@ -26,6 +26,10 @@ pub struct Symbols {
     fn_returns: BTreeMap<(String, String), TypeHead>,
     /// crate → names declared `static mut`.
     mut_statics: BTreeMap<String, BTreeSet<String>>,
+    /// crate → names declared `static` (mut or not).
+    statics: BTreeMap<String, BTreeSet<String>>,
+    /// `(crate, struct name)` → declared field names, in declaration order.
+    struct_fields: BTreeMap<(String, String), Vec<String>>,
 }
 
 /// Key used for files outside any `crates/<name>/` directory.
@@ -50,6 +54,11 @@ impl Symbols {
                                 .entry((key.clone(), field.clone()))
                                 .or_insert_with(|| ty.clone());
                         }
+                        sym.struct_fields
+                            .entry((key.clone(), item.name.clone()))
+                            .or_insert_with(|| {
+                                item.fields.iter().map(|(f, _)| f.clone()).collect()
+                            });
                     }
                     ItemKind::Fn => {
                         if let Some(ret) = item.sig.as_ref().and_then(|s| s.ret.as_ref()) {
@@ -58,8 +67,14 @@ impl Symbols {
                                 .or_insert_with(|| ret.clone());
                         }
                     }
-                    ItemKind::Static if item.is_static_mut => {
-                        sym.mut_statics.entry(key.clone()).or_default().insert(item.name.clone());
+                    ItemKind::Static => {
+                        sym.statics.entry(key.clone()).or_default().insert(item.name.clone());
+                        if item.is_static_mut {
+                            sym.mut_statics
+                                .entry(key.clone())
+                                .or_default()
+                                .insert(item.name.clone());
+                        }
                     }
                     _ => {}
                 }
@@ -82,6 +97,19 @@ impl Symbols {
     /// True if crate `krate` declares a `static mut` with this name.
     pub fn is_mut_static(&self, krate: Option<&str>, name: &str) -> bool {
         self.mut_statics.get(&crate_key(krate)).is_some_and(|s| s.contains(name))
+    }
+
+    /// True if crate `krate` declares any `static` (mut or not) with this
+    /// name.
+    pub fn is_static(&self, krate: Option<&str>, name: &str) -> bool {
+        self.statics.get(&crate_key(krate)).is_some_and(|s| s.contains(name))
+    }
+
+    /// The declared field names of struct `name` in crate `krate`.
+    pub fn fields_of(&self, krate: Option<&str>, name: &str) -> Option<&[String]> {
+        self.struct_fields
+            .get(&(crate_key(krate), name.to_string()))
+            .map(Vec::as_slice)
     }
 }
 
@@ -119,6 +147,13 @@ mod tests {
         );
         assert!(sym.is_mut_static(Some("overlay"), "SCRATCH"));
         assert!(!sym.is_mut_static(Some("pubsub"), "SCRATCH"));
+        assert!(sym.is_static(Some("overlay"), "SCRATCH"));
+        assert!(!sym.is_static(Some("pubsub"), "SCRATCH"));
+        assert_eq!(
+            sym.fields_of(Some("overlay"), "Topology"),
+            Some(&["latencies".to_string()][..])
+        );
+        assert!(sym.fields_of(Some("overlay"), "Missing").is_none());
     }
 
     #[test]

@@ -14,6 +14,12 @@ fn run(krate: &str, src: &str) -> lrgp_lint::FileAnalysis {
     analyze_source(&format!("crates/{krate}/src/fixture.rs"), src)
 }
 
+/// Analyzes a fixture under an explicit label, for rules whose scope is a
+/// specific path (kernel files, kernel/vector.rs).
+fn run_at(label: &str, src: &str) -> lrgp_lint::FileAnalysis {
+    analyze_source(label, src)
+}
+
 fn triples(analysis: &lrgp_lint::FileAnalysis) -> Vec<(&str, u32, u32)> {
     analysis.findings.iter().map(|f| (f.rule, f.line, f.col)).collect()
 }
@@ -137,6 +143,109 @@ fn missing_must_use_fixture_pair() {
     assert!(triples(&run("cli", src)).is_empty());
     let good = run("model", include_str!("fixtures/missing_must_use_good.rs"));
     assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn kernel_impure_fixture_pair() {
+    let src = include_str!("fixtures/kernel_impure_bad.rs");
+    let bad = run_at("crates/core/src/kernel/fixture.rs", src);
+    // Both the IO-doing helper and the kernel fn that reaches it through
+    // a call are flagged — the effect is interprocedural.
+    assert_eq!(
+        triples(&bad),
+        vec![("kernel-impure", 4, 5), ("kernel-impure", 9, 1)]
+    );
+    // The same file outside kernel/ is allowed to trace.
+    assert!(triples(&run("core", src)).is_empty());
+    let good = run_at(
+        "crates/core/src/kernel/fixture.rs",
+        include_str!("fixtures/kernel_impure_good.rs"),
+    );
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn unmarked_dirty_write_fixture_pair() {
+    let src = include_str!("fixtures/unmarked_dirty_write_bad.rs");
+    let bad = run("core", src);
+    assert_eq!(triples(&bad), vec![("unmarked-dirty-write", 13, 11)]);
+    // The rule is scoped to crates/core's cached-state structs.
+    assert!(triples(&run("model", src)).is_empty());
+    let good = run("core", include_str!("fixtures/unmarked_dirty_write_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn condvar_wait_fixture_pair() {
+    let bad = run("core", include_str!("fixtures/condvar_wait_bad.rs"));
+    assert_eq!(
+        triples(&bad),
+        vec![
+            // No loop at all.
+            ("condvar-wait-no-predicate-loop", 6, 16),
+            // Bare `loop` with no conditional exit.
+            ("condvar-wait-no-predicate-loop", 13, 20),
+        ]
+    );
+    let good = run("core", include_str!("fixtures/condvar_wait_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn lock_held_across_park_fixture_pair() {
+    let bad = run("core", include_str!("fixtures/lock_held_bad.rs"));
+    assert_eq!(
+        triples(&bad),
+        vec![
+            ("lock-held-across-park", 6, 12),
+            ("lock-held-across-park", 13, 5),
+        ]
+    );
+    let good = run("core", include_str!("fixtures/lock_held_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn vector_escape_fixture_pair() {
+    let src = include_str!("fixtures/vector_escape_bad.rs");
+    let bad = run("core", src);
+    assert_eq!(
+        triples(&bad),
+        vec![
+            // Chunked reduction, anchored at the chunks_exact call.
+            ("vector-escape", 7, 18),
+            // Two-lane unrolling, anchored at the loop keyword.
+            ("vector-escape", 18, 5),
+        ]
+    );
+    // The identical shapes inside kernel/vector.rs are the sanctioned home.
+    assert!(triples(&run_at("crates/core/src/kernel/vector.rs", src)).is_empty());
+    // Outside crates/core the vector policy does not apply.
+    assert!(triples(&run("model", src)).is_empty());
+    let good = run("core", include_str!("fixtures/vector_escape_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn layer3_rules_are_report_only() {
+    // The CFG/dataflow rules have no mechanical rewrite whose correctness
+    // is decidable from the finding (wrapping a bare `wait` in a predicate
+    // loop needs the predicate), so none of their findings may claim
+    // `fixable` — which is also what keeps the `--fix` no-op idempotence
+    // self-check trivially true for them.
+    let sources = [
+        run_at("crates/core/src/kernel/fixture.rs", include_str!("fixtures/kernel_impure_bad.rs")),
+        run("core", include_str!("fixtures/unmarked_dirty_write_bad.rs")),
+        run("core", include_str!("fixtures/condvar_wait_bad.rs")),
+        run("core", include_str!("fixtures/lock_held_bad.rs")),
+        run("core", include_str!("fixtures/vector_escape_bad.rs")),
+    ];
+    for analysis in &sources {
+        assert!(!analysis.findings.is_empty());
+        for f in &analysis.findings {
+            assert!(!f.fixable, "{}: layer-3 finding claims a machine fix", f.rule);
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,15 @@
+//! Known-bad fixture: condvar waits with no predicate re-check.
+
+/// A single wait: a spurious wakeup continues early, a lost wakeup
+/// hangs forever.
+pub fn await_once(cv: &Condvar, mut guard: Guard) -> Guard {
+    guard = cv.wait(guard);
+    guard
+}
+
+/// A bare `loop` with no conditional exit around the wait.
+pub fn await_forever(cv: &Condvar, mut guard: Guard) {
+    loop {
+        guard = cv.wait(guard);
+    }
+}

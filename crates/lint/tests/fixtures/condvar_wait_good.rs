@@ -1,0 +1,25 @@
+//! Known-good fixture: every wait is re-entered by a predicate check.
+
+/// The canonical predicate loop.
+pub fn await_drained(cv: &Condvar, mut guard: Guard) -> Guard {
+    while guard.remaining > 0 {
+        guard = cv.wait(guard);
+    }
+    guard
+}
+
+/// A bare `loop` is fine when it exits through a conditional break.
+pub fn await_epoch(cv: &Condvar, mut guard: Guard, epoch: u64) -> Guard {
+    loop {
+        if guard.epoch != epoch {
+            break;
+        }
+        guard = cv.wait(guard);
+    }
+    guard
+}
+
+/// `Child::wait()` takes no guard and is not a condvar wait.
+pub fn reap(child: &mut Child) {
+    let _ = child.wait();
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture: a kernel fn acquiring IO through a callee.
+
+/// Looks pure, but the trace helper it calls prints.
+pub fn shape_rate(x: f64, gamma: f64) -> f64 {
+    trace_rate(x);
+    (x * gamma).max(0.0)
+}
+
+fn trace_rate(x: f64) {
+    println!("rate input {x}");
+}

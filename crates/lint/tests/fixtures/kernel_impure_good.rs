@@ -1,0 +1,17 @@
+//! Known-good fixture: kernels may read static tables and fill
+//! caller-provided `&mut` scratch — that is the kernel contract.
+
+static GAMMA_TABLE: [f64; 2] = [0.5, 0.25];
+
+/// Pure per-element math over injected inputs.
+pub fn shape_rate(x: f64, class: usize) -> f64 {
+    (x * GAMMA_TABLE[class]).max(0.0)
+}
+
+/// Out-parameter scratch is allowed; no ambient effect is.
+pub fn shape_all(xs: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    for &x in xs {
+        out.push(shape_rate(x, 0));
+    }
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture: a guard stays live across blocking calls.
+
+/// Joins a worker while holding the state lock the worker needs.
+pub fn drain(state: &SharedState, handle: Handle) {
+    let guard = state.inner.lock_unpoisoned();
+    handle.join();
+    finish(&guard);
+}
+
+/// Sleeps while holding a read guard.
+pub fn poll(state: &SharedState) -> u64 {
+    let snapshot = state.inner.read();
+    sleep(POLL_INTERVAL);
+    snapshot.epoch
+}

@@ -1,0 +1,14 @@
+//! Known-bad fixture: a cached-state write with no path to the
+//! dirty-set API.
+
+pub(crate) struct StepState {
+    cached_utility: f64,
+    link_usage: Vec<f64>,
+    rate_changed: Vec<bool>,
+    dirty_flows: Vec<u32>,
+}
+
+/// Overwrites cached state and never marks anything dirty.
+pub(crate) fn clobber(state: &mut StepState, total: f64) {
+    state.cached_utility = total;
+}

@@ -1,0 +1,32 @@
+//! Known-good fixture: cached-state writes paired with dirty marking
+//! (directly or through a helper the effect fixpoint can see).
+
+pub(crate) struct StepState {
+    cached_utility: f64,
+    link_usage: Vec<f64>,
+    rate_changed: Vec<bool>,
+    dirty_flows: Vec<u32>,
+}
+
+pub(crate) fn mark(flags: &mut [bool], list: &mut Vec<u32>, id: u32) {
+    if !flags[id as usize] {
+        flags[id as usize] = true;
+        list.push(id);
+    }
+}
+
+/// The write is paired with an exact mark.
+pub(crate) fn publish(state: &mut StepState, total: f64, flow: u32) {
+    state.cached_utility = total;
+    mark(&mut state.rate_changed, &mut state.dirty_flows, flow);
+}
+
+/// Marking through a helper is visible interprocedurally.
+pub(crate) fn publish_via(state: &mut StepState, total: f64, flow: u32) {
+    state.cached_utility = total;
+    note_rate(state, flow);
+}
+
+fn note_rate(state: &mut StepState, flow: u32) {
+    mark(&mut state.rate_changed, &mut state.dirty_flows, flow);
+}

@@ -1,0 +1,18 @@
+//! Known-good fixture: sequential accumulation keeps the reference
+//! association order.
+
+/// One accumulator, source order: bit-identical to the spec path.
+pub fn sequential_sum(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// Chunking without accumulation (copying lanes) is not a reduction.
+pub fn copy_lanes(xs: &[f64], out: &mut Vec<f64>) {
+    for ch in xs.chunks_exact(2) {
+        out.extend_from_slice(ch);
+    }
+}
