@@ -444,9 +444,9 @@ pub fn solve_flow_rate_from_table(
 /// [`update_node_price_with_rule`] loop (γ₁ = γ₂ = `gammas[b]`, projection
 /// onto `[0, ∞)` included), so the batch is bitwise equal to it.
 ///
-/// # Panics
-///
-/// Panics if the slices disagree in length.
+/// Columns are consumed in lockstep; a length disagreement is a caller
+/// bug caught by `debug_assert!` in debug builds, while release builds
+/// stop at the shortest column rather than panic mid-step.
 pub fn node_price_batch(
     rule: NodePriceRule,
     current: &[f64],
@@ -456,7 +456,7 @@ pub fn node_price_batch(
     gammas: &[f64],
     out: &mut [f64],
 ) {
-    assert!(
+    debug_assert!(
         current.len() == bc.len()
             && current.len() == used.len()
             && current.len() == capacities.len()
@@ -464,16 +464,15 @@ pub fn node_price_batch(
             && current.len() == out.len(),
         "node price batch columns must agree in length"
     );
-    for b in 0..current.len() {
-        out[b] = update_node_price_with_rule(
-            rule,
-            current[b],
-            bc[b],
-            used[b],
-            capacities[b],
-            gammas[b],
-            gammas[b],
-        );
+    let columns = out
+        .iter_mut()
+        .zip(current)
+        .zip(bc)
+        .zip(used)
+        .zip(capacities)
+        .zip(gammas);
+    for (((((o, &cur), &bc), &used), &cap), &gamma) in columns {
+        *o = update_node_price_with_rule(rule, cur, bc, used, cap, gamma, gamma);
     }
 }
 
@@ -481,9 +480,9 @@ pub fn node_price_batch(
 /// updated price of link `l`. Bitwise equal to the scalar
 /// [`update_link_price`] loop.
 ///
-/// # Panics
-///
-/// Panics if the slices disagree in length.
+/// Columns are consumed in lockstep; a length disagreement is a caller
+/// bug caught by `debug_assert!` in debug builds, while release builds
+/// stop at the shortest column rather than panic mid-step.
 pub fn link_price_batch(
     current: &[f64],
     usage: &[f64],
@@ -491,14 +490,15 @@ pub fn link_price_batch(
     gamma: f64,
     out: &mut [f64],
 ) {
-    assert!(
+    debug_assert!(
         current.len() == usage.len()
             && current.len() == capacities.len()
             && current.len() == out.len(),
         "link price batch columns must agree in length"
     );
-    for l in 0..current.len() {
-        out[l] = update_link_price(current[l], usage[l], capacities[l], gamma);
+    let columns = out.iter_mut().zip(current).zip(usage).zip(capacities);
+    for (((o, &cur), &usage), &cap) in columns {
+        *o = update_link_price(cur, usage, cap, gamma);
     }
 }
 

@@ -188,7 +188,7 @@ impl RateJob {
             return;
         }
         let hi = (lo + self.chunk).min(self.dirty.len());
-        for &f in &self.dirty[lo..hi] {
+        for &f in self.dirty.get(lo..hi).unwrap_or(&[]) {
             #[cfg(test)]
             if self.panic_on_flow == Some(f) {
                 std::panic::panic_any(format!("injected rate-kernel panic on flow {f}"));
@@ -243,7 +243,7 @@ impl AdmissionJob {
             return;
         }
         let hi = (lo + self.chunk).min(self.dirty.len());
-        for &b in &self.dirty[lo..hi] {
+        for &b in self.dirty.get(lo..hi).unwrap_or(&[]) {
             let mut slot = lock_unpoisoned(&self.orders[b as usize]);
             let slot = &mut *slot;
             let (used, bc) = allocate_consumers_into(

@@ -75,8 +75,13 @@ impl CallGraph {
                 if item.kind != ItemKind::Fn || in_test(item.kw) {
                     continue;
                 }
+                let params: BTreeSet<&str> = item
+                    .sig
+                    .iter()
+                    .flat_map(|s| s.params.iter().map(|(n, _)| n.as_str()))
+                    .collect();
                 let callees = match item.body {
-                    Some((open, close)) => callees_in(tokens, open + 1, close),
+                    Some((open, close)) => callees_in(tokens, open + 1, close, &params),
                     None => Vec::new(),
                 };
                 let idx = graph.fns.len();
@@ -120,8 +125,11 @@ impl CallGraph {
 
 /// Recovers callee names from a body token range: identifiers directly
 /// followed by `(`, excluding keywords, macro bangs (`name!(..)` — those
-/// are the lexical layer's business), and fn definitions themselves.
-fn callees_in(tokens: &[Token], lo: usize, hi: usize) -> Vec<String> {
+/// are the lexical layer's business), fn definitions themselves, and bare
+/// calls of a fn *parameter* (`apply(f, rate)` where `apply: impl FnMut`
+/// is a closure argument — a higher-order call whose target is unknown,
+/// which must not resolve by name to an unrelated workspace fn).
+fn callees_in(tokens: &[Token], lo: usize, hi: usize, params: &BTreeSet<&str>) -> Vec<String> {
     let mut names = BTreeSet::new();
     for i in lo..hi.min(tokens.len()) {
         let t = &tokens[i];
@@ -132,6 +140,11 @@ fn callees_in(tokens: &[Token], lo: usize, hi: usize) -> Vec<String> {
             continue;
         }
         if i >= 1 && tokens[i - 1].is_ident("fn") {
+            continue;
+        }
+        let bare = i == 0
+            || !(tokens[i - 1].is_punct(".") || tokens[i - 1].is_punct("::"));
+        if bare && params.contains(t.text.as_str()) {
             continue;
         }
         names.insert(t.text.clone());
@@ -170,6 +183,22 @@ mod tests {
             !outer.callees.iter().any(|c| c == "macro_like"),
             "macro invocations are not calls"
         );
+    }
+
+    #[test]
+    fn bare_call_of_a_fn_parameter_is_not_a_callee() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            Some("core"),
+            "fn drive(apply: impl FnMut(u32)) { apply(1); }\n\
+             fn drive_method(apply: impl FnMut(u32)) { other.apply(2); }\n\
+             fn apply(n: u32) {}\n",
+        )]);
+        // The bare `apply(1)` goes through the closure param, not the
+        // workspace fn named `apply`.
+        assert!(g.fns[0].callees.is_empty(), "{:?}", g.fns[0].callees);
+        // A *method* call spelled like the param still resolves by name.
+        assert_eq!(g.fns[1].callees, vec!["apply"]);
     }
 
     #[test]

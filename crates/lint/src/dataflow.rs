@@ -49,6 +49,19 @@ impl EffectSet {
     /// Touches the executor's dirty-set bookkeeping (`mark`, `note_*`,
     /// `dirty_*`/`changed_*` state).
     pub const DIRTY_API: EffectSet = EffectSet(256);
+    /// Heap allocation: container/`String` construction (`Vec::with_capacity`,
+    /// `Box::new`, `vec!`, `format!`), `collect`, `to_vec`/`to_owned`,
+    /// `clone` of a container, or growth of a locally constructed
+    /// container. Growing a *caller-provided* `&mut` scratch buffer is
+    /// deliberately not counted: amortized reuse of caller-owned capacity
+    /// is the kernel contract's sanctioned idiom.
+    pub const ALLOC: EffectSet = EffectSet(512);
+    /// A reachable panic site: `unwrap`/`expect`, the panic macro family,
+    /// non-test `assert!`, range slicing (`x[lo..hi]`), arithmetic
+    /// indexing (`x[i + 1]`), or integer division by a variable.
+    /// `debug_assert!` is excluded by policy — it compiles out of release
+    /// builds, which are what the hot-path budget protects.
+    pub const PANIC: EffectSet = EffectSet(1024);
 
     /// Effects a kernel function must not acquire, directly or through
     /// any callee. `STATIC_READ` (constant tables) and `MUT_PARAM`
@@ -58,6 +71,11 @@ impl EffectSet {
         Self::IO.0 | Self::SPAWN.0 | Self::LOCK.0 | Self::STATIC_MUT.0 | Self::TIME.0
             | Self::RNG.0,
     );
+
+    /// Effects denied on the declared hot-path roots (see
+    /// `crates/lint/hot_paths.txt`): the steady-state step must neither
+    /// allocate nor reach a panic in release builds.
+    pub const HOT_DENIED: EffectSet = EffectSet(Self::ALLOC.0 | Self::PANIC.0);
 
     /// Set union.
     #[must_use = "union returns the combined set"]
@@ -94,6 +112,8 @@ impl EffectSet {
             (Self::RNG, "rng"),
             (Self::MUT_PARAM, "mut-param"),
             (Self::DIRTY_API, "dirty-api"),
+            (Self::ALLOC, "alloc"),
+            (Self::PANIC, "panic"),
         ] {
             if self.contains(bit) {
                 out.push(name);
@@ -133,6 +153,11 @@ pub struct EffectTable {
     /// For each fn, the first-seen origin of each effect bit — a token
     /// spelling for local effects, `call to \`f\`` for inherited ones.
     pub origins: Vec<BTreeMap<u16, String>>,
+    /// For each fn, the callee (by node index) through which each
+    /// *inherited* effect bit first arrived; locally originated bits are
+    /// absent. Following these links yields a call-chain witness without
+    /// re-running the fixpoint.
+    pub via: Vec<BTreeMap<u16, usize>>,
 }
 
 impl EffectTable {
@@ -148,6 +173,24 @@ impl EffectTable {
             }
         }
         parts.join(", ")
+    }
+
+    /// The call chain along which fn `i` carries `bit` (a single-bit set):
+    /// node `i` first, then each callee the first-seen inheritance edge
+    /// points at, ending at the fn whose own body introduces the effect.
+    /// Deterministic (the `via` edge is first-seen under a stable
+    /// iteration order) and cycle-guarded.
+    pub fn witness_chain(&self, i: usize, bit: EffectSet) -> Vec<usize> {
+        let mut chain = vec![i];
+        let mut cur = i;
+        while let Some(&next) = self.via.get(cur).and_then(|m| m.get(&bit.0)) {
+            if chain.contains(&next) {
+                break;
+            }
+            chain.push(next);
+            cur = next;
+        }
+        chain
     }
 }
 
@@ -235,10 +278,74 @@ pub fn local_effects(
         k += 1;
     }
     let Some((open, close)) = body else { return (eff, origins) };
+    let close = close.min(tokens.len());
     let krate_opt = if krate == crate::callgraph::ROOT_CRATE { None } else { Some(krate) };
-    for i in open + 1..close.min(tokens.len()) {
+    // Cheap local type evidence for the ALLOC/PANIC detectors: integer-
+    // typed names (division-by-variable panics), names with container
+    // type evidence (`.clone()` allocates), and containers *constructed
+    // in this body* (growing one allocates; growing a caller-provided
+    // buffer does not).
+    let mut int_names: Vec<&str> = Vec::new();
+    let mut container_typed: Vec<&str> = Vec::new();
+    let mut container_locals: Vec<&str> = Vec::new();
+    let mut j = kw + 1;
+    while j + 1 < sig_end {
+        if tokens[j].is_punct(":") && tokens[j - 1].kind == TokenKind::Ident {
+            let pname = tokens[j - 1].text.as_str();
+            let mut k = j + 1;
+            while k < sig_end
+                && (tokens[k].is_punct("&")
+                    || tokens[k].is_ident("mut")
+                    || tokens[k].kind == TokenKind::Lifetime)
+            {
+                k += 1;
+            }
+            if let Some(ty) = tokens.get(k).filter(|t| t.kind == TokenKind::Ident) {
+                if INT_TYPES.contains(&ty.text.as_str()) {
+                    int_names.push(pname);
+                } else if CONTAINER_HEADS.contains(&ty.text.as_str()) {
+                    container_typed.push(pname);
+                }
+            }
+        }
+        j += 1;
+    }
+    let bindings = crate::parser::let_bindings(tokens, open, close);
+    for b in &bindings {
+        let name = tokens[b.idx].text.as_str();
+        if let Some(ty) = &b.ty {
+            if INT_TYPES.contains(&ty.head.as_str()) {
+                int_names.push(name);
+            } else if CONTAINER_HEADS.contains(&ty.head.as_str()) {
+                container_typed.push(name);
+            }
+        }
+        if let Some(init) = &b.init_head {
+            if CONTAINER_HEADS.contains(&init.as_str()) || init == "vec" {
+                container_typed.push(name);
+                container_locals.push(name);
+            }
+        }
+    }
+    let mut i = open + 1;
+    while i < close {
+        // Statement-level `#[cfg(test)]` guards (the item-level ranges are
+        // stripped upstream): the gated statement never runs outside
+        // tests, so its effects don't count.
+        if let Some(end) = cfg_test_stmt_end(tokens, i, close) {
+            i = end + 1;
+            continue;
+        }
         let t = &tokens[i];
+        if t.kind == TokenKind::Punct {
+            scan_panic_puncts(tokens, i, close, &int_names, &mut |bit, origin| {
+                add(&mut eff, bit, origin);
+            });
+            i += 1;
+            continue;
+        }
         if t.kind != TokenKind::Ident {
+            i += 1;
             continue;
         }
         let prev_dot = i >= 1 && tokens[i - 1].is_punct(".");
@@ -294,6 +401,54 @@ pub fn local_effects(
             "random" if prev_dot && zero_arg => {
                 add(&mut eff, EffectSet::RNG, "`.random()`".to_string());
             }
+            "vec" | "format" if next_bang => {
+                add(&mut eff, EffectSet::ALLOC, format!("`{name}!`"));
+            }
+            "collect" | "to_vec" | "to_string" | "to_owned" if prev_dot && next_call => {
+                add(&mut eff, EffectSet::ALLOC, format!("`.{name}(`"));
+            }
+            "with_capacity" if next_call => {
+                add(&mut eff, EffectSet::ALLOC, "`with_capacity(`".to_string());
+            }
+            "Box" if next_path => {
+                add(&mut eff, EffectSet::ALLOC, "`Box::`".to_string());
+            }
+            // `Vec::new()` / `String::default()` construct empty values
+            // without touching the heap; every other associated fn on a
+            // container head is assumed to allocate.
+            "Vec" | "String" | "VecDeque" | "BTreeMap" | "BTreeSet"
+                if next_path
+                    && tokens.get(i + 2).is_some_and(|n| {
+                        n.kind == TokenKind::Ident && n.text != "new" && n.text != "default"
+                    }) =>
+            {
+                add(&mut eff, EffectSet::ALLOC, format!("`{name}::`"));
+            }
+            "clone" if prev_dot && zero_arg && clones_container(tokens, i, krate_opt, symbols, &container_typed) => {
+                add(&mut eff, EffectSet::ALLOC, "`.clone()` of a container".to_string());
+            }
+            "push" | "extend" | "insert" if prev_dot && next_call => {
+                // Only growth of a container constructed in this body
+                // counts: pushing into a caller's `&mut` scratch reuses
+                // caller-owned (amortized) capacity by contract.
+                if let Some(recv) = bare_receiver(tokens, i) {
+                    if container_locals.contains(&recv) {
+                        add(&mut eff, EffectSet::ALLOC, format!("growth of local `{recv}`"));
+                    }
+                }
+            }
+            "unwrap" | "expect" if prev_dot && next_call => {
+                add(&mut eff, EffectSet::PANIC, format!("`.{name}(`"));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" | "assert" | "assert_eq"
+            | "assert_ne"
+                if next_bang =>
+            {
+                add(&mut eff, EffectSet::PANIC, format!("`{name}!`"));
+            }
+            "panic_any" if next_call => {
+                add(&mut eff, EffectSet::PANIC, "`panic_any(`".to_string());
+            }
             _ => {}
         }
         if symbols.is_mut_static(krate_opt, name) {
@@ -307,8 +462,185 @@ pub fn local_effects(
         {
             add(&mut eff, EffectSet::DIRTY_API, format!("`{name}`"));
         }
+        i += 1;
     }
     (eff, origins)
+}
+
+/// Integer type names providing divide-by-variable evidence.
+const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Heap-owning container type heads: constructing (non-empty) or growing
+/// one allocates, and so does cloning one.
+const CONTAINER_HEADS: &[&str] = &[
+    "Vec", "VecDeque", "String", "Box", "BTreeMap", "BTreeSet", "HashMap", "HashSet",
+];
+
+/// The bare (single-ident, non-path) receiver of a `.method(` at `i`, if
+/// any: `name.push(..)` yields `name`; `self.list.push(..)` and
+/// `a().list.push(..)` yield nothing.
+fn bare_receiver(tokens: &[Token], i: usize) -> Option<&str> {
+    if i < 2 || tokens[i - 2].kind != TokenKind::Ident {
+        return None;
+    }
+    if i >= 3 && (tokens[i - 3].is_punct(".") || tokens[i - 3].is_punct("::")) {
+        return None;
+    }
+    Some(tokens[i - 2].text.as_str())
+}
+
+/// Container evidence for a `.clone()` receiver: a bare local/param whose
+/// type or initializer names a container head, or a `self.field` whose
+/// declared field type does.
+fn clones_container(
+    tokens: &[Token],
+    i: usize,
+    krate: Option<&str>,
+    symbols: &Symbols,
+    container_typed: &[&str],
+) -> bool {
+    if let Some(recv) = bare_receiver(tokens, i) {
+        return container_typed.contains(&recv);
+    }
+    // `self.field.clone()`
+    if i >= 4
+        && tokens[i - 2].kind == TokenKind::Ident
+        && tokens[i - 3].is_punct(".")
+        && tokens[i - 4].is_ident("self")
+    {
+        return symbols
+            .field_head(krate, tokens[i - 2].text.as_str())
+            .is_some_and(|ty| CONTAINER_HEADS.contains(&ty.head.as_str()));
+    }
+    false
+}
+
+/// If the token at `i` opens a statement-level `#[cfg(test)]` attribute
+/// (inside a fn body, where the item-level test ranges don't reach),
+/// returns the index of the gated statement's last token.
+fn cfg_test_stmt_end(tokens: &[Token], i: usize, close: usize) -> Option<usize> {
+    if !tokens[i].is_punct("#") || !tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let attr_close = loop {
+        if j >= close {
+            return None;
+        }
+        let t = &tokens[j];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                break j;
+            }
+        } else if t.is_ident("test") {
+            saw_test = true;
+        } else if t.is_ident("not") {
+            saw_not = true;
+        }
+        j += 1;
+    };
+    if !saw_test || saw_not {
+        return None;
+    }
+    // The gated statement runs to the `;` at brace depth 0, or through
+    // the first brace block (following `else` chains for a gated `if`).
+    let mut k = attr_close + 1;
+    let mut depth = 0i32;
+    while k < close {
+        let t = &tokens[k];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 && !tokens.get(k + 1).is_some_and(|t| t.is_ident("else")) {
+                return Some(k);
+            }
+        } else if depth == 0 && t.is_punct(";") {
+            return Some(k);
+        }
+        k += 1;
+    }
+    Some(close.saturating_sub(1))
+}
+
+/// True if the token before `k` puts an operator or `[` in *postfix*
+/// (binary) position: an expression just ended, so what follows indexes
+/// or combines it rather than starting a new one.
+fn after_expression(tokens: &[Token], k: usize) -> bool {
+    if k == 0 {
+        return false;
+    }
+    let prev = &tokens[k - 1];
+    match prev.kind {
+        TokenKind::Ident => !matches!(
+            prev.text.as_str(),
+            "in" | "if" | "else" | "match" | "return" | "break" | "while" | "loop" | "let"
+                | "mut" | "move" | "ref" | "as" | "dyn" | "where" | "impl" | "use" | "pub"
+                | "fn" | "const" | "static" | "struct" | "enum" | "trait" | "unsafe" | "for"
+        ),
+        TokenKind::Int | TokenKind::Float => true,
+        _ => prev.is_punct(")") || prev.is_punct("]"),
+    }
+}
+
+/// Panic evidence carried by punctuation: postfix indexing whose interior
+/// range-slices (`x[lo..hi]`) or computes (`x[i + 1]`) — both panic when
+/// out of bounds in release — and division/remainder by an integer-typed
+/// variable. Plain `x[i]` lookups are *not* flagged: the id-to-dense-
+/// column pattern is load-bearing throughout the workspace and a bare
+/// index is the idiom's sanctioned form.
+fn scan_panic_puncts(
+    tokens: &[Token],
+    i: usize,
+    close: usize,
+    int_names: &[&str],
+    add: &mut dyn FnMut(EffectSet, String),
+) {
+    let t = &tokens[i];
+    if t.is_punct("[") && after_expression(tokens, i) {
+        let mut depth = 0i32;
+        let mut k = i;
+        while k < close {
+            let t = &tokens[k];
+            if t.is_punct("[") || t.is_punct("(") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("]") || t.is_punct(")") || t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1 {
+                if t.is_punct("..") || t.is_punct("..=") {
+                    add(EffectSet::PANIC, "range slicing (`[lo..hi]`)".to_string());
+                } else if matches!(t.text.as_str(), "+" | "-" | "*" | "/" | "%")
+                    && t.kind == TokenKind::Punct
+                    && after_expression(tokens, k)
+                {
+                    add(EffectSet::PANIC, format!("arithmetic index (`[.. {} ..]`)", t.text));
+                }
+            }
+            k += 1;
+        }
+    }
+    if (t.is_punct("/") || t.is_punct("%")) && after_expression(tokens, i) {
+        // Only variable divisors with *integer* type evidence count —
+        // float division never panics, and `x / b.max(1)` guards itself.
+        if let Some(rhs) = tokens.get(i + 1).filter(|t| t.kind == TokenKind::Ident) {
+            if int_names.contains(&rhs.text.as_str())
+                && !tokens.get(i + 2).is_some_and(|t| t.is_punct("."))
+            {
+                add(EffectSet::PANIC, format!("integer `{} {}`", t.text, rhs.text));
+            }
+        }
+    }
 }
 
 /// Runs the interprocedural fixpoint: every fn's effects are its local
@@ -323,6 +655,7 @@ pub fn fixpoint(
     let mut effects: Vec<EffectSet> = locals.iter().map(|(e, _)| *e).collect();
     let mut origins: Vec<BTreeMap<u16, String>> =
         locals.into_iter().map(|(_, o)| o).collect();
+    let mut via: Vec<BTreeMap<u16, usize>> = vec![BTreeMap::new(); n];
     // Monotone over a finite lattice: at most bits × n rounds, in
     // practice a handful. The cap is a safety net, not a correctness
     // device.
@@ -338,10 +671,19 @@ pub fn fixpoint(
                 let fresh = EffectSet(incoming.0 & !effects[i].0);
                 if !fresh.is_empty() {
                     effects[i] = effects[i].union(fresh);
+                    let cands = graph.candidates(&krate, &callee);
                     for bit in fresh.bits() {
                         origins[i].entry(bit.0).or_insert_with(|| {
                             format!("call to `{callee}`")
                         });
+                        // Under intersection semantics every candidate
+                        // carries the bit; record the first as the
+                        // witness edge.
+                        if let Some(&target) =
+                            cands.iter().find(|&&x| effects[x].contains(bit))
+                        {
+                            via[i].entry(bit.0).or_insert(target);
+                        }
                     }
                     changed = true;
                 }
@@ -351,7 +693,7 @@ pub fn fixpoint(
             break;
         }
     }
-    EffectTable { effects, origins }
+    EffectTable { effects, origins, via }
 }
 
 fn callee_effects(

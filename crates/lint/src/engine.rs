@@ -7,9 +7,11 @@
 
 use crate::dataflow::{EffectSet, FlowInfo, ParsedForFlow};
 use crate::lexer::{lex, LexedFile, Token};
+use crate::lockgraph::LockGraph;
 use crate::parser::{parse, ItemKind, ParsedFile};
 use crate::rules;
 use crate::symbols::Symbols;
+use std::time::Instant;
 
 /// Pseudo-rule id for malformed or unknown suppression directives. Not a
 /// real rule: it cannot itself be suppressed, so a typo in an `allow(...)`
@@ -107,6 +109,8 @@ pub struct FileContext<'a> {
     pub symbols: &'a Symbols,
     /// Layer-3 analysis: call graph + interprocedural effect fixpoint.
     pub flow: &'a FlowInfo,
+    /// Layer-4 analysis: the whole-workspace lock-order graph.
+    pub locks: &'a LockGraph,
     test_ranges: Vec<(usize, usize)>,
 }
 
@@ -268,6 +272,89 @@ struct PreparedFile {
 /// classification, per-crate rule scoping, and symbol-table keying.
 /// Returns one [`FileAnalysis`] per input, in input order.
 pub fn analyze_files(files: &[(String, String)]) -> Vec<FileAnalysis> {
+    analyze_files_timed(files).0
+}
+
+/// Wallclock spent in each analysis layer, for the v4 report schema.
+/// Milliseconds, rounded down; the stability self-check zeroes all four
+/// before comparing serialized reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Lexing, parsing, and test-region location.
+    pub lex_ms: u128,
+    /// Symbol-table construction plus the per-file rule sweep.
+    pub semantic_ms: u128,
+    /// Call-graph construction and the interprocedural effect fixpoint.
+    pub dataflow_ms: u128,
+    /// Layer-4 whole-program graph analyses (lock-order graph).
+    pub graph_ms: u128,
+}
+
+/// [`analyze_files`] plus the per-layer timing breakdown.
+pub fn analyze_files_timed(files: &[(String, String)]) -> (Vec<FileAnalysis>, PhaseTimings) {
+    let mut timings = PhaseTimings::default();
+    let t = Instant::now();
+    let prepared: Vec<PreparedFile> = files
+        .iter()
+        .map(|(path, src)| {
+            let lexed = lex(src);
+            let parsed = parse(&lexed.tokens);
+            let ranges = test_ranges(&lexed.tokens);
+            PreparedFile {
+                path: path.clone(),
+                kind: classify(path),
+                lexed,
+                parsed,
+                test_ranges: ranges,
+            }
+        })
+        .collect();
+    timings.lex_ms = t.elapsed().as_millis();
+    let t = Instant::now();
+    let symbols = Symbols::build(
+        prepared
+            .iter()
+            .filter(|p| p.kind != FileKind::Test)
+            .map(|p| (crate_of(&p.path), &p.parsed)),
+    );
+    timings.semantic_ms = t.elapsed().as_millis();
+    let bundles: Vec<(&PreparedFile, ParsedForFlow)> = prepared
+        .iter()
+        .filter(|p| p.kind != FileKind::Test)
+        .map(|p| {
+            (
+                p,
+                ParsedForFlow {
+                    parsed: &p.parsed,
+                    tokens: &p.lexed.tokens,
+                    test_ranges: &p.test_ranges,
+                },
+            )
+        })
+        .collect();
+    let t = Instant::now();
+    let flow = FlowInfo::build(
+        bundles.iter().map(|(p, b)| (p.path.as_str(), crate_of(&p.path), b)),
+        &symbols,
+    );
+    timings.dataflow_ms = t.elapsed().as_millis();
+    let t = Instant::now();
+    let locks = LockGraph::build(
+        &flow.graph,
+        bundles.iter().map(|(p, b)| (p.path.as_str(), b)),
+    );
+    timings.graph_ms = t.elapsed().as_millis();
+    let t = Instant::now();
+    let out = prepared.iter().map(|p| analyze_prepared(p, &symbols, &flow, &locks)).collect();
+    timings.semantic_ms += t.elapsed().as_millis();
+    (out, timings)
+}
+
+/// The deterministic effect surface: one line per public fn of every
+/// library file, `module::path::fn effect,names` (`-` when pure), sorted
+/// and deduplicated — the `--effects` snapshot diffed in CI. Also returns
+/// the lock-order graph for the machine-readable variant.
+pub fn effect_surface(files: &[(String, String)]) -> (Vec<String>, LockGraph) {
     let prepared: Vec<PreparedFile> = files
         .iter()
         .map(|(path, src)| {
@@ -307,7 +394,50 @@ pub fn analyze_files(files: &[(String, String)]) -> Vec<FileAnalysis> {
         bundles.iter().map(|(p, b)| (p.path.as_str(), crate_of(&p.path), b)),
         &symbols,
     );
-    prepared.iter().map(|p| analyze_prepared(p, &symbols, &flow)).collect()
+    let locks = LockGraph::build(
+        &flow.graph,
+        bundles.iter().map(|(p, b)| (p.path.as_str(), b)),
+    );
+    let mut lines = std::collections::BTreeSet::new();
+    for p in &prepared {
+        if p.kind != FileKind::Library {
+            continue;
+        }
+        let module = module_path_of(&p.path);
+        for item in &p.parsed.items {
+            if item.kind != ItemKind::Fn || !item.is_pub {
+                continue;
+            }
+            if p.test_ranges.iter().any(|&(lo, hi)| item.kw >= lo && item.kw <= hi) {
+                continue;
+            }
+            let Some(effects) = flow.effects_at(&p.path, item.kw) else { continue };
+            let names = effects.names();
+            let effects = if names.is_empty() { "-".to_string() } else { names.join(",") };
+            lines.insert(format!("{module}::{} {effects}", item.name));
+        }
+    }
+    (lines.into_iter().collect(), locks)
+}
+
+/// `crates/core/src/kernel/rate.rs` → `core::kernel::rate`; `mod.rs`
+/// collapses into its directory, `lib.rs` into the crate, and files of
+/// the root package are prefixed `crate`.
+fn module_path_of(path: &str) -> String {
+    let krate = crate_of(path).unwrap_or("crate");
+    let mut segs: Vec<&str> = match path.split_once("/src/") {
+        Some((_, rest)) => rest.trim_end_matches(".rs").split('/').collect(),
+        None => Vec::new(),
+    };
+    if matches!(segs.last(), Some(&"mod") | Some(&"lib")) {
+        segs.pop();
+    }
+    let mut out = krate.to_string();
+    for s in segs {
+        out.push_str("::");
+        out.push_str(s);
+    }
+    out
 }
 
 /// Runs every rule on one file and applies suppression directives.
@@ -321,7 +451,12 @@ pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
         .unwrap_or_default()
 }
 
-fn analyze_prepared(file: &PreparedFile, symbols: &Symbols, flow: &FlowInfo) -> FileAnalysis {
+fn analyze_prepared(
+    file: &PreparedFile,
+    symbols: &Symbols,
+    flow: &FlowInfo,
+    locks: &LockGraph,
+) -> FileAnalysis {
     let lexed = &file.lexed;
     let path = file.path.as_str();
     let kind = file.kind;
@@ -361,6 +496,7 @@ fn analyze_prepared(file: &PreparedFile, symbols: &Symbols, flow: &FlowInfo) -> 
         parsed: &file.parsed,
         symbols,
         flow,
+        locks,
         test_ranges: file.test_ranges.clone(),
     };
     if kind == FileKind::Library && ctx.krate == Some("core") && path.contains("/kernel/") {

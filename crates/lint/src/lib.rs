@@ -49,7 +49,9 @@ pub mod cfg;
 pub mod dataflow;
 pub mod engine;
 pub mod fix;
+pub mod hotpath;
 pub mod lexer;
+pub mod lockgraph;
 pub mod parser;
 pub mod report;
 pub mod rules;
@@ -57,8 +59,8 @@ pub mod semantic;
 pub mod symbols;
 
 pub use engine::{
-    analyze_files, analyze_source, classify, crate_of, FileAnalysis, FileKind, Finding,
-    Suppression, BAD_DIRECTIVE,
+    analyze_files, analyze_files_timed, analyze_source, classify, crate_of, effect_surface,
+    FileAnalysis, FileKind, Finding, PhaseTimings, Suppression, BAD_DIRECTIVE,
 };
 pub use fix::{fix_paths, FixOutcome};
 pub use report::{Report, JSON_SCHEMA_VERSION};
@@ -172,9 +174,7 @@ pub fn lint_paths_filtered(
             files.push((label_of(&file), std::fs::read_to_string(&file)?));
         }
     }
-    let started = std::time::Instant::now();
-    let analyses = engine::analyze_files(&files);
-    let analysis_ms = started.elapsed().as_millis() as u64;
+    let (analyses, timings) = engine::analyze_files_timed(&files);
     let mut findings = Vec::new();
     let mut suppressions = Vec::new();
     for ((label, _), analysis) in files.iter().zip(analyses) {
@@ -185,6 +185,26 @@ pub fn lint_paths_filtered(
         suppressions.extend(analysis.suppressions);
     }
     let mut report = Report::new(findings, suppressions, files.len());
-    report.analysis_ms = analysis_ms;
+    report.lex_ms = timings.lex_ms as u64;
+    report.semantic_ms = timings.semantic_ms as u64;
+    report.dataflow_ms = timings.dataflow_ms as u64;
+    report.graph_ms = timings.graph_ms as u64;
     Ok(report)
+}
+
+/// The deterministic effect-surface snapshot over the given roots: one
+/// sorted line per public library fn (`module::path::fn effect,names`,
+/// `-` when pure) plus the lock-order graph, for `--effects` and the CI
+/// snapshot gate.
+#[must_use = "the surface lines are the entire point of calling this"]
+pub fn effect_surface_paths(
+    roots: &[PathBuf],
+) -> io::Result<(Vec<String>, lockgraph::LockGraph)> {
+    let mut files: Vec<(String, String)> = Vec::new();
+    for root in roots {
+        for file in collect_rust_files(root)? {
+            files.push((label_of(&file), std::fs::read_to_string(&file)?));
+        }
+    }
+    Ok(engine::effect_surface(&files))
 }

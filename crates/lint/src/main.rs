@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! lrgp-lint [PATH ...] [--deny] [--json] [--out FILE] [--fix] [--changed REF]
-//!           [--list-rules] [--explain RULE]
+//!           [--effects] [--list-rules] [--explain RULE]
 //! ```
 //!
 //! With no paths, scans the current directory (the workspace root in CI).
@@ -13,6 +13,9 @@
 //! so the report shows what remains for a human. `--changed REF` reports
 //! only findings in files that differ from the given git ref (the whole
 //! tree is still analyzed, so cross-file symbols stay correct).
+//! `--effects` prints the effect-surface snapshot (one sorted line per
+//! public library fn with its inferred effect set) instead of linting;
+//! the committed `crates/lint/effect_surface.txt` is this output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +28,7 @@ lrgp-lint — determinism-invariant static analysis for the LRGP workspace
 
 USAGE:
   lrgp-lint [PATH ...] [--deny] [--json] [--out FILE] [--fix] [--changed REF]
-            [--list-rules] [--explain RULE]
+            [--effects] [--list-rules] [--explain RULE]
 
 OPTIONS:
   --deny         exit 1 if any unsuppressed finding remains (CI mode)
@@ -33,6 +36,9 @@ OPTIONS:
   --out FILE     also write the JSON report to FILE
   --fix          apply machine-applicable rewrites in place, then report
   --changed REF  report only files that differ from the given git ref
+  --effects      print the effect-surface snapshot (one sorted line per
+                 public library fn and its effect set) instead of linting;
+                 with --json, a graph report with lock-order edges
   --list-rules   describe every rule and the invariant it protects
   --explain RULE print the rationale, an example, and the remediation
                  for one rule";
@@ -44,6 +50,7 @@ struct Options {
     out: Option<PathBuf>,
     fix: bool,
     changed: Option<String>,
+    effects: bool,
     list_rules: bool,
     explain: Option<String>,
 }
@@ -56,6 +63,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         out: None,
         fix: false,
         changed: None,
+        effects: false,
         list_rules: false,
         explain: None,
     };
@@ -65,6 +73,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--deny" => opts.deny = true,
             "--json" => opts.json = true,
             "--fix" => opts.fix = true,
+            "--effects" => opts.effects = true,
             "--list-rules" => opts.list_rules = true,
             "--out" => match it.next() {
                 Some(path) => opts.out = Some(PathBuf::from(path)),
@@ -89,6 +98,57 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         opts.roots.push(PathBuf::from("."));
     }
     Ok(opts)
+}
+
+/// Renders the `--effects --json` graph report: the effect-surface lines
+/// plus every lock-order edge and detected cycle. Keys and array order are
+/// stable, so CI can diff the artifact across runs.
+fn effects_json(lines: &[String], locks: &lrgp_lint::lockgraph::LockGraph) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"tool\": \"lrgp-lint\",\n  \"report\": \"effect-surface\",\n");
+    out.push_str("  \"surface\": [");
+    for (i, line) in lines.iter().enumerate() {
+        let sep = if i + 1 < lines.len() { "," } else { "" };
+        out.push_str(&format!("\n    {}{}", esc(line), sep));
+    }
+    out.push_str(if lines.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"lock_edges\": [");
+    for (i, e) in locks.edges.iter().enumerate() {
+        let sep = if i + 1 < locks.edges.len() { "," } else { "" };
+        out.push_str(&format!(
+            "\n    {{\"held\": {}, \"then\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"in_fn\": {}}}{}",
+            esc(&e.held),
+            esc(&e.then),
+            esc(&e.file),
+            e.line,
+            e.col,
+            esc(&e.in_fn),
+            sep,
+        ));
+    }
+    out.push_str(if locks.edges.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"lock_cycles\": [");
+    for (i, cycle) in locks.cycles.iter().enumerate() {
+        let sep = if i + 1 < locks.cycles.len() { "," } else { "" };
+        out.push_str(&format!("\n    {}{}", esc(&locks.describe_cycle(cycle)), sep));
+    }
+    out.push_str(if locks.cycles.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
 }
 
 /// Renders the `--explain` card for one rule; `None` for unknown ids.
@@ -143,6 +203,31 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         };
+    }
+    if opts.effects {
+        let (lines, locks) = match lrgp_lint::effect_surface_paths(&opts.roots) {
+            Ok(surface) => surface,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let text = if opts.json {
+            effects_json(&lines, &locks)
+        } else {
+            let mut text = lines.join("\n");
+            text.push('\n');
+            text
+        };
+        if let Some(path) = &opts.out {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        } else {
+            print!("{text}");
+        }
+        return ExitCode::SUCCESS;
     }
     if opts.fix {
         match lrgp_lint::fix_paths(&opts.roots) {

@@ -10,8 +10,9 @@ use std::fmt::Write as _;
 
 /// Version stamp for the JSON schema, bumped on breaking shape changes.
 /// Version 2 added the per-finding `fixable` key; version 3 added the
-/// top-level `analysis_ms` wallclock.
-pub const JSON_SCHEMA_VERSION: u32 = 3;
+/// top-level `analysis_ms` wallclock; version 4 replaced it with the
+/// per-layer breakdown `lex_ms`/`semantic_ms`/`dataflow_ms`/`graph_ms`.
+pub const JSON_SCHEMA_VERSION: u32 = 4;
 
 /// The aggregated result of linting a set of files.
 #[derive(Debug, Default)]
@@ -22,11 +23,17 @@ pub struct Report {
     pub suppressions: Vec<Suppression>,
     /// Number of files scanned.
     pub files_scanned: usize,
-    /// Wallclock of the analysis (lex → parse → symbols → call graph →
-    /// effect fixpoint → rules) in milliseconds. The only
-    /// non-deterministic report field: consumers diffing reports should
-    /// ignore it (CI tracks it as a perf series instead).
-    pub analysis_ms: u64,
+    /// Wallclock of lexing + parsing, in milliseconds. The four `*_ms`
+    /// fields are the only non-deterministic report fields: consumers
+    /// diffing reports should zero them (CI tracks them as a perf series
+    /// instead).
+    pub lex_ms: u64,
+    /// Wallclock of symbol-table construction plus the rule sweep.
+    pub semantic_ms: u64,
+    /// Wallclock of the call graph and interprocedural effect fixpoint.
+    pub dataflow_ms: u64,
+    /// Wallclock of the layer-4 whole-program graph analyses.
+    pub graph_ms: u64,
 }
 
 impl Report {
@@ -41,7 +48,15 @@ impl Report {
         });
         suppressions
             .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
-        Report { findings, suppressions, files_scanned, analysis_ms: 0 }
+        Report {
+            findings,
+            suppressions,
+            files_scanned,
+            lex_ms: 0,
+            semantic_ms: 0,
+            dataflow_ms: 0,
+            graph_ms: 0,
+        }
     }
 
     /// True if nothing unsuppressed was found.
@@ -75,7 +90,10 @@ impl Report {
         let _ = writeln!(out, "  \"tool\": \"lrgp-lint\",");
         let _ = writeln!(out, "  \"schema_version\": {JSON_SCHEMA_VERSION},");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
-        let _ = writeln!(out, "  \"analysis_ms\": {},", self.analysis_ms);
+        let _ = writeln!(out, "  \"lex_ms\": {},", self.lex_ms);
+        let _ = writeln!(out, "  \"semantic_ms\": {},", self.semantic_ms);
+        let _ = writeln!(out, "  \"dataflow_ms\": {},", self.dataflow_ms);
+        let _ = writeln!(out, "  \"graph_ms\": {},", self.graph_ms);
         let _ = writeln!(out, "  \"total_findings\": {},", self.findings.len());
         let _ = writeln!(out, "  \"total_suppressions\": {},", self.suppressions.len());
         out.push_str("  \"findings\": [");
@@ -187,8 +205,11 @@ mod tests {
         let r = Report::new(vec![f], Vec::new(), 1);
         let json = r.to_json();
         assert_eq!(json, r.to_json(), "same input must render identically");
-        assert!(json.contains("\"schema_version\": 3"));
-        assert!(json.contains("\"analysis_ms\": 0"));
+        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"lex_ms\": 0"));
+        assert!(json.contains("\"semantic_ms\": 0"));
+        assert!(json.contains("\"dataflow_ms\": 0"));
+        assert!(json.contains("\"graph_ms\": 0"));
         assert!(json.contains(r#"say \"hi\"\npath\\x"#));
         assert!(json.contains("\"total_findings\": 1"));
         assert!(json.contains("\"fixable\": false"));

@@ -287,6 +287,82 @@ pub const RULES: &[Rule] = &[
                   calibrated and policy-gated), or accumulate sequentially.",
         check: semantic::vector_escape,
     },
+    Rule {
+        id: "lock-order-inversion",
+        summary: "two code paths acquire the same locks in opposite orders",
+        invariant: "the pool's worker protocol holds at most one guard at a time \
+                    per nesting chain, in one global order; a cycle in the \
+                    whole-workspace lock-order graph is a deadlock two threads \
+                    can reach by interleaving",
+        explain: "The layer-4 lock-order graph records an edge `a → b` whenever \
+                  a guard on `a` is still live (its `let` scope has not closed \
+                  and no `drop` ran) while `b` is acquired — directly, or by \
+                  any callee the acquisition fixpoint can resolve. A cycle \
+                  means two threads can each hold one lock of the cycle and \
+                  wait forever on the other: the classic inversion deadlock, \
+                  which no test reliably reproduces because it needs the \
+                  losing interleaving. The finding names every edge of the \
+                  cycle with its site and enclosing fn, and is anchored at the \
+                  canonical first edge.\n\
+                  Example: fn a() { let g = self.gate.lock(); self.slots.lock(); } \
+                  fn b() { let s = self.slots.lock(); self.gate.lock(); }\n\
+                  Fix: pick one global acquisition order (document it where the \
+                  locks are declared) and restructure the later-acquiring path, \
+                  or merge the two locks under a single mutex.",
+        check: crate::lockgraph::lock_order_inversion,
+    },
+    Rule {
+        id: "hot-path-alloc",
+        summary: "a declared hot-path root fn reaches a heap allocation",
+        invariant: "the steady-state step (kernel::*, the exec.rs dirty-set fns, \
+                    the pool.rs worker protocol — the roots in \
+                    crates/lint/hot_paths.txt) runs per delta at 1M+ consumers \
+                    and must reuse caller-owned capacity, never touch the \
+                    allocator",
+        explain: "An allocation on the per-delta path is a latency cliff: it \
+                  serializes workers on the allocator, fragments under \
+                  sustained traffic, and turns the amortized O(1) step into \
+                  occasional O(n) growth pauses. The workspace idiom is \
+                  caller-owned scratch — `*_into` kernels and reused buffers \
+                  sized at setup — so the `ALLOC` effect reaching a root fn \
+                  through the interprocedural fixpoint means a regression \
+                  against that contract. The finding carries the call-chain \
+                  witness from the root to the allocating fn and the token \
+                  that introduced the effect.\n\
+                  Example: fn solve_rates(&mut self) { let out: Vec<f64> = \
+                  self.dirty.iter().map(solve).collect(); }\n\
+                  Fix: move the allocation to construction (`with_capacity` \
+                  once, in `new`), pass `&mut` scratch in, or — for a genuine \
+                  setup-time wrapper — exempt the fn in \
+                  crates/lint/hot_paths.txt with a reason.",
+        check: crate::hotpath::hot_path_alloc,
+    },
+    Rule {
+        id: "hot-path-panic",
+        summary: "a declared hot-path root fn reaches a panic site",
+        invariant: "a panic mid-delta aborts a pooled worker and poisons its \
+                    locks; the hot-path roots in crates/lint/hot_paths.txt \
+                    must stay panic-free in release builds, with validation \
+                    at the boundary",
+        explain: "The effect fixpoint marks `PANIC` for `unwrap`/`expect`, the \
+                  panic macro family, non-test `assert!`, range slicing \
+                  (`x[lo..hi]`), arithmetic indexing (`x[i + 1]`), and \
+                  integer division by a variable — everything that can abort \
+                  in release. (`debug_assert!` is exempt: it compiles out of \
+                  release builds, so it is the sanctioned way to state hot- \
+                  path invariants.) A panic reaching a hot-path root means \
+                  one malformed delta can kill a pooled worker mid-step and \
+                  poison every lock it held. The finding carries the \
+                  call-chain witness from the root to the panicking token.\n\
+                  Example: fn run_shard(&self, lo: usize, hi: usize) { for &f \
+                  in &self.dirty[lo..hi] { ... } }\n\
+                  Fix: replace slicing with `iter().skip(lo).take(n)`, \
+                  indexing arithmetic with `get`, `assert!` with \
+                  `debug_assert!` once the boundary validates, or exempt a \
+                  genuinely cold fn in crates/lint/hot_paths.txt with a \
+                  reason.",
+        check: crate::hotpath::hot_path_panic,
+    },
 ];
 
 /// True if `id` names a registered rule.

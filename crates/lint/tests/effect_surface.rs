@@ -1,0 +1,70 @@
+//! Effect-surface snapshot: the inferred effect set of every public
+//! library fn is pinned in `crates/lint/effect_surface.txt` (the output
+//! of `lrgp-lint --effects`). A change that makes a previously pure fn
+//! allocate, lock, or panic-reach fails this test (and CI's lint job)
+//! with a diff; intentional changes regenerate the snapshot with
+//! `UPDATE_EFFECT_SURFACE=1 cargo test -p lrgp-lint --test effect_surface`.
+
+use std::path::PathBuf;
+
+const SNAPSHOT: &str = "effect_surface.txt";
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels below the repo root")
+        .to_path_buf()
+}
+
+fn scan() -> String {
+    let (lines, _) = lrgp_lint::effect_surface_paths(std::slice::from_ref(&repo_root()))
+        .expect("workspace scan");
+    let mut out = String::with_capacity(lines.len() * 48);
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn effect_surface_matches_snapshot() {
+    let actual = scan();
+    let snapshot_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(SNAPSHOT);
+    if std::env::var_os("UPDATE_EFFECT_SURFACE").is_some() {
+        std::fs::write(&snapshot_path, &actual).expect("write snapshot");
+        eprintln!(
+            "effect_surface: snapshot regenerated ({} lines)",
+            actual.lines().count()
+        );
+        return;
+    }
+    let expected = std::fs::read_to_string(&snapshot_path).expect(
+        "crates/lint/effect_surface.txt exists; regenerate with UPDATE_EFFECT_SURFACE=1",
+    );
+    if expected == actual {
+        return;
+    }
+    let expected_set: std::collections::BTreeSet<&str> = expected.lines().collect();
+    let actual_set: std::collections::BTreeSet<&str> = actual.lines().collect();
+    let removed: Vec<&&str> = expected_set.difference(&actual_set).collect();
+    let added: Vec<&&str> = actual_set.difference(&expected_set).collect();
+    panic!(
+        "effect surface changed.\n\nremoved ({}):\n{}\n\nadded ({}):\n{}\n\n\
+         If intentional, regenerate: UPDATE_EFFECT_SURFACE=1 cargo test -p lrgp-lint \
+         --test effect_surface",
+        removed.len(),
+        removed.iter().map(|s| format!("  - {s}")).collect::<Vec<_>>().join("\n"),
+        added.len(),
+        added.iter().map(|s| format!("  + {s}")).collect::<Vec<_>>().join("\n"),
+    );
+}
+
+#[test]
+fn effect_surface_is_deterministic() {
+    // Two independent scans of the same tree must be byte-identical —
+    // the property that lets CI diff the committed snapshot at all.
+    assert_eq!(scan(), scan(), "repeated scans must serialize identically");
+}

@@ -218,12 +218,106 @@ fn vector_escape_fixture_pair() {
             ("vector-escape", 18, 5),
         ]
     );
-    // The identical shapes inside kernel/vector.rs are the sanctioned home.
-    assert!(triples(&run_at("crates/core/src/kernel/vector.rs", src)).is_empty());
+    // The identical shapes inside kernel/vector.rs are the sanctioned home
+    // for the vector policy — but the layer-4 hot-path budget still sees
+    // the panic-capable `xs[i + 1]` arithmetic indexing there.
+    assert_eq!(
+        triples(&run_at("crates/core/src/kernel/vector.rs", src)),
+        vec![("hot-path-panic", 14, 5)]
+    );
     // Outside crates/core the vector policy does not apply.
     assert!(triples(&run("model", src)).is_empty());
     let good = run("core", include_str!("fixtures/vector_escape_good.rs"));
     assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn lock_order_inversion_fixture_pair() {
+    let bad = run("core", include_str!("fixtures/lock_order_bad.rs"));
+    // One cycle, reported once, anchored at its canonical first edge (the
+    // `beta.lock()` taken while `alpha` is held).
+    assert_eq!(triples(&bad), vec![("lock-order-inversion", 7, 20)]);
+    assert!(
+        bad.findings[0].message.contains("`alpha` → `beta`")
+            && bad.findings[0].message.contains("`beta` → `alpha`"),
+        "witness chain must show both edges: {}",
+        bad.findings[0].message
+    );
+    let good = run("core", include_str!("fixtures/lock_order_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn hot_path_alloc_fixture_pair() {
+    let src = include_str!("fixtures/hot_path_alloc_bad.rs");
+    let bad = run_at("crates/core/src/kernel/fixture.rs", src);
+    assert_eq!(triples(&bad), vec![("hot-path-alloc", 5, 5)]);
+    // Outside the declared root set the same file is clean.
+    assert!(triples(&run("model", src)).is_empty());
+    let good =
+        run_at("crates/core/src/kernel/fixture.rs", include_str!("fixtures/hot_path_alloc_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn hot_path_panic_fixture_pair() {
+    let src = include_str!("fixtures/hot_path_panic_bad.rs");
+    let bad = run_at("crates/core/src/kernel/fixture.rs", src);
+    // Both the helper (itself a root under `kernel/ *`) and the step fn
+    // that reaches the panic transitively are flagged.
+    assert_eq!(
+        triples(&bad),
+        vec![("hot-path-panic", 5, 1), ("hot-path-panic", 10, 5)]
+    );
+    let step = &bad.findings[1];
+    assert!(
+        step.message.contains("`step` → `tail_sum`"),
+        "transitive finding must carry the call-chain witness: {}",
+        step.message
+    );
+    let good =
+        run_at("crates/core/src/kernel/fixture.rs", include_str!("fixtures/hot_path_panic_good.rs"));
+    assert!(triples(&good).is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn layer4_findings_anchor_at_the_root_file() {
+    // `--changed <ref>` keeps findings whose file is in the changed set.
+    // A hot-path finding whose *witness* crosses into an unchanged file
+    // must therefore anchor at the root fn's file — otherwise editing the
+    // root would silently drop the report under diff-scoped linting.
+    let files = [
+        (
+            "crates/core/src/kernel/fixture.rs".to_string(),
+            "/// Root: reaches the allocation through the helper crate.\n\
+             pub fn step(xs: &[f64]) -> Vec<f64> { widen(xs) }\n"
+                .to_string(),
+        ),
+        (
+            "crates/model/src/helper.rs".to_string(),
+            "/// The allocation lives here, outside the changed set.\n\
+             pub fn widen(xs: &[f64]) -> Vec<f64> { xs.to_vec() }\n"
+                .to_string(),
+        ),
+    ];
+    let analyses = lrgp_lint::analyze_files(&files);
+    let kernel: Vec<_> = triples(&analyses[0])
+        .into_iter()
+        .filter(|(rule, _, _)| *rule == "hot-path-alloc")
+        .collect();
+    assert_eq!(kernel, vec![("hot-path-alloc", 2, 5)], "{:?}", analyses[0].findings);
+    assert!(
+        analyses[0].findings.iter().any(|f| f.message.contains("`step` → `widen`")),
+        "{:?}",
+        analyses[0].findings
+    );
+    // The helper's file carries no hot-path finding: it is not a root,
+    // so scoping a lint run to the kernel file alone loses nothing.
+    assert!(
+        !analyses[1].findings.iter().any(|f| f.rule == "hot-path-alloc"),
+        "{:?}",
+        analyses[1].findings
+    );
 }
 
 #[test]
@@ -239,6 +333,9 @@ fn layer3_rules_are_report_only() {
         run("core", include_str!("fixtures/condvar_wait_bad.rs")),
         run("core", include_str!("fixtures/lock_held_bad.rs")),
         run("core", include_str!("fixtures/vector_escape_bad.rs")),
+        run("core", include_str!("fixtures/lock_order_bad.rs")),
+        run_at("crates/core/src/kernel/fixture.rs", include_str!("fixtures/hot_path_alloc_bad.rs")),
+        run_at("crates/core/src/kernel/fixture.rs", include_str!("fixtures/hot_path_panic_bad.rs")),
     ];
     for analysis in &sources {
         assert!(!analysis.findings.is_empty());

@@ -1,0 +1,7 @@
+//! Known-bad fixture (analyzed under a kernel label): a hot-path root fn
+//! allocates a fresh Vec on every call.
+
+/// Builds and returns a new buffer per step.
+pub fn gather(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| x * 2.0).collect()
+}

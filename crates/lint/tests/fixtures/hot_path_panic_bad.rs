@@ -1,0 +1,12 @@
+//! Known-bad fixture (analyzed under a kernel label): a hot-path root fn
+//! reaches a panicking slice through a helper.
+
+/// The helper does the panicking range slicing.
+fn tail_sum(xs: &[f64], lo: usize) -> f64 {
+    xs[lo..].iter().sum()
+}
+
+/// The step fn reaches the panic transitively through `tail_sum`.
+pub fn step(xs: &[f64], lo: usize) -> f64 {
+    tail_sum(xs, lo)
+}

@@ -1,0 +1,12 @@
+//! Known-good twin: total slicing — an out-of-range window is empty, not
+//! a panic.
+
+/// The helper slices totally.
+fn tail_sum(xs: &[f64], lo: usize) -> f64 {
+    xs.get(lo..).unwrap_or(&[]).iter().sum()
+}
+
+/// The step fn stays within the panic budget.
+pub fn step(xs: &[f64], lo: usize) -> f64 {
+    tail_sum(xs, lo)
+}

@@ -1,0 +1,16 @@
+//! Known-bad fixture: two fns acquire the same pair of locks in
+//! opposite orders — a classic ABBA deadlock.
+
+/// Takes `alpha`, then `beta` under it.
+pub fn forward(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    touch(&a, &b);
+}
+
+/// Takes `beta`, then `alpha` under it — the inversion.
+pub fn backward(s: &Shared) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    touch(&a, &b);
+}

@@ -1,0 +1,18 @@
+//! Known-good twin: both fns honor one global order (`alpha` before
+//! `beta`), so no interleaving can deadlock.
+
+/// Takes `alpha`, then `beta` under it.
+pub fn forward(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    touch(&a, &b);
+}
+
+/// Same order; the second lock is also staged after an explicit drop,
+/// so no guard overlaps out of order.
+pub fn staged(s: &Shared) {
+    let a = s.alpha.lock();
+    drop(a);
+    let b = s.beta.lock();
+    touch_one(&b);
+}

@@ -1,0 +1,164 @@
+//! Pipeline fuzzing: arbitrary byte soup, random token soup, and
+//! truncated/mutated Rust-like sources must flow through the whole
+//! analyzer stack — lexer → parser → symbol table → CFG → interprocedural
+//! effect fixpoint → lock graph — without panicking, and the fixpoint
+//! must terminate (each `proptest!` case finishing under the shim's
+//! deterministic driver *is* the termination bound: a diverging fixpoint
+//! hangs the test rather than passing it).
+//!
+//! The analyzer promises graceful degradation on malformed input: it
+//! lints work-in-progress trees and `--changed` subsets where files are
+//! mid-edit, so "garbage in" must mean "fewer findings out", never a
+//! crash.
+
+use proptest::prelude::*;
+
+/// Token alphabet for soup generation: everything the lexer classifies,
+/// including the constructs the deeper layers key on (locks, slices,
+/// macros, generics) so the soup actually reaches the layer-3/4 code.
+const VOCAB: &[&str] = &[
+    "fn", "pub", "let", "mut", "if", "else", "while", "loop", "for", "in", "match", "impl",
+    "struct", "enum", "trait", "use", "mod", "unsafe", "return", "break", "continue", "move",
+    "self", "Self", "static", "const", "ref", "where", "dyn", "as", "crate",
+    "(", ")", "[", "]", "{", "}", "<", ">", ",", ";", ":", "::", "->", "=>", "=", "==", "!=",
+    "<=", ">=", "+", "-", "*", "/", "%", "&", "&&", "|", "||", "!", "?", ".", "..", "..=", "#",
+    "'a", "@", "_",
+    "x", "y", "foo", "bar", "state", "Vec", "String", "Mutex", "HashMap", "Box", "Result",
+    "Option", "Some", "None", "Ok", "Err", "new", "default", "len", "iter", "map", "collect",
+    "clone", "to_vec", "to_string", "with_capacity", "push", "extend", "insert", "lock",
+    "unwrap", "expect", "drop", "get", "spawn", "rand", "now",
+    "unwrap(", "expect(", "lock()", "vec!", "format!", "panic!", "assert!", "assert_eq!",
+    "debug_assert!", "unimplemented!", "todo!", "println!",
+    "0", "1", "42", "0.5", "1.0", "1e-9", "0x1f", "\"str\"", "'c'", "b\"bytes\"",
+    "// line comment", "/* block */", "/// doc", "#[test]", "#[allow(dead_code)]",
+    "r#\"raw\"#", "\u{1F980}", "\\",
+];
+
+/// A strategy producing token soup: random vocabulary entries joined by
+/// random separators (space / nothing / newline), so token boundaries
+/// themselves get fuzzed too.
+fn token_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        (0usize..VOCAB.len(), 0u8..3),
+        0..120,
+    )
+    .prop_map(|picks| {
+        let mut src = String::new();
+        for (i, sep) in picks {
+            src.push_str(VOCAB[i]);
+            match sep {
+                0 => src.push(' '),
+                1 => src.push('\n'),
+                _ => {}
+            }
+        }
+        src
+    })
+}
+
+/// A well-formed template exercising every analysis layer: items with
+/// callees, a lock pair, slicing, allocation, generics, and a test
+/// module. Truncating or splicing it produces realistic mid-edit
+/// sources (unclosed braces, dangling generics, half a macro call).
+const TEMPLATE: &str = r#"
+//! Template module.
+use std::sync::Mutex;
+
+pub struct State {
+    pub alpha: Mutex<Vec<f64>>,
+    pub beta: Mutex<Vec<f64>>,
+}
+
+fn helper(xs: &[f64], lo: usize) -> f64 {
+    xs[lo..].iter().sum()
+}
+
+pub fn step(s: &State, xs: &[f64]) -> f64 {
+    let a = s.alpha.lock().unwrap();
+    let b = s.beta.lock().unwrap();
+    let total: f64 = a.iter().chain(b.iter()).sum();
+    total + helper(xs, 1)
+}
+
+pub fn gather<T: Clone>(xs: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(xs.len());
+    out.extend(xs.iter().cloned());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        assert_eq!(super::gather(&[1, 2, 3]).len(), 3);
+    }
+}
+"#;
+
+/// Truncate the template at an arbitrary char boundary and append a
+/// slice of token soup — a model of a file caught mid-edit.
+fn truncated_rust() -> impl Strategy<Value = String> {
+    (0usize..TEMPLATE.len(), token_soup()).prop_map(|(cut, tail)| {
+        let mut end = cut.min(TEMPLATE.len());
+        while !TEMPLATE.is_char_boundary(end) {
+            end -= 1;
+        }
+        let mut src = TEMPLATE[..end].to_string();
+        src.push('\n');
+        src.push_str(&tail);
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    /// Token soup through the single-file pipeline (lexer → parser →
+    /// symbols → CFG → dataflow): no panics, analysis always returns.
+    #[test]
+    fn token_soup_never_panics(src in token_soup()) {
+        // Both a library label (all rules armed, kernel budgets active)
+        // and a test label (suppression paths) must survive.
+        let _ = lrgp_lint::analyze_source("crates/core/src/kernel/fuzzed.rs", &src);
+        let _ = lrgp_lint::analyze_source("crates/core/tests/fuzzed.rs", &src);
+    }
+
+    /// Truncated/mutated Rust through the same pipeline: unclosed
+    /// groups, dangling items, and half-lexed literals must degrade to
+    /// partial analysis, not a crash.
+    #[test]
+    fn truncated_rust_never_panics(src in truncated_rust()) {
+        let analysis = lrgp_lint::analyze_source("crates/core/src/fuzzed.rs", &src);
+        // Findings must carry in-range anchors even on malformed input.
+        for f in &analysis.findings {
+            prop_assert!(f.line >= 1, "finding with zero line: {f:?}");
+            prop_assert!(f.col >= 1, "finding with zero col: {f:?}");
+        }
+    }
+
+    /// The whole-program layer (callgraph + effect fixpoint + lock
+    /// graph + effect surface) over a multi-file soup workspace: the
+    /// interprocedural fixpoint must terminate and the lock-graph walk
+    /// must not panic even when call targets are garbage.
+    #[test]
+    fn whole_program_fixpoint_terminates_on_soup(
+        a in token_soup(),
+        b in truncated_rust(),
+    ) {
+        let files = vec![
+            ("crates/core/src/kernel/fuzz_a.rs".to_string(), a),
+            ("crates/core/src/fuzz_b.rs".to_string(), b),
+            ("crates/core/src/fuzz_c.rs".to_string(), TEMPLATE.to_string()),
+        ];
+        let analyses = lrgp_lint::analyze_files(&files);
+        prop_assert_eq!(analyses.len(), files.len());
+        let (surface, _locks) = lrgp_lint::effect_surface(&files);
+        // The surface only lists pub fns the parser recovered — it may
+        // be empty on soup, but the template's pub fns must survive the
+        // soup sharing their workspace.
+        prop_assert!(
+            surface.iter().any(|l| l.contains("::step")),
+            "template fn lost from surface: {surface:?}"
+        );
+    }
+}

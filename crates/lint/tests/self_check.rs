@@ -105,10 +105,14 @@ fn json_report_is_stable_and_sorted() {
     let root = repo_root();
     let mut a = lrgp_lint::lint_paths(std::slice::from_ref(&root)).expect("scan");
     let mut b = lrgp_lint::lint_paths(&[root]).expect("scan");
-    // `analysis_ms` is the one wallclock (hence non-deterministic) field;
-    // everything else must be byte-identical across runs.
-    a.analysis_ms = 0;
-    b.analysis_ms = 0;
+    // The four per-layer `*_ms` wallclocks are the only non-deterministic
+    // fields; everything else must be byte-identical across runs.
+    for r in [&mut a, &mut b] {
+        r.lex_ms = 0;
+        r.semantic_ms = 0;
+        r.dataflow_ms = 0;
+        r.graph_ms = 0;
+    }
     assert_eq!(a.to_json(), b.to_json(), "repeated scans must serialize identically");
     let sups = &a.suppressions;
     for w in sups.windows(2) {
@@ -194,6 +198,8 @@ fn kernel_fns_are_pure_on_the_real_workspace() {
     }
     let analyses = lrgp_lint::analyze_files(&files);
     let mut kernel_fns = 0usize;
+    let mut budgeted_fns = 0usize;
+    let hot = lrgp_lint::hotpath::HotPaths::builtin();
     for ((label, _), analysis) in files.iter().zip(&analyses) {
         if !label.contains("/kernel/") {
             continue;
@@ -205,7 +211,27 @@ fn kernel_fns_are_pure_on_the_real_workspace() {
                 "{label}: kernel fn `{name}` carries denied effects {:?}",
                 effects.intersect(EffectSet::KERNEL_DENIED).names()
             );
+            // The layer-4 budget on top: every kernel fn that is not
+            // explicitly exempted in hot_paths.txt must also stay free of
+            // ALLOC and PANIC reachability — combined with KERNEL_DENIED
+            // this pins `kernel::*` free of IO/LOCK/ALLOC/PANIC.
+            if hot.is_exempt(label, name) {
+                continue;
+            }
+            budgeted_fns += 1;
+            let denied = EffectSet::KERNEL_DENIED
+                .union(EffectSet::ALLOC)
+                .union(EffectSet::PANIC);
+            assert!(
+                effects.intersect(denied).is_empty(),
+                "{label}: hot-path kernel fn `{name}` carries budgeted effects {:?}",
+                effects.intersect(denied).names()
+            );
         }
     }
     assert!(kernel_fns > 10, "kernel purity sweep looks truncated: {kernel_fns} fns");
+    assert!(
+        budgeted_fns > 10,
+        "hot-path budget sweep looks truncated: {budgeted_fns} fns"
+    );
 }

@@ -182,30 +182,26 @@ impl PriceTermTable {
 
     /// `flow`'s link terms, in [`Problem::links_of_flow`] order.
     pub fn link_terms(&self, flow: FlowId) -> &[(u32, f64)] {
-        let lo = self.link_offsets[flow.index()] as usize;
-        let hi = self.link_offsets[flow.index() + 1] as usize;
-        &self.link_terms[lo..hi]
+        csr_row(&self.link_terms, &self.link_offsets, flow.index())
     }
 
     /// `flow`'s node terms, in [`Problem::nodes_of_flow`] order.
     pub fn node_terms(&self, flow: FlowId) -> &[NodePriceTerm] {
-        let lo = self.node_offsets[flow.index()] as usize;
-        let hi = self.node_offsets[flow.index() + 1] as usize;
-        &self.node_terms[lo..hi]
+        csr_row(&self.node_terms, &self.node_offsets, flow.index())
     }
 
     /// The class terms of one node term, in
     /// [`Problem::classes_of_flow_at_node`] order.
     pub fn class_terms(&self, term: &NodePriceTerm) -> &[(u32, f64)] {
-        &self.class_terms[term.class_start as usize..term.class_end as usize]
+        self.class_terms
+            .get(term.class_start as usize..term.class_end as usize)
+            .unwrap_or(&[])
     }
 
     /// `link`'s usage terms `(flow index, L_{l,i})`, in
     /// [`Problem::flows_on_link`] order.
     pub fn link_usage_terms(&self, link: LinkId) -> &[(u32, f64)] {
-        let lo = self.usage_offsets[link.index()] as usize;
-        let hi = self.usage_offsets[link.index() + 1] as usize;
-        &self.usage_terms[lo..hi]
+        csr_row(&self.usage_terms, &self.usage_offsets, link.index())
     }
 
     /// `flow`'s rate-solve cohort, classified at build time.
@@ -218,9 +214,18 @@ impl PriceTermTable {
     /// `S = Σ n_j w_j` of a [`FlowCohort::Log`] or [`FlowCohort::Power`]
     /// flow is a dot product of this slice against the population vector.
     pub fn utility_terms(&self, flow: FlowId) -> &[(u32, f64)] {
-        let lo = self.utility_offsets[flow.index()] as usize;
-        let hi = self.utility_offsets[flow.index() + 1] as usize;
-        &self.utility_terms[lo..hi]
+        csr_row(&self.utility_terms, &self.utility_offsets, flow.index())
+    }
+}
+
+/// Row `i` of a CSR layout: `terms[offsets[i]..offsets[i + 1]]`, empty for
+/// an out-of-range id or a corrupt offset pair. Ids are validated when the
+/// table is built, so the total formulation costs nothing — it exists to
+/// keep the per-delta aggregation paths free of panic branches.
+fn csr_row<'a, T>(terms: &'a [T], offsets: &[u32], i: usize) -> &'a [T] {
+    match (offsets.get(i), offsets.get(i + 1)) {
+        (Some(&lo), Some(&hi)) => terms.get(lo as usize..hi as usize).unwrap_or(&[]),
+        _ => &[],
     }
 }
 
