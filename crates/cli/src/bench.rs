@@ -31,8 +31,8 @@
 //! `BENCH_lrgp.json`), which is committed to the repository as the
 //! tracked baseline.
 
-use lrgp::{Engine, IncrementalMode, LrgpConfig, Numerics, Parallelism};
-use lrgp_model::workloads::{paper_workload, RandomWorkload};
+use lrgp::{Engine, IncrementalMode, LrgpConfig, Numerics, Parallelism, Reliability};
+use lrgp_model::workloads::{mixed_loss_workload, paper_workload, RandomWorkload};
 use lrgp_model::{Problem, UtilityShape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -147,6 +147,39 @@ pub struct NumericsBench {
     pub vector_ratio: f64,
 }
 
+/// Reliability-axis comparison on one lossy workload.
+///
+/// Three engines run the sequential incremental path on the same
+/// spec-carrying problem: `Reliability::Off` (the rate-only control — the
+/// pre-reliability step, which must stay bit-identical to it),
+/// `Reliability::Joint` with `Numerics::Strict`, and `Joint` with
+/// `Numerics::Vectorized`. `joint_overhead` is `strict / off` — what the
+/// per-step ρ phase and the redundancy-coupled link usage cost on top of
+/// the rate-only step. `vector_ratio` is `strict / vectorized` within the
+/// joint step, mirroring [`NumericsBench`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ReliabilityBench {
+    /// Workload label.
+    pub name: String,
+    /// Problem dimensions, for context.
+    pub flows: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of links (each carrying a loss rate).
+    pub links: usize,
+    /// Median near-converged step, `Reliability::Off` (rate-only control).
+    pub off_ns: u64,
+    /// Median near-converged step, `Reliability::Joint` + `Numerics::Strict`.
+    pub strict_ns: u64,
+    /// Median near-converged step, `Reliability::Joint` + `Numerics::Vectorized`.
+    pub vectorized_ns: u64,
+    /// `strict / off`: the cost of the joint ρ phase relative to rate-only.
+    pub joint_overhead: f64,
+    /// `strict / vectorized` within the joint step (≥ 1.0 means the
+    /// lane-batched ρ kernels are no slower).
+    pub vector_ratio: f64,
+}
+
 /// The whole report, serialized to `BENCH_lrgp.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -162,6 +195,9 @@ pub struct BenchReport {
     pub thread_ratio: Vec<ThreadRatioBench>,
     /// Strict-vs-vectorized numerics comparison per workload.
     pub numerics: Vec<NumericsBench>,
+    /// Reliability-axis (Off vs Joint, strict vs vectorized) comparison on
+    /// lossy workloads.
+    pub reliability: Vec<ReliabilityBench>,
 }
 
 struct BenchParams {
@@ -384,6 +420,53 @@ fn numerics_bench(name: &str, problem: &Problem, params: &BenchParams) -> Numeri
     }
 }
 
+/// Interleaved near-converged comparison of the reliability axis on one
+/// lossy workload: `Off` (rate-only control) vs `Joint`+`Strict` vs
+/// `Joint`+`Vectorized`, all on the sequential incremental path. The
+/// timed steps rotate through the three engines so scheduler drift and
+/// frequency scaling land on every side of the ratios equally.
+fn reliability_bench(name: &str, problem: &Problem, params: &BenchParams) -> ReliabilityBench {
+    let base = config(IncrementalMode::On, Parallelism::Sequential);
+    let off_config = LrgpConfig { reliability: Reliability::Off, ..base };
+    let strict_config =
+        LrgpConfig { reliability: Reliability::Joint, numerics: Numerics::Strict, ..base };
+    let vectorized_config = LrgpConfig { numerics: Numerics::Vectorized, ..strict_config };
+    let mut off = Engine::new(problem.clone(), off_config);
+    let mut strict = Engine::new(problem.clone(), strict_config);
+    let mut vectorized = Engine::new(problem.clone(), vectorized_config);
+    off.run(params.warmup);
+    strict.run(params.warmup);
+    vectorized.run(params.warmup);
+    let mut off_samples = Vec::with_capacity(params.samples);
+    let mut strict_samples = Vec::with_capacity(params.samples);
+    let mut vectorized_samples = Vec::with_capacity(params.samples);
+    for _ in 0..params.samples {
+        let start = Instant::now();
+        off.step();
+        off_samples.push(start.elapsed().as_nanos() as u64);
+        let start = Instant::now();
+        strict.step();
+        strict_samples.push(start.elapsed().as_nanos() as u64);
+        let start = Instant::now();
+        vectorized.step();
+        vectorized_samples.push(start.elapsed().as_nanos() as u64);
+    }
+    let off_ns = median(off_samples);
+    let strict_ns = median(strict_samples);
+    let vectorized_ns = median(vectorized_samples);
+    ReliabilityBench {
+        name: name.to_string(),
+        flows: problem.num_flows(),
+        nodes: problem.num_nodes(),
+        links: problem.num_links(),
+        off_ns,
+        strict_ns,
+        vectorized_ns,
+        joint_overhead: strict_ns as f64 / off_ns.max(1) as f64,
+        vector_ratio: strict_ns as f64 / vectorized_ns.max(1) as f64,
+    }
+}
+
 /// The large synthetic workload: enough flows, nodes, and classes that the
 /// per-iteration kernel work dominates the step.
 fn large_workload(_quick: bool) -> Problem {
@@ -451,6 +534,14 @@ pub fn run_bench(quick: bool) -> BenchReport {
         numerics_bench("large_synthetic", &large_workload(quick), &params),
         numerics_bench("huge_10k", &huge, &ratio_params),
     ];
+    // The reliability axis is timed on a lossy multi-link workload where
+    // every flow carries ρ terms; 512 bottleneck pairs put the per-step ρ
+    // phase at a scale where its cost is visible over bookkeeping.
+    let reliability = vec![reliability_bench(
+        "mixed_loss_512",
+        &mixed_loss_workload(512, 400.0, 42),
+        &ratio_params,
+    )];
     BenchReport {
         quick,
         warmup_iterations: params.warmup,
@@ -458,6 +549,7 @@ pub fn run_bench(quick: bool) -> BenchReport {
         workloads,
         thread_ratio,
         numerics,
+        reliability,
     }
 }
 
@@ -505,6 +597,17 @@ pub fn print_report(report: &BenchReport) {
         println!(
             "  near converged  : strict {:>10} ns, vectorized {:>10} ns (ratio {:.2}x)",
             n.strict_ns, n.vectorized_ns, n.vector_ratio
+        );
+    }
+    for r in &report.reliability {
+        println!(
+            "{} reliability ({} flows, {} nodes, {} links):",
+            r.name, r.flows, r.nodes, r.links
+        );
+        println!(
+            "  near converged  : off {:>10} ns, joint strict {:>10} ns (overhead {:.2}x), \
+             joint vectorized {:>10} ns (ratio {:.2}x)",
+            r.off_ns, r.strict_ns, r.joint_overhead, r.vectorized_ns, r.vector_ratio
         );
     }
 }

@@ -91,6 +91,27 @@ impl NumericsArg {
     }
 }
 
+/// Reliability-axis selection for `solve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReliabilityArg {
+    /// Rate-only allocation (the default; pre-reliability behavior).
+    Off,
+    /// Joint rate–reliability allocation over the workload's loss model.
+    Joint,
+}
+
+impl ReliabilityArg {
+    fn parse(raw: &str) -> Result<ReliabilityArg, ParseError> {
+        match raw {
+            "off" => Ok(ReliabilityArg::Off),
+            "joint" => Ok(ReliabilityArg::Joint),
+            other => {
+                Err(ParseError(format!("--reliability: expected off|joint, got {other:?}")))
+            }
+        }
+    }
+}
+
 /// `lrgp workload` — generate a workload JSON file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadCmd {
@@ -119,6 +140,8 @@ pub struct SolveCmd {
     pub incremental: IncrementalArg,
     /// Numerics axis: strict scalar kernels or vectorized ones.
     pub numerics: NumericsArg,
+    /// Reliability axis: rate-only or joint rate–reliability.
+    pub reliability: ReliabilityArg,
     /// Optional CSV path for the utility trace.
     pub trace: Option<PathBuf>,
     /// Optional JSON path for the solved problem + allocation.
@@ -251,7 +274,7 @@ lrgp — utility optimization for event-driven distributed infrastructures
 
 USAGE:
   lrgp workload [--shape log|pow25|pow50|pow75] [--systems N] [--cnodes N] -o FILE
-  lrgp solve    <base|FILE> [--iters N] [--gamma adaptive|FLOAT] [--threads auto|N] [--incremental on|off|auto] [--numerics strict|vectorized] [--trace CSV] [--save JSON]
+  lrgp solve    <base|FILE> [--iters N] [--gamma adaptive|FLOAT] [--threads auto|N] [--incremental on|off|auto] [--numerics strict|vectorized] [--reliability off|joint] [--trace CSV] [--save JSON]
   lrgp bench    [--json] [--quick] [--out FILE] [--min-speedup X] [--min-thread-ratio X] [--min-vector-ratio X]
   lrgp anneal   <base|FILE> [--steps N] [--temp T] [--seed N]
   lrgp compare  <base|FILE> [--steps N] [--seed N]
@@ -319,6 +342,7 @@ where
                 threads: ThreadsArg::Sequential,
                 incremental: IncrementalArg::Auto,
                 numerics: NumericsArg::Strict,
+                reliability: ReliabilityArg::Off,
                 trace: None,
                 save: None,
             };
@@ -354,6 +378,9 @@ where
                     }
                     "--numerics" => {
                         cmd.numerics = NumericsArg::parse(take_value(flag, &mut it)?)?;
+                    }
+                    "--reliability" => {
+                        cmd.reliability = ReliabilityArg::parse(take_value(flag, &mut it)?)?;
                     }
                     "--trace" => cmd.trace = Some(PathBuf::from(take_value(flag, &mut it)?)),
                     "--save" => cmd.save = Some(PathBuf::from(take_value(flag, &mut it)?)),
@@ -552,6 +579,7 @@ mod tests {
                 threads: ThreadsArg::Sequential,
                 incremental: IncrementalArg::Auto,
                 numerics: NumericsArg::Strict,
+                reliability: ReliabilityArg::Off,
                 trace: None,
                 save: None,
             })
@@ -591,6 +619,28 @@ mod tests {
             .0
             .contains("strict|vectorized"));
         assert!(p(&["solve", "base", "--numerics"]).unwrap_err().0.contains("requires a value"));
+    }
+
+    #[test]
+    fn solve_reliability_variants() {
+        let reliability = |args: &[&str]| match p(args).unwrap() {
+            Command::Solve(s) => s.reliability,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(reliability(&["solve", "base"]), ReliabilityArg::Off);
+        assert_eq!(reliability(&["solve", "base", "--reliability", "off"]), ReliabilityArg::Off);
+        assert_eq!(
+            reliability(&["solve", "base", "--reliability", "joint"]),
+            ReliabilityArg::Joint
+        );
+        assert!(p(&["solve", "base", "--reliability", "maybe"])
+            .unwrap_err()
+            .0
+            .contains("off|joint"));
+        assert!(p(&["solve", "base", "--reliability"])
+            .unwrap_err()
+            .0
+            .contains("requires a value"));
     }
 
     #[test]

@@ -2,9 +2,12 @@
 
 use crate::commands::{
     AnnealCmd, BenchCmd, Command, CompareCmd, GammaArg, IncrementalArg, InfoCmd, LintCmd,
-    NumericsArg, SimulateCmd, SolveCmd, ThreadsArg, WorkloadCmd, WorkloadRef,
+    NumericsArg, ReliabilityArg, SimulateCmd, SolveCmd, ThreadsArg, WorkloadCmd, WorkloadRef,
 };
-use lrgp::{Engine, GammaMode, IncrementalMode, LrgpConfig, Numerics, Parallelism, TraceConfig};
+use lrgp::{
+    Engine, GammaMode, IncrementalMode, LrgpConfig, Numerics, Parallelism, Reliability,
+    TraceConfig,
+};
 use lrgp_anneal::{sweep, AnnealConfig};
 use lrgp_model::io::ProblemFile;
 use lrgp_model::workloads::{self, paper_workload};
@@ -145,11 +148,22 @@ fn solve(cmd: SolveCmd) -> CliResult {
         NumericsArg::Strict => Numerics::Strict,
         NumericsArg::Vectorized => Numerics::Vectorized,
     };
+    let reliability = match cmd.reliability {
+        ReliabilityArg::Off => Reliability::Off,
+        ReliabilityArg::Joint => Reliability::Joint,
+    };
+    if reliability == Reliability::Joint && problem.reliability().is_none() {
+        println!(
+            "note: --reliability joint requested but the workload carries no \
+             reliability spec; solving rate-only"
+        );
+    }
     let config = LrgpConfig {
         gamma,
         parallelism,
         incremental,
         numerics,
+        reliability,
         trace: TraceConfig::default(),
         ..LrgpConfig::default()
     };
@@ -172,8 +186,20 @@ fn solve(cmd: SolveCmd) -> CliResult {
         report.jain_admission_fairness,
         report.saturated_nodes(0.95).len()
     );
+    let joint = reliability == Reliability::Joint && problem.reliability().is_some();
     for flow in problem.flow_ids() {
-        println!("  {flow}: rate {:.1}", allocation.rate(flow));
+        if joint {
+            println!(
+                "  {flow}: rate {:.1}, reliability {:.4}",
+                allocation.rate(flow),
+                engine.rhos()[flow.index()]
+            );
+        } else {
+            println!("  {flow}: rate {:.1}", allocation.rate(flow));
+        }
+    }
+    if joint {
+        println!("reliability utility share: {:.1}", engine.reliability_utility());
     }
     if let Some(path) = &cmd.trace {
         let values = engine.trace().utility.values();

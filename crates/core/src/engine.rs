@@ -24,7 +24,7 @@ use crate::exec::StepState;
 use crate::gamma::{GammaController, GammaMode};
 use crate::kernel::admission::{AdmissionPolicy, PopulationMode};
 use crate::kernel::price::{NodePriceRule, PriceVector};
-use crate::plan::{AutoModel, ExecutionPlan, IncrementalMode, Numerics, Parallelism};
+use crate::plan::{AutoModel, ExecutionPlan, IncrementalMode, Numerics, Parallelism, Reliability};
 use crate::pool::PoolHandle;
 use crate::trace::{Trace, TraceConfig};
 use lrgp_model::{Allocation, DeltaOp, FlowId, Problem, ProblemDelta, ValidationError};
@@ -92,6 +92,13 @@ pub struct LrgpConfig {
     /// bitwise guarantee for bounded drift, see [`crate::plan::Numerics`]).
     #[serde(default)]
     pub numerics: Numerics,
+    /// Whether the step solves per-flow delivery reliability jointly with
+    /// the rate (Off by default — the classic rate-only pipeline, bitwise
+    /// identical to the pre-reliability engine; see
+    /// [`crate::plan::Reliability`]). Joint requires a problem carrying a
+    /// [`lrgp_model::ReliabilitySpec`] to have any effect.
+    #[serde(default)]
+    pub reliability: Reliability,
 }
 
 impl Default for LrgpConfig {
@@ -110,6 +117,7 @@ impl Default for LrgpConfig {
             parallelism: Parallelism::default(),
             incremental: IncrementalMode::default(),
             numerics: Numerics::default(),
+            reliability: Reliability::default(),
         }
     }
 }
@@ -156,6 +164,12 @@ pub struct Engine {
     /// engine respawns a same-sized pool.
     pool: PoolHandle,
     rates: Vec<f64>,
+    /// Per-flow delivery reliabilities ρ. Pinned at each flow's `ρ_max`
+    /// (1.0 without a [`lrgp_model::ReliabilitySpec`]) until a
+    /// [`Reliability::Joint`] plan starts re-solving them; under
+    /// [`Reliability::Off`] the vector is carried but never read by the
+    /// step, keeping the rate-only trace bitwise unchanged.
+    rhos: Vec<f64>,
     populations: Vec<f64>,
     prices: PriceVector,
     gamma_controllers: Vec<GammaController>,
@@ -177,6 +191,7 @@ impl Engine {
     /// Creates an engine over `problem` with the given configuration.
     pub fn new(problem: Problem, config: LrgpConfig) -> Self {
         let rates = initial_rates(&problem, config.initial_rate);
+        let rhos = initial_rhos(&problem);
         let prices =
             PriceVector::uniform(&problem, config.initial_node_price, config.initial_link_price);
         let gamma_controllers = (0..problem.num_nodes())
@@ -202,6 +217,7 @@ impl Engine {
             problem: Arc::new(problem),
             config,
             rates,
+            rhos,
             prices,
             gamma_controllers,
             iteration: 0,
@@ -222,11 +238,30 @@ impl Engine {
     /// trace) are bit-identical (see [`crate::plan`]).
     pub fn step(&mut self) -> f64 {
         let Self {
-            problem, config, plan, pool, rates, populations, prices, gamma_controllers, state, ..
+            problem,
+            config,
+            plan,
+            pool,
+            rates,
+            rhos,
+            populations,
+            prices,
+            gamma_controllers,
+            state,
+            ..
         } = self;
         let state = state.get_or_insert_with(|| StepState::new(problem));
-        let utility = plan
-            .execute(state, problem, config, pool, rates, populations, prices, gamma_controllers);
+        let utility = plan.execute(
+            state,
+            problem,
+            config,
+            pool,
+            rates,
+            rhos,
+            populations,
+            prices,
+            gamma_controllers,
+        );
         self.record_step(utility);
         utility
     }
@@ -382,6 +417,23 @@ impl Engine {
         &self.prices
     }
 
+    /// Per-flow delivery reliabilities ρ, indexed by flow id. All `ρ_max`
+    /// (1.0 without a [`lrgp_model::ReliabilitySpec`]) unless a
+    /// [`Reliability::Joint`] plan has stepped; see
+    /// [`crate::kernel::reliability`].
+    pub fn rhos(&self) -> &[f64] {
+        &self.rhos
+    }
+
+    /// The reliability term `Σ_f mass_f · ln(ρ_f)` of the current state
+    /// under the joint model (0.0 when the problem has no
+    /// [`lrgp_model::ReliabilitySpec`] or no consumer is admitted) — the
+    /// component [`Engine::step`] adds to the rate utility under
+    /// [`Reliability::Joint`].
+    pub fn reliability_utility(&self) -> f64 {
+        crate::exec::reliability_utility(&self.problem, &self.rhos, &self.populations)
+    }
+
     /// The recorded trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
@@ -408,6 +460,9 @@ impl Engine {
         self.prices = prices;
         self.gamma_controllers = gamma_controllers;
         self.iteration = iteration;
+        // Snapshots predate the reliability dimension and do not carry ρ;
+        // restore the deterministic initial vector.
+        self.rhos = initial_rhos(&self.problem);
         // The caches no longer describe the stored state; rebuild from
         // scratch on the next step.
         self.state = None;
@@ -453,6 +508,7 @@ impl Engine {
             // Nothing has run: re-derive the initial state from the changed
             // problem, as a fresh construction would.
             self.rates = initial_rates(&next, self.config.initial_rate);
+            self.rhos = initial_rhos(&next);
             self.populations = vec![0.0; next.num_classes()];
             self.trace = Trace::new(
                 self.config.trace,
@@ -472,8 +528,10 @@ impl Engine {
             // everything as dirty, exactly like a freshly constructed
             // engine would.
             for f in self.problem.num_flows()..next.num_flows() {
-                let bounds = next.flow(FlowId::new(f as u32)).bounds;
+                let flow = FlowId::new(f as u32);
+                let bounds = next.flow(flow).bounds;
                 self.rates.push(self.config.initial_rate.rate_for(bounds));
+                self.rhos.push(next.rho_bounds(flow).map_or(1.0, |b| b.max));
             }
             self.populations.resize(next.num_classes(), 0.0);
             self.trace.grow(next.num_flows(), next.num_classes());
@@ -524,8 +582,11 @@ impl Engine {
                 }
                 DeltaOp::AddFlow { .. }
                 | DeltaOp::RemoveFlow { .. }
-                | DeltaOp::SetFlowNodeCost { .. } => {
-                    // Excluded by the `changes_costs` branch above.
+                | DeltaOp::SetFlowNodeCost { .. }
+                | DeltaOp::SetLinkLoss { .. }
+                | DeltaOp::SetRhoBounds { .. } => {
+                    // Excluded by the `changes_costs` branch above (the
+                    // reliability edits rebuild the loss-weighted term rows).
                 }
             }
         }
@@ -537,6 +598,10 @@ impl Engine {
     fn clamp_state_into_problem(&mut self) {
         for f in self.problem.flow_ids() {
             self.rates[f.index()] = self.problem.flow(f).bounds.clamp(self.rates[f.index()]);
+            self.rhos[f.index()] = match self.problem.rho_bounds(f) {
+                Some(bounds) => bounds.clamp(self.rhos[f.index()]),
+                None => 1.0,
+            };
         }
         for c in self.problem.class_ids() {
             let max = self.problem.class(c).max_population as f64;
@@ -590,6 +655,13 @@ impl Engine {
 /// The initial rate vector for `problem` under the configured policy.
 fn initial_rates(problem: &Problem, initial: InitialRate) -> Vec<f64> {
     problem.flow_ids().map(|f| initial.rate_for(problem.flow(f).bounds)).collect()
+}
+
+/// The initial reliability vector: every flow starts at its `ρ_max`
+/// (mirroring [`InitialRate::Max`]), or 1.0 — lossless delivery — without a
+/// [`lrgp_model::ReliabilitySpec`].
+fn initial_rhos(problem: &Problem) -> Vec<f64> {
+    problem.flow_ids().map(|f| problem.rho_bounds(f).map_or(1.0, |b| b.max)).collect()
 }
 
 #[cfg(test)]

@@ -80,13 +80,15 @@ use crate::gamma::GammaController;
 use crate::kernel::admission::allocate_consumers_into;
 use crate::kernel::price::{update_link_price, update_node_price_with_rule, PriceVector};
 use crate::kernel::rate::{solve_rate, AggregateUtility};
+use crate::kernel::reliability::{solve_flow_rho, solve_flow_rho_vectorized};
 use crate::kernel::vector::{
-    dot_gather, link_price_batch, node_price_batch, solve_flow_rate_from_table, GroupedAggregate,
+    dot_gather, dot_gather3, link_price_batch, node_price_batch, solve_flow_rate_from_table,
+    GroupedAggregate,
 };
 use crate::plan::ExecutionPlan;
 use crate::pool::{
     lock_unpoisoned, shard_chunk, shard_count, AdmissionJob, AdmissionOrder, Job, PoolHandle,
-    RateJob,
+    RateJob, ReliabilityJob,
 };
 use lrgp_model::{ClassId, FlowId, LinkId, NodeId, PriceTermTable, Problem};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -199,6 +201,11 @@ pub(crate) struct StepState {
     // Changes produced within the current iteration.
     rate_changed: Vec<bool>,
     changed_rates: Vec<u32>,
+    /// Flows whose ρ moved bitwise this iteration. Only populated by
+    /// [`crate::plan::Reliability::Joint`] plans; permanently empty under
+    /// Off, so every consumer of these lists is a no-op there.
+    rho_changed: Vec<bool>,
+    changed_rhos: Vec<u32>,
 
     // External dirt injected between steps by problem deltas.
     ext_flow_dirty: Vec<bool>,
@@ -220,6 +227,8 @@ pub(crate) struct StepState {
     vector_scratch: VectorScratch,
     /// The caller's shard-0 admission output, `(node, used, bc)`.
     admission_scratch: Vec<(u32, f64, f64)>,
+    /// The caller's shard-0 reliability output, `(flow, rho)`.
+    rho_scratch: Vec<(u32, f64)>,
     /// Panic-injection test hook, threaded into pooled rate jobs.
     #[cfg(test)]
     panic_on_flow: Option<u32>,
@@ -244,6 +253,8 @@ impl StepState {
             changed_classes: Vec::with_capacity(problem.num_classes()),
             rate_changed: vec![false; problem.num_flows()],
             changed_rates: Vec::with_capacity(problem.num_flows()),
+            rho_changed: vec![false; problem.num_flows()],
+            changed_rhos: Vec::new(),
             ext_flow_dirty: vec![false; problem.num_flows()],
             ext_dirty_flows: Vec::new(),
             ext_node_dirty: vec![false; problem.num_nodes()],
@@ -259,6 +270,7 @@ impl StepState {
             rate_scratch: RateScratch::default(),
             vector_scratch: VectorScratch::default(),
             admission_scratch: Vec::new(),
+            rho_scratch: Vec::new(),
             #[cfg(test)]
             panic_on_flow: None,
         }
@@ -351,24 +363,37 @@ impl StepState {
         plan: &ExecutionPlan,
         pool: &PoolHandle,
         rates: &mut Vec<f64>,
+        rhos: &mut Vec<f64>,
         populations: &mut Vec<f64>,
         prices: &mut PriceVector,
         gammas: &mut [GammaController],
     ) -> f64 {
+        // The ρ phase only exists under a Joint plan on a problem with a
+        // reliability spec; everywhere else the step is exactly the classic
+        // rate-only pipeline (changed_rhos stays permanently empty, and the
+        // Off gates below never add a float operation).
+        let joint = plan.reliability.joint() && problem.reliability().is_some();
         self.derive_dirty_flows(problem);
         self.solve_dirty_rates(problem, plan, pool, rates, populations, prices);
+        if joint {
+            self.solve_dirty_rhos(problem, plan, pool, rates, rhos, populations, prices);
+        }
         self.derive_dirty_nodes(problem);
         self.run_dirty_admissions(problem, config, plan, pool, rates);
         self.apply_populations(populations);
         self.update_node_prices(problem, config, plan, prices, gammas);
         self.derive_dirty_links(problem);
-        self.update_link_usage_and_prices(problem, config, plan, rates, prices);
+        self.update_link_usage_and_prices(problem, config, plan, rates, rhos, joint, prices);
         if self.first
             || self.force_utility
             || !self.changed_rates.is_empty()
+            || !self.changed_rhos.is_empty()
             || !self.changed_classes.is_empty()
         {
             self.cached_utility = total_utility(problem, rates, populations);
+            if joint {
+                self.cached_utility += reliability_utility(problem, rhos, populations);
+            }
         }
         self.first = false;
         self.force_utility = false;
@@ -531,6 +556,129 @@ impl StepState {
             pool.drain_rates(w, &mut apply);
         }
         rate_scratch.out.clear();
+    }
+
+    /// Phase 1b (Joint plans only): re-solve the dirty flows' reliability
+    /// best-response against the current link prices and the freshly solved
+    /// rates, recording bitwise ρ changes.
+    ///
+    /// The ρ dirty set is exactly `dirty_flows`: a flow's ρ inputs are the
+    /// link prices along its path, the populations of its classes, and its
+    /// own rate — the first two are the rate solve's inputs (so they dirty
+    /// the flow through phase 0), and a rate can only move for a flow in the
+    /// dirty set. A clean flow therefore re-derives the bitwise-same ρ, and
+    /// skipping it is exact — the same argument that makes rate skipping
+    /// exact, applied one phase later.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_dirty_rhos(
+        &mut self,
+        problem: &Arc<Problem>,
+        plan: &ExecutionPlan,
+        pool: &PoolHandle,
+        rates: &mut Vec<f64>,
+        rhos: &mut Vec<f64>,
+        populations: &mut Vec<f64>,
+        prices: &mut PriceVector,
+    ) {
+        clear_marks(&mut self.rho_changed, &mut self.changed_rhos);
+        let Some(redundancy) = problem.reliability().map(|spec| spec.redundancy) else {
+            return;
+        };
+        if self.dirty_flows.is_empty() {
+            return;
+        }
+        let workers = plan.workers_for(self.dirty_flows.len());
+        let pooled = pool
+            .get()
+            .filter(|p| workers > 1 && p.dispatches())
+            .map(|p| (p, workers.min(p.workers() + 1)))
+            .filter(|&(_, w)| w > 1);
+        let Some((pool, workers)) = pooled else {
+            // Bit-identical to shard-and-apply for the same reason as the
+            // rate phase: a flow's ρ solve reads `rhos` only at its own
+            // index (the fallback).
+            let Self { terms, dirty_flows, rho_changed, changed_rhos, .. } = self;
+            let vectorized = plan.numerics.vectorized();
+            let link_prices = prices.link_prices();
+            for &f in dirty_flows.iter() {
+                let flow = FlowId::new(f);
+                let bounds = problem.rho_bounds(flow).unwrap_or_default();
+                let next = if vectorized {
+                    solve_flow_rho_vectorized(
+                        terms,
+                        flow,
+                        link_prices,
+                        populations,
+                        rates[f as usize],
+                        bounds,
+                        redundancy,
+                        rhos[f as usize],
+                    )
+                } else {
+                    solve_flow_rho(
+                        terms,
+                        flow,
+                        link_prices,
+                        populations,
+                        rates[f as usize],
+                        bounds,
+                        redundancy,
+                        rhos[f as usize],
+                    )
+                };
+                if next.to_bits() != rhos[f as usize].to_bits() {
+                    rhos[f as usize] = next;
+                    mark(rho_changed, changed_rhos, f);
+                }
+            }
+            return;
+        };
+        let chunk = shard_chunk(self.dirty_flows.len(), workers);
+        let shards = shard_count(self.dirty_flows.len(), workers);
+        let job = Job::Reliabilities(ReliabilityJob {
+            problem: Arc::clone(problem),
+            terms: Arc::clone(&self.terms),
+            dirty: std::mem::take(&mut self.dirty_flows),
+            rhos: std::mem::take(rhos),
+            rates: std::mem::take(rates),
+            populations: std::mem::take(populations),
+            prices: std::mem::replace(prices, PriceVector::detached()),
+            redundancy,
+            chunk,
+            numerics: plan.numerics,
+        });
+        let scratch = &mut self.rho_scratch;
+        let (job, panic) = pool.run(job, shards, |job| {
+            if let Job::Reliabilities(job) = job {
+                job.run_shard(0, scratch);
+            }
+        });
+        if let Job::Reliabilities(job) = job {
+            self.dirty_flows = job.dirty;
+            *rhos = job.rhos;
+            *rates = job.rates;
+            *populations = job.populations;
+            *prices = job.prices;
+        }
+        if let Some(payload) = panic {
+            self.rho_scratch.clear();
+            pool.discard_outputs();
+            std::panic::resume_unwind(payload);
+        }
+        let Self { rho_changed, changed_rhos, rho_scratch, .. } = self;
+        let mut apply = |f: u32, next: f64| {
+            if next.to_bits() != rhos[f as usize].to_bits() {
+                rhos[f as usize] = next;
+                mark(rho_changed, changed_rhos, f);
+            }
+        };
+        for &(f, next) in rho_scratch.iter() {
+            apply(f, next);
+        }
+        for w in 0..shards - 1 {
+            pool.drain_rhos(w, &mut apply);
+        }
+        rho_scratch.clear();
     }
 
     /// A node's admission inputs are the rates of the flows reaching it; it
@@ -744,6 +892,7 @@ impl StepState {
             link_dirty,
             dirty_links,
             changed_rates,
+            changed_rhos,
             ext_link_dirty,
             ext_dirty_links,
             first,
@@ -761,6 +910,13 @@ impl StepState {
                     mark(link_dirty, dirty_links, link.index() as u32);
                 }
             }
+            // Under a Joint plan the usage also reads ρ; the list is
+            // permanently empty otherwise.
+            for &f in changed_rhos.iter() {
+                for &(link, _) in problem.links_of_flow(FlowId::new(f)) {
+                    mark(link_dirty, dirty_links, link.index() as u32);
+                }
+            }
             for &l in ext_dirty_links.iter() {
                 mark(link_dirty, dirty_links, l);
             }
@@ -771,12 +927,15 @@ impl StepState {
 
     /// Phase 3: recompute the dirty links' usage from the term tables, then
     /// run the O(1) Eq. 13 update for every link against the cached usage.
+    #[allow(clippy::too_many_arguments)]
     fn update_link_usage_and_prices(
         &mut self,
         problem: &Problem,
         config: &LrgpConfig,
         plan: &ExecutionPlan,
         rates: &[f64],
+        rhos: &[f64],
+        joint: bool,
         prices: &mut PriceVector,
     ) {
         if plan.numerics.vectorized() {
@@ -784,10 +943,20 @@ impl StepState {
             // links, then batched Eq. 13 over every link. The price batch's
             // per-element math is identical to the scalar loop below; any
             // drift on this path comes from the usage dot products alone.
+            // Under a Joint plan the per-flow usage inflates by
+            // `redundancy · loss_l · ρ_f`, computed as a second gather so
+            // the Off path stays the untouched single dot product.
+            let redundancy =
+                problem.reliability().map(|spec| spec.redundancy).unwrap_or_default();
             for &l in &self.dirty_links {
                 let link = LinkId::new(l);
-                self.link_usage[l as usize] =
-                    dot_gather(self.terms.link_usage_terms(link), rates);
+                let mut usage = dot_gather(self.terms.link_usage_terms(link), rates);
+                if joint {
+                    let scale = redundancy * problem.link_loss(link);
+                    usage += scale
+                        * dot_gather3(self.terms.link_usage_terms(link), rates, rhos);
+                }
+                self.link_usage[l as usize] = usage;
             }
             let Self { link_usage, vector_scratch, link_price_changed, changed_links, .. } =
                 self;
@@ -807,15 +976,32 @@ impl StepState {
             }
             return;
         }
-        for &l in &self.dirty_links {
-            let link = LinkId::new(l);
-            // Same additions in the same `flows_on_link` order as
-            // `Allocation::link_usage`, so the sum is bit-identical.
-            let mut usage = 0.0;
-            for &(f, cost) in self.terms.link_usage_terms(link) {
-                usage += cost * rates[f as usize];
+        if joint {
+            // One strict left fold per dirty link with the redundancy
+            // inflation folded into each term; kept on a separate branch so
+            // the Off path below is byte-for-byte the pre-reliability loop.
+            let redundancy =
+                problem.reliability().map(|spec| spec.redundancy).unwrap_or_default();
+            for &l in &self.dirty_links {
+                let link = LinkId::new(l);
+                let scale = redundancy * problem.link_loss(link);
+                let mut usage = 0.0;
+                for &(f, cost) in self.terms.link_usage_terms(link) {
+                    usage += cost * rates[f as usize] * (1.0 + scale * rhos[f as usize]);
+                }
+                self.link_usage[l as usize] = usage;
             }
-            self.link_usage[l as usize] = usage;
+        } else {
+            for &l in &self.dirty_links {
+                let link = LinkId::new(l);
+                // Same additions in the same `flows_on_link` order as
+                // `Allocation::link_usage`, so the sum is bit-identical.
+                let mut usage = 0.0;
+                for &(f, cost) in self.terms.link_usage_terms(link) {
+                    usage += cost * rates[f as usize];
+                }
+                self.link_usage[l as usize] = usage;
+            }
         }
         for l in 0..problem.num_links() {
             let link = LinkId::new(l as u32);
@@ -832,6 +1018,30 @@ impl StepState {
             }
         }
     }
+}
+
+/// The reliability term `Σ_f mass_f · ln(ρ_f)` of the joint objective,
+/// `mass_f = Σ_{j ∈ C_f} w_j · n_j` in `classes_of_flow` order (the same
+/// fold order as [`crate::kernel::reliability::rho_mass`] over the term
+/// table, so the step and this reporting helper agree bitwise). 0.0 when
+/// the problem carries no [`lrgp_model::ReliabilitySpec`]. Since every
+/// ρ is in `(0, 1]` the term is nonpositive — it measures how much utility
+/// the flows concede by not insisting on perfect delivery.
+pub(crate) fn reliability_utility(problem: &Problem, rhos: &[f64], populations: &[f64]) -> f64 {
+    if problem.reliability().is_none() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for flow in problem.flow_ids() {
+        let mut mass = 0.0;
+        for &class in problem.classes_of_flow(flow) {
+            mass += problem.class(class).utility.weight() * populations[class.index()];
+        }
+        if mass != 0.0 {
+            total += mass * rhos[flow.index()].ln();
+        }
+    }
+    total
 }
 
 /// Total utility in exactly `Allocation::total_utility`'s order (ascending

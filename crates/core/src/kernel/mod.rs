@@ -17,6 +17,10 @@
 //!   [`price::PriceVector`] state and its `PL_i`/`PB_i` aggregation (Eq.
 //!   8/9), in both direct and precomputed term-table forms that are
 //!   documented and tested bit-identical.
+//! * [`reliability`] — the per-flow delivery-reliability best-response for
+//!   the joint rate–reliability extension ([`crate::plan::Reliability`]):
+//!   closed-form ρ solve against loss-weighted link prices, in strict and
+//!   lane-batched forms.
 //! * [`vector`] — lane-batched variants of the above for the
 //!   [`crate::plan::Numerics::Vectorized`] axis: unrolled gather-dot
 //!   aggregation, cohort-dispatched closed-form rate solves, a
@@ -31,4 +35,5 @@
 pub mod admission;
 pub mod price;
 pub mod rate;
+pub mod reliability;
 pub mod vector;

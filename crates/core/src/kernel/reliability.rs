@@ -1,0 +1,316 @@
+//! The per-flow reliability best-response for joint rate–reliability
+//! allocation (after Lee, Chiang, Calderbank, "Jointly optimal congestion
+//! and contention control").
+//!
+//! When a [`lrgp_model::ReliabilitySpec`] is attached to the problem and the
+//! plan selects [`crate::plan::Reliability::Joint`], each flow carries a
+//! delivery-reliability variable `ρ_i ∈ [ρ_min, ρ_max] ⊆ (0, 1]` alongside
+//! its rate. The flow's utility gains a concave reliability term
+//!
+//! ```text
+//! V_i(ρ_i) = mass_i · ln(ρ_i),     mass_i = Σ_j n_j · w_j
+//! ```
+//!
+//! (the same weighted population mass the log-rate solve uses), and pushing
+//! reliability above the link's native delivery rate costs redundant
+//! transmissions: the flow's usage of link `l` inflates by
+//! `redundancy · loss_l · ρ_i`. Differentiating the Lagrangian in `ρ_i`
+//! gives a closed-form best-response against the current link prices,
+//! exactly mirroring the structure of
+//! [`crate::kernel::vector::solve_log_rate`]:
+//!
+//! ```text
+//! ρ_i* = clamp( mass_i / price_i ),
+//! price_i = redundancy · r_i · Σ_l L_{l,i} · loss_l · λ_l
+//! ```
+//!
+//! The coupling with the rate solve is handled by alternating best-response:
+//! the rate kernel is untouched, and the two variables interact only through
+//! the link prices (inflated usage raises `λ_l`, which lowers both `r` and
+//! `ρ` on the next sweep). Like every kernel, both the strict and the
+//! vectorized form are pure, allocation-free functions of their borrowed
+//! inputs; the strict form folds terms left-to-right for bitwise
+//! reproducibility, the vectorized form reuses [`dot_gather`]'s lane-batched
+//! reduction and stays within the documented drift bound.
+
+use lrgp_model::{FlowId, PriceTermTable, RhoBounds};
+
+use crate::kernel::vector::{dot_gather, weighted_population_mass};
+
+/// Weighted population mass `Σ_j n_j · w_j` of a flow's utility terms as a
+/// strict left fold, plus whether any class has positive population.
+///
+/// Bitwise-reproducible counterpart of
+/// [`weighted_population_mass`]; the two agree within the vectorized drift
+/// bound and are bit-identical for ≤ [`crate::kernel::vector::LANES`] terms.
+///
+/// # Panics
+///
+/// Panics if a term's class index is out of range for `populations`.
+pub fn rho_mass(terms: &[(u32, f64)], populations: &[f64]) -> (f64, bool) {
+    let mut mass = 0.0;
+    let mut active = false;
+    for &(class, weight) in terms {
+        let n = populations[class as usize];
+        if n > 0.0 {
+            active = true;
+        }
+        mass += weight * n;
+    }
+    (mass, active)
+}
+
+/// The reliability price `redundancy · rate · Σ_l (L_{l,i} · loss_l) · λ_l`
+/// of a flow against the current link prices, as a strict left fold over the
+/// flow's loss-weighted link terms ([`PriceTermTable::rho_link_terms`]).
+///
+/// Returns `0.0` for problems without a reliability spec (the term row is
+/// empty), so callers never need to special-case the lossless problem.
+///
+/// # Panics
+///
+/// Panics if a term's link index is out of range for `link_prices`.
+pub fn rho_price_from_table(
+    table: &PriceTermTable,
+    flow: FlowId,
+    rate: f64,
+    redundancy: f64,
+    link_prices: &[f64],
+) -> f64 {
+    let mut sum = 0.0;
+    for &(link, weight) in table.rho_link_terms(flow) {
+        sum += weight * link_prices[link as usize];
+    }
+    redundancy * rate * sum
+}
+
+/// Lane-batched form of [`rho_price_from_table`] for the
+/// [`crate::plan::Numerics::Vectorized`] axis: the gather-dot reduction is
+/// reassociated, everything else is identical.
+///
+/// # Panics
+///
+/// Panics if a term's link index is out of range for `link_prices`.
+pub fn rho_price_from_table_vectorized(
+    table: &PriceTermTable,
+    flow: FlowId,
+    rate: f64,
+    redundancy: f64,
+    link_prices: &[f64],
+) -> f64 {
+    redundancy * rate * dot_gather(table.rho_link_terms(flow), link_prices)
+}
+
+/// Closed-form reliability best-response `ρ* = clamp(mass / price)` for the
+/// logarithmic reliability utility `mass · ln(ρ)`.
+///
+/// Branch structure mirrors [`crate::kernel::vector::solve_log_rate`]: with
+/// no active consumers the flow retreats to `bounds.min` under a positive
+/// price and pins to the clamped `fallback` otherwise, and a zero price with
+/// consumers saturates at `bounds.max` (extra delivery is free). Strictly
+/// decreasing in `price` on the interior, and always within `bounds` by
+/// construction.
+pub fn solve_rho(mass: f64, active: bool, price: f64, bounds: RhoBounds, fallback: f64) -> f64 {
+    debug_assert!(price >= 0.0, "prices are projected onto [0, ∞)");
+    if !active {
+        return if price > 0.0 { bounds.min } else { bounds.clamp(fallback) };
+    }
+    if price == 0.0 {
+        return bounds.max;
+    }
+    bounds.clamp(mass / price)
+}
+
+/// Full per-flow reliability solve in strict numerics: strict mass fold,
+/// strict price fold, then the closed form. Pure and allocation-free; this
+/// is the unit of work the executor and the worker pool shard over.
+///
+/// # Panics
+///
+/// Panics if a term's class or link index is out of range for `populations`
+/// or `link_prices`.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_flow_rho(
+    table: &PriceTermTable,
+    flow: FlowId,
+    link_prices: &[f64],
+    populations: &[f64],
+    rate: f64,
+    bounds: RhoBounds,
+    redundancy: f64,
+    previous_rho: f64,
+) -> f64 {
+    let (mass, active) = rho_mass(table.utility_terms(flow), populations);
+    let price = rho_price_from_table(table, flow, rate, redundancy, link_prices);
+    solve_rho(mass, active, price, bounds, previous_rho)
+}
+
+/// Lane-batched sibling of [`solve_flow_rho`]: both reductions go through
+/// [`dot_gather`], the branch structure and clamping are identical.
+///
+/// # Panics
+///
+/// Panics if a term's class or link index is out of range for `populations`
+/// or `link_prices`.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_flow_rho_vectorized(
+    table: &PriceTermTable,
+    flow: FlowId,
+    link_prices: &[f64],
+    populations: &[f64],
+    rate: f64,
+    bounds: RhoBounds,
+    redundancy: f64,
+    previous_rho: f64,
+) -> f64 {
+    let (mass, active) = weighted_population_mass(table.utility_terms(flow), populations);
+    let price = rho_price_from_table_vectorized(table, flow, rate, redundancy, link_prices);
+    solve_rho(mass, active, price, bounds, previous_rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrgp_model::workloads;
+    use proptest::prelude::*;
+
+    fn bounds() -> RhoBounds {
+        RhoBounds::new(0.5, 0.999).unwrap()
+    }
+
+    #[test]
+    fn solve_rho_mirrors_log_rate_branches() {
+        let b = bounds();
+        // Inactive flow: positive price retreats to min, zero price holds the
+        // clamped fallback.
+        assert_eq!(solve_rho(0.0, false, 2.0, b, 0.9).to_bits(), b.min.to_bits());
+        assert_eq!(solve_rho(0.0, false, 0.0, b, 0.9).to_bits(), 0.9f64.to_bits());
+        assert_eq!(solve_rho(0.0, false, 0.0, b, 2.0).to_bits(), b.max.to_bits());
+        // Active flow at zero price saturates.
+        assert_eq!(solve_rho(3.0, true, 0.0, b, 0.5).to_bits(), b.max.to_bits());
+        // Interior solution is the exact quotient.
+        let rho = solve_rho(3.0, true, 4.0, b, 0.5);
+        assert_eq!(rho.to_bits(), (3.0f64 / 4.0).to_bits());
+        // Expensive price clamps at the floor.
+        assert_eq!(solve_rho(1.0, true, 100.0, b, 0.5).to_bits(), b.min.to_bits());
+    }
+
+    #[test]
+    fn rho_mass_matches_vectorized_mass_on_short_rows() {
+        let terms: Vec<(u32, f64)> = vec![(0, 1.5), (2, 2.0), (1, 0.25)];
+        let populations = [3.0, 0.0, 7.0];
+        let (strict, strict_active) = rho_mass(&terms, &populations);
+        let (vector, vector_active) = weighted_population_mass(&terms, &populations);
+        assert_eq!(strict.to_bits(), vector.to_bits());
+        assert_eq!(strict_active, vector_active);
+        let (_, idle) = rho_mass(&terms, &[0.0, 0.0, 0.0]);
+        assert!(!idle);
+    }
+
+    #[test]
+    fn rho_price_weights_terms_by_loss_and_redundancy() {
+        let problem = workloads::lossy_link_bottleneck_workload(500.0, 0.1);
+        let table = PriceTermTable::new(&problem);
+        let flow = problem.flow_ids().next().unwrap();
+        let link_prices = vec![2.0; problem.num_links()];
+        let sum: f64 = table
+            .rho_link_terms(flow)
+            .iter()
+            .map(|&(l, w)| w * link_prices[l as usize])
+            .sum();
+        let expected = 1.5 * 3.0 * sum;
+        let strict = rho_price_from_table(&table, flow, 3.0, 1.5, &link_prices);
+        let vector = rho_price_from_table_vectorized(&table, flow, 3.0, 1.5, &link_prices);
+        assert_eq!(strict.to_bits(), expected.to_bits());
+        // Short rows take dot_gather's scalar tail, so the two forms agree
+        // bitwise here.
+        assert_eq!(vector.to_bits(), strict.to_bits());
+        assert!(strict > 0.0, "lossy bottleneck must charge for reliability");
+    }
+
+    #[test]
+    fn rho_price_is_zero_without_a_spec() {
+        let problem = workloads::link_bottleneck_workload(500.0);
+        let table = PriceTermTable::new(&problem);
+        let flow = problem.flow_ids().next().unwrap();
+        let link_prices = vec![5.0; problem.num_links()];
+        assert_eq!(rho_price_from_table(&table, flow, 3.0, 1.0, &link_prices), 0.0);
+    }
+
+    #[test]
+    fn solve_flow_rho_strict_and_vectorized_agree_on_workload() {
+        let problem = workloads::lossy_link_bottleneck_workload(500.0, 0.2);
+        let table = PriceTermTable::new(&problem);
+        let populations = vec![1.0; problem.num_classes()];
+        let link_prices = vec![0.01; problem.num_links()];
+        for flow in problem.flow_ids() {
+            let b = problem.rho_bounds(flow).unwrap();
+            let strict = solve_flow_rho(&table, flow, &link_prices, &populations, 40.0, b, 1.0, 0.9);
+            let vector = solve_flow_rho_vectorized(
+                &table,
+                flow,
+                &link_prices,
+                &populations,
+                40.0,
+                b,
+                1.0,
+                0.9,
+            );
+            assert!(b.contains(strict, 0.0));
+            assert_eq!(strict.to_bits(), vector.to_bits());
+        }
+    }
+
+    proptest! {
+        /// The best-response always lands inside the flow's ρ bounds.
+        #[test]
+        fn solve_rho_stays_in_bounds(
+            mass in 0.0f64..1e6,
+            price in 0.0f64..1e6,
+            active in proptest::bool::ANY,
+            (min, max) in (1e-3f64..1.0).prop_flat_map(|min| (Just(min), min..=1.0)),
+            fallback in -1.0f64..2.0,
+        ) {
+            let b = RhoBounds::new(min, max).unwrap();
+            let rho = solve_rho(mass, active, price, b, fallback);
+            prop_assert!(b.contains(rho, 0.0), "ρ = {rho} outside [{min}, {max}]");
+        }
+
+        /// A costlier link price never buys more reliability: the response is
+        /// monotone non-increasing in the price.
+        #[test]
+        fn solve_rho_is_monotone_in_price(
+            mass in 0.0f64..1e6,
+            lo in 0.0f64..1e6,
+            bump in 0.0f64..1e6,
+            fallback in 0.0f64..1.5,
+        ) {
+            let b = bounds();
+            let cheap = solve_rho(mass, true, lo, b, fallback);
+            let dear = solve_rho(mass, true, lo + bump, b, fallback);
+            prop_assert!(dear <= cheap, "ρ({}) = {dear} > ρ({lo}) = {cheap}", lo + bump);
+        }
+
+        /// Strict and vectorized per-flow solves stay within the documented
+        /// relative drift bound on the mixed-loss workload.
+        #[test]
+        fn strict_and_vectorized_flow_solves_agree(
+            seed in 0u64..64,
+            price in 0.0f64..1.0,
+            rate in 1.0f64..100.0,
+        ) {
+            let problem = workloads::mixed_loss_workload(3, 500.0, seed);
+            let table = PriceTermTable::new(&problem);
+            let populations = vec![2.0; problem.num_classes()];
+            let link_prices = vec![price; problem.num_links()];
+            for flow in problem.flow_ids() {
+                let b = problem.rho_bounds(flow).unwrap();
+                let s = solve_flow_rho(&table, flow, &link_prices, &populations, rate, b, 1.0, 0.9);
+                let v = solve_flow_rho_vectorized(
+                    &table, flow, &link_prices, &populations, rate, b, 1.0, 0.9,
+                );
+                prop_assert!((s - v).abs() <= 1e-12 * s.abs().max(1.0));
+            }
+        }
+    }
+}

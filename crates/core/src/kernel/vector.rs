@@ -83,6 +83,34 @@ pub fn dot_gather(terms: &[(u32, f64)], values: &[f64]) -> f64 {
     (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
 }
 
+/// `Σ cost · a[idx] · b[idx]` over `(idx, cost)` terms — the three-factor
+/// sibling of [`dot_gather`], used by the joint-reliability link usage
+/// (`Σ L_{l,i} · r_i · ρ_i`). Same unrolled-lane structure, same fixed-tree
+/// reduction, same reassociation caveat.
+///
+/// # Panics
+///
+/// Panics if an index is out of range for `a` or `b`.
+pub fn dot_gather3(terms: &[(u32, f64)], a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let mut chunks = terms.chunks_exact(LANES);
+    for c in &mut chunks {
+        acc[0] += c[0].1 * a[c[0].0 as usize] * b[c[0].0 as usize];
+        acc[1] += c[1].1 * a[c[1].0 as usize] * b[c[1].0 as usize];
+        acc[2] += c[2].1 * a[c[2].0 as usize] * b[c[2].0 as usize];
+        acc[3] += c[3].1 * a[c[3].0 as usize] * b[c[3].0 as usize];
+        acc[4] += c[4].1 * a[c[4].0 as usize] * b[c[4].0 as usize];
+        acc[5] += c[5].1 * a[c[5].0 as usize] * b[c[5].0 as usize];
+        acc[6] += c[6].1 * a[c[6].0 as usize] * b[c[6].0 as usize];
+        acc[7] += c[7].1 * a[c[7].0 as usize] * b[c[7].0 as usize];
+    }
+    let mut tail = 0.0;
+    for &(idx, cost) in chunks.remainder() {
+        tail += cost * a[idx as usize] * b[idx as usize];
+    }
+    (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
+}
+
 /// `PL_i` (Eq. 8) over the flow's CSR link terms, lane-batched. Same terms
 /// as [`PriceVector::aggregate_link_price_from_table`], reassociated.
 pub fn aggregate_link_price_from_table(

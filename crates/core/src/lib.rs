@@ -47,15 +47,20 @@
 //! * [`kernel`] — the allocation-free per-element LRGP math: Lagrangian
 //!   rate allocation at each flow source ([`kernel::rate`], Algorithm 1),
 //!   greedy consumer admission by benefit–cost ratio
-//!   ([`kernel::admission`], Algorithm 2), and the node/link price updates
-//!   with their flow-path aggregation ([`kernel::price`], Eqs. 8–13).
+//!   ([`kernel::admission`], Algorithm 2), the node/link price updates
+//!   with their flow-path aggregation ([`kernel::price`], Eqs. 8–13), and
+//!   the per-flow reliability best response ([`kernel::reliability`]) used
+//!   when a plan enables the joint rate–reliability axis
+//!   ([`plan::Reliability`]).
 //! * [`exec`] — the one solve loop: a dirty-set executor whose work is
 //!   proportional to what changed, bit-identical to a full recompute.
 //! * [`plan`] — the execution strategy ([`ExecutionPlan`]): sequential or
 //!   sharded over the persistent worker pool ([`pool`]), full-recompute or
-//!   incremental, with [`Parallelism::Auto`] picking the crossover from a
-//!   calibrated cost model ([`AutoModel`]). Plans change wall-clock time,
-//!   never bits.
+//!   incremental, rate-only or joint rate–reliability
+//!   ([`plan::Reliability`]), with [`Parallelism::Auto`] picking the
+//!   crossover from a calibrated cost model ([`AutoModel`]). Plans change
+//!   wall-clock time, never bits — except the reliability axis, which
+//!   changes *what* is optimized and defaults to [`plan::Reliability::Off`].
 //! * [`engine`] — the synchronous driver ([`Engine`]), iteration traces
 //!   ([`trace`]), snapshots ([`snapshot`]), and first-class problem deltas
 //!   ([`Engine::apply_delta`]); per-node adaptive step-size control in
@@ -114,7 +119,7 @@ pub use engine::{Engine, InitialRate, LrgpConfig, RunOutcome};
 pub use gamma::{AdaptiveGammaConfig, GammaController, GammaMode};
 pub use kernel::admission::{AdmissionPolicy, PopulationMode};
 pub use kernel::price::PriceVector;
-pub use plan::{AutoModel, ExecutionPlan, IncrementalMode, Numerics, Parallelism};
+pub use plan::{AutoModel, ExecutionPlan, IncrementalMode, Numerics, Parallelism, Reliability};
 pub use snapshot::EngineSnapshot;
 pub use trace::{Trace, TraceConfig};
 pub use two_stage::{two_stage_solve, TwoStageOutcome};

@@ -2,7 +2,7 @@
 //!
 //! The kernel layer ([`crate::kernel`]) defines *what* one LRGP iteration
 //! computes. This module defines *how* the engine executes it: an
-//! [`ExecutionPlan`] is the product of two independent axes —
+//! [`ExecutionPlan`] is the product of four independent axes —
 //!
 //! * [`Parallelism`] — whether each phase shards its work over the engine's
 //!   persistent worker pool ([`crate::pool`]), and over how many workers;
@@ -10,7 +10,11 @@
 //!   the dirty subset tracked by [`crate::exec::StepState`];
 //! * [`Numerics`] — whether the per-element kernels run the scalar
 //!   reference code or the lane-batched variants in
-//!   [`crate::kernel::vector`].
+//!   [`crate::kernel::vector`];
+//! * [`Reliability`] — whether the step also solves each flow's
+//!   delivery-reliability variable ρ against the link prices
+//!   ([`crate::kernel::reliability`]) or runs the classic rate-only
+//!   pipeline.
 //!
 //! The first two axes preserve bit-identical results, so within
 //! [`Numerics::Strict`] a plan is purely a performance choice: every
@@ -21,7 +25,12 @@
 //! with closed forms where possible, so it trades the bitwise guarantee
 //! for a bounded one: total utility at convergence stays within `1e-12`
 //! relative drift of the Strict trace (also enforced by the differential
-//! harness).
+//! harness). [`Reliability`] is the one axis that changes *what* is
+//! optimized rather than how fast: [`Reliability::Off`] (the default)
+//! takes the classic rate-only code path byte for byte, while
+//! [`Reliability::Joint`] adds the ρ phase — within `Joint`, all
+//! parallelism × incrementality plans are still bit-identical to each
+//! other.
 //!
 //! # Determinism guarantee
 //!
@@ -61,7 +70,7 @@
 //! arithmetic, no clocks) and monotone (more units never picks fewer
 //! workers), properties pinned by tests.
 //!
-//! # Composition of the two axes
+//! # Composition of the axes
 //!
 //! The executor shards the *dirty* element lists instead of the full id
 //! ranges, resolving its worker count with [`ExecutionPlan::workers_for`]
@@ -236,6 +245,36 @@ impl Numerics {
     }
 }
 
+/// Whether the step solves the per-flow delivery-reliability variable
+/// jointly with the rate.
+///
+/// [`Reliability::Off`] is the default and leaves the engine's trace
+/// bitwise-identical to the pre-reliability pipeline — the ρ phase is
+/// skipped entirely, link usage is the plain `Σ cost · r` fold, and total
+/// utility carries no reliability term (enforced by the differential
+/// harness). [`Reliability::Joint`] activates the
+/// [`crate::kernel::reliability`] best-response for problems that carry a
+/// [`lrgp_model::ReliabilitySpec`]: each step re-solves dirty flows' ρ
+/// against the current link prices, link usage inflates by
+/// `redundancy · loss_l · ρ_f` per unit of rate, and total utility gains
+/// `Σ_f mass_f · ln(ρ_f)`. On problems without a spec, `Joint` degrades to
+/// `Off` (there is nothing to solve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Reliability {
+    /// Rate-only allocation; ρ is fixed and free (the default).
+    #[default]
+    Off,
+    /// Joint rate–reliability allocation by alternating best-response.
+    Joint,
+}
+
+impl Reliability {
+    /// `true` when the plan solves ρ jointly with the rate.
+    pub fn joint(self) -> bool {
+        matches!(self, Reliability::Joint)
+    }
+}
+
 /// Whether the step recomputes everything or only the dirty subset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum IncrementalMode {
@@ -280,6 +319,9 @@ pub struct ExecutionPlan {
     /// Which numeric kernel implementations the executor dispatches to.
     #[serde(default)]
     pub numerics: Numerics,
+    /// Whether ρ is solved jointly with the rate.
+    #[serde(default)]
+    pub reliability: Reliability,
 }
 
 impl ExecutionPlan {
@@ -292,6 +334,7 @@ impl ExecutionPlan {
             incrementality: config.incremental,
             auto: AutoModel::default(),
             numerics: config.numerics,
+            reliability: config.reliability,
         }
     }
 
@@ -330,12 +373,16 @@ impl ExecutionPlan {
             Parallelism::Auto => "auto-parallel".to_string(),
         };
         let inc = if self.incremental() { "incremental" } else { "full recompute" };
-        // Strict is the invariant default and stays out of the string so
-        // pre-existing renderings are unchanged.
-        match self.numerics {
+        // Strict and Off are the invariant defaults and stay out of the
+        // string so pre-existing renderings are unchanged.
+        let mut rendered = match self.numerics {
             Numerics::Strict => format!("{par}, {inc}"),
             Numerics::Vectorized => format!("{par}, {inc}, vectorized"),
+        };
+        if self.reliability.joint() {
+            rendered.push_str(", joint reliability");
         }
+        rendered
     }
 
     /// Executes one LRGP iteration under this plan. For non-incremental
@@ -350,6 +397,7 @@ impl ExecutionPlan {
         config: &LrgpConfig,
         pool: &PoolHandle,
         rates: &mut Vec<f64>,
+        rhos: &mut Vec<f64>,
         populations: &mut Vec<f64>,
         prices: &mut PriceVector,
         gammas: &mut [GammaController],
@@ -357,7 +405,7 @@ impl ExecutionPlan {
         if !self.incremental() {
             state.mark_all_dirty();
         }
-        state.step(problem, config, self, pool, rates, populations, prices, gammas)
+        state.step(problem, config, self, pool, rates, rhos, populations, prices, gammas)
     }
 }
 
@@ -517,5 +565,27 @@ mod tests {
         // The config axis flows into the plan like the other two.
         let config = LrgpConfig { numerics: Numerics::Vectorized, ..LrgpConfig::default() };
         assert_eq!(ExecutionPlan::from_config(&config).numerics, Numerics::Vectorized);
+    }
+
+    #[test]
+    fn reliability_axis_defaults_to_off_and_renders_only_when_joint() {
+        assert_eq!(Reliability::default(), Reliability::Off);
+        assert!(!Reliability::Off.joint());
+        assert!(Reliability::Joint.joint());
+        let plan = ExecutionPlan { reliability: Reliability::Joint, ..ExecutionPlan::default() };
+        assert_eq!(plan.describe(), "sequential, full recompute, joint reliability");
+        let both = ExecutionPlan {
+            reliability: Reliability::Joint,
+            numerics: Numerics::Vectorized,
+            ..ExecutionPlan::default()
+        };
+        assert_eq!(both.describe(), "sequential, full recompute, vectorized, joint reliability");
+        // The config axis flows into the plan like the other three, and
+        // pre-reliability plan JSON still deserializes to Off.
+        let config = LrgpConfig { reliability: Reliability::Joint, ..LrgpConfig::default() };
+        assert_eq!(ExecutionPlan::from_config(&config).reliability, Reliability::Joint);
+        let legacy = r#"{"parallelism":"Sequential","incrementality":"On"}"#;
+        let back: ExecutionPlan = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.reliability, Reliability::Off);
     }
 }

@@ -73,6 +73,7 @@ use crate::kernel::admission::{
 };
 use crate::kernel::price::PriceVector;
 use crate::kernel::rate::{solve_rate, AggregateUtility};
+use crate::kernel::reliability::{solve_flow_rho, solve_flow_rho_vectorized};
 use crate::kernel::vector::{solve_flow_rate_from_table, GroupedAggregate};
 use crate::plan::Numerics;
 use lrgp_model::{ClassId, FlowId, NodeId, PriceTermTable, Problem};
@@ -215,6 +216,74 @@ impl RateJob {
     }
 }
 
+/// The reliability phase's job: a shard of dirty flows whose ρ
+/// best-response is re-solved against the current link prices and the
+/// freshly solved rates (see [`crate::kernel::reliability`]). Dispatched
+/// only under [`crate::plan::Reliability::Joint`] on problems carrying a
+/// [`lrgp_model::ReliabilitySpec`].
+pub(crate) struct ReliabilityJob {
+    pub(crate) problem: Arc<Problem>,
+    pub(crate) terms: Arc<PriceTermTable>,
+    /// The sorted dirty-flow list (moved from the executor).
+    pub(crate) dirty: Vec<u32>,
+    /// Previous-iteration reliabilities (read-only: the solver's fallback).
+    pub(crate) rhos: Vec<f64>,
+    /// This-iteration rates (read-only: they scale the ρ price).
+    pub(crate) rates: Vec<f64>,
+    /// Previous-iteration populations (read-only).
+    pub(crate) populations: Vec<f64>,
+    /// Previous-iteration prices (read-only).
+    pub(crate) prices: PriceVector,
+    /// The spec's redundancy factor.
+    pub(crate) redundancy: f64,
+    /// Shard chunk size ([`shard_chunk`] of the dirty length).
+    pub(crate) chunk: usize,
+    /// Which solver family to run.
+    pub(crate) numerics: Numerics,
+}
+
+impl ReliabilityJob {
+    /// Solves shard `shard`'s dirty flows' ρ into `out` as `(flow, rho)`
+    /// pairs, in dirty-list order.
+    pub(crate) fn run_shard(&self, shard: usize, out: &mut Vec<(u32, f64)>) {
+        out.clear();
+        let lo = shard * self.chunk;
+        if self.chunk == 0 || lo >= self.dirty.len() {
+            return;
+        }
+        let hi = (lo + self.chunk).min(self.dirty.len());
+        let link_prices = self.prices.link_prices();
+        for &f in self.dirty.get(lo..hi).unwrap_or(&[]) {
+            let flow = FlowId::new(f);
+            let bounds = self.problem.rho_bounds(flow).unwrap_or_default();
+            let next = if self.numerics.vectorized() {
+                solve_flow_rho_vectorized(
+                    &self.terms,
+                    flow,
+                    link_prices,
+                    &self.populations,
+                    self.rates[f as usize],
+                    bounds,
+                    self.redundancy,
+                    self.rhos[f as usize],
+                )
+            } else {
+                solve_flow_rho(
+                    &self.terms,
+                    flow,
+                    link_prices,
+                    &self.populations,
+                    self.rates[f as usize],
+                    bounds,
+                    self.redundancy,
+                    self.rhos[f as usize],
+                )
+            };
+            out.push((f, next));
+        }
+    }
+}
+
 /// The admission phase's job: a shard of dirty nodes to re-admit against
 /// the freshly solved rates. Workers lock only the [`AdmissionOrder`]s of
 /// their own shard's nodes.
@@ -266,6 +335,8 @@ pub(crate) enum Job {
     Idle,
     /// Phase 1: solve dirty rates.
     Rates(RateJob),
+    /// Phase 1b: re-solve dirty flows' reliabilities (Joint plans only).
+    Reliabilities(ReliabilityJob),
     /// Phase 2a: re-run dirty admissions.
     Admissions(AdmissionJob),
 }
@@ -276,6 +347,8 @@ pub(crate) enum Job {
 struct WorkerSlot {
     /// Rate-phase results, `(flow, rate)` in shard order.
     rates_out: Vec<(u32, f64)>,
+    /// Reliability-phase results, `(flow, rho)` in shard order.
+    rhos_out: Vec<(u32, f64)>,
     /// Admission-phase results, `(node, used, bc)` in shard order.
     admissions_out: Vec<(u32, f64, f64)>,
     /// Per-worker rate scratch, reused across steps.
@@ -295,6 +368,7 @@ impl WorkerSlot {
     fn new() -> Self {
         Self {
             rates_out: Vec::new(),
+            rhos_out: Vec::new(),
             admissions_out: Vec::new(),
             agg: AggregateUtility::default(),
             grouped: GroupedAggregate::default(),
@@ -495,6 +569,16 @@ impl WorkerPool {
         slot.rates_out.clear();
     }
 
+    /// Drains worker `w`'s reliability-phase results into `apply`, in shard
+    /// order. Call with ascending `w` after [`Self::run`].
+    pub(crate) fn drain_rhos(&self, w: usize, apply: &mut impl FnMut(u32, f64)) {
+        let mut slot = lock_unpoisoned(&self.shared.slots[w]);
+        for &(f, rho) in &slot.rhos_out {
+            apply(f, rho);
+        }
+        slot.rhos_out.clear();
+    }
+
     /// Drains worker `w`'s admission-phase results into `apply`, in shard
     /// order. Call with ascending `w` after [`Self::run`].
     pub(crate) fn drain_admissions(&self, w: usize, apply: &mut impl FnMut(u32, f64, f64)) {
@@ -512,6 +596,7 @@ impl WorkerPool {
         for slot in &self.shared.slots {
             let mut slot = lock_unpoisoned(slot);
             slot.rates_out.clear();
+            slot.rhos_out.clear();
             slot.admissions_out.clear();
         }
     }
@@ -569,6 +654,9 @@ fn worker_loop(shared: Arc<PoolShared>, w: usize) {
                 Job::Rates(job) => catch_unwind(AssertUnwindSafe(|| {
                     job.run_shard(shard, &mut slot.rates_out, &mut slot.agg, &mut slot.grouped)
                 })),
+                Job::Reliabilities(job) => catch_unwind(AssertUnwindSafe(|| {
+                    job.run_shard(shard, &mut slot.rhos_out)
+                })),
                 Job::Admissions(job) => catch_unwind(AssertUnwindSafe(|| {
                     job.run_shard(shard, &mut slot.admissions_out)
                 })),
@@ -576,6 +664,7 @@ fn worker_loop(shared: Arc<PoolShared>, w: usize) {
             if let Err(payload) = outcome {
                 // A panicking shard publishes no results.
                 slot.rates_out.clear();
+                slot.rhos_out.clear();
                 slot.admissions_out.clear();
                 slot.panic = Some(payload);
             }

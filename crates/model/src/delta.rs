@@ -32,7 +32,7 @@
 //! ```
 
 use crate::ids::{ClassId, FlowId, LinkId, NodeId};
-use crate::problem::{ClassSpec, FlowSpec, Problem, RateBounds, ValidationError};
+use crate::problem::{ClassSpec, FlowSpec, Problem, RateBounds, RhoBounds, ValidationError};
 use serde::{Deserialize, Serialize};
 
 /// One elementary change to a [`Problem`].
@@ -93,6 +93,22 @@ pub enum DeltaOp {
         /// The new cost; must be finite and nonnegative.
         cost: f64,
     },
+    /// Replace a link's loss rate (channel conditions change). Requires a
+    /// [`crate::ReliabilitySpec`] to be attached.
+    SetLinkLoss {
+        /// The link whose loss rate changes.
+        link: LinkId,
+        /// The new loss rate; must be finite and in `[0, 1)`.
+        loss: f64,
+    },
+    /// Replace a flow's reliability bounds. Requires a
+    /// [`crate::ReliabilitySpec`] to be attached.
+    SetRhoBounds {
+        /// The flow to re-bound.
+        flow: FlowId,
+        /// The new bounds; must satisfy `0 < min ≤ max ≤ 1`.
+        bounds: RhoBounds,
+    },
 }
 
 impl DeltaOp {
@@ -131,6 +147,11 @@ impl DeltaOp {
             DeltaOp::SetFlowNodeCost { flow, node, cost } => {
                 problem.with_flow_node_cost(*flow, *node, *cost)
             }
+            DeltaOp::SetLinkLoss { link, loss } => problem.with_link_loss(*link, *loss),
+            DeltaOp::SetRhoBounds { flow, bounds } => {
+                check_flow(problem, *flow)?;
+                problem.with_rho_bounds(*flow, *bounds)
+            }
         }
     }
 
@@ -141,11 +162,18 @@ impl DeltaOp {
     }
 
     /// `true` if this op changes resource-cost coefficients (so price term
-    /// tables built from the problem must be rebuilt).
+    /// tables built from the problem must be rebuilt). Reliability edits
+    /// count: link loss feeds the ρ term columns of the table, and ρ-bound
+    /// edits change the feasible set the cached best-responses were clamped
+    /// into.
     pub fn changes_costs(&self) -> bool {
         matches!(
             self,
-            DeltaOp::AddFlow { .. } | DeltaOp::RemoveFlow { .. } | DeltaOp::SetFlowNodeCost { .. }
+            DeltaOp::AddFlow { .. }
+                | DeltaOp::RemoveFlow { .. }
+                | DeltaOp::SetFlowNodeCost { .. }
+                | DeltaOp::SetLinkLoss { .. }
+                | DeltaOp::SetRhoBounds { .. }
         )
     }
 }
@@ -226,6 +254,18 @@ impl ProblemDelta {
     /// Appends a [`DeltaOp::SetFlowNodeCost`] op.
     pub fn set_flow_node_cost(mut self, flow: FlowId, node: NodeId, cost: f64) -> Self {
         self.ops.push(DeltaOp::SetFlowNodeCost { flow, node, cost });
+        self
+    }
+
+    /// Appends a [`DeltaOp::SetLinkLoss`] op.
+    pub fn set_link_loss(mut self, link: LinkId, loss: f64) -> Self {
+        self.ops.push(DeltaOp::SetLinkLoss { link, loss });
+        self
+    }
+
+    /// Appends a [`DeltaOp::SetRhoBounds`] op.
+    pub fn set_rho_bounds(mut self, flow: FlowId, bounds: RhoBounds) -> Self {
+        self.ops.push(DeltaOp::SetRhoBounds { flow, bounds });
         self
     }
 
@@ -437,11 +477,53 @@ mod tests {
     }
 
     #[test]
+    fn reliability_ops_apply_and_validate() {
+        let p = crate::workloads::lossy_link_bottleneck_workload(500.0, 0.1);
+        let link = LinkId::new(0);
+        let flow = FlowId::new(0);
+        let bounds = RhoBounds::new(0.6, 0.95).unwrap();
+        let q = ProblemDelta::new()
+            .set_link_loss(link, 0.2)
+            .set_rho_bounds(flow, bounds)
+            .apply(&p)
+            .unwrap();
+        assert_eq!(q.link_loss(link), 0.2);
+        assert_eq!(q.rho_bounds(flow), Some(bounds));
+        assert!(matches!(
+            ProblemDelta::new().set_link_loss(link, 1.0).apply(&p),
+            Err(ValidationError::InvalidLossRate { .. })
+        ));
+        assert!(matches!(
+            ProblemDelta::new().set_rho_bounds(FlowId::new(99), bounds).apply(&p),
+            Err(ValidationError::UnknownFlow { .. })
+        ));
+        // Reliability edits against a spec-less problem are rejected.
+        let plain = base_workload();
+        assert!(matches!(
+            ProblemDelta::new().set_rho_bounds(FlowId::new(0), bounds).apply(&plain),
+            Err(ValidationError::ReliabilityDisabled)
+        ));
+    }
+
+    #[test]
+    fn reliability_ops_invalidate_term_tables() {
+        let loss_edit = ProblemDelta::new().set_link_loss(LinkId::new(0), 0.2);
+        assert!(!loss_edit.grows_problem());
+        assert!(loss_edit.changes_costs());
+        let bound_edit =
+            ProblemDelta::new().set_rho_bounds(FlowId::new(0), RhoBounds::default());
+        assert!(!bound_edit.grows_problem());
+        assert!(bound_edit.changes_costs());
+    }
+
+    #[test]
     fn delta_serde_round_trip() {
         let delta = ProblemDelta::new()
             .remove_flow(FlowId::new(1))
             .set_node_capacity(NodeId::new(2), 1e5)
-            .set_rate_bounds(FlowId::new(0), RateBounds::new(1.0, 10.0).unwrap());
+            .set_rate_bounds(FlowId::new(0), RateBounds::new(1.0, 10.0).unwrap())
+            .set_link_loss(LinkId::new(0), 0.05)
+            .set_rho_bounds(FlowId::new(0), RhoBounds::new(0.5, 0.9).unwrap());
         let json = serde_json::to_string(&delta).unwrap();
         let back: ProblemDelta = serde_json::from_str(&json).unwrap();
         assert_eq!(delta, back);

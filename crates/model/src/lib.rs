@@ -18,8 +18,9 @@
 //! * [`allocation`] — [`Allocation`] (rates + populations), objective
 //!   evaluation and feasibility checking.
 //! * [`workloads`] — Table 1's base workload, the §4.3 scaling transforms,
-//!   §4.5 utility variants, a random generator, and a link-bottleneck
-//!   workload.
+//!   §4.5 utility variants, a random generator, and link-bottleneck
+//!   workloads (including lossy variants for the joint rate–reliability
+//!   extension).
 //! * [`delta`] — [`ProblemDelta`], batched first-class problem changes.
 //! * [`analysis`] — utility/utilization breakdowns and fairness metrics.
 //! * [`io`] — versioned JSON save/load for problems and allocations.
@@ -53,7 +54,8 @@ pub use analysis::AllocationReport;
 pub use delta::{DeltaOp, ProblemDelta};
 pub use ids::{ClassId, FlowId, LinkId, NodeId};
 pub use problem::{
-    ClassSpec, FlowSpec, LinkSpec, NodeSpec, Problem, ProblemBuilder, RateBounds, ValidationError,
+    ClassSpec, FlowSpec, LinkSpec, NodeSpec, Problem, ProblemBuilder, RateBounds, ReliabilitySpec,
+    RhoBounds, ValidationError,
 };
 pub use terms::{FlowCohort, NodePriceTerm, PriceTermTable};
 pub use utility::{Utility, UtilityShape};

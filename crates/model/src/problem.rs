@@ -51,6 +51,103 @@ impl RateBounds {
     }
 }
 
+/// Inclusive reliability bounds `[min, max] ⊆ (0, 1]` for a flow's
+/// delivered-fraction target `ρ_i` (the joint rate–reliability extension).
+///
+/// The lower bound must be strictly positive: the reliability utility
+/// `V_i(ρ) = w · ln(ρ)` diverges at zero, and the ρ best-response divides
+/// by ρ nowhere but clamps into these bounds everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RhoBounds {
+    /// Minimum reliability `ρ_i^min`.
+    pub min: f64,
+    /// Maximum reliability `ρ_i^max`.
+    pub max: f64,
+}
+
+impl RhoBounds {
+    /// Creates bounds after checking `0 < min <= max <= 1` and finiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError::InvalidRhoBounds`] when violated.
+    #[must_use = "this Result reports a failure the caller must handle"]
+    pub fn new(min: f64, max: f64) -> Result<Self, ValidationError> {
+        if !(min.is_finite() && max.is_finite()) || min <= 0.0 || min > max || max > 1.0 {
+            return Err(ValidationError::InvalidRhoBounds { min, max });
+        }
+        Ok(Self { min, max })
+    }
+
+    /// Clamps a reliability into the bounds.
+    pub fn clamp(&self, rho: f64) -> f64 {
+        rho.clamp(self.min, self.max)
+    }
+
+    /// `true` if `rho` lies within the bounds up to `tol`.
+    pub fn contains(&self, rho: f64, tol: f64) -> bool {
+        rho >= self.min - tol && rho <= self.max + tol
+    }
+
+    /// Bounds pinned to a single value (`min == max == rho`): the
+    /// "rate-only with fixed reliability" baseline of the integrated
+    /// experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError::InvalidRhoBounds`] unless `0 < rho <= 1`.
+    #[must_use = "this Result reports a failure the caller must handle"]
+    pub fn fixed(rho: f64) -> Result<Self, ValidationError> {
+        Self::new(rho, rho)
+    }
+}
+
+impl Default for RhoBounds {
+    /// Full reliability (`[1, 1]`): a flow added to a problem that never
+    /// set bounds for it demands complete delivery.
+    fn default() -> Self {
+        Self { min: 1.0, max: 1.0 }
+    }
+}
+
+/// The optional joint rate–reliability extension of a [`Problem`]
+/// (Lee–Chiang–Calderbank NUM): per-flow reliability bounds, per-link loss
+/// rates, and a redundancy factor coupling ρ back into link usage.
+///
+/// When attached (see [`Problem::with_reliability`] /
+/// [`ProblemBuilder::set_reliability`]), the engine may solve for a second
+/// per-flow decision variable `ρ_i` whose utility `V_i(ρ) = w_i · ln(ρ)`
+/// trades off against redundancy-inflated link usage
+/// `L_{l,i} · r_i · (1 + redundancy · ρ_i · loss_l)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilitySpec {
+    /// Per-flow reliability bounds, indexed by flow id.
+    pub rho_bounds: Vec<RhoBounds>,
+    /// Per-link loss rate `loss_l ∈ [0, 1)`, indexed by link id.
+    pub link_loss: Vec<f64>,
+    /// Redundancy factor `≥ 0` scaling how strongly a flow's ρ inflates
+    /// its usage of lossy links.
+    pub redundancy: f64,
+}
+
+impl ReliabilitySpec {
+    /// A spec with the same bounds for every flow and the same loss on
+    /// every link.
+    pub fn uniform(
+        num_flows: usize,
+        num_links: usize,
+        bounds: RhoBounds,
+        loss: f64,
+        redundancy: f64,
+    ) -> Self {
+        Self {
+            rho_bounds: vec![bounds; num_flows],
+            link_loss: vec![loss; num_links],
+            redundancy,
+        }
+    }
+}
+
 /// An overlay node (broker) with a CPU-like capacity `c_b`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeSpec {
@@ -178,6 +275,39 @@ pub enum ValidationError {
         /// Description of the missing coefficient (`"F[node2, flow1]"`).
         coefficient: String,
     },
+    /// Reliability bounds violate `0 < min <= max <= 1` or are non-finite.
+    InvalidRhoBounds {
+        /// Offending lower bound.
+        min: f64,
+        /// Offending upper bound.
+        max: f64,
+    },
+    /// A per-link loss rate lies outside `[0, 1)` or is non-finite.
+    InvalidLossRate {
+        /// The offending link.
+        link: LinkId,
+        /// The offending loss rate.
+        loss: f64,
+    },
+    /// The redundancy factor is negative or non-finite.
+    InvalidRedundancy {
+        /// The offending value.
+        value: f64,
+    },
+    /// A [`ReliabilitySpec`] vector does not match the problem's shape
+    /// (one entry per flow / per link).
+    ReliabilityShape {
+        /// Which vector is misshapen (`"rho_bounds"`, `"link_loss"`).
+        what: String,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A reliability edit targeted a problem with no [`ReliabilitySpec`]
+    /// attached. Edits never attach a spec — that would change the
+    /// problem's decision-variable shape mid-run.
+    ReliabilityDisabled,
 }
 
 impl fmt::Display for ValidationError {
@@ -207,6 +337,21 @@ impl fmt::Display for ValidationError {
             ValidationError::UnknownClass { class } => write!(f, "unknown class {class}"),
             ValidationError::NoSuchCostEntry { coefficient } => {
                 write!(f, "no cost entry for {coefficient}")
+            }
+            ValidationError::InvalidRhoBounds { min, max } => {
+                write!(f, "invalid reliability bounds [{min}, {max}]")
+            }
+            ValidationError::InvalidLossRate { link, loss } => {
+                write!(f, "loss rate of {link} must lie in [0, 1), got {loss}")
+            }
+            ValidationError::InvalidRedundancy { value } => {
+                write!(f, "redundancy factor must be nonnegative and finite, got {value}")
+            }
+            ValidationError::ReliabilityShape { what, expected, actual } => {
+                write!(f, "reliability {what} must have {expected} entries, got {actual}")
+            }
+            ValidationError::ReliabilityDisabled => {
+                write!(f, "problem has no reliability spec attached")
             }
         }
     }
@@ -244,6 +389,11 @@ pub struct Problem {
     links: Vec<LinkSpec>,
     flows: Vec<FlowSpec>,
     classes: Vec<ClassSpec>,
+    /// Optional joint rate–reliability extension; `None` (the default,
+    /// and what any pre-extension serialized problem deserializes to)
+    /// leaves the problem a pure rate NUM.
+    #[serde(default)]
+    reliability: Option<ReliabilitySpec>,
     // Derived indices.
     classes_of_flow: Vec<Vec<ClassId>>,
     classes_at_node: Vec<Vec<ClassId>>,
@@ -396,6 +546,27 @@ impl Problem {
         self.classes.iter().map(|c| c.max_population as u64).sum()
     }
 
+    /// The joint rate–reliability extension, when one is attached.
+    pub fn reliability(&self) -> Option<&ReliabilitySpec> {
+        self.reliability.as_ref()
+    }
+
+    /// Per-link loss rate `loss_l`; zero when no spec is attached or the
+    /// id is out of range.
+    pub fn link_loss(&self, link: LinkId) -> f64 {
+        self.reliability
+            .as_ref()
+            .and_then(|s| s.link_loss.get(link.index()).copied())
+            .unwrap_or(0.0)
+    }
+
+    /// Flow `flow`'s reliability bounds, when a spec is attached.
+    pub fn rho_bounds(&self, flow: FlowId) -> Option<RhoBounds> {
+        self.reliability
+            .as_ref()
+            .and_then(|s| s.rho_bounds.get(flow.index()).copied())
+    }
+
     /// Returns a copy of this problem with every class utility replaced by
     /// `f(rank)` where `rank` is the class's current weight. Used to produce
     /// the §4.5 utility-shape variants of a workload.
@@ -543,6 +714,76 @@ impl Problem {
         Ok(p)
     }
 
+    /// Returns a copy with the joint rate–reliability extension `spec`
+    /// attached (replacing any previous one).
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::ReliabilityShape`] when a vector does not have
+    /// one entry per flow / per link, [`ValidationError::InvalidRhoBounds`]
+    /// / [`ValidationError::InvalidLossRate`] /
+    /// [`ValidationError::InvalidRedundancy`] on out-of-range values.
+    #[must_use = "this Result reports a failure the caller must handle"]
+    pub fn with_reliability(&self, spec: ReliabilitySpec) -> Result<Problem, ValidationError> {
+        validate_reliability(&spec, self.flows.len(), self.links.len())?;
+        let mut p = self.clone();
+        p.reliability = Some(spec);
+        Ok(p)
+    }
+
+    /// Returns a copy with the reliability extension removed: the
+    /// rate-only baseline of the integrated-allocation experiment.
+    pub fn without_reliability(&self) -> Problem {
+        let mut p = self.clone();
+        p.reliability = None;
+        p
+    }
+
+    /// Returns a copy with `link`'s loss rate replaced.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::ReliabilityDisabled`] when no spec is attached,
+    /// [`ValidationError::UnknownLink`] on an out-of-range id,
+    /// [`ValidationError::InvalidLossRate`] unless `0 <= loss < 1` and
+    /// finite.
+    #[must_use = "this Result reports a failure the caller must handle"]
+    pub fn with_link_loss(&self, link: LinkId, loss: f64) -> Result<Problem, ValidationError> {
+        if link.index() >= self.links.len() {
+            return Err(ValidationError::UnknownLink { link });
+        }
+        if !(loss.is_finite() && (0.0..1.0).contains(&loss)) {
+            return Err(ValidationError::InvalidLossRate { link, loss });
+        }
+        let mut p = self.clone();
+        let spec = p.reliability.as_mut().ok_or(ValidationError::ReliabilityDisabled)?;
+        spec.link_loss[link.index()] = loss;
+        Ok(p)
+    }
+
+    /// Returns a copy with `flow`'s reliability bounds replaced.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::ReliabilityDisabled`] when no spec is attached,
+    /// [`ValidationError::UnknownFlow`] on an out-of-range id,
+    /// [`ValidationError::InvalidRhoBounds`] on invalid bounds.
+    #[must_use = "this Result reports a failure the caller must handle"]
+    pub fn with_rho_bounds(
+        &self,
+        flow: FlowId,
+        bounds: RhoBounds,
+    ) -> Result<Problem, ValidationError> {
+        if flow.index() >= self.flows.len() {
+            return Err(ValidationError::UnknownFlow { flow });
+        }
+        RhoBounds::new(bounds.min, bounds.max)?;
+        let mut p = self.clone();
+        let spec = p.reliability.as_mut().ok_or(ValidationError::ReliabilityDisabled)?;
+        spec.rho_bounds[flow.index()] = bounds;
+        Ok(p)
+    }
+
     /// Returns a copy with a new flow (and its consumer classes) appended.
     /// Existing ids are untouched; the new flow takes the next flow id and
     /// the classes take the next class ids, in the given order. The `flow`
@@ -566,9 +807,15 @@ impl Problem {
             links: self.links.clone(),
             flows: self.flows.clone(),
             classes: self.classes.clone(),
+            reliability: self.reliability.clone(),
         };
         let fid = FlowId::new(b.flows.len() as u32);
         b.flows.push(flow);
+        if let Some(spec) = &mut b.reliability {
+            // The grown flow dimension keeps the spec's shape invariant;
+            // the new flow demands full reliability until edited.
+            spec.rho_bounds.push(RhoBounds::default());
+        }
         for mut class in classes {
             class.flow = fid;
             b.classes.push(class);
@@ -615,6 +862,7 @@ pub struct ProblemBuilder {
     links: Vec<LinkSpec>,
     flows: Vec<FlowSpec>,
     classes: Vec<ClassSpec>,
+    reliability: Option<ReliabilitySpec>,
 }
 
 impl ProblemBuilder {
@@ -681,6 +929,14 @@ impl ProblemBuilder {
         } else {
             costs.push((link, cost));
         }
+        self
+    }
+
+    /// Attaches the joint rate–reliability extension. Validated against
+    /// the *final* flow/link counts by [`Self::build`], so it may be set
+    /// before or after the flows and links it describes.
+    pub fn set_reliability(&mut self, spec: ReliabilitySpec) -> &mut Self {
+        self.reliability = Some(spec);
         self
     }
 
@@ -804,6 +1060,10 @@ impl ProblemBuilder {
             }
         }
 
+        if let Some(spec) = &self.reliability {
+            validate_reliability(spec, n_flows, n_links)?;
+        }
+
         // Build derived indices.
         let mut classes_of_flow = vec![Vec::new(); n_flows];
         let mut classes_at_node = vec![Vec::new(); n_nodes];
@@ -829,12 +1089,48 @@ impl ProblemBuilder {
             links: self.links,
             flows: self.flows,
             classes: self.classes,
+            reliability: self.reliability,
             classes_of_flow,
             classes_at_node,
             flows_at_node,
             flows_on_link,
         })
     }
+}
+
+/// Checks a [`ReliabilitySpec`] against the problem shape: one bounds
+/// entry per flow, one loss entry per link, every value in range.
+fn validate_reliability(
+    spec: &ReliabilitySpec,
+    n_flows: usize,
+    n_links: usize,
+) -> Result<(), ValidationError> {
+    if spec.rho_bounds.len() != n_flows {
+        return Err(ValidationError::ReliabilityShape {
+            what: "rho_bounds".to_string(),
+            expected: n_flows,
+            actual: spec.rho_bounds.len(),
+        });
+    }
+    if spec.link_loss.len() != n_links {
+        return Err(ValidationError::ReliabilityShape {
+            what: "link_loss".to_string(),
+            expected: n_links,
+            actual: spec.link_loss.len(),
+        });
+    }
+    for bounds in &spec.rho_bounds {
+        RhoBounds::new(bounds.min, bounds.max)?;
+    }
+    for (i, &loss) in spec.link_loss.iter().enumerate() {
+        if !(loss.is_finite() && (0.0..1.0).contains(&loss)) {
+            return Err(ValidationError::InvalidLossRate { link: LinkId::new(i as u32), loss });
+        }
+    }
+    if !(spec.redundancy.is_finite() && spec.redundancy >= 0.0) {
+        return Err(ValidationError::InvalidRedundancy { value: spec.redundancy });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1052,5 +1348,163 @@ mod tests {
         assert_eq!(e.to_string(), "unknown flow flow3");
         let e = ValidationError::InvalidRateBounds { min: 5.0, max: 1.0 };
         assert!(e.to_string().contains("[5, 1]"));
+        let e = ValidationError::InvalidRhoBounds { min: 0.0, max: 0.5 };
+        assert!(e.to_string().contains("reliability bounds"));
+        let e = ValidationError::InvalidLossRate { link: LinkId::new(2), loss: 1.5 };
+        assert!(e.to_string().contains("loss rate"));
+        let e = ValidationError::ReliabilityDisabled;
+        assert!(e.to_string().contains("no reliability spec"));
+    }
+
+    #[test]
+    fn rho_bounds_validation() {
+        assert!(RhoBounds::new(0.5, 0.999).is_ok());
+        assert!(RhoBounds::new(0.0, 0.5).is_err(), "min must be strictly positive");
+        assert!(RhoBounds::new(0.9, 0.5).is_err());
+        assert!(RhoBounds::new(0.5, 1.5).is_err());
+        assert!(RhoBounds::new(f64::NAN, 1.0).is_err());
+        let b = RhoBounds::new(0.5, 0.9).unwrap();
+        assert_eq!(b.clamp(0.1), 0.5);
+        assert_eq!(b.clamp(0.95), 0.9);
+        assert_eq!(b.clamp(0.7), 0.7);
+        assert!(b.contains(0.5, 0.0));
+        assert!(!b.contains(0.4, 0.05));
+        assert_eq!(RhoBounds::fixed(0.8).unwrap(), RhoBounds { min: 0.8, max: 0.8 });
+        assert_eq!(RhoBounds::default(), RhoBounds { min: 1.0, max: 1.0 });
+    }
+
+    fn lossy() -> Problem {
+        let mut b = tiny();
+        let l = b.add_link(1e6);
+        b.set_link_cost(FlowId::new(0), l, 2.0);
+        b.set_reliability(ReliabilitySpec::uniform(
+            1,
+            1,
+            RhoBounds::new(0.5, 0.999).unwrap(),
+            0.1,
+            1.0,
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_attaches_reliability_spec() {
+        let p = lossy();
+        let spec = p.reliability().expect("spec attached");
+        assert_eq!(spec.rho_bounds.len(), 1);
+        assert_eq!(spec.link_loss, vec![0.1]);
+        assert_eq!(spec.redundancy, 1.0);
+        assert_eq!(p.link_loss(LinkId::new(0)), 0.1);
+        assert_eq!(p.link_loss(LinkId::new(9)), 0.0, "out of range reads as lossless");
+        assert_eq!(p.rho_bounds(FlowId::new(0)), Some(RhoBounds::new(0.5, 0.999).unwrap()));
+        assert_eq!(p.rho_bounds(FlowId::new(9)), None);
+    }
+
+    #[test]
+    fn problem_without_spec_reads_as_lossless() {
+        let p = tiny().build().unwrap();
+        assert!(p.reliability().is_none());
+        assert_eq!(p.link_loss(LinkId::new(0)), 0.0);
+        assert_eq!(p.rho_bounds(FlowId::new(0)), None);
+    }
+
+    #[test]
+    fn build_rejects_misshapen_spec() {
+        let mut b = tiny();
+        b.set_reliability(ReliabilitySpec::uniform(3, 0, RhoBounds::default(), 0.0, 1.0));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ValidationError::ReliabilityShape { .. }
+        ));
+    }
+
+    #[test]
+    fn build_rejects_invalid_loss_and_redundancy() {
+        let mut b = tiny();
+        let l = b.add_link(1e6);
+        b.set_link_cost(FlowId::new(0), l, 2.0);
+        b.set_reliability(ReliabilitySpec::uniform(1, 1, RhoBounds::default(), 1.0, 1.0));
+        assert!(matches!(
+            b.clone().build().unwrap_err(),
+            ValidationError::InvalidLossRate { .. }
+        ));
+        b.set_reliability(ReliabilitySpec::uniform(1, 1, RhoBounds::default(), 0.1, -1.0));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ValidationError::InvalidRedundancy { .. }
+        ));
+    }
+
+    #[test]
+    fn with_reliability_attaches_and_strips() {
+        let p = tiny().build().unwrap();
+        let spec = ReliabilitySpec::uniform(1, 0, RhoBounds::new(0.6, 0.9).unwrap(), 0.0, 2.0);
+        let q = p.with_reliability(spec.clone()).unwrap();
+        assert_eq!(q.reliability(), Some(&spec));
+        assert!(p.reliability().is_none(), "original untouched");
+        assert!(q.without_reliability().reliability().is_none());
+        let bad = ReliabilitySpec::uniform(5, 0, RhoBounds::default(), 0.0, 1.0);
+        assert!(p.with_reliability(bad).is_err());
+    }
+
+    #[test]
+    fn with_link_loss_replaces_and_validates() {
+        let p = lossy();
+        let q = p.with_link_loss(LinkId::new(0), 0.25).unwrap();
+        assert_eq!(q.link_loss(LinkId::new(0)), 0.25);
+        assert_eq!(p.link_loss(LinkId::new(0)), 0.1, "original intact");
+        assert!(p.with_link_loss(LinkId::new(9), 0.1).is_err());
+        assert!(p.with_link_loss(LinkId::new(0), 1.0).is_err());
+        assert!(p.with_link_loss(LinkId::new(0), -0.1).is_err());
+        let plain = p.without_reliability();
+        assert!(matches!(
+            plain.with_link_loss(LinkId::new(0), 0.1).unwrap_err(),
+            ValidationError::ReliabilityDisabled
+        ));
+    }
+
+    #[test]
+    fn with_rho_bounds_replaces_and_validates() {
+        let p = lossy();
+        let nb = RhoBounds::new(0.7, 0.8).unwrap();
+        let q = p.with_rho_bounds(FlowId::new(0), nb).unwrap();
+        assert_eq!(q.rho_bounds(FlowId::new(0)), Some(nb));
+        assert!(p.with_rho_bounds(FlowId::new(9), nb).is_err());
+        assert!(p.with_rho_bounds(FlowId::new(0), RhoBounds { min: 0.9, max: 0.1 }).is_err());
+        let plain = tiny().build().unwrap();
+        assert!(matches!(
+            plain.with_rho_bounds(FlowId::new(0), nb).unwrap_err(),
+            ValidationError::ReliabilityDisabled
+        ));
+    }
+
+    #[test]
+    fn with_added_flow_extends_rho_bounds() {
+        let p = lossy();
+        let src = NodeId::new(0);
+        let sink = NodeId::new(1);
+        let flow = FlowSpec {
+            source: src,
+            bounds: RateBounds::new(1.0, 100.0).unwrap(),
+            link_costs: vec![],
+            node_costs: vec![(sink, 1.0)],
+        };
+        let q = p.with_added_flow(flow, vec![]).unwrap();
+        let spec = q.reliability().expect("spec survives the growth");
+        assert_eq!(spec.rho_bounds.len(), 2);
+        assert_eq!(spec.rho_bounds[1], RhoBounds::default());
+    }
+
+    #[test]
+    fn reliability_spec_serde_round_trip_and_default() {
+        let p = lossy();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Problem = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        // A pre-extension problem (no `reliability` key) still loads.
+        let plain = tiny().build().unwrap();
+        let json = serde_json::to_string(&plain).unwrap().replace(",\"reliability\":null", "");
+        let back: Problem = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plain);
     }
 }

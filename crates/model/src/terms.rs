@@ -101,6 +101,13 @@ pub struct PriceTermTable {
     utility_terms: Vec<(u32, f64)>,
     /// Per-flow offsets into `utility_terms` (length `num_flows + 1`).
     utility_offsets: Vec<u32>,
+    /// `(link index, L_{l,i} · loss_l)` for every flow, concatenated in
+    /// [`Problem::links_of_flow`] order: the reliability column. Empty when
+    /// the problem carries no [`crate::ReliabilitySpec`].
+    rho_link_terms: Vec<(u32, f64)>,
+    /// Per-flow offsets into `rho_link_terms` (length `num_flows + 1` when
+    /// a spec is attached, empty otherwise).
+    rho_link_offsets: Vec<u32>,
 }
 
 impl PriceTermTable {
@@ -166,6 +173,19 @@ impl PriceTermTable {
             }
             usage_offsets.push(usage_terms.len() as u32);
         }
+        let mut rho_link_terms = Vec::new();
+        let mut rho_link_offsets = Vec::new();
+        if problem.reliability().is_some() {
+            rho_link_offsets.reserve(problem.num_flows() + 1);
+            rho_link_offsets.push(0);
+            for flow in problem.flow_ids() {
+                for &(link, cost) in problem.links_of_flow(flow) {
+                    rho_link_terms
+                        .push((link.index() as u32, cost * problem.link_loss(link)));
+                }
+                rho_link_offsets.push(rho_link_terms.len() as u32);
+            }
+        }
         Self {
             link_terms,
             link_offsets,
@@ -177,6 +197,8 @@ impl PriceTermTable {
             cohorts,
             utility_terms,
             utility_offsets,
+            rho_link_terms,
+            rho_link_offsets,
         }
     }
 
@@ -215,6 +237,15 @@ impl PriceTermTable {
     /// flow is a dot product of this slice against the population vector.
     pub fn utility_terms(&self, flow: FlowId) -> &[(u32, f64)] {
         csr_row(&self.utility_terms, &self.utility_offsets, flow.index())
+    }
+
+    /// `flow`'s reliability link terms `(link index, L_{l,i} · loss_l)`, in
+    /// [`Problem::links_of_flow`] order. The ρ best-response price of a flow
+    /// is `redundancy · r_i` times the dot product of this slice against the
+    /// link-price vector. Empty when the problem carries no
+    /// [`crate::ReliabilitySpec`].
+    pub fn rho_link_terms(&self, flow: FlowId) -> &[(u32, f64)] {
+        csr_row(&self.rho_link_terms, &self.rho_link_offsets, flow.index())
     }
 }
 
@@ -343,6 +374,28 @@ mod tests {
             seen += expected.len();
         }
         assert_eq!(seen, p.num_classes());
+    }
+
+    #[test]
+    fn rho_link_terms_weight_costs_by_loss() {
+        let p = fixture();
+        let t = PriceTermTable::new(&p);
+        assert!(
+            t.rho_link_terms(FlowId::new(0)).is_empty(),
+            "no spec attached → no reliability column"
+        );
+        let spec = crate::ReliabilitySpec::uniform(
+            1,
+            1,
+            crate::RhoBounds::new(0.5, 0.99).unwrap(),
+            0.25,
+            1.0,
+        );
+        let lossy = p.with_reliability(spec).unwrap();
+        let t = PriceTermTable::new(&lossy);
+        // Link cost 2.0 weighted by loss 0.25.
+        assert_eq!(t.rho_link_terms(FlowId::new(0)), &[(0, 0.5)]);
+        assert!(t.rho_link_terms(FlowId::new(9)).is_empty());
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! (more flows *and* more consumer nodes).
 
 use crate::ids::NodeId;
-use crate::problem::{Problem, ProblemBuilder, RateBounds};
+use crate::problem::{Problem, ProblemBuilder, RateBounds, ReliabilitySpec, RhoBounds};
 use crate::utility::{Utility, UtilityShape};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Flow-node cost `F_{b,i}` measured on Gryphon (§4.1).
@@ -135,8 +136,7 @@ pub fn paper_workload(shape: UtilityShape, system_copies: usize, cnode_copies: u
             }
         }
     }
-    // lrgp-lint: allow(library-unwrap, reason = "generator-built problems are structurally valid by construction")
-    b.build().expect("paper workload is structurally valid")
+    build_generated(b, "paper workload is structurally valid")
 }
 
 /// The six workloads of Table 2, in the paper's row order.
@@ -287,9 +287,22 @@ impl RandomWorkload {
                 b.add_class(flow, node, n_max, shape.build(rank), self.consumer_cost);
             }
         }
-        // lrgp-lint: allow(library-unwrap, reason = "generator-built problems are structurally valid by construction")
-        b.build().expect("random workload is structurally valid")
+        build_generated(b, "random workload is structurally valid")
     }
+}
+
+/// Rate bounds shared by the synthetic (non-paper) generators.
+fn generator_rate_bounds() -> RateBounds {
+    // lrgp-lint: allow(library-unwrap, reason = "literal bounds are statically valid")
+    RateBounds::new(1.0, 10_000.0).expect("valid bounds")
+}
+
+/// Finishes a generator-assembled builder. Generators construct problems
+/// that are structurally valid by construction, so a build failure is a
+/// programming error in the generator, not caller input.
+fn build_generated(b: ProblemBuilder, what: &str) -> Problem {
+    // lrgp-lint: allow(library-unwrap, reason = "generator-built problems are structurally valid by construction")
+    b.build().expect(what)
 }
 
 /// A workload with a *link* bottleneck, exercising the Low–Lapsley link
@@ -306,8 +319,7 @@ pub fn link_bottleneck_workload(link_capacity: f64) -> Problem {
     let src1 = b.add_labeled_node(1e9, "src1");
     let sink = b.add_labeled_node(1e9, "sink");
     let link = b.add_link_between(link_capacity, src0, sink);
-    // lrgp-lint: allow(library-unwrap, reason = "literal bounds are statically valid")
-    let bounds = RateBounds::new(1.0, 10_000.0).expect("valid bounds");
+    let bounds = generator_rate_bounds();
     let f0 = b.add_flow(src0, bounds);
     let f1 = b.add_flow(src1, bounds);
     for f in [f0, f1] {
@@ -316,8 +328,66 @@ pub fn link_bottleneck_workload(link_capacity: f64) -> Problem {
     }
     b.add_class(f0, sink, 10, Utility::log(30.0), 0.001);
     b.add_class(f1, sink, 10, Utility::log(10.0), 0.001);
+    build_generated(b, "link bottleneck workload is structurally valid")
+}
+
+/// Reliability bounds used by the lossy workload generators:
+/// `ρ ∈ [0.5, 0.999]`, wide enough that the joint engine has a real choice
+/// between cheap-but-lossy and expensive-but-reliable delivery.
+pub const GENERATOR_RHO_BOUNDS: RhoBounds = RhoBounds { min: 0.5, max: 0.999 };
+
+/// [`link_bottleneck_workload`] with a [`ReliabilitySpec`] attached: the
+/// shared link drops a fraction `loss` of traffic, both flows carry the
+/// generator's default ρ bounds, and redundancy factor 1 couples ρ back
+/// into link usage. The smallest workload on which the joint
+/// rate–reliability engine has something to decide.
+///
+/// # Panics
+///
+/// Panics if `loss` lies outside `[0, 1)`.
+pub fn lossy_link_bottleneck_workload(link_capacity: f64, loss: f64) -> Problem {
+    let p = link_bottleneck_workload(link_capacity);
+    let spec =
+        ReliabilitySpec::uniform(p.num_flows(), p.num_links(), GENERATOR_RHO_BOUNDS, loss, 1.0);
     // lrgp-lint: allow(library-unwrap, reason = "generator-built problems are structurally valid by construction")
-    b.build().expect("link bottleneck workload is structurally valid")
+    p.with_reliability(spec).expect("lossy bottleneck spec is shape-correct by construction")
+}
+
+/// A multi-link lossy workload: `pairs` disjoint copies of the
+/// link-bottleneck topology, each link with its *own* loss rate drawn
+/// deterministically from `seed` (uniform in `[0, 0.3)`), and per-flow
+/// class ranks drawn from `[5, 50]`. The per-link mix of clean and lossy
+/// links is what the integrated-allocation experiment and the differential
+/// harness run against: flows on clean links should hold high ρ, flows on
+/// lossy links should trade ρ away as redundancy gets expensive.
+///
+/// # Panics
+///
+/// Panics if `pairs` is zero.
+pub fn mixed_loss_workload(pairs: usize, link_capacity: f64, seed: u64) -> Problem {
+    assert!(pairs > 0, "pairs must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProblemBuilder::new();
+    let bounds = generator_rate_bounds();
+    let mut link_loss = Vec::with_capacity(pairs);
+    let mut rho_bounds = Vec::with_capacity(2 * pairs);
+    for k in 0..pairs {
+        let src0 = b.add_labeled_node(1e9, format!("pair{k}/src0"));
+        let src1 = b.add_labeled_node(1e9, format!("pair{k}/src1"));
+        let sink = b.add_labeled_node(1e9, format!("pair{k}/sink"));
+        let link = b.add_link_between(link_capacity, src0, sink);
+        let f0 = b.add_flow(src0, bounds);
+        let f1 = b.add_flow(src1, bounds);
+        for f in [f0, f1] {
+            b.set_link_cost(f, link, 1.0);
+            b.set_node_cost(f, sink, 0.001);
+            b.add_class(f, sink, 10, Utility::log(rng.gen_range(5.0..=50.0)), 0.001);
+            rho_bounds.push(GENERATOR_RHO_BOUNDS);
+        }
+        link_loss.push(rng.gen_range(0.0..0.3));
+    }
+    b.set_reliability(ReliabilitySpec { rho_bounds, link_loss, redundancy: 1.0 });
+    build_generated(b, "mixed loss workload is structurally valid")
 }
 
 #[cfg(test)]
@@ -505,5 +575,44 @@ mod tests {
     #[should_panic(expected = "system_copies must be positive")]
     fn paper_workload_rejects_zero_copies() {
         let _ = paper_workload(UtilityShape::Log, 0, 1);
+    }
+
+    #[test]
+    fn lossy_bottleneck_attaches_spec() {
+        let p = lossy_link_bottleneck_workload(500.0, 0.1);
+        let spec = p.reliability().expect("spec attached");
+        assert_eq!(spec.link_loss, vec![0.1]);
+        assert_eq!(spec.rho_bounds, vec![GENERATOR_RHO_BOUNDS; 2]);
+        assert_eq!(spec.redundancy, 1.0);
+        // The underlying topology is untouched.
+        assert_eq!(p.without_reliability(), link_bottleneck_workload(500.0));
+    }
+
+    #[test]
+    fn mixed_loss_workload_is_deterministic_per_seed() {
+        let a = mixed_loss_workload(4, 500.0, 11);
+        let b = mixed_loss_workload(4, 500.0, 11);
+        let c = mixed_loss_workload(4, 500.0, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.num_links(), 4);
+        assert_eq!(a.num_flows(), 8);
+        assert_eq!(a.num_classes(), 8);
+        let spec = a.reliability().expect("spec attached");
+        assert_eq!(spec.link_loss.len(), 4);
+        for &loss in &spec.link_loss {
+            assert!((0.0..0.3).contains(&loss), "loss {loss} out of generator range");
+        }
+        assert_eq!(spec.rho_bounds.len(), 8);
+    }
+
+    #[test]
+    fn mixed_loss_pairs_are_disjoint() {
+        let p = mixed_loss_workload(3, 500.0, 5);
+        for k in 0..3u32 {
+            let link = crate::ids::LinkId::new(k);
+            let on_link: Vec<_> = p.flows_on_link(link).to_vec();
+            assert_eq!(on_link, vec![FlowId::new(2 * k), FlowId::new(2 * k + 1)]);
+        }
     }
 }

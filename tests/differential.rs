@@ -9,7 +9,7 @@
 //! racy write, out-of-order reduction, or stale dirty-set entry shows up
 //! as a hard failure with the iteration and element index.
 //!
-//! Five axes are covered, alone and combined:
+//! Six axes are covered, alone and combined:
 //!
 //! * **parallelism** — sharded over the persistent worker pool vs
 //!   sequential, with dispatch forced so the cross-thread handoff runs
@@ -25,14 +25,23 @@
 //!   the reference within `1e-12` *relative total-utility drift* at
 //!   convergence — its lane-batched sums and closed-form cohort solves are
 //!   allowed to differ in the low-order bits, and nothing else.
+//! * **reliability** — the fourth oracle column: a `Reliability::Off`
+//!   engine on a spec-carrying lossy workload must be bit-identical to an
+//!   engine on the spec-stripped problem (the pre-reliability engine, by
+//!   construction), even while loss/ρ-bound deltas land on the
+//!   spec-carrying side only; `Reliability::Joint` engines must be
+//!   bit-identical across the whole plan matrix, ρ state included.
 
 use lrgp::{
-    Engine, IncrementalMode, LrgpConfig, Numerics, Parallelism, ProblemChange, TraceConfig,
+    Engine, IncrementalMode, LrgpConfig, Numerics, Parallelism, ProblemChange, Reliability,
+    TraceConfig,
 };
-use lrgp_model::workloads::{link_bottleneck_workload, paper_workload, RandomWorkload};
+use lrgp_model::workloads::{
+    link_bottleneck_workload, mixed_loss_workload, paper_workload, RandomWorkload,
+};
 use lrgp_model::{
-    ClassId, ClassSpec, FlowId, FlowSpec, NodeId, Problem, ProblemDelta, RateBounds, Utility,
-    UtilityShape,
+    ClassId, ClassSpec, FlowId, FlowSpec, LinkId, NodeId, Problem, ProblemDelta, RateBounds,
+    RhoBounds, Utility, UtilityShape,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -303,6 +312,9 @@ proptest! {
             incremental: IncrementalMode::Off,
             trace: TraceConfig::full(),
             numerics: Numerics::Strict,
+            // Explicitly rate-only: this schedule pins the pre-reliability
+            // engine behavior that `Reliability::Off` must reproduce.
+            reliability: Reliability::Off,
             ..LrgpConfig::default()
         };
         let inc_seq_config =
@@ -379,6 +391,219 @@ proptest! {
             u_base, u_vec
         );
     }
+}
+
+/// A seed-chosen delta that may also touch the reliability spec: kinds
+/// 0–3 are [`resolve_delta`]'s rate-side edits, kind 4 replaces a link's
+/// loss rate, kind 5 replaces a flow's ρ bounds. Only valid on problems
+/// that carry a [`lrgp_model::ReliabilitySpec`].
+fn resolve_lossy_delta(problem: &Problem, kind: u8, sel: u64, magnitude: f64) -> ProblemDelta {
+    match kind {
+        0..=3 => resolve_delta(problem, kind, sel, magnitude),
+        4 => {
+            let link = LinkId::new((sel % problem.num_links() as u64) as u32);
+            let loss = (magnitude / 1_000_000.0) * 0.45;
+            ProblemDelta::new().set_link_loss(link, loss)
+        }
+        _ => {
+            let flow = FlowId::new((sel % problem.num_flows() as u64) as u32);
+            let min = 0.2 + (magnitude / 1_000_000.0) * 0.5;
+            let bounds = RhoBounds::new(min, 0.95).expect("0 < min ≤ 0.7 < 0.95 ≤ 1");
+            ProblemDelta::new().set_rho_bounds(flow, bounds)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The reliability-off oracle: on a spec-carrying lossy workload, a
+    /// `Reliability::Off` engine (sequential and pooled) must be
+    /// bit-identical, at every iteration, to an engine running the
+    /// spec-stripped problem — which is the pre-reliability engine by
+    /// construction, since stripping the spec removes every reliability
+    /// code path. Loss and ρ-bound deltas land on the spec-carrying
+    /// engines only (they cannot even be expressed on the stripped
+    /// problem) and must not perturb a single bit; rate-side deltas land
+    /// on both sides. (ρ *state* may be re-clamped by a ρ-bound delta —
+    /// state clamping mirrors the rate path — but under `Off` it feeds
+    /// nothing, which the bitwise identity proves.)
+    #[test]
+    fn reliability_off_bit_identical_to_spec_stripped_engine(
+        (pairs, seed, threads) in (1usize..5, 0u64..1_000_000, 2usize..5),
+        schedule in proptest::collection::vec(
+            (0u8..6, 0u64..1_000_000, 0.0f64..1_000_000.0),
+            1..5,
+        )
+    ) {
+        let problem = mixed_loss_workload(pairs, 400.0, seed);
+        let stripped_config = LrgpConfig {
+            link_gamma: 2e-3,
+            trace: TraceConfig::full(),
+            ..LrgpConfig::default()
+        };
+        let off_config = LrgpConfig { reliability: Reliability::Off, ..stripped_config };
+        let off_par_config =
+            LrgpConfig { parallelism: Parallelism::Threads(threads), ..off_config };
+        let mut stripped = Engine::new(problem.without_reliability(), stripped_config);
+        let mut off_seq = Engine::new(problem.clone(), off_config);
+        let mut off_par = Engine::new(problem.clone(), off_par_config);
+        off_par.force_pool_dispatch(true);
+        for k in 1..=30usize {
+            if k >= 7 && (k - 7) % 6 == 0 {
+                if let Some(&(kind, sel, magnitude)) = schedule.get((k - 7) / 6) {
+                    let delta = resolve_lossy_delta(off_seq.problem(), kind, sel, magnitude);
+                    off_seq.apply_delta(&delta).expect("delta is valid on the spec side");
+                    off_par.apply_delta(&delta).expect("delta is valid on the spec side");
+                    if kind <= 3 {
+                        // Rate-side edits exist on the stripped problem too.
+                        stripped.apply_delta(&delta).expect("delta is valid");
+                    }
+                }
+            }
+            let u_ref = stripped.step();
+            let u_seq = off_seq.step();
+            let u_par = off_par.step();
+            prop_assert!(
+                u_ref.to_bits() == u_seq.to_bits(),
+                "off-sequential utility diverged at iteration {}: {:?} vs {:?}",
+                k, u_ref, u_seq
+            );
+            prop_assert!(
+                u_ref.to_bits() == u_par.to_bits(),
+                "off-threads utility diverged at iteration {}: {:?} vs {:?}",
+                k, u_ref, u_par
+            );
+            assert_same_state("off-sequential", k, &stripped, &off_seq);
+            assert_same_state("off-threads", k, &stripped, &off_par);
+        }
+    }
+
+    /// The joint-plan oracle: `Reliability::Joint` engines must be
+    /// bit-identical — rates, populations, prices, γ, *and* ρ — across
+    /// the plan matrix (sequential full recompute vs incremental
+    /// sequential vs incremental pooled), through a schedule of rate-side
+    /// and reliability-side deltas applied via [`Engine::apply_delta`]
+    /// against the wholesale `replace_problem` baseline.
+    #[test]
+    fn joint_reliability_bit_identical_across_plans(
+        (pairs, seed, threads) in (1usize..5, 0u64..1_000_000, 2usize..5),
+        schedule in proptest::collection::vec(
+            (0u8..6, 0u64..1_000_000, 0.0f64..1_000_000.0),
+            1..5,
+        )
+    ) {
+        let problem = mixed_loss_workload(pairs, 400.0, seed);
+        let baseline_config = LrgpConfig {
+            parallelism: Parallelism::Sequential,
+            incremental: IncrementalMode::Off,
+            reliability: Reliability::Joint,
+            link_gamma: 2e-3,
+            trace: TraceConfig::full(),
+            ..LrgpConfig::default()
+        };
+        let inc_seq_config = LrgpConfig { incremental: IncrementalMode::On, ..baseline_config };
+        let inc_par_config =
+            LrgpConfig { parallelism: Parallelism::Threads(threads), ..inc_seq_config };
+        let mut baseline = Engine::new(problem.clone(), baseline_config);
+        let mut inc_seq = Engine::new(problem.clone(), inc_seq_config);
+        let mut inc_par = Engine::new(problem, inc_par_config);
+        inc_par.force_pool_dispatch(true);
+        for k in 1..=30usize {
+            if k >= 7 && (k - 7) % 6 == 0 {
+                if let Some(&(kind, sel, magnitude)) = schedule.get((k - 7) / 6) {
+                    let delta = resolve_lossy_delta(baseline.problem(), kind, sel, magnitude);
+                    let edited = delta.apply(baseline.problem()).expect("delta is valid");
+                    baseline.replace_problem(edited);
+                    inc_seq.apply_delta(&delta).expect("delta is valid");
+                    inc_par.apply_delta(&delta).expect("delta is valid");
+                }
+            }
+            let u_base = baseline.step();
+            let u_seq = inc_seq.step();
+            let u_par = inc_par.step();
+            prop_assert!(
+                u_base.to_bits() == u_seq.to_bits(),
+                "joint-sequential utility diverged at iteration {}: {:?} vs {:?}",
+                k, u_base, u_seq
+            );
+            prop_assert!(
+                u_base.to_bits() == u_par.to_bits(),
+                "joint-threads utility diverged at iteration {}: {:?} vs {:?}",
+                k, u_base, u_par
+            );
+            assert_same_state("joint-sequential", k, &baseline, &inc_seq);
+            assert_same_state("joint-threads", k, &baseline, &inc_par);
+            assert_bits_eq("joint-sequential rhos", k, baseline.rhos(), inc_seq.rhos());
+            assert_bits_eq("joint-threads rhos", k, baseline.rhos(), inc_par.rhos());
+        }
+    }
+}
+
+/// [`mixed_loss_workload`]'s topology with the paper's power utilities,
+/// which make the joint engine actually trade ρ away on lossy links. (With
+/// log rate utilities the reliability mass equals the rate mass and the
+/// marginal reliability value `1/ρ` always beats the induced capacity
+/// cost, so ρ provably pins at its ceiling.)
+fn pow_lossy_pairs(pairs: usize, link_capacity: f64) -> Problem {
+    let mut b = lrgp_model::ProblemBuilder::new();
+    let bounds = RateBounds::new(1.0, 10_000.0).expect("literal bounds valid");
+    let mut link_loss = Vec::with_capacity(pairs);
+    let mut rho_bounds = Vec::with_capacity(2 * pairs);
+    for k in 0..pairs {
+        let src0 = b.add_labeled_node(1e9, format!("pair{k}/src0"));
+        let src1 = b.add_labeled_node(1e9, format!("pair{k}/src1"));
+        let sink = b.add_labeled_node(1e9, format!("pair{k}/sink"));
+        let link = b.add_link_between(link_capacity, src0, sink);
+        let f0 = b.add_flow(src0, bounds);
+        let f1 = b.add_flow(src1, bounds);
+        for (i, f) in [f0, f1].into_iter().enumerate() {
+            b.set_link_cost(f, link, 1.0);
+            b.set_node_cost(f, sink, 0.001);
+            let rank = 10.0 + 7.0 * (2 * k + i) as f64;
+            b.add_class(f, sink, 10, UtilityShape::Pow75.build(rank), 0.001);
+            rho_bounds.push(lrgp_model::workloads::GENERATOR_RHO_BOUNDS);
+        }
+        link_loss.push(0.05 * (k % 6) as f64);
+    }
+    b.set_reliability(lrgp_model::ReliabilitySpec { rho_bounds, link_loss, redundancy: 1.0 });
+    b.build().expect("pow lossy workload is structurally valid")
+}
+
+#[test]
+fn joint_vectorized_drift_bounded_at_convergence() {
+    // The vectorized joint step reassociates both the ρ price gathers and
+    // the redundancy-coupled link-usage sums; like the rate-only numerics
+    // axis it is held to the 1e-12 relative drift gate at convergence
+    // rather than bitwise identity.
+    let problem = pow_lossy_pairs(6, 100.0);
+    let strict_config = LrgpConfig {
+        reliability: Reliability::Joint,
+        numerics: Numerics::Strict,
+        link_gamma: 2e-3,
+        ..LrgpConfig::default()
+    };
+    let vectorized_config = LrgpConfig { numerics: Numerics::Vectorized, ..strict_config };
+    let mut strict = Engine::new(problem.clone(), strict_config);
+    let mut vectorized = Engine::new(problem, vectorized_config);
+    let mut u_strict = 0.0;
+    let mut u_vectorized = 0.0;
+    for _ in 0..400 {
+        u_strict = strict.step();
+        u_vectorized = vectorized.step();
+    }
+    let drift = (u_vectorized - u_strict).abs() / u_strict.abs().max(1.0);
+    assert!(
+        drift <= 1e-12,
+        "joint vectorized relative drift {drift:e} exceeds 1e-12 at convergence: \
+         strict {u_strict:?} vs vectorized {u_vectorized:?}"
+    );
+    // ρ must actually have moved off its ceiling somewhere, or this test
+    // exercised nothing.
+    assert!(
+        strict.rhos().iter().any(|&rho| rho < 0.999),
+        "joint engine never traded reliability away on a lossy workload"
+    );
 }
 
 #[test]
